@@ -1,0 +1,145 @@
+// §7: syntactic vs semantic OWL→DL-Lite approximation. Generates OWL
+// ontologies with a growing fraction of non-QL axioms (unions on the LHS,
+// conjunctions mixing ∃/¬ on the RHS), approximates both ways, and
+// reports time plus the preserved-entailment ratio against the tableau
+// ground truth — the paper's soundness/completeness trade-off, measured.
+
+#include <cstdio>
+#include <string>
+
+#include "approx/approx.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/classifier.h"
+#include "owl/ontology.h"
+
+
+namespace {
+
+using olite::owl::OwlAxiom;
+using olite::owl::OwlOntology;
+
+// One generated instance: the OWL ontology plus a hand-translated DL-Lite
+// equivalent that serves as the ground truth. The generated axiom mix —
+// union LHS (c ⊔ o ⊑ p ≡ c ⊑ p ∧ o ⊑ p) and conjunction RHS (split per
+// conjunct) — is exactly DL-Lite-expressible, so the equivalent is
+// lossless; what varies is how much each *approximation* recovers from
+// the OWL syntax.
+struct Instance {
+  std::unique_ptr<OwlOntology> owl;
+  olite::dllite::Ontology truth;
+};
+
+Instance Make(uint32_t n, double non_ql_fraction, uint64_t seed) {
+  olite::Rng rng(seed);
+  Instance out;
+  out.owl = std::make_unique<OwlOntology>();
+  auto& f = out.owl->factory();
+  std::vector<olite::dllite::ConceptId> classes;
+  for (uint32_t i = 0; i < n; ++i) {
+    classes.push_back(
+        out.owl->vocab().InternConcept("C" + std::to_string(i)));
+    out.truth.DeclareConcept("C" + std::to_string(i));
+  }
+  auto role =
+      olite::dllite::BasicRole::Direct(out.owl->vocab().InternRole("r"));
+  out.truth.DeclareRole("r");
+  using BC = olite::dllite::BasicConcept;
+  using RC = olite::dllite::RhsConcept;
+
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t parent_id = static_cast<uint32_t>(rng.Uniform(i));
+    auto parent = f.Atomic(classes[parent_id]);
+    auto child = f.Atomic(classes[i]);
+    if (rng.UniformDouble() < non_ql_fraction) {
+      if (rng.Chance(0.5)) {
+        // Union LHS: (C_i ⊔ C_j) ⊑ parent.
+        uint32_t other_id = static_cast<uint32_t>(rng.Uniform(n));
+        out.owl->AddAxiom(OwlAxiom::SubClassOf(
+            f.Or({child, f.Atomic(classes[other_id])}), parent));
+        out.truth.tbox().AddConceptInclusion(
+            {BC::Atomic(i), RC::Positive(BC::Atomic(parent_id))});
+        out.truth.tbox().AddConceptInclusion(
+            {BC::Atomic(other_id), RC::Positive(BC::Atomic(parent_id))});
+      } else {
+        // Conjunction RHS: child ⊑ parent ⊓ ∃r.filler.
+        uint32_t filler_id = static_cast<uint32_t>(rng.Uniform(n));
+        out.owl->AddAxiom(OwlAxiom::SubClassOf(
+            child, f.And({parent, f.Some(role, f.Atomic(classes[filler_id]))})));
+        out.truth.tbox().AddConceptInclusion(
+            {BC::Atomic(i), RC::Positive(BC::Atomic(parent_id))});
+        out.truth.tbox().AddConceptInclusion(
+            {BC::Atomic(i),
+             RC::QualifiedExists(olite::dllite::BasicRole::Direct(0),
+                                 filler_id)});
+      }
+    } else {
+      out.owl->AddAxiom(OwlAxiom::SubClassOf(child, parent));
+      out.truth.tbox().AddConceptInclusion(
+          {BC::Atomic(i), RC::Positive(BC::Atomic(parent_id))});
+    }
+  }
+  return out;
+}
+
+// Named-subsumption recall of the approximated ontology against the
+// ground-truth classification.
+double Recall(const olite::core::Classification& truth, uint32_t n,
+              const olite::dllite::Ontology& approx_onto) {
+  olite::core::Classification cls =
+      olite::core::Classify(approx_onto.tbox(), approx_onto.vocab());
+  size_t total = 0, hit = 0;
+  for (uint32_t a = 0; a < n; ++a) {
+    for (auto b : truth.SuperConcepts(a)) {
+      ++total;
+      if (cls.Entails(olite::dllite::BasicConcept::Atomic(a),
+                      olite::dllite::BasicConcept::Atomic(b))) {
+        ++hit;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("OWL -> DL-Lite approximation: syntactic vs semantic (n=60 "
+              "classes)\n");
+  std::printf("%-10s | %12s %9s %7s | %12s %9s %7s\n", "non-QL %",
+              "syn time ms", "axioms", "recall", "sem time ms", "axioms",
+              "recall");
+  std::printf("--------------------------------------------------------------"
+              "-----------\n");
+
+  const uint32_t n = 60;
+  for (double fraction : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    Instance inst = Make(n, fraction, 17);
+    olite::core::Classification truth =
+        olite::core::Classify(inst.truth.tbox(), inst.truth.vocab());
+
+    olite::Stopwatch sw;
+    auto syn = olite::approx::SyntacticApproximation(*inst.owl);
+    double syn_ms = sw.ElapsedMillis();
+
+    sw.Reset();
+    auto sem = olite::approx::SemanticApproximation(*inst.owl);
+    double sem_ms = sw.ElapsedMillis();
+
+    if (!syn.ok() || !sem.ok()) {
+      std::printf("approximation failed\n");
+      return 1;
+    }
+    std::printf("%-10.0f | %12.2f %9zu %7.3f | %12.2f %9zu %7.3f\n",
+                fraction * 100, syn_ms, syn->axioms_out,
+                Recall(truth, n, syn->ontology), sem_ms, sem->axioms_out,
+                Recall(truth, n, sem->ontology));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape (paper §7): syntactic is fast but loses recall as "
+      "the non-QL fraction grows; semantic stays near-complete on the "
+      "QL-expressible consequences at a much higher cost.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation of the transitive-closure engine inside the graph classifier
+// (§5: "computing the transitive closure ... constitutes the major
+// sub-task in ontology classification"). Sweeps the three engines over
+// representative ontology shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generator.h"
+#include "benchgen/profiles.h"
+#include "core/classifier.h"
+
+namespace {
+
+using olite::benchgen::GeneratorConfig;
+using olite::benchgen::PaperProfiles;
+
+// Profile index in PaperProfiles(): 0 Mouse, 2 DOLCE, 4 Gene, 6 Galen.
+const size_t kProfileIndices[] = {0, 2, 4, 6};
+
+void BM_ClassifyWithEngine(benchmark::State& state) {
+  auto engine = static_cast<olite::graph::ClosureEngine>(state.range(0));
+  size_t profile_index = kProfileIndices[state.range(1)];
+  auto profiles = PaperProfiles(0.1);
+  const auto& profile = profiles[profile_index];
+  olite::dllite::Ontology onto = olite::benchgen::Generate(profile.config);
+
+  olite::core::ClassificationOptions options;
+  options.engine = engine;
+  uint64_t closure_arcs = 0;
+  for (auto _ : state) {
+    olite::core::Classification cls =
+        olite::core::Classify(onto.tbox(), onto.vocab(), options);
+    closure_arcs = cls.stats().num_closure_arcs;
+    benchmark::DoNotOptimize(cls);
+  }
+  state.SetLabel(profile.config.name + "/" +
+                 olite::graph::ClosureEngineName(engine));
+  state.counters["closure_arcs"] = static_cast<double>(closure_arcs);
+  state.counters["concepts"] = profile.config.num_concepts;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClassifyWithEngine)
+    ->ArgsProduct({{0, 1, 2},      // bfs, scc_merge, scc_bitset
+                   {0, 1, 2, 3}})  // Mouse, DOLCE, Gene, Galen
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Logical implication T ⊨ α (§5, final paragraph): the paper studies two
+// directions — per-query techniques that avoid the deductive closure vs.
+// exploiting the precomputed graph closure. This bench measures both:
+// setup cost and per-query cost on a Galen-like TBox.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generator.h"
+#include "common/rng.h"
+#include "core/implication.h"
+
+namespace {
+
+using olite::core::ImplicationChecker;
+using olite::core::ReachabilityMode;
+
+olite::dllite::Ontology GalenLike() {
+  olite::benchgen::GeneratorConfig cfg;
+  cfg.name = "galen_like";
+  cfg.seed = 7;
+  cfg.num_concepts = 4000;
+  cfg.num_roles = 150;
+  cfg.num_roots = 8;
+  cfg.avg_branching = 4.0;
+  cfg.multi_parent_prob = 0.25;
+  cfg.role_hierarchy_fraction = 0.5;
+  cfg.domain_range_fraction = 0.3;
+  cfg.qualified_exists_per_concept = 0.8;
+  cfg.disjointness_fraction = 0.05;
+  return olite::benchgen::Generate(cfg);
+}
+
+// Random positive concept-inclusion questions.
+std::vector<olite::dllite::ConceptInclusion> Questions(size_t n,
+                                                       uint32_t num_concepts) {
+  olite::Rng rng(99);
+  std::vector<olite::dllite::ConceptInclusion> out;
+  for (size_t i = 0; i < n; ++i) {
+    auto a = static_cast<uint32_t>(rng.Uniform(num_concepts));
+    auto b = static_cast<uint32_t>(rng.Uniform(num_concepts));
+    out.push_back({olite::dllite::BasicConcept::Atomic(a),
+                   olite::dllite::RhsConcept::Positive(
+                       olite::dllite::BasicConcept::Atomic(b))});
+  }
+  return out;
+}
+
+void BM_ImplicationSetup(benchmark::State& state) {
+  auto mode = static_cast<ReachabilityMode>(state.range(0));
+  olite::dllite::Ontology onto = GalenLike();
+  for (auto _ : state) {
+    ImplicationChecker checker(onto.tbox(), onto.vocab(), mode);
+    benchmark::DoNotOptimize(&checker);
+  }
+  state.SetLabel(mode == ReachabilityMode::kOnDemand ? "on_demand"
+                                                     : "precomputed");
+}
+
+void BM_ImplicationQueries(benchmark::State& state) {
+  auto mode = static_cast<ReachabilityMode>(state.range(0));
+  olite::dllite::Ontology onto = GalenLike();
+  ImplicationChecker checker(onto.tbox(), onto.vocab(), mode);
+  auto questions =
+      Questions(256, static_cast<uint32_t>(onto.vocab().NumConcepts()));
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& q : questions) {
+      hits += checker.Entails(q) ? 1 : 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(questions.size()));
+  state.SetLabel(mode == ReachabilityMode::kOnDemand ? "on_demand"
+                                                     : "precomputed");
+  state.counters["positive_rate"] =
+      static_cast<double>(hits) /
+      static_cast<double>(questions.size() * std::max<size_t>(1, state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ImplicationSetup)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ImplicationQueries)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Ontology approximation (§7 of the paper): an expressive OWL ontology
+// with non-QL axioms is approximated into DL-Lite_R, first syntactically
+// (drops non-conformant axioms) and then semantically (per-axiom
+// entailment through the tableau reasoner), and the two results are
+// compared on the subsumptions they preserve.
+
+#include <cstdio>
+
+#include "approx/approx.h"
+#include "core/classifier.h"
+#include "owl/ontology.h"
+#include "reasoner/tableau_classifier.h"
+
+int main() {
+  using namespace olite;
+
+  auto parsed = owl::ParseOwl(R"(
+Ontology(
+  Declaration(Class(:Employee))
+  Declaration(Class(:Manager))
+  Declaration(Class(:Engineer))
+  Declaration(Class(:Staff))
+  Declaration(Class(:Project))
+  Declaration(ObjectProperty(:worksOn))
+  Declaration(ObjectProperty(:leads))
+
+  # QL-conformant axioms
+  SubClassOf(:Manager :Employee)
+  SubClassOf(:Engineer :Employee)
+  ObjectPropertyDomain(:worksOn :Employee)
+  ObjectPropertyRange(:worksOn :Project)
+  SubObjectPropertyOf(:leads :worksOn)
+
+  # Non-QL axioms: union LHS, intersection RHS with nesting
+  SubClassOf(ObjectUnionOf(:Manager :Engineer) :Staff)
+  SubClassOf(:Manager ObjectIntersectionOf(
+      ObjectSomeValuesFrom(:leads :Project)
+      ObjectComplementOf(:Engineer)))
+)
+)");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const owl::OwlOntology& owl_onto = **parsed;
+  std::printf("OWL input: %zu axioms\n\n", owl_onto.axioms().size());
+
+  auto syntactic = approx::SyntacticApproximation(owl_onto);
+  auto semantic = approx::SemanticApproximation(owl_onto);
+  if (!syntactic.ok() || !semantic.ok()) {
+    std::fprintf(stderr, "approximation failed\n");
+    return 1;
+  }
+
+  auto report = [](const char* name, const approx::ApproxResult& r) {
+    std::printf("%s approximation: %zu DL-Lite axioms, %zu OWL axioms "
+                "contributed nothing\n",
+                name, r.axioms_out, r.dropped_axioms);
+  };
+  report("syntactic", *syntactic);
+  report("semantic ", *semantic);
+
+  // Classify both approximations and compare preserved subsumptions with
+  // the tableau ground truth on the original OWL ontology.
+  auto truth = reasoner::ClassifyWithTableau(owl_onto);
+  core::Classification syn_cls = core::Classify(
+      syntactic->ontology.tbox(), syntactic->ontology.vocab());
+  core::Classification sem_cls = core::Classify(
+      semantic->ontology.tbox(), semantic->ontology.vocab());
+
+  size_t total = 0, syn_hit = 0, sem_hit = 0;
+  for (uint32_t a = 0; a < owl_onto.vocab().NumConcepts(); ++a) {
+    for (auto b : truth.concept_subsumers[a]) {
+      ++total;
+      if (syn_cls.Entails(dllite::BasicConcept::Atomic(a),
+                          dllite::BasicConcept::Atomic(b))) {
+        ++syn_hit;
+      }
+      if (sem_cls.Entails(dllite::BasicConcept::Atomic(a),
+                          dllite::BasicConcept::Atomic(b))) {
+        ++sem_hit;
+      }
+    }
+  }
+  std::printf("\nnamed subsumptions entailed by the OWL original: %zu\n",
+              total);
+  std::printf("  preserved syntactically: %zu\n", syn_hit);
+  std::printf("  preserved semantically:  %zu\n", sem_hit);
+
+  std::printf("\nsemantic DL-Lite ontology:\n%s",
+              semantic->ontology.tbox()
+                  .ToString(semantic->ontology.vocab())
+                  .c_str());
+  return 0;
+}

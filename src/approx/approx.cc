@@ -1,0 +1,332 @@
+#include "approx/approx.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace olite::approx {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::ConceptInclusion;
+using dllite::RhsConcept;
+using dllite::RoleInclusion;
+using owl::AxiomKind;
+using owl::ClassExprPtr;
+using owl::ExprKind;
+using owl::OwlAxiom;
+
+// Copies the OWL signature into a fresh DL-Lite ontology with identical
+// ids (both vocabularies intern names densely in order).
+dllite::Ontology SignatureOf(const owl::OwlOntology& onto) {
+  dllite::Ontology out;
+  for (size_t i = 0; i < onto.vocab().NumConcepts(); ++i) {
+    out.DeclareConcept(onto.vocab().ConceptName(static_cast<uint32_t>(i)));
+  }
+  for (size_t i = 0; i < onto.vocab().NumRoles(); ++i) {
+    out.DeclareRole(onto.vocab().RoleName(static_cast<uint32_t>(i)));
+  }
+  for (size_t i = 0; i < onto.vocab().NumAttributes(); ++i) {
+    out.DeclareAttribute(onto.vocab().AttributeName(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Syntactic approximation
+// ---------------------------------------------------------------------------
+
+// QL-expressible LHS basic concept: A, or ∃R (Some with ⊤ filler).
+std::optional<BasicConcept> AsBasic(ClassExprPtr e) {
+  if (e->kind() == ExprKind::kAtomic) {
+    return BasicConcept::Atomic(e->atomic());
+  }
+  if (e->kind() == ExprKind::kSome &&
+      e->operand()->kind() == ExprKind::kThing) {
+    return BasicConcept::Exists(e->role());
+  }
+  return std::nullopt;
+}
+
+// Translates `lhs ⊑ rhs` syntactically, emitting into `tbox`. The RHS may
+// be a conjunction (split into one axiom per conjunct, as OWL 2 QL
+// allows). Returns the number of axioms emitted (0 = untranslatable).
+size_t TranslateSubClass(const BasicConcept& lhs, ClassExprPtr rhs,
+                         dllite::TBox* tbox) {
+  switch (rhs->kind()) {
+    case ExprKind::kThing:
+      return 1;  // trivial, nothing to record
+    case ExprKind::kAtomic:
+      tbox->AddConceptInclusion(
+          {lhs, RhsConcept::Positive(BasicConcept::Atomic(rhs->atomic()))});
+      return 1;
+    case ExprKind::kSome: {
+      if (rhs->operand()->kind() == ExprKind::kThing) {
+        tbox->AddConceptInclusion(
+            {lhs, RhsConcept::Positive(BasicConcept::Exists(rhs->role()))});
+        return 1;
+      }
+      if (rhs->operand()->kind() == ExprKind::kAtomic) {
+        tbox->AddConceptInclusion(
+            {lhs, RhsConcept::QualifiedExists(rhs->role(),
+                                              rhs->operand()->atomic())});
+        return 1;
+      }
+      return 0;
+    }
+    case ExprKind::kComplement: {
+      auto inner = AsBasic(rhs->operand());
+      if (!inner) return 0;
+      tbox->AddConceptInclusion({lhs, RhsConcept::Negated(*inner)});
+      return 1;
+    }
+    case ExprKind::kIntersection: {
+      size_t emitted = 0;
+      for (ClassExprPtr op : rhs->operands()) {
+        emitted += TranslateSubClass(lhs, op, tbox);
+      }
+      return emitted;
+    }
+    case ExprKind::kNothing:
+    case ExprKind::kUnion:
+    case ExprKind::kAll:
+    case ExprKind::kAtLeast:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<ApproxResult> SyntacticApproximation(const owl::OwlOntology& onto) {
+  ApproxResult result;
+  result.ontology = SignatureOf(onto);
+  dllite::TBox* tbox = &result.ontology.tbox();
+
+  for (const OwlAxiom& ax : onto.axioms()) {
+    ++result.axioms_in;
+    size_t emitted = 0;
+    switch (ax.kind) {
+      case AxiomKind::kSubClassOf: {
+        auto lhs = AsBasic(ax.classes[0]);
+        if (lhs) emitted = TranslateSubClass(*lhs, ax.classes[1], tbox);
+        break;
+      }
+      case AxiomKind::kEquivalentClasses: {
+        for (size_t i = 0; i < ax.classes.size(); ++i) {
+          for (size_t j = 0; j < ax.classes.size(); ++j) {
+            if (i == j) continue;
+            auto lhs = AsBasic(ax.classes[i]);
+            if (lhs) emitted += TranslateSubClass(*lhs, ax.classes[j], tbox);
+          }
+        }
+        break;
+      }
+      case AxiomKind::kDisjointClasses: {
+        for (size_t i = 0; i < ax.classes.size(); ++i) {
+          for (size_t j = i + 1; j < ax.classes.size(); ++j) {
+            auto a = AsBasic(ax.classes[i]);
+            auto b = AsBasic(ax.classes[j]);
+            if (a && b) {
+              tbox->AddConceptInclusion({*a, RhsConcept::Negated(*b)});
+              ++emitted;
+            }
+          }
+        }
+        break;
+      }
+      case AxiomKind::kSubObjectPropertyOf:
+        tbox->AddRoleInclusion({ax.roles[0], ax.roles[1], /*negated=*/false});
+        emitted = 1;
+        break;
+      case AxiomKind::kInverseProperties:
+        // q ≡ p⁻, as two role inclusions.
+        tbox->AddRoleInclusion(
+            {ax.roles[1], ax.roles[0].Inverted(), /*negated=*/false});
+        tbox->AddRoleInclusion(
+            {ax.roles[0].Inverted(), ax.roles[1], /*negated=*/false});
+        emitted = 2;
+        break;
+      case AxiomKind::kObjectPropertyDomain: {
+        emitted = TranslateSubClass(BasicConcept::Exists(ax.roles[0]),
+                                    ax.classes[0], tbox);
+        break;
+      }
+      case AxiomKind::kObjectPropertyRange: {
+        emitted = TranslateSubClass(
+            BasicConcept::Exists(ax.roles[0].Inverted()), ax.classes[0],
+            tbox);
+        break;
+      }
+      case AxiomKind::kDisjointProperties:
+        tbox->AddRoleInclusion({ax.roles[0], ax.roles[1], /*negated=*/true});
+        emitted = 1;
+        break;
+    }
+    if (emitted == 0) ++result.dropped_axioms;
+  }
+  result.axioms_out = tbox->NumAxioms();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Semantic approximation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Collects the signature of one axiom.
+void CollectSignature(ClassExprPtr e, std::set<dllite::ConceptId>* concepts,
+                      std::set<dllite::RoleId>* roles) {
+  if (e->kind() == ExprKind::kAtomic) {
+    concepts->insert(e->atomic());
+    return;
+  }
+  if (e->kind() == ExprKind::kSome || e->kind() == ExprKind::kAll ||
+      e->kind() == ExprKind::kAtLeast) {
+    roles->insert(e->role().role);
+  }
+  for (ClassExprPtr op : e->operands()) CollectSignature(op, concepts, roles);
+}
+
+// Wraps one axiom in its own single-axiom ontology (fresh factory).
+owl::OwlOntology SingletonOntology(const owl::OwlOntology& src,
+                                   const OwlAxiom& ax) {
+  owl::OwlOntology out;
+  // Share the name space: intern all names so ids line up.
+  for (size_t i = 0; i < src.vocab().NumConcepts(); ++i) {
+    out.vocab().InternConcept(src.vocab().ConceptName(static_cast<uint32_t>(i)));
+  }
+  for (size_t i = 0; i < src.vocab().NumRoles(); ++i) {
+    out.vocab().InternRole(src.vocab().RoleName(static_cast<uint32_t>(i)));
+  }
+  OwlAxiom copy = ax;
+  for (auto& c : copy.classes) c = out.factory().Import(c);
+  out.AddAxiom(std::move(copy));
+  return out;
+}
+
+// The OWL rendering of a candidate DL-Lite concept inclusion.
+OwlAxiom CandidateAxiom(const ConceptInclusion& ci, owl::ExprFactory* f) {
+  auto expr_of = [&](const BasicConcept& b) -> ClassExprPtr {
+    if (b.kind == dllite::BasicConceptKind::kAtomic) {
+      return f->Atomic(b.concept_id);
+    }
+    return f->Some(b.role, f->Thing());
+  };
+  ClassExprPtr lhs = expr_of(ci.lhs);
+  switch (ci.rhs.kind) {
+    case dllite::RhsConceptKind::kBasic:
+      return OwlAxiom::SubClassOf(lhs, expr_of(ci.rhs.basic));
+    case dllite::RhsConceptKind::kNegatedBasic:
+      return OwlAxiom::SubClassOf(lhs, f->Not(expr_of(ci.rhs.basic)));
+    case dllite::RhsConceptKind::kQualifiedExists:
+      return OwlAxiom::SubClassOf(
+          lhs, f->Some(ci.rhs.role, f->Atomic(ci.rhs.filler)));
+  }
+  return OwlAxiom::SubClassOf(lhs, f->Thing());
+}
+
+}  // namespace
+
+Result<ApproxResult> SemanticApproximation(const owl::OwlOntology& onto,
+                                           const SemanticOptions& options) {
+  ApproxResult result;
+  result.ontology = SignatureOf(onto);
+  dllite::TBox* tbox = &result.ontology.tbox();
+  std::set<std::string> emitted_keys;
+  const dllite::Vocabulary& vocab = result.ontology.vocab();
+
+  auto emit_concept = [&](const ConceptInclusion& ci) {
+    if (emitted_keys.insert(ToString(ci, vocab)).second) {
+      tbox->AddConceptInclusion(ci);
+    }
+  };
+  auto emit_role = [&](const RoleInclusion& ri) {
+    if (emitted_keys.insert(ToString(ri, vocab)).second) {
+      tbox->AddRoleInclusion(ri);
+    }
+  };
+
+  for (const OwlAxiom& ax : onto.axioms()) {
+    ++result.axioms_in;
+    size_t before = tbox->NumAxioms();
+
+    // sig(α).
+    std::set<dllite::ConceptId> concepts;
+    std::set<dllite::RoleId> roles;
+    for (ClassExprPtr c : ax.classes) CollectSignature(c, &concepts, &roles);
+    for (const auto& r : ax.roles) roles.insert(r.role);
+
+    owl::OwlOntology single = SingletonOntology(onto, ax);
+    reasoner::TableauReasoner oracle(single, options.tableau);
+
+    // Candidate basic concepts and roles over sig(α).
+    std::vector<BasicConcept> basics;
+    for (dllite::ConceptId a : concepts) {
+      basics.push_back(BasicConcept::Atomic(a));
+    }
+    std::vector<BasicRole> basic_roles;
+    for (dllite::RoleId p : roles) {
+      basic_roles.push_back(BasicRole::Direct(p));
+      basic_roles.push_back(BasicRole::Inverse(p));
+    }
+    for (const auto& q : basic_roles) {
+      basics.push_back(BasicConcept::Exists(q));
+    }
+
+    // Concept-inclusion candidates.
+    for (const auto& b1 : basics) {
+      for (const auto& b2 : basics) {
+        if (!(b1 == b2)) {
+          ConceptInclusion pos{b1, RhsConcept::Positive(b2)};
+          ++result.entailment_checks;
+          OLITE_ASSIGN_OR_RETURN(
+              bool holds,
+              oracle.EntailsAxiom(CandidateAxiom(pos, &single.factory())));
+          if (holds) emit_concept(pos);
+        }
+        ConceptInclusion neg{b1, RhsConcept::Negated(b2)};
+        ++result.entailment_checks;
+        OLITE_ASSIGN_OR_RETURN(
+            bool holds_neg,
+            oracle.EntailsAxiom(CandidateAxiom(neg, &single.factory())));
+        if (holds_neg) emit_concept(neg);
+      }
+      // Qualified existential candidates.
+      for (const auto& q : basic_roles) {
+        for (dllite::ConceptId a : concepts) {
+          ConceptInclusion qe{b1, RhsConcept::QualifiedExists(q, a)};
+          ++result.entailment_checks;
+          OLITE_ASSIGN_OR_RETURN(
+              bool holds,
+              oracle.EntailsAxiom(CandidateAxiom(qe, &single.factory())));
+          if (holds) emit_concept(qe);
+        }
+      }
+    }
+
+    // Role-inclusion candidates.
+    for (const auto& r1 : basic_roles) {
+      for (const auto& r2 : basic_roles) {
+        if (!(r1 == r2)) {
+          ++result.entailment_checks;
+          OLITE_ASSIGN_OR_RETURN(bool pos, oracle.IsSubRoleOf(r1, r2));
+          if (pos) emit_role({r1, r2, /*negated=*/false});
+        }
+        ++result.entailment_checks;
+        OLITE_ASSIGN_OR_RETURN(
+            bool neg, oracle.EntailsAxiom(OwlAxiom::DisjointProperties(r1, r2)));
+        if (neg && !(r1 == r2)) emit_role({r1, r2, /*negated=*/true});
+      }
+    }
+
+    if (tbox->NumAxioms() == before) ++result.dropped_axioms;
+  }
+  result.axioms_out = tbox->NumAxioms();
+  return result;
+}
+
+}  // namespace olite::approx

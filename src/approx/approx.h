@@ -1,0 +1,42 @@
+#ifndef OLITE_APPROX_APPROX_H_
+#define OLITE_APPROX_APPROX_H_
+
+#include "common/result.h"
+#include "dllite/ontology.h"
+#include "owl/ontology.h"
+#include "reasoner/tableau.h"
+
+namespace olite::approx {
+
+/// Output of an OWL → DL-Lite_R approximation run (§7 of the paper).
+struct ApproxResult {
+  dllite::Ontology ontology;      ///< the approximated DL-Lite ontology
+  size_t axioms_in = 0;           ///< OWL axioms processed
+  size_t axioms_out = 0;          ///< DL-Lite axioms produced
+  size_t dropped_axioms = 0;      ///< OWL axioms contributing nothing
+  uint64_t entailment_checks = 0; ///< tableau tests (semantic only)
+};
+
+/// Syntactic approximation: translates each axiom whose *syntactic form*
+/// is OWL 2 QL-conformant, and silently drops the rest. Fast, but neither
+/// sound in general (for non-QL inputs it can lose constraints that
+/// interact) nor complete (QL-expressible consequences of dropped axioms
+/// are missed) — exactly the §7 criticism this library lets you measure.
+Result<ApproxResult> SyntacticApproximation(const owl::OwlOntology& onto);
+
+/// Tuning for `SemanticApproximation`.
+struct SemanticOptions {
+  reasoner::TableauOptions tableau;
+};
+
+/// Semantic approximation (the paper's proposal): each OWL axiom α is
+/// treated in isolation, and every DL-Lite_R axiom over sig(α) entailed by
+/// {α} — checked with the tableau reasoner — is added to the result. This
+/// captures QL consequences of non-QL axioms (e.g. `A ⊑ B ⊓ ∃R.C` yields
+/// `A ⊑ B` and `A ⊑ ∃R.C`; `A ⊔ B ⊑ C` yields `A ⊑ C` and `B ⊑ C`).
+Result<ApproxResult> SemanticApproximation(const owl::OwlOntology& onto,
+                                           const SemanticOptions& options = {});
+
+}  // namespace olite::approx
+
+#endif  // OLITE_APPROX_APPROX_H_

@@ -1,0 +1,217 @@
+#include "benchgen/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/classifier.h"
+
+namespace olite::benchgen {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::ConceptInclusion;
+using dllite::RhsConcept;
+using dllite::RoleInclusion;
+
+uint32_t ScaleCount(uint32_t v, double s, uint32_t floor_value) {
+  auto scaled = static_cast<uint32_t>(static_cast<double>(v) * s);
+  return std::max(scaled, floor_value);
+}
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::Scaled(double s) const {
+  GeneratorConfig c = *this;
+  c.num_concepts = ScaleCount(num_concepts, s, 8);
+  c.num_roles = num_roles == 0 ? 0 : ScaleCount(num_roles, s, 1);
+  c.num_attributes =
+      num_attributes == 0 ? 0 : ScaleCount(num_attributes, s, 1);
+  c.num_roots = std::min(ScaleCount(num_roots, s, 1), c.num_concepts);
+  return c;
+}
+
+dllite::Ontology Generate(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  dllite::Ontology onto;
+
+  const uint32_t nc = config.num_concepts;
+  const uint32_t nr = config.num_roles;
+  const uint32_t na = config.num_attributes;
+
+  for (uint32_t i = 0; i < nc; ++i) {
+    onto.DeclareConcept(config.name + "_C" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    onto.DeclareRole(config.name + "_P" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < na; ++i) {
+    onto.DeclareAttribute(config.name + "_U" + std::to_string(i));
+  }
+
+  dllite::TBox& tbox = onto.tbox();
+  auto atom = [](uint32_t a) { return BasicConcept::Atomic(a); };
+
+  // -- concept taxonomy -------------------------------------------------------
+  // Concept i (i >= num_roots) gets primary parent ~ i / branching, which
+  // yields a `branching`-ary tree of depth log_b(n); extra parents model
+  // multiple inheritance (GO/FMA-style DAGs).
+  std::vector<std::vector<uint32_t>> children(nc);
+  const double b = std::max(config.avg_branching, 1.01);
+  for (uint32_t i = config.num_roots; i < nc; ++i) {
+    uint32_t parent = static_cast<uint32_t>(static_cast<double>(i) / b);
+    if (parent >= i) parent = i - 1;
+    tbox.AddConceptInclusion(
+        {atom(i), RhsConcept::Positive(atom(parent))});
+    children[parent].push_back(i);
+    if (config.multi_parent_prob > 0 && rng.Chance(config.multi_parent_prob) &&
+        i > 1) {
+      uint32_t extra = static_cast<uint32_t>(rng.Uniform(i));
+      if (extra != parent) {
+        tbox.AddConceptInclusion(
+            {atom(i), RhsConcept::Positive(atom(extra))});
+        children[extra].push_back(i);
+      }
+    }
+  }
+
+  // -- role hierarchy ---------------------------------------------------------
+  for (uint32_t p = 1; p < nr; ++p) {
+    if (!rng.Chance(config.role_hierarchy_fraction)) continue;
+    uint32_t super = static_cast<uint32_t>(rng.Uniform(p));
+    bool inv = rng.Chance(0.1);
+    tbox.AddRoleInclusion(
+        {BasicRole::Direct(p), BasicRole{super, inv}, /*negated=*/false});
+  }
+
+  // -- domains and ranges -------------------------------------------------------
+  for (uint32_t p = 0; p < nr; ++p) {
+    if (!rng.Chance(config.domain_range_fraction)) continue;
+    uint32_t dom = static_cast<uint32_t>(rng.SkewedPick(nc));
+    uint32_t ran = static_cast<uint32_t>(rng.SkewedPick(nc));
+    tbox.AddConceptInclusion({BasicConcept::Exists(BasicRole::Direct(p)),
+                              RhsConcept::Positive(atom(dom))});
+    tbox.AddConceptInclusion({BasicConcept::Exists(BasicRole::Inverse(p)),
+                              RhsConcept::Positive(atom(ran))});
+  }
+
+  // -- existential axioms -------------------------------------------------------
+  if (nr > 0) {
+    auto num_qe = static_cast<uint64_t>(config.qualified_exists_per_concept *
+                                        static_cast<double>(nc));
+    for (uint64_t k = 0; k < num_qe; ++k) {
+      uint32_t lhs = static_cast<uint32_t>(rng.Uniform(nc));
+      BasicRole q{static_cast<uint32_t>(rng.Uniform(nr)), rng.Chance(0.15)};
+      uint32_t filler = static_cast<uint32_t>(rng.Uniform(nc));
+      tbox.AddConceptInclusion(
+          {atom(lhs), RhsConcept::QualifiedExists(q, filler)});
+    }
+    auto num_ue = static_cast<uint64_t>(config.unqualified_exists_per_concept *
+                                        static_cast<double>(nc));
+    for (uint64_t k = 0; k < num_ue; ++k) {
+      uint32_t lhs = static_cast<uint32_t>(rng.Uniform(nc));
+      BasicRole q{static_cast<uint32_t>(rng.Uniform(nr)), rng.Chance(0.15)};
+      tbox.AddConceptInclusion(
+          {atom(lhs), RhsConcept::Positive(BasicConcept::Exists(q))});
+    }
+  }
+
+  // -- disjointness -------------------------------------------------------------
+  // Sibling disjointness, filtered against the closure of the positive
+  // axioms emitted so far: a pair is asserted disjoint only when the two
+  // classes share no (reflexive) common subclass, so the asserted
+  // disjointness never creates unsatisfiable predicates on its own.
+  core::Classification positive =
+      core::Classify(tbox, onto.vocab(),
+                     core::ClassificationOptions{
+                         graph::ClosureEngine::kSccMerge,
+                         /*compute_unsat=*/false});
+  const core::NodeTable& nt = positive.tbox_graph().nodes;
+  auto share_subsumee = [&](graph::NodeId x, graph::NodeId y) {
+    if (x == y || positive.Reaches(x, y) || positive.Reaches(y, x)) {
+      return true;
+    }
+    std::vector<graph::NodeId> below_x =
+        positive.reverse_closure().ReachableFrom(x);
+    std::vector<graph::NodeId> below_y =
+        positive.reverse_closure().ReachableFrom(y);
+    std::vector<graph::NodeId> common;
+    std::set_intersection(below_x.begin(), below_x.end(), below_y.begin(),
+                          below_y.end(), std::back_inserter(common));
+    return !common.empty();
+  };
+
+  auto num_disj = static_cast<uint64_t>(config.disjointness_fraction *
+                                        static_cast<double>(nc));
+  std::vector<std::pair<uint32_t, uint32_t>> disjoint_pairs;
+  uint64_t attempts = 0;
+  while (disjoint_pairs.size() < num_disj && attempts < num_disj * 30) {
+    ++attempts;
+    uint32_t parent = static_cast<uint32_t>(rng.Uniform(nc));
+    const auto& kids = children[parent];
+    if (kids.size() < 2) continue;
+    uint32_t a = kids[rng.Uniform(kids.size())];
+    uint32_t c = kids[rng.Uniform(kids.size())];
+    if (a == c || share_subsumee(nt.OfConcept(a), nt.OfConcept(c))) continue;
+    tbox.AddConceptInclusion({atom(a), RhsConcept::Negated(atom(c))});
+    disjoint_pairs.emplace_back(a, c);
+  }
+
+  auto want_role_disj = static_cast<uint64_t>(
+      config.role_disjointness_fraction * static_cast<double>(nr));
+  uint64_t got_role_disj = 0;
+  for (uint64_t k = 0;
+       nr >= 2 && k < want_role_disj * 5 && got_role_disj < want_role_disj;
+       ++k) {
+    uint32_t p = static_cast<uint32_t>(rng.Uniform(nr));
+    uint32_t q = static_cast<uint32_t>(rng.Uniform(nr));
+    if (p == q) continue;
+    if (share_subsumee(nt.OfRole(BasicRole::Direct(p)),
+                       nt.OfRole(BasicRole::Direct(q)))) {
+      continue;
+    }
+    tbox.AddRoleInclusion(
+        {BasicRole::Direct(p), BasicRole::Direct(q), /*negated=*/true});
+    ++got_role_disj;
+  }
+
+  // -- deliberate modelling errors ------------------------------------------------
+  // Victims are placed below both sides of a disjointness (§5: unsat
+  // predicates are "not rare ... especially in very large ontologies, or
+  // in ontologies that are still under construction").
+  auto num_unsat = static_cast<uint64_t>(config.unsatisfiable_fraction *
+                                         static_cast<double>(nc));
+  if (num_unsat > 0 && disjoint_pairs.empty() && nc >= 3) {
+    tbox.AddConceptInclusion({atom(1), RhsConcept::Negated(atom(2))});
+    disjoint_pairs.emplace_back(1, 2);
+  }
+  for (uint64_t k = 0; k < num_unsat && !disjoint_pairs.empty(); ++k) {
+    // Victims come from the deep (leaf-ish) half of the taxonomy so one
+    // error does not wipe out a whole subtree.
+    uint32_t victim =
+        nc / 2 + static_cast<uint32_t>(rng.Uniform(nc - nc / 2));
+    const auto& [d1, d2] = disjoint_pairs[rng.Uniform(disjoint_pairs.size())];
+    if (victim == d1 || victim == d2) continue;
+    tbox.AddConceptInclusion({atom(victim), RhsConcept::Positive(atom(d1))});
+    tbox.AddConceptInclusion({atom(victim), RhsConcept::Positive(atom(d2))});
+  }
+
+  // -- attributes ---------------------------------------------------------------
+  for (uint32_t u = 1; u < na; ++u) {
+    if (!rng.Chance(0.3)) continue;
+    tbox.AddAttributeInclusion(
+        {u, static_cast<uint32_t>(rng.Uniform(u)), /*negated=*/false});
+  }
+  for (uint32_t u = 0; u < na; ++u) {
+    if (!rng.Chance(0.5)) continue;
+    tbox.AddConceptInclusion(
+        {BasicConcept::AttrDomain(u),
+         RhsConcept::Positive(atom(static_cast<uint32_t>(rng.SkewedPick(nc))))});
+  }
+
+  return onto;
+}
+
+}  // namespace olite::benchgen

@@ -1,0 +1,63 @@
+#ifndef OLITE_BENCHGEN_GENERATOR_H_
+#define OLITE_BENCHGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dllite/ontology.h"
+
+namespace olite::benchgen {
+
+/// Shape parameters of a synthetic OWL 2 QL ontology. The generator is
+/// deterministic: identical configs yield identical ontologies.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 1;
+
+  uint32_t num_concepts = 1000;
+  uint32_t num_roles = 10;
+  uint32_t num_attributes = 0;
+
+  /// Number of taxonomy roots; remaining concepts get >= 1 parent.
+  uint32_t num_roots = 5;
+  /// Average subclasses per class — controls taxonomy depth
+  /// (depth ≈ log_branching(num_concepts)).
+  double avg_branching = 8.0;
+  /// Probability that a concept gets one extra (multi-inheritance) parent;
+  /// biomedical DAGs like GO sit around 0.3–0.5.
+  double multi_parent_prob = 0.0;
+
+  /// Fraction of roles with a super-role (role hierarchy density).
+  double role_hierarchy_fraction = 0.0;
+  /// Fraction of roles with a domain axiom `∃P ⊑ A` (and as many ranges).
+  double domain_range_fraction = 0.0;
+
+  /// Qualified existential axioms `B ⊑ ∃Q.A` per concept on average.
+  double qualified_exists_per_concept = 0.0;
+  /// Unqualified `B ⊑ ∃Q` axioms per concept on average.
+  double unqualified_exists_per_concept = 0.0;
+
+  /// Number of sibling disjointness axioms `A ⊑ ¬B`, as a fraction of
+  /// num_concepts. Pairs are filtered against the positive closure so that
+  /// asserted disjointness never makes a predicate unsatisfiable (real
+  /// ontologies' disjointness is overwhelmingly consistent).
+  double disjointness_fraction = 0.0;
+  /// Number of role disjointness axioms as a fraction of num_roles,
+  /// filtered like concept disjointness.
+  double role_disjointness_fraction = 0.0;
+  /// Fraction of concepts made deliberately unsatisfiable (modelling
+  /// errors in ontologies "under construction", §5): each victim is
+  /// asserted below both sides of a disjointness.
+  double unsatisfiable_fraction = 0.0;
+
+  /// Scales every count (concepts, roles, attributes) by `s`, keeping the
+  /// density parameters fixed.
+  GeneratorConfig Scaled(double s) const;
+};
+
+/// Generates a DL-Lite_R (OWL 2 QL) ontology with the given shape.
+dllite::Ontology Generate(const GeneratorConfig& config);
+
+}  // namespace olite::benchgen
+
+#endif  // OLITE_BENCHGEN_GENERATOR_H_

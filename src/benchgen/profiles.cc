@@ -1,0 +1,204 @@
+#include "benchgen/profiles.h"
+
+namespace olite::benchgen {
+
+std::vector<PaperProfile> PaperProfiles(double scale) {
+  std::vector<PaperProfile> out;
+
+  auto add = [&](GeneratorConfig cfg, PaperRow paper, const char* note) {
+    out.push_back({cfg.Scaled(scale), paper, note});
+  };
+
+  {
+    // Mouse (adult mouse anatomy): ~2.7k classes, shallow part-of taxonomy,
+    // very few properties, no disjointness.
+    GeneratorConfig c;
+    c.name = "Mouse";
+    c.seed = 101;
+    c.num_concepts = 2744;
+    c.num_roles = 3;
+    c.num_roots = 4;
+    c.avg_branching = 6.0;
+    c.multi_parent_prob = 0.05;
+    c.domain_range_fraction = 0.3;
+    c.qualified_exists_per_concept = 0.02;
+    add(c, {"0.156", "0.282", "0.296", "0.179", "0.159"},
+        "adult mouse anatomy: 2744 classes, 3 properties, tree-like");
+  }
+  {
+    // Transportation: small mid-level domain ontology with some
+    // disjointness.
+    GeneratorConfig c;
+    c.name = "Transportation";
+    c.seed = 102;
+    c.num_concepts = 445;
+    c.num_roles = 89;
+    c.num_roots = 6;
+    c.avg_branching = 5.0;
+    c.role_hierarchy_fraction = 0.2;
+    c.domain_range_fraction = 0.4;
+    c.disjointness_fraction = 0.15;
+    add(c, {"0.015", "0.045", "0.163", "0.151", "0.195"},
+        "445 classes, 89 properties, mild disjointness");
+  }
+  {
+    // DOLCE: small but axiom-dense foundational ontology — rich role box,
+    // heavy disjointness, many domain/range constraints. Relatively the
+    // hardest small input for every engine in the paper.
+    GeneratorConfig c;
+    c.name = "DOLCE";
+    c.seed = 103;
+    c.num_concepts = 250;
+    c.num_roles = 313;
+    c.num_attributes = 20;
+    c.num_roots = 4;
+    c.avg_branching = 3.5;
+    c.multi_parent_prob = 0.2;
+    c.role_hierarchy_fraction = 0.8;
+    c.domain_range_fraction = 0.9;
+    c.qualified_exists_per_concept = 0.3;
+    c.unqualified_exists_per_concept = 0.4;
+    c.disjointness_fraction = 0.6;
+    c.role_disjointness_fraction = 0.15;
+    c.unsatisfiable_fraction = 0.02;  // foundational, heavily revised
+    add(c, {"1.327", "0.245", "25.619", "1.696", "1.358"},
+        "foundational ontology: 250 classes but 313 properties, dense RBox "
+        "+ disjointness");
+  }
+  {
+    // AEO (athletics events): mid-sized taxonomy with pervasive sibling
+    // disjointness.
+    GeneratorConfig c;
+    c.name = "AEO";
+    c.seed = 104;
+    c.num_concepts = 760;
+    c.num_roles = 16;
+    c.num_roots = 5;
+    c.avg_branching = 8.0;
+    c.domain_range_fraction = 0.5;
+    c.disjointness_fraction = 0.5;
+    c.unsatisfiable_fraction = 0.01;
+    add(c, {"0.650", "0.745", "0.920", "0.647", "0.605"},
+        "760 classes, 16 properties, disjointness-heavy");
+  }
+  {
+    // Gene Ontology: ~20k classes, DAG with heavy multiple inheritance,
+    // a single part_of property used in existential restrictions.
+    GeneratorConfig c;
+    c.name = "Gene";
+    c.seed = 105;
+    c.num_concepts = 20465;
+    c.num_roles = 1;
+    c.num_roots = 3;
+    c.avg_branching = 5.0;
+    c.multi_parent_prob = 0.4;
+    c.domain_range_fraction = 1.0;
+    c.qualified_exists_per_concept = 0.05;
+    c.unqualified_exists_per_concept = 0.1;
+    add(c, {"1.255", "1.400", "3.810", "2.803", "1.918"},
+        "GO: 20465 classes, 1 property, multi-parent DAG");
+  }
+  {
+    // EL-Galen: the EL fragment of Galen — large, many properties, heavy
+    // qualified existentials, no disjointness.
+    GeneratorConfig c;
+    c.name = "EL-Galen";
+    c.seed = 106;
+    c.num_concepts = 23136;
+    c.num_roles = 950;
+    c.num_roots = 8;
+    c.avg_branching = 4.0;
+    c.multi_parent_prob = 0.2;
+    c.role_hierarchy_fraction = 0.3;
+    c.domain_range_fraction = 0.2;
+    c.qualified_exists_per_concept = 1.0;
+    c.unqualified_exists_per_concept = 0.2;
+    add(c, {"2.788", "109.855", "7.966", "50.770", "2.446"},
+        "23136 classes, 950 properties, ~1 qualified existential per class");
+  }
+  {
+    // Full Galen: EL-Galen plus richer role hierarchy and extra axioms.
+    GeneratorConfig c;
+    c.name = "Galen";
+    c.seed = 107;
+    c.num_concepts = 23141;
+    c.num_roles = 950;
+    c.num_roots = 8;
+    c.avg_branching = 4.0;
+    c.multi_parent_prob = 0.25;
+    c.role_hierarchy_fraction = 0.6;
+    c.domain_range_fraction = 0.3;
+    c.qualified_exists_per_concept = 1.3;
+    c.unqualified_exists_per_concept = 0.3;
+    c.disjointness_fraction = 0.05;
+    c.unsatisfiable_fraction = 0.003;  // "under construction" errors
+    add(c, {"4.600", "145.485", "34.608", "timeout", "2.505"},
+        "full Galen: as EL-Galen plus dense role hierarchy");
+  }
+  {
+    // FMA 1.4 (lite): huge but structurally simple taxonomy.
+    GeneratorConfig c;
+    c.name = "FMA1.4";
+    c.seed = 108;
+    c.num_concepts = 72559;
+    c.num_roles = 2;
+    c.num_roots = 2;
+    c.avg_branching = 7.0;
+    c.multi_parent_prob = 0.3;
+    c.qualified_exists_per_concept = 0.3;
+    c.domain_range_fraction = 1.0;
+    add(c, {"0.688", "timeout", "93.781", "timeout", "1.243"},
+        "FMA lite: 72559 classes, 2 properties, part-of taxonomy");
+  }
+  {
+    // FMA 2.0: fewer classes than 1.4 but far more properties and
+    // qualified existentials.
+    GeneratorConfig c;
+    c.name = "FMA2.0";
+    c.seed = 109;
+    c.num_concepts = 41648;
+    c.num_roles = 148;
+    c.num_roots = 3;
+    c.avg_branching = 6.0;
+    c.multi_parent_prob = 0.35;
+    c.role_hierarchy_fraction = 0.3;
+    c.domain_range_fraction = 0.5;
+    c.qualified_exists_per_concept = 1.2;
+    add(c, {"4.111", "out-of-mem", "out-of-mem", "timeout", "7.142"},
+        "41648 classes, 148 properties, QE-dense");
+  }
+  {
+    // FMA 3.2.1: the largest taxonomy in the set.
+    GeneratorConfig c;
+    c.name = "FMA3.2.1";
+    c.seed = 110;
+    c.num_concepts = 84454;
+    c.num_roles = 110;
+    c.num_roots = 3;
+    c.avg_branching = 7.0;
+    c.multi_parent_prob = 0.25;
+    c.role_hierarchy_fraction = 0.2;
+    c.domain_range_fraction = 0.4;
+    c.qualified_exists_per_concept = 0.5;
+    add(c, {"4.146", "4.576", "11.518", "24.117", "4.976"},
+        "84454 classes, 110 properties");
+  }
+  {
+    // FMA-OBO: the OBO rendering — huge pure taxonomy.
+    GeneratorConfig c;
+    c.name = "FMA-OBO";
+    c.seed = 111;
+    c.num_concepts = 75139;
+    c.num_roles = 2;
+    c.num_roots = 2;
+    c.avg_branching = 8.0;
+    c.multi_parent_prob = 0.3;
+    c.unqualified_exists_per_concept = 0.2;
+    add(c, {"4.827", "timeout", "50.842", "16.852", "7.433"},
+        "75139 classes, 2 properties, flat OBO taxonomy");
+  }
+
+  return out;
+}
+
+}  // namespace olite::benchgen

@@ -1,0 +1,49 @@
+#ifndef OLITE_COMMON_INTERNER_H_
+#define OLITE_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace olite {
+
+/// Dense string→id interning table.
+///
+/// Ontology terms are referenced by dense `uint32_t` ids throughout the
+/// library so that graph nodes, bitsets and closure tables stay cache
+/// friendly; this table owns the name↔id bijection.
+class Interner {
+ public:
+  /// Returns the id of `name`, interning it if new. Ids are dense from 0.
+  uint32_t Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `name` if already interned.
+  std::optional<uint32_t> Find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Name for a previously returned id.
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_INTERNER_H_

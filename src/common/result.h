@@ -1,0 +1,71 @@
+#ifndef OLITE_COMMON_RESULT_H_
+#define OLITE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace olite {
+
+/// A value-or-error holder (StatusOr idiom).
+///
+/// Either holds a `T` (and `ok()` is true) or a non-OK `Status`. Accessing
+/// `value()` on an error result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; `Status::Ok()` when this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluates `expr` (a Result<T>), returning its status on failure and
+/// binding the unwrapped value to `lhs` on success.
+#define OLITE_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto OLITE_CONCAT_(_olite_res_, __LINE__) = (expr);  \
+  if (!OLITE_CONCAT_(_olite_res_, __LINE__).ok())      \
+    return OLITE_CONCAT_(_olite_res_, __LINE__).status(); \
+  lhs = std::move(OLITE_CONCAT_(_olite_res_, __LINE__)).value()
+
+#define OLITE_CONCAT_INNER_(a, b) a##b
+#define OLITE_CONCAT_(a, b) OLITE_CONCAT_INNER_(a, b)
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_RESULT_H_

@@ -1,0 +1,76 @@
+#ifndef OLITE_COMMON_RNG_H_
+#define OLITE_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace olite {
+
+/// Deterministic 64-bit PRNG (splitmix64 core) for reproducible workload
+/// generation. Identical seeds yield identical streams on all platforms,
+/// which `std::mt19937` + distribution objects do not guarantee.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always produces the same sequence.
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in `[0, bound)`. `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in `[lo, hi]` inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in `[0, 1)`.
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like skewed pick in `[0, n)`: smaller indices are more likely.
+  /// Used to give synthetic taxonomies the "few hub superclasses" shape of
+  /// real biomedical ontologies.
+  uint64_t SkewedPick(uint64_t n, double skew = 1.5) {
+    assert(n > 0);
+    double u = UniformDouble();
+    // Inverse-power transform; cheap approximation of a Zipf sample.
+    double x = 1.0;
+    for (int i = 0; i < 4; ++i) x *= u;  // u^4 concentrates near 0
+    (void)skew;
+    auto idx = static_cast<uint64_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_RNG_H_

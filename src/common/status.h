@@ -1,0 +1,101 @@
+#ifndef OLITE_COMMON_STATUS_H_
+#define OLITE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace olite {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across public boundaries; every
+/// fallible operation returns a `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< a named entity does not exist
+  kAlreadyExists,     ///< a named entity is already defined
+  kOutOfRange,        ///< index/arity out of bounds
+  kFailedPrecondition,///< object state does not permit the operation
+  kUnsupported,       ///< valid input outside the implemented fragment
+  kParseError,        ///< textual input could not be parsed
+  kResourceExhausted, ///< budget (time/memory/expansion) exceeded
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Returns the canonical lower-case name of `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// Usage follows the RocksDB/Abseil idiom:
+/// ```
+///   Status s = tbox.AddAxiom(ax);
+///   if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as `"<code name>: <message>"` (or `"ok"`).
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define OLITE_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::olite::Status _olite_status = (expr);          \
+    if (!_olite_status.ok()) return _olite_status;   \
+  } while (0)
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef OLITE_COMMON_STOPWATCH_H_
+#define OLITE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace olite {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and budget checks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_STOPWATCH_H_

@@ -1,0 +1,30 @@
+#ifndef OLITE_COMMON_STRING_UTIL_H_
+#define OLITE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace olite {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_STRING_UTIL_H_

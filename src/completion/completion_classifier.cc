@@ -1,0 +1,265 @@
+#include "completion/completion_classifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/tbox_graph.h"
+
+namespace olite::completion {
+
+namespace {
+
+using core::NodeKind;
+using core::NodeTable;
+using core::TBoxGraph;
+using graph::NodeId;
+
+class Saturator {
+ public:
+  Saturator(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,
+            const CompletionOptions& options)
+      : options_(options), g_(core::BuildTBoxGraph(tbox, vocab)) {}
+
+  CompletionResult Run() {
+    const NodeId n = g_.nodes.NumNodes();
+    supers_.assign(n, {});
+    subsumees_.assign(n, {});
+    bottom_.assign(n, false);
+
+    // Negative-inclusion partner index.
+    ni_partners_.assign(n, {});
+    for (const auto& ni : g_.negative_inclusions) {
+      ni_partners_[ni.lhs].push_back(ni.rhs);
+      ni_partners_[ni.rhs].push_back(ni.lhs);
+    }
+    // Qualified-existential filler index.
+    for (const auto& qe : g_.qualified_existentials) {
+      qe_by_filler_[g_.nodes.OfConcept(qe.filler)].push_back(qe.lhs);
+    }
+
+    // Seed with the asserted (graph-encoded) inclusions and reflexive NI
+    // contradictions.
+    for (NodeId x = 0; x < n; ++x) {
+      for (NodeId y : g_.digraph.Successors(x)) AddFact(x, y);
+      for (NodeId p : ni_partners_[x]) {
+        if (p == x) MarkBottom(x);
+      }
+    }
+
+    Stopwatch watch;
+    bool ok = true;
+    // Saturate; then apply the qualified-existential successor rule
+    // (see core::ComputeUnsat) on the saturated subsumer sets and, if it
+    // fires, resume the fixpoint — repeating until stable.
+    while (true) {
+      while (!fact_queue_.empty() || !bottom_queue_.empty()) {
+        if (watch.ElapsedMillis() > options_.time_budget_ms) {
+          ok = false;
+          break;
+        }
+        if (!bottom_queue_.empty()) {
+          NodeId x = bottom_queue_.front();
+          bottom_queue_.pop_front();
+          ProcessBottom(x);
+          continue;
+        }
+        auto [x, y] = fact_queue_.front();
+        fact_queue_.pop_front();
+        ProcessFact(x, y);
+      }
+      if (!ok || !ApplyQualifiedSuccessorRule()) break;
+    }
+
+    CompletionResult out = Collect();
+    out.completed = ok;
+    out.elapsed_ms = watch.ElapsedMillis();
+    out.derived_facts = derived_;
+    return out;
+  }
+
+ private:
+  void AddFact(NodeId x, NodeId y) {
+    if (x == y) return;
+    if (!supers_[x].insert(y).second) return;
+    ++derived_;
+    subsumees_[y].push_back(x);
+    fact_queue_.emplace_back(x, y);
+  }
+
+  void ProcessFact(NodeId x, NodeId y) {
+    if (bottom_[y]) {
+      MarkBottom(x);
+      return;
+    }
+    // (R⊑): chain through asserted arcs of y.
+    for (NodeId z : g_.digraph.Successors(y)) AddFact(x, z);
+    // (R⊥a): x below both sides of a negative inclusion.
+    for (NodeId p : ni_partners_[y]) {
+      if (p == x || supers_[x].count(p) > 0) {
+        MarkBottom(x);
+        return;
+      }
+    }
+  }
+
+  // The anonymous successor of B ⊑ ∃Q.A belongs to the upward closure of
+  // {A} ∪ {∃r⁻ : Q ⊑* r}; a negative inclusion inside that set makes B
+  // inconsistent. Returns true if any new bottom was derived.
+  bool ApplyQualifiedSuccessorRule() {
+    const NodeTable& nt = g_.nodes;
+    bool fired = false;
+    for (const auto& qe : g_.qualified_existentials) {
+      if (bottom_[qe.lhs]) continue;
+      std::unordered_set<NodeId> memberships;
+      auto add_up = [&](NodeId m) {
+        memberships.insert(m);
+        for (NodeId v : supers_[m]) memberships.insert(v);
+      };
+      add_up(nt.OfConcept(qe.filler));
+      add_up(nt.OfExists(qe.role.Inverted()));
+      NodeId qnode = nt.OfRole(qe.role);
+      for (NodeId v : supers_[qnode]) {
+        if (nt.KindOf(v) == NodeKind::kRole) {
+          add_up(nt.OfExists(nt.RoleOf(v).Inverted()));
+        }
+      }
+      for (const auto& ni : g_.negative_inclusions) {
+        if (memberships.count(ni.lhs) > 0 && memberships.count(ni.rhs) > 0) {
+          MarkBottom(qe.lhs);
+          fired = true;
+          break;
+        }
+      }
+    }
+    return fired;
+  }
+
+  void MarkBottom(NodeId x) {
+    if (bottom_[x]) return;
+    bottom_[x] = true;
+    bottom_queue_.push_back(x);
+  }
+
+  void ProcessBottom(NodeId x) {
+    // (R⊥b): everything below x is inconsistent too.
+    for (NodeId y : subsumees_[x]) MarkBottom(y);
+    const NodeTable& nt = g_.nodes;
+    switch (nt.KindOf(x)) {
+      case NodeKind::kRole: {
+        dllite::BasicRole q = nt.RoleOf(x);
+        MarkBottom(nt.OfRole(q.Inverted()));
+        MarkBottom(nt.OfExists(q));
+        MarkBottom(nt.OfExists(q.Inverted()));
+        break;
+      }
+      case NodeKind::kExists:
+        MarkBottom(nt.OfRole(nt.RoleOf(x)));
+        break;
+      case NodeKind::kAttribute:
+        MarkBottom(nt.OfAttrDomain(nt.AttributeOf(x)));
+        break;
+      case NodeKind::kAttrDomain:
+        MarkBottom(nt.OfAttribute(nt.AttributeOf(x)));
+        break;
+      case NodeKind::kConcept: {
+        auto it = qe_by_filler_.find(x);
+        if (it != qe_by_filler_.end()) {
+          for (NodeId b : it->second) MarkBottom(b);
+        }
+        break;
+      }
+    }
+  }
+
+  CompletionResult Collect() const {
+    const NodeTable& nt = g_.nodes;
+    CompletionResult out;
+    out.concept_subsumers.resize(nt.num_concepts());
+    out.role_subsumers.resize(nt.num_roles());
+    out.attribute_subsumers.resize(nt.num_attributes());
+
+    for (uint32_t a = 0; a < nt.num_concepts(); ++a) {
+      NodeId x = nt.OfConcept(a);
+      auto& subs = out.concept_subsumers[a];
+      if (bottom_[x]) {
+        out.unsatisfiable_concepts.push_back(a);
+        for (uint32_t b = 0; b < nt.num_concepts(); ++b) {
+          if (b != a) subs.push_back(b);
+        }
+        continue;
+      }
+      for (NodeId y : supers_[x]) {
+        if (nt.KindOf(y) == NodeKind::kConcept) {
+          subs.push_back(nt.ConceptOf(y));
+        }
+      }
+      std::sort(subs.begin(), subs.end());
+    }
+
+    for (uint32_t p = 0; p < nt.num_roles(); ++p) {
+      NodeId x = nt.OfRole(dllite::BasicRole::Direct(p));
+      if (bottom_[x]) out.unsatisfiable_roles.push_back(p);
+      if (!options_.compute_role_hierarchy) continue;
+      auto& subs = out.role_subsumers[p];
+      if (bottom_[x]) {
+        for (uint32_t q = 0; q < nt.num_roles(); ++q) {
+          if (q != p) subs.push_back(q);
+        }
+        continue;
+      }
+      for (NodeId y : supers_[x]) {
+        if (nt.KindOf(y) == NodeKind::kRole) {
+          dllite::BasicRole r = nt.RoleOf(y);
+          if (!r.inverse) subs.push_back(r.role);
+        }
+      }
+      std::sort(subs.begin(), subs.end());
+    }
+
+    if (options_.compute_role_hierarchy) {
+      for (uint32_t u = 0; u < nt.num_attributes(); ++u) {
+        NodeId x = nt.OfAttribute(u);
+        auto& subs = out.attribute_subsumers[u];
+        if (bottom_[x]) {
+          for (uint32_t w = 0; w < nt.num_attributes(); ++w) {
+            if (w != u) subs.push_back(w);
+          }
+          continue;
+        }
+        for (NodeId y : supers_[x]) {
+          if (nt.KindOf(y) == NodeKind::kAttribute) {
+            subs.push_back(nt.AttributeOf(y));
+          }
+        }
+        std::sort(subs.begin(), subs.end());
+      }
+    }
+    return out;
+  }
+
+  CompletionOptions options_;
+  TBoxGraph g_;
+  std::vector<std::unordered_set<NodeId>> supers_;
+  std::vector<std::vector<NodeId>> subsumees_;
+  std::vector<bool> bottom_;
+  std::vector<std::vector<NodeId>> ni_partners_;
+  std::unordered_map<NodeId, std::vector<NodeId>> qe_by_filler_;
+  std::deque<std::pair<NodeId, NodeId>> fact_queue_;
+  std::deque<NodeId> bottom_queue_;
+  uint64_t derived_ = 0;
+};
+
+}  // namespace
+
+CompletionResult ClassifyWithCompletion(const dllite::TBox& tbox,
+                                        const dllite::Vocabulary& vocab,
+                                        const CompletionOptions& options) {
+  Saturator saturator(tbox, vocab, options);
+  return saturator.Run();
+}
+
+}  // namespace olite::completion

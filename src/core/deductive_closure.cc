@@ -1,0 +1,131 @@
+#include "core/deductive_closure.h"
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/implication.h"
+
+namespace olite::core {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::ConceptInclusion;
+using dllite::RhsConcept;
+
+// All basic-concept expressions over the signature (A, ∃P, ∃P⁻, δ(U)).
+std::vector<BasicConcept> AllBasicConcepts(const NodeTable& nt) {
+  std::vector<BasicConcept> out;
+  for (uint32_t a = 0; a < nt.num_concepts(); ++a) {
+    out.push_back(BasicConcept::Atomic(a));
+  }
+  for (uint32_t p = 0; p < nt.num_roles(); ++p) {
+    out.push_back(BasicConcept::Exists(BasicRole::Direct(p)));
+    out.push_back(BasicConcept::Exists(BasicRole::Inverse(p)));
+  }
+  for (uint32_t u = 0; u < nt.num_attributes(); ++u) {
+    out.push_back(BasicConcept::AttrDomain(u));
+  }
+  return out;
+}
+
+std::vector<BasicRole> AllBasicRoles(const NodeTable& nt) {
+  std::vector<BasicRole> out;
+  for (uint32_t p = 0; p < nt.num_roles(); ++p) {
+    out.push_back(BasicRole::Direct(p));
+    out.push_back(BasicRole::Inverse(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+dllite::TBox DeductiveClosure(const dllite::TBox& tbox,
+                              const dllite::Vocabulary& vocab,
+                              const DeductiveClosureOptions& options) {
+  Classification cls = Classify(tbox, vocab);
+  ImplicationChecker checker(tbox, vocab, ReachabilityMode::kPrecomputed);
+  const NodeTable& nt = cls.tbox_graph().nodes;
+
+  dllite::TBox out;
+  std::vector<BasicConcept> concepts = AllBasicConcepts(nt);
+  std::vector<BasicRole> roles = AllBasicRoles(nt);
+
+  if (options.positive_basic) {
+    for (const auto& b1 : concepts) {
+      for (const auto& b2 : concepts) {
+        if (b1 == b2) continue;
+        if (cls.Entails(b1, b2)) {
+          out.AddConceptInclusion({b1, RhsConcept::Positive(b2)});
+        }
+      }
+    }
+    for (const auto& q1 : roles) {
+      for (const auto& q2 : roles) {
+        if (q1 == q2) continue;
+        if (cls.Entails(q1, q2)) {
+          out.AddRoleInclusion({q1, q2, /*negated=*/false});
+        }
+      }
+    }
+    for (uint32_t u1 = 0; u1 < nt.num_attributes(); ++u1) {
+      for (uint32_t u2 = 0; u2 < nt.num_attributes(); ++u2) {
+        if (u1 == u2) continue;
+        if (cls.EntailsAttribute(u1, u2)) {
+          out.AddAttributeInclusion({u1, u2, /*negated=*/false});
+        }
+      }
+    }
+  }
+
+  if (options.negative) {
+    for (size_t i = 0; i < concepts.size(); ++i) {
+      for (size_t j = i; j < concepts.size(); ++j) {
+        const auto& b1 = concepts[i];
+        const auto& b2 = concepts[j];
+        bool lhs_unsat = cls.IsUnsatisfiable(b1) || cls.IsUnsatisfiable(b2);
+        if (lhs_unsat && !options.unsat_disjointness) continue;
+        ConceptInclusion cand{b1, RhsConcept::Negated(b2)};
+        if (checker.Entails(cand)) {
+          out.AddConceptInclusion(cand);
+          if (!(b1 == b2)) {
+            out.AddConceptInclusion({b2, RhsConcept::Negated(b1)});
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < roles.size(); ++i) {
+      for (size_t j = i; j < roles.size(); ++j) {
+        bool lhs_unsat =
+            cls.IsUnsatisfiable(roles[i]) || cls.IsUnsatisfiable(roles[j]);
+        if (lhs_unsat && !options.unsat_disjointness) continue;
+        dllite::RoleInclusion cand{roles[i], roles[j], /*negated=*/true};
+        if (checker.Entails(cand)) {
+          out.AddRoleInclusion(cand);
+          if (!(roles[i] == roles[j])) {
+            out.AddRoleInclusion({roles[j], roles[i], /*negated=*/true});
+          }
+        }
+      }
+    }
+  }
+
+  if (options.qualified_existentials) {
+    for (const auto& b : concepts) {
+      for (const auto& q : roles) {
+        for (uint32_t a = 0; a < nt.num_concepts(); ++a) {
+          ConceptInclusion cand{b, RhsConcept::QualifiedExists(q, a)};
+          if (cls.IsUnsatisfiable(b) && !options.unsat_disjointness) {
+            continue;  // trivially entailed; skip unless asked for
+          }
+          if (checker.Entails(cand)) out.AddConceptInclusion(cand);
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace olite::core

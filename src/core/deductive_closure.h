@@ -1,0 +1,33 @@
+#ifndef OLITE_CORE_DEDUCTIVE_CLOSURE_H_
+#define OLITE_CORE_DEDUCTIVE_CLOSURE_H_
+
+#include "dllite/tbox.h"
+
+namespace olite::core {
+
+/// What to include in the materialised deductive closure.
+struct DeductiveClosureOptions {
+  /// Entailed positive inclusions between basic concepts/roles/attributes.
+  bool positive_basic = true;
+  /// Entailed negative inclusions (disjointness closure).
+  bool negative = true;
+  /// Entailed inclusions with a qualified existential RHS. Candidates are
+  /// enumerated over sig(T) (every B ⊑ ∃Q.A triple) and validated with the
+  /// graph-based implication checker — exact but cubic in the signature, so
+  /// intended for small/medium TBoxes.
+  bool qualified_existentials = true;
+  /// Also emit `S ⊑ ¬S'` for unsatisfiable `S` against every same-sort `S'`
+  /// (these are entailed but usually noise; off by default).
+  bool unsat_disjointness = false;
+};
+
+/// Materialises the (finite) deductive closure of a DL-Lite_R TBox
+/// (the paper's §5 "ongoing work" extension of the classification
+/// technique). Reflexive axioms `S ⊑ S` are omitted.
+dllite::TBox DeductiveClosure(const dllite::TBox& tbox,
+                              const dllite::Vocabulary& vocab,
+                              const DeductiveClosureOptions& options = {});
+
+}  // namespace olite::core
+
+#endif  // OLITE_CORE_DEDUCTIVE_CLOSURE_H_

@@ -1,0 +1,51 @@
+#include "core/node_table.h"
+
+#include <cassert>
+
+namespace olite::core {
+
+NodeKind NodeTable::KindOf(graph::NodeId n) const {
+  if (n < num_concepts_) return NodeKind::kConcept;
+  uint32_t off = n - num_concepts_;
+  if (off < 4 * num_roles_) {
+    return (off & 2) ? NodeKind::kExists : NodeKind::kRole;
+  }
+  off -= 4 * num_roles_;
+  assert(off < 2 * num_attributes_);
+  return (off & 1) ? NodeKind::kAttrDomain : NodeKind::kAttribute;
+}
+
+dllite::BasicConcept NodeTable::BasicConceptOf(graph::NodeId n) const {
+  switch (KindOf(n)) {
+    case NodeKind::kConcept:
+      return dllite::BasicConcept::Atomic(ConceptOf(n));
+    case NodeKind::kExists:
+      return dllite::BasicConcept::Exists(RoleOf(n));
+    case NodeKind::kAttrDomain:
+      return dllite::BasicConcept::AttrDomain(AttributeOf(n));
+    case NodeKind::kRole:
+    case NodeKind::kAttribute:
+      break;
+  }
+  assert(false && "BasicConceptOf called on a non-concept node");
+  return dllite::BasicConcept::Atomic(0);
+}
+
+std::string NodeTable::NameOf(graph::NodeId n,
+                              const dllite::Vocabulary& vocab) const {
+  switch (KindOf(n)) {
+    case NodeKind::kConcept:
+      return vocab.ConceptName(ConceptOf(n));
+    case NodeKind::kRole:
+      return ToString(RoleOf(n), vocab);
+    case NodeKind::kExists:
+      return "exists " + ToString(RoleOf(n), vocab);
+    case NodeKind::kAttribute:
+      return vocab.AttributeName(AttributeOf(n));
+    case NodeKind::kAttrDomain:
+      return "delta(" + vocab.AttributeName(AttributeOf(n)) + ")";
+  }
+  return "?";
+}
+
+}  // namespace olite::core

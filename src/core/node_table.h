@@ -1,0 +1,111 @@
+#ifndef OLITE_CORE_NODE_TABLE_H_
+#define OLITE_CORE_NODE_TABLE_H_
+
+#include <string>
+
+#include "dllite/expressions.h"
+#include "dllite/vocabulary.h"
+#include "graph/digraph.h"
+
+namespace olite::core {
+
+/// Kind of a digraph node in the TBox representation (Definition 1).
+enum class NodeKind : uint8_t {
+  kConcept,     ///< atomic concept A
+  kRole,        ///< basic role P or P⁻
+  kExists,      ///< unqualified existential ∃P or ∃P⁻
+  kAttribute,   ///< attribute U
+  kAttrDomain,  ///< attribute domain δ(U)
+};
+
+/// Deterministic bijection between the basic expressions of a signature Σ
+/// and dense digraph node ids (Definition 1's node set 𝒩):
+///
+///  * each atomic concept `A` gets one node;
+///  * each atomic role `P` gets four nodes: `P`, `P⁻`, `∃P`, `∃P⁻`;
+///  * each attribute `U` gets two nodes: `U`, `δ(U)`.
+///
+/// The layout is arithmetic (no hashing): concepts occupy `[0, |C|)`,
+/// role blocks of four follow, then attribute blocks of two.
+class NodeTable {
+ public:
+  explicit NodeTable(const dllite::Vocabulary& vocab)
+      : num_concepts_(static_cast<uint32_t>(vocab.NumConcepts())),
+        num_roles_(static_cast<uint32_t>(vocab.NumRoles())),
+        num_attributes_(static_cast<uint32_t>(vocab.NumAttributes())) {}
+
+  graph::NodeId OfConcept(dllite::ConceptId a) const { return a; }
+
+  graph::NodeId OfRole(dllite::BasicRole q) const {
+    return num_concepts_ + 4 * q.role + (q.inverse ? 1 : 0);
+  }
+
+  graph::NodeId OfExists(dllite::BasicRole q) const {
+    return num_concepts_ + 4 * q.role + 2 + (q.inverse ? 1 : 0);
+  }
+
+  graph::NodeId OfAttribute(dllite::AttributeId u) const {
+    return num_concepts_ + 4 * num_roles_ + 2 * u;
+  }
+
+  graph::NodeId OfAttrDomain(dllite::AttributeId u) const {
+    return OfAttribute(u) + 1;
+  }
+
+  /// Node of any basic concept (atomic, ∃Q, or δ(U)).
+  graph::NodeId OfBasicConcept(const dllite::BasicConcept& b) const {
+    switch (b.kind) {
+      case dllite::BasicConceptKind::kAtomic: return OfConcept(b.concept_id);
+      case dllite::BasicConceptKind::kExists: return OfExists(b.role);
+      case dllite::BasicConceptKind::kAttrDomain:
+        return OfAttrDomain(b.attribute);
+    }
+    return 0;
+  }
+
+  graph::NodeId NumNodes() const {
+    return num_concepts_ + 4 * num_roles_ + 2 * num_attributes_;
+  }
+
+  /// Classifies a node id back into its kind.
+  NodeKind KindOf(graph::NodeId n) const;
+
+  /// For a concept node, the ConceptId; for role/exists nodes, the RoleId
+  /// (with `InverseBit`); for attribute nodes, the AttributeId.
+  dllite::ConceptId ConceptOf(graph::NodeId n) const { return n; }
+  dllite::BasicRole RoleOf(graph::NodeId n) const {
+    uint32_t off = n - num_concepts_;
+    return {off / 4, (off & 1) != 0};
+  }
+  dllite::AttributeId AttributeOf(graph::NodeId n) const {
+    return (n - num_concepts_ - 4 * num_roles_) / 2;
+  }
+
+  /// Rebuilds the basic-concept expression of a *concept-sorted* node
+  /// (kConcept / kExists / kAttrDomain). Must not be called on role or
+  /// attribute nodes.
+  dllite::BasicConcept BasicConceptOf(graph::NodeId n) const;
+
+  /// True if `n` denotes a concept-sorted node (A, ∃Q or δ(U)).
+  bool IsConceptSorted(graph::NodeId n) const {
+    NodeKind k = KindOf(n);
+    return k == NodeKind::kConcept || k == NodeKind::kExists ||
+           k == NodeKind::kAttrDomain;
+  }
+
+  /// Human-readable node label, e.g. `"exists isPartOf-"`.
+  std::string NameOf(graph::NodeId n, const dllite::Vocabulary& vocab) const;
+
+  uint32_t num_concepts() const { return num_concepts_; }
+  uint32_t num_roles() const { return num_roles_; }
+  uint32_t num_attributes() const { return num_attributes_; }
+
+ private:
+  uint32_t num_concepts_;
+  uint32_t num_roles_;
+  uint32_t num_attributes_;
+};
+
+}  // namespace olite::core
+
+#endif  // OLITE_CORE_NODE_TABLE_H_

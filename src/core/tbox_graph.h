@@ -1,0 +1,54 @@
+#ifndef OLITE_CORE_TBOX_GRAPH_H_
+#define OLITE_CORE_TBOX_GRAPH_H_
+
+#include <vector>
+
+#include "core/node_table.h"
+#include "dllite/tbox.h"
+#include "graph/digraph.h"
+
+namespace olite::core {
+
+/// One qualified-existential axiom `B ⊑ ∃Q.A`, recorded in node-id space.
+/// These axioms are *not* fully representable as single digraph arcs
+/// (Definition 1 only adds `(B, ∃Q)`); the classifier and the implication
+/// checker consult this index for the filler-side consequences.
+struct QualifiedExistentialAxiom {
+  graph::NodeId lhs;     ///< node of B
+  dllite::BasicRole role;
+  dllite::ConceptId filler;
+};
+
+/// One negative inclusion `S1 ⊑ ¬S2`, in node-id space. Both nodes are of
+/// the same sort (concept-sorted, role, or attribute).
+struct NegativeInclusion {
+  graph::NodeId lhs;
+  graph::NodeId rhs;
+};
+
+/// The digraph representation of a DL-Lite_R TBox (paper Definition 1),
+/// together with the axiom indexes that fall outside the pure graph
+/// encoding (qualified existentials, negative inclusions).
+///
+/// Arcs:
+///  * `B1 ⊑ B2`            → (B1, B2)
+///  * `Q1 ⊑ Q2`            → (Q1,Q2), (Q1⁻,Q2⁻), (∃Q1,∃Q2), (∃Q1⁻,∃Q2⁻)
+///  * `B  ⊑ ∃Q.A`          → (B, ∃Q)           [+ index entry]
+///  * `U1 ⊑ U2`            → (U1,U2), (δ(U1),δ(U2))
+struct TBoxGraph {
+  NodeTable nodes;
+  graph::Digraph digraph;
+  std::vector<QualifiedExistentialAxiom> qualified_existentials;
+  std::vector<NegativeInclusion> negative_inclusions;
+
+  explicit TBoxGraph(const dllite::Vocabulary& vocab) : nodes(vocab) {}
+};
+
+/// Builds the digraph representation of `tbox` over `vocab`'s signature.
+/// The returned digraph is finalized (sorted, deduplicated adjacency).
+TBoxGraph BuildTBoxGraph(const dllite::TBox& tbox,
+                         const dllite::Vocabulary& vocab);
+
+}  // namespace olite::core
+
+#endif  // OLITE_CORE_TBOX_GRAPH_H_

@@ -1,0 +1,574 @@
+#include "diagram/diagram.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+namespace olite::diagram {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::RhsConcept;
+
+const char* KindName(ElementKind k) {
+  switch (k) {
+    case ElementKind::kConceptBox: return "concept";
+    case ElementKind::kRoleDiamond: return "role";
+    case ElementKind::kAttributeCircle: return "attribute";
+    case ElementKind::kDomainSquare: return "domain-square";
+    case ElementKind::kRangeSquare: return "range-square";
+    case ElementKind::kAttrDomainSquare: return "attr-domain-square";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ElementId Diagram::AddConcept(std::string name) {
+  elements_.push_back({ElementKind::kConceptBox, std::move(name),
+                       kNoElement, kNoElement});
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Diagram::AddRole(std::string name) {
+  elements_.push_back({ElementKind::kRoleDiamond, std::move(name),
+                       kNoElement, kNoElement});
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Diagram::AddAttribute(std::string name) {
+  elements_.push_back({ElementKind::kAttributeCircle, std::move(name),
+                       kNoElement, kNoElement});
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+Result<ElementId> Diagram::AddSquare(ElementKind kind, ElementId role,
+                                     ElementId filler) {
+  if (role >= elements_.size() ||
+      elements_[role].kind != ElementKind::kRoleDiamond) {
+    return Status::InvalidArgument(
+        "restriction squares must attach to a role diamond");
+  }
+  if (filler != kNoElement &&
+      (filler >= elements_.size() ||
+       elements_[filler].kind != ElementKind::kConceptBox)) {
+    return Status::InvalidArgument(
+        "restriction fillers must be concept rectangles");
+  }
+  elements_.push_back({kind, "", role, filler});
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+Result<ElementId> Diagram::AddDomainRestriction(ElementId role,
+                                                ElementId filler) {
+  return AddSquare(ElementKind::kDomainSquare, role, filler);
+}
+
+Result<ElementId> Diagram::AddRangeRestriction(ElementId role,
+                                               ElementId filler) {
+  return AddSquare(ElementKind::kRangeSquare, role, filler);
+}
+
+Result<ElementId> Diagram::AddAttrDomainRestriction(ElementId attribute) {
+  if (attribute >= elements_.size() ||
+      elements_[attribute].kind != ElementKind::kAttributeCircle) {
+    return Status::InvalidArgument(
+        "attribute-domain squares must attach to an attribute circle");
+  }
+  elements_.push_back(
+      {ElementKind::kAttrDomainSquare, "", attribute, kNoElement});
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+bool Diagram::IsConceptSorted(ElementId id) const {
+  ElementKind k = elements_[id].kind;
+  return k == ElementKind::kConceptBox || k == ElementKind::kDomainSquare ||
+         k == ElementKind::kRangeSquare ||
+         k == ElementKind::kAttrDomainSquare;
+}
+
+Status Diagram::AddInclusion(InclusionEdge edge) {
+  if (edge.from >= elements_.size() || edge.to >= elements_.size()) {
+    return Status::OutOfRange("inclusion edge endpoint out of range");
+  }
+  const Element& from = elements_[edge.from];
+  const Element& to = elements_[edge.to];
+  bool roles = from.kind == ElementKind::kRoleDiamond &&
+               to.kind == ElementKind::kRoleDiamond;
+  bool attrs = from.kind == ElementKind::kAttributeCircle &&
+               to.kind == ElementKind::kAttributeCircle;
+  bool concepts = IsConceptSorted(edge.from) && IsConceptSorted(edge.to);
+  if (!roles && !attrs && !concepts) {
+    return Status::InvalidArgument(
+        std::string("inclusion edge connects incompatible sorts: ") +
+        KindName(from.kind) + " -> " + KindName(to.kind));
+  }
+  if ((edge.from_inverse || edge.to_inverse) && !roles) {
+    return Status::InvalidArgument(
+        "inverse markers apply to role diamonds only");
+  }
+  // DL-Lite_R: qualified existentials only as positive RHS.
+  if (from.kind != ElementKind::kRoleDiamond && from.filler != kNoElement) {
+    return Status::Unsupported(
+        "a qualified restriction square may not be the source of an "
+        "inclusion edge (DL-Lite_R allows ∃Q.A on the RHS only)");
+  }
+  if (to.filler != kNoElement && edge.negated) {
+    return Status::Unsupported(
+        "negated qualified existentials are not expressible in DL-Lite_R");
+  }
+  edges_.push_back(edge);
+  return Status::Ok();
+}
+
+Status Diagram::Validate() const {
+  std::set<std::pair<int, std::string>> labels;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const Element& e = elements_[i];
+    switch (e.kind) {
+      case ElementKind::kConceptBox:
+      case ElementKind::kRoleDiamond:
+      case ElementKind::kAttributeCircle: {
+        if (e.label.empty()) {
+          return Status::InvalidArgument("terminal element " +
+                                         std::to_string(i) + " has no label");
+        }
+        auto key = std::make_pair(static_cast<int>(e.kind), e.label);
+        if (!labels.insert(key).second) {
+          return Status::AlreadyExists("duplicate " +
+                                       std::string(KindName(e.kind)) +
+                                       " label '" + e.label + "'");
+        }
+        break;
+      }
+      case ElementKind::kAttrDomainSquare:
+        if (e.role >= elements_.size() ||
+            elements_[e.role].kind != ElementKind::kAttributeCircle) {
+          return Status::Internal("attr-domain square " + std::to_string(i) +
+                                  " is not attached to a circle");
+        }
+        break;
+      case ElementKind::kDomainSquare:
+      case ElementKind::kRangeSquare:
+        if (e.role >= elements_.size() ||
+            elements_[e.role].kind != ElementKind::kRoleDiamond) {
+          return Status::Internal("square " + std::to_string(i) +
+                                  " is not attached to a diamond");
+        }
+        if (e.filler != kNoElement &&
+            (e.filler >= elements_.size() ||
+             elements_[e.filler].kind != ElementKind::kConceptBox)) {
+          return Status::Internal("square " + std::to_string(i) +
+                                  " has a non-rectangle filler");
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ElementId> Diagram::Find(ElementKind kind,
+                                const std::string& label) const {
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].kind == kind && elements_[i].label == label) {
+      return static_cast<ElementId>(i);
+    }
+  }
+  return Status::NotFound(std::string(KindName(kind)) + " '" + label +
+                          "' not in diagram");
+}
+
+Result<dllite::Ontology> Diagram::ToOntology() const {
+  OLITE_RETURN_IF_ERROR(Validate());
+  dllite::Ontology onto;
+  std::unordered_map<ElementId, uint32_t> concept_of, role_of, attr_of;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const Element& e = elements_[i];
+    ElementId id = static_cast<ElementId>(i);
+    if (e.kind == ElementKind::kConceptBox) {
+      concept_of[id] = onto.DeclareConcept(e.label);
+    } else if (e.kind == ElementKind::kRoleDiamond) {
+      role_of[id] = onto.DeclareRole(e.label);
+    } else if (e.kind == ElementKind::kAttributeCircle) {
+      attr_of[id] = onto.DeclareAttribute(e.label);
+    }
+  }
+
+  auto basic_of = [&](ElementId id) -> BasicConcept {
+    const Element& e = elements_[id];
+    if (e.kind == ElementKind::kConceptBox) {
+      return BasicConcept::Atomic(concept_of.at(id));
+    }
+    if (e.kind == ElementKind::kAttrDomainSquare) {
+      return BasicConcept::AttrDomain(attr_of.at(e.role));
+    }
+    bool inverse = e.kind == ElementKind::kRangeSquare;
+    return BasicConcept::Exists(BasicRole{role_of.at(e.role), inverse});
+  };
+
+  for (const auto& edge : edges_) {
+    const Element& from = elements_[edge.from];
+    const Element& to = elements_[edge.to];
+    if (from.kind == ElementKind::kRoleDiamond) {
+      onto.tbox().AddRoleInclusion(
+          {BasicRole{role_of.at(edge.from), edge.from_inverse},
+           BasicRole{role_of.at(edge.to), edge.to_inverse}, edge.negated});
+      continue;
+    }
+    if (from.kind == ElementKind::kAttributeCircle) {
+      onto.tbox().AddAttributeInclusion(
+          {attr_of.at(edge.from), attr_of.at(edge.to), edge.negated});
+      continue;
+    }
+    dllite::ConceptInclusion ax;
+    ax.lhs = basic_of(edge.from);
+    if (to.filler != kNoElement) {
+      bool inverse = to.kind == ElementKind::kRangeSquare;
+      ax.rhs = RhsConcept::QualifiedExists(
+          BasicRole{role_of.at(to.role), inverse}, concept_of.at(to.filler));
+    } else if (edge.negated) {
+      ax.rhs = RhsConcept::Negated(basic_of(edge.to));
+    } else {
+      ax.rhs = RhsConcept::Positive(basic_of(edge.to));
+    }
+    onto.tbox().AddConceptInclusion(ax);
+  }
+  return onto;
+}
+
+std::string Diagram::ToDot(const std::string& graph_name) const {
+  std::string out = "digraph \"" + graph_name + "\" {\n";
+  out += "  rankdir=LR;\n";
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const Element& e = elements_[i];
+    std::string node = "e" + std::to_string(i);
+    switch (e.kind) {
+      case ElementKind::kConceptBox:
+        out += "  " + node + " [shape=box, label=\"" + e.label + "\"];\n";
+        break;
+      case ElementKind::kRoleDiamond:
+        out += "  " + node + " [shape=diamond, label=\"" + e.label + "\"];\n";
+        break;
+      case ElementKind::kAttributeCircle:
+        out += "  " + node + " [shape=circle, label=\"" + e.label + "\"];\n";
+        break;
+      case ElementKind::kDomainSquare:
+        out += "  " + node +
+               " [shape=square, label=\"\", style=filled, "
+               "fillcolor=white];\n";
+        break;
+      case ElementKind::kRangeSquare:
+        out += "  " + node +
+               " [shape=square, label=\"\", style=filled, "
+               "fillcolor=black];\n";
+        break;
+      case ElementKind::kAttrDomainSquare:
+        out += "  " + node +
+               " [shape=square, label=\"\", style=filled, "
+               "fillcolor=gray];\n";
+        break;
+    }
+    // Dotted attachment edges for squares.
+    if (e.kind == ElementKind::kDomainSquare ||
+        e.kind == ElementKind::kRangeSquare ||
+        e.kind == ElementKind::kAttrDomainSquare) {
+      out += "  " + node + " -> e" + std::to_string(e.role) +
+             " [style=dotted, dir=none];\n";
+      if (e.filler != kNoElement) {
+        out += "  " + node + " -> e" + std::to_string(e.filler) +
+               " [style=dotted, dir=none];\n";
+      }
+    }
+  }
+  for (const auto& edge : edges_) {
+    out += "  e" + std::to_string(edge.from) + " -> e" +
+           std::to_string(edge.to);
+    std::vector<std::string> attrs;
+    if (edge.negated) attrs.push_back("label=\"⊑¬\"");
+    if (edge.from_inverse) attrs.push_back("taillabel=\"-\"");
+    if (edge.to_inverse) attrs.push_back("headlabel=\"-\"");
+    if (!attrs.empty()) {
+      out += " [";
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += attrs[i];
+      }
+      out += "]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<Diagram> FromOntology(const dllite::TBox& tbox,
+                             const dllite::Vocabulary& vocab) {
+  Diagram d;
+  std::vector<ElementId> concepts, roles, attrs;
+  for (size_t i = 0; i < vocab.NumConcepts(); ++i) {
+    concepts.push_back(
+        d.AddConcept(vocab.ConceptName(static_cast<uint32_t>(i))));
+  }
+  for (size_t i = 0; i < vocab.NumRoles(); ++i) {
+    roles.push_back(d.AddRole(vocab.RoleName(static_cast<uint32_t>(i))));
+  }
+  for (size_t i = 0; i < vocab.NumAttributes(); ++i) {
+    attrs.push_back(
+        d.AddAttribute(vocab.AttributeName(static_cast<uint32_t>(i))));
+  }
+
+  // Squares shared per (role, inverse, filler); δ squares per attribute.
+  std::map<std::tuple<uint32_t, bool, uint32_t>, ElementId> squares;
+  std::map<uint32_t, ElementId> attr_squares;
+  auto attr_square_for = [&](uint32_t u) -> Result<ElementId> {
+    auto it = attr_squares.find(u);
+    if (it != attr_squares.end()) return it->second;
+    auto sq = d.AddAttrDomainRestriction(attrs[u]);
+    if (!sq.ok()) return sq.status();
+    attr_squares.emplace(u, *sq);
+    return *sq;
+  };
+  auto square_for = [&](BasicRole q, uint32_t filler) -> Result<ElementId> {
+    auto key = std::make_tuple(q.role, q.inverse, filler);
+    auto it = squares.find(key);
+    if (it != squares.end()) return it->second;
+    ElementId filler_el =
+        filler == kNoElement ? kNoElement : concepts[filler];
+    auto sq = q.inverse ? d.AddRangeRestriction(roles[q.role], filler_el)
+                        : d.AddDomainRestriction(roles[q.role], filler_el);
+    if (!sq.ok()) return sq.status();
+    squares.emplace(key, *sq);
+    return *sq;
+  };
+  auto element_of = [&](const BasicConcept& b) -> Result<ElementId> {
+    switch (b.kind) {
+      case dllite::BasicConceptKind::kAtomic:
+        return concepts[b.concept_id];
+      case dllite::BasicConceptKind::kExists:
+        return square_for(b.role, kNoElement);
+      case dllite::BasicConceptKind::kAttrDomain:
+        return attr_square_for(b.attribute);
+    }
+    return Status::Internal("unknown basic concept kind");
+  };
+
+  for (const auto& ax : tbox.concept_inclusions()) {
+    OLITE_ASSIGN_OR_RETURN(ElementId from, element_of(ax.lhs));
+    InclusionEdge edge;
+    edge.from = from;
+    switch (ax.rhs.kind) {
+      case dllite::RhsConceptKind::kBasic: {
+        OLITE_ASSIGN_OR_RETURN(ElementId to, element_of(ax.rhs.basic));
+        edge.to = to;
+        break;
+      }
+      case dllite::RhsConceptKind::kNegatedBasic: {
+        OLITE_ASSIGN_OR_RETURN(ElementId to, element_of(ax.rhs.basic));
+        edge.to = to;
+        edge.negated = true;
+        break;
+      }
+      case dllite::RhsConceptKind::kQualifiedExists: {
+        OLITE_ASSIGN_OR_RETURN(ElementId to,
+                               square_for(ax.rhs.role, ax.rhs.filler));
+        edge.to = to;
+        break;
+      }
+    }
+    OLITE_RETURN_IF_ERROR(d.AddInclusion(edge));
+  }
+  for (const auto& ax : tbox.role_inclusions()) {
+    InclusionEdge edge;
+    edge.from = roles[ax.lhs.role];
+    edge.to = roles[ax.rhs.role];
+    edge.from_inverse = ax.lhs.inverse;
+    edge.to_inverse = ax.rhs.inverse;
+    edge.negated = ax.negated;
+    OLITE_RETURN_IF_ERROR(d.AddInclusion(edge));
+  }
+  for (const auto& ax : tbox.attribute_inclusions()) {
+    InclusionEdge edge;
+    edge.from = attrs[ax.lhs];
+    edge.to = attrs[ax.rhs];
+    edge.negated = ax.negated;
+    OLITE_RETURN_IF_ERROR(d.AddInclusion(edge));
+  }
+  return d;
+}
+
+namespace {
+
+// Induces the sub-diagram on `keep`, pulling in square attachments.
+Result<Diagram> Induce(const Diagram& diagram, std::set<ElementId> keep) {
+  // Squares force their diamond and filler in; and a kept square's
+  // attachments must exist before it can be re-created.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ElementId id : std::vector<ElementId>(keep.begin(), keep.end())) {
+      const Element& e = diagram.elements()[id];
+      if (e.kind == ElementKind::kDomainSquare ||
+          e.kind == ElementKind::kRangeSquare ||
+          e.kind == ElementKind::kAttrDomainSquare) {
+        if (keep.insert(e.role).second) changed = true;
+        if (e.filler != kNoElement && keep.insert(e.filler).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+
+  Diagram out;
+  std::unordered_map<ElementId, ElementId> remap;
+  // Terminals first, then squares (which reference terminals).
+  for (ElementId id : keep) {
+    const Element& e = diagram.elements()[id];
+    switch (e.kind) {
+      case ElementKind::kConceptBox:
+        remap[id] = out.AddConcept(e.label);
+        break;
+      case ElementKind::kRoleDiamond:
+        remap[id] = out.AddRole(e.label);
+        break;
+      case ElementKind::kAttributeCircle:
+        remap[id] = out.AddAttribute(e.label);
+        break;
+      default:
+        break;
+    }
+  }
+  for (ElementId id : keep) {
+    const Element& e = diagram.elements()[id];
+    if (e.kind == ElementKind::kAttrDomainSquare) {
+      auto sq = out.AddAttrDomainRestriction(remap.at(e.role));
+      if (!sq.ok()) return sq.status();
+      remap[id] = *sq;
+    } else if (e.kind == ElementKind::kDomainSquare ||
+               e.kind == ElementKind::kRangeSquare) {
+      ElementId filler =
+          e.filler == kNoElement ? kNoElement : remap.at(e.filler);
+      auto sq = e.kind == ElementKind::kDomainSquare
+                    ? out.AddDomainRestriction(remap.at(e.role), filler)
+                    : out.AddRangeRestriction(remap.at(e.role), filler);
+      if (!sq.ok()) return sq.status();
+      remap[id] = *sq;
+    }
+  }
+  for (const auto& edge : diagram.edges()) {
+    if (keep.count(edge.from) > 0 && keep.count(edge.to) > 0) {
+      InclusionEdge copy = edge;
+      copy.from = remap.at(edge.from);
+      copy.to = remap.at(edge.to);
+      OLITE_RETURN_IF_ERROR(out.AddInclusion(copy));
+    }
+  }
+  return out;
+}
+
+// Undirected adjacency over inclusion edges and square attachments.
+std::vector<std::vector<ElementId>> Adjacency(const Diagram& diagram) {
+  std::vector<std::vector<ElementId>> adj(diagram.elements().size());
+  auto link = [&](ElementId a, ElementId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (const auto& edge : diagram.edges()) link(edge.from, edge.to);
+  for (size_t i = 0; i < diagram.elements().size(); ++i) {
+    const Element& e = diagram.elements()[i];
+    if (e.kind == ElementKind::kDomainSquare ||
+        e.kind == ElementKind::kRangeSquare ||
+        e.kind == ElementKind::kAttrDomainSquare) {
+      link(static_cast<ElementId>(i), e.role);
+      if (e.filler != kNoElement) link(static_cast<ElementId>(i), e.filler);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+Result<Diagram> RelevantContext(const Diagram& diagram, ElementId focus,
+                                unsigned hops) {
+  if (focus >= diagram.elements().size()) {
+    return Status::OutOfRange("focus element out of range");
+  }
+  auto adj = Adjacency(diagram);
+  std::set<ElementId> keep = {focus};
+  std::vector<std::pair<ElementId, unsigned>> queue = {{focus, 0}};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    auto [v, d] = queue[head];
+    if (d == hops) continue;
+    for (ElementId w : adj[v]) {
+      if (keep.insert(w).second) queue.push_back({w, d + 1});
+    }
+  }
+  return Induce(diagram, std::move(keep));
+}
+
+Result<Diagram> DomainModule(const Diagram& diagram,
+                             const std::vector<std::string>& concept_names) {
+  std::set<ElementId> keep;
+  for (const auto& name : concept_names) {
+    OLITE_ASSIGN_OR_RETURN(ElementId id,
+                           diagram.Find(ElementKind::kConceptBox, name));
+    keep.insert(id);
+  }
+  // Pull in squares whose diamond+filler stay inside the module, plus the
+  // diamonds/circles connected to kept concepts by edges.
+  for (size_t i = 0; i < diagram.elements().size(); ++i) {
+    const Element& e = diagram.elements()[i];
+    if (e.kind == ElementKind::kDomainSquare ||
+        e.kind == ElementKind::kRangeSquare) {
+      bool filler_ok = e.filler == kNoElement || keep.count(e.filler) > 0;
+      // Attach the square if any kept concept references it by an edge.
+      bool referenced = false;
+      for (const auto& edge : diagram.edges()) {
+        if ((edge.from == i && keep.count(edge.to) > 0) ||
+            (edge.to == i && keep.count(edge.from) > 0)) {
+          referenced = true;
+        }
+      }
+      if (referenced && filler_ok) keep.insert(static_cast<ElementId>(i));
+    }
+  }
+  return Induce(diagram, std::move(keep));
+}
+
+Result<Diagram> AbstractView(const Diagram& diagram, unsigned max_depth) {
+  // Depth = shortest chain of inclusion edges from a taxonomy root
+  // (a concept rectangle with no outgoing inclusion to another rectangle),
+  // following edges child → parent in reverse.
+  const auto& elements = diagram.elements();
+  std::vector<std::vector<ElementId>> children(elements.size());
+  std::vector<bool> has_parent(elements.size(), false);
+  for (const auto& edge : diagram.edges()) {
+    if (elements[edge.from].kind == ElementKind::kConceptBox &&
+        elements[edge.to].kind == ElementKind::kConceptBox &&
+        !edge.negated) {
+      children[edge.to].push_back(edge.from);
+      has_parent[edge.from] = true;
+    }
+  }
+  std::set<ElementId> keep;
+  std::vector<std::pair<ElementId, unsigned>> queue;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i].kind == ElementKind::kConceptBox && !has_parent[i]) {
+      queue.push_back({static_cast<ElementId>(i), 0});
+      keep.insert(static_cast<ElementId>(i));
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    auto [v, d] = queue[head];
+    if (d == max_depth) continue;
+    for (ElementId w : children[v]) {
+      if (keep.insert(w).second) queue.push_back({w, d + 1});
+    }
+  }
+  return Induce(diagram, std::move(keep));
+}
+
+}  // namespace olite::diagram

@@ -1,0 +1,137 @@
+#ifndef OLITE_DIAGRAM_DIAGRAM_H_
+#define OLITE_DIAGRAM_DIAGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dllite/ontology.h"
+
+namespace olite::diagram {
+
+/// Id of a graphical element within one diagram.
+using ElementId = uint32_t;
+constexpr ElementId kNoElement = static_cast<ElementId>(-1);
+
+/// The graphical vocabulary of the paper's §6:
+///  * rectangles   — atomic concepts,
+///  * diamonds     — atomic roles,
+///  * circles      — attributes,
+///  * white square — existential restriction on a role (∃R or ∃R.C),
+///  * black square — existential restriction on the inverse (∃R⁻ or ∃R⁻.C).
+/// Squares attach to their diamond (and optional filler rectangle) with
+/// non-directed dotted edges; inclusion assertions are directed edges.
+enum class ElementKind : uint8_t {
+  kConceptBox,
+  kRoleDiamond,
+  kAttributeCircle,
+  kDomainSquare,      ///< white: first component of the role
+  kRangeSquare,       ///< black: second component of the role
+  kAttrDomainSquare,  ///< grey: the domain δ(U) of an attribute
+};
+
+/// One graphical element.
+struct Element {
+  ElementKind kind = ElementKind::kConceptBox;
+  std::string label;               ///< terminal name; empty for squares
+  /// Squares: the attached diamond (role squares) or circle (δ squares).
+  ElementId role = kNoElement;
+  ElementId filler = kNoElement;   ///< role squares: optional filler box
+};
+
+/// A directed inclusion edge. `negated` draws the RHS as complemented
+/// (negative inclusion). The inverse flags apply to role-diamond
+/// endpoints only and denote the inverse of the role (P⁻).
+struct InclusionEdge {
+  ElementId from = kNoElement;
+  ElementId to = kNoElement;
+  bool negated = false;
+  bool from_inverse = false;
+  bool to_inverse = false;
+};
+
+/// A diagram: elements plus inclusion edges. The diagram is the design
+/// artifact; `ToOntology` is the §6 "automated translation into
+/// processable logical axioms".
+class Diagram {
+ public:
+  ElementId AddConcept(std::string name);
+  ElementId AddRole(std::string name);
+  ElementId AddAttribute(std::string name);
+
+  /// White square denoting ∃role (or ∃role.filler when `filler` is given).
+  Result<ElementId> AddDomainRestriction(ElementId role,
+                                         ElementId filler = kNoElement);
+  /// Black square denoting ∃role⁻ (or ∃role⁻.filler).
+  Result<ElementId> AddRangeRestriction(ElementId role,
+                                        ElementId filler = kNoElement);
+
+  /// Grey square denoting the attribute domain δ(attribute).
+  Result<ElementId> AddAttrDomainRestriction(ElementId attribute);
+
+  /// Adds a directed inclusion edge after sort validation: both endpoints
+  /// concept-denoting (rectangles/squares), both diamonds, or both
+  /// circles. Qualified squares may only be edge *targets* and only
+  /// positively (DL-Lite_R restricts ∃Q.A to positive RHS).
+  Status AddInclusion(InclusionEdge edge);
+
+  const std::vector<Element>& elements() const { return elements_; }
+  const std::vector<InclusionEdge>& edges() const { return edges_; }
+
+  /// Structural well-formedness: ids in range, squares attached to
+  /// diamonds, fillers are rectangles, labels unique per sort.
+  Status Validate() const;
+
+  /// Translates the diagram into a DL-Lite_R ontology (§6 workflow
+  /// step ii).
+  Result<dllite::Ontology> ToOntology() const;
+
+  /// Graphviz DOT rendering: rectangles as boxes, diamonds, circles,
+  /// white/black squares, dotted attachment edges, solid inclusion arrows.
+  std::string ToDot(const std::string& graph_name = "ontology") const;
+
+  /// Finds an element by label and sort.
+  Result<ElementId> Find(ElementKind kind, const std::string& label) const;
+
+ private:
+  Result<ElementId> AddSquare(ElementKind kind, ElementId role,
+                              ElementId filler);
+  bool IsConceptSorted(ElementId id) const;
+
+  std::vector<Element> elements_;
+  std::vector<InclusionEdge> edges_;
+};
+
+/// Extracts the diagram of a DL-Lite_R TBox (§6: the reverse direction,
+/// used to visualise existing ontologies). Squares are shared across
+/// axioms mentioning the same restriction.
+Result<Diagram> FromOntology(const dllite::TBox& tbox,
+                             const dllite::Vocabulary& vocab);
+
+// ---------------------------------------------------------------------------
+// Modularization & visualization (§6 "scalability and modularization").
+// ---------------------------------------------------------------------------
+
+/// The "relevant context" of a focus element: the sub-diagram induced by
+/// all elements within `hops` steps of `focus` over inclusion and
+/// attachment edges (both directions). The basis of the paper's dynamic
+/// visualization model.
+Result<Diagram> RelevantContext(const Diagram& diagram, ElementId focus,
+                                unsigned hops);
+
+/// Horizontal modularization: the sub-diagram induced by the named
+/// concepts (plus squares/diamonds/circles attached to them and edges
+/// among the kept elements).
+Result<Diagram> DomainModule(const Diagram& diagram,
+                             const std::vector<std::string>& concept_names);
+
+/// Vertical modularization: the abstract view keeping only concepts
+/// within `max_depth` inclusion steps below a taxonomy root (plus
+/// everything attached), hiding the detail levels.
+Result<Diagram> AbstractView(const Diagram& diagram, unsigned max_depth);
+
+}  // namespace olite::diagram
+
+#endif  // OLITE_DIAGRAM_DIAGRAM_H_

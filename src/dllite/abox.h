@@ -1,0 +1,79 @@
+#ifndef OLITE_DLLITE_ABOX_H_
+#define OLITE_DLLITE_ABOX_H_
+
+#include <string>
+#include <vector>
+
+#include "dllite/vocabulary.h"
+
+namespace olite::dllite {
+
+/// `A(a)` — individual `a` is an instance of atomic concept `A`.
+struct ConceptAssertion {
+  ConceptId concept_id = 0;
+  IndividualId individual = 0;
+  bool operator==(const ConceptAssertion& o) const {
+    return concept_id == o.concept_id && individual == o.individual;
+  }
+};
+
+/// `P(a, b)` — `a` is related to `b` by atomic role `P`.
+struct RoleAssertion {
+  RoleId role = 0;
+  IndividualId subject = 0;
+  IndividualId object = 0;
+  bool operator==(const RoleAssertion& o) const {
+    return role == o.role && subject == o.subject && object == o.object;
+  }
+};
+
+/// `U(a, v)` — individual `a` has value `v` for attribute `U`.
+struct AttributeAssertion {
+  AttributeId attribute = 0;
+  IndividualId subject = 0;
+  std::string value;
+  bool operator==(const AttributeAssertion& o) const {
+    return attribute == o.attribute && subject == o.subject &&
+           value == o.value;
+  }
+};
+
+/// Extensional knowledge. In OBDA the ABox is *virtual* — populated through
+/// mappings over the data sources (`src/mapping`) — but a materialised ABox
+/// is also supported for self-contained ontologies and tests.
+class ABox {
+ public:
+  void AddConceptAssertion(ConceptAssertion a) {
+    concept_assertions_.push_back(std::move(a));
+  }
+  void AddRoleAssertion(RoleAssertion a) {
+    role_assertions_.push_back(std::move(a));
+  }
+  void AddAttributeAssertion(AttributeAssertion a) {
+    attribute_assertions_.push_back(std::move(a));
+  }
+
+  const std::vector<ConceptAssertion>& concept_assertions() const {
+    return concept_assertions_;
+  }
+  const std::vector<RoleAssertion>& role_assertions() const {
+    return role_assertions_;
+  }
+  const std::vector<AttributeAssertion>& attribute_assertions() const {
+    return attribute_assertions_;
+  }
+
+  size_t NumAssertions() const {
+    return concept_assertions_.size() + role_assertions_.size() +
+           attribute_assertions_.size();
+  }
+
+ private:
+  std::vector<ConceptAssertion> concept_assertions_;
+  std::vector<RoleAssertion> role_assertions_;
+  std::vector<AttributeAssertion> attribute_assertions_;
+};
+
+}  // namespace olite::dllite
+
+#endif  // OLITE_DLLITE_ABOX_H_

@@ -1,0 +1,178 @@
+#ifndef OLITE_DLLITE_EXPRESSIONS_H_
+#define OLITE_DLLITE_EXPRESSIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dllite/vocabulary.h"
+
+namespace olite::dllite {
+
+// ---------------------------------------------------------------------------
+// DL-Lite_R expressions (paper §4):
+//   B → A | ∃Q | δ(U)          basic concept
+//   Q → P | P⁻                 basic role
+//   C → B | ¬B | ∃Q.A          general (RHS) concept
+//   R → Q | ¬Q                 general (RHS) role
+// ---------------------------------------------------------------------------
+
+/// A basic role `Q`: an atomic role `P` or its inverse `P⁻`.
+struct BasicRole {
+  RoleId role = 0;
+  bool inverse = false;
+
+  static BasicRole Direct(RoleId p) { return {p, false}; }
+  static BasicRole Inverse(RoleId p) { return {p, true}; }
+
+  /// `Q⁻`: flips the direction.
+  BasicRole Inverted() const { return {role, !inverse}; }
+
+  bool operator==(const BasicRole& o) const {
+    return role == o.role && inverse == o.inverse;
+  }
+  bool operator<(const BasicRole& o) const {
+    return role != o.role ? role < o.role : inverse < o.inverse;
+  }
+};
+
+/// Kind discriminator for `BasicConcept`.
+enum class BasicConceptKind : uint8_t {
+  kAtomic,      ///< atomic concept `A`
+  kExists,      ///< unqualified existential `∃Q`
+  kAttrDomain,  ///< attribute domain `δ(U)`
+};
+
+/// A basic concept `B`: an atomic concept, an unqualified existential role
+/// restriction, or an attribute domain.
+struct BasicConcept {
+  BasicConceptKind kind = BasicConceptKind::kAtomic;
+  ConceptId concept_id = 0;  ///< valid when kind == kAtomic
+  BasicRole role;            ///< valid when kind == kExists
+  AttributeId attribute = 0; ///< valid when kind == kAttrDomain
+
+  static BasicConcept Atomic(ConceptId a) {
+    BasicConcept b;
+    b.kind = BasicConceptKind::kAtomic;
+    b.concept_id = a;
+    return b;
+  }
+  static BasicConcept Exists(BasicRole q) {
+    BasicConcept b;
+    b.kind = BasicConceptKind::kExists;
+    b.role = q;
+    return b;
+  }
+  static BasicConcept AttrDomain(AttributeId u) {
+    BasicConcept b;
+    b.kind = BasicConceptKind::kAttrDomain;
+    b.attribute = u;
+    return b;
+  }
+
+  bool operator==(const BasicConcept& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case BasicConceptKind::kAtomic: return concept_id == o.concept_id;
+      case BasicConceptKind::kExists: return role == o.role;
+      case BasicConceptKind::kAttrDomain: return attribute == o.attribute;
+    }
+    return false;
+  }
+  bool operator<(const BasicConcept& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    switch (kind) {
+      case BasicConceptKind::kAtomic: return concept_id < o.concept_id;
+      case BasicConceptKind::kExists: return role < o.role;
+      case BasicConceptKind::kAttrDomain: return attribute < o.attribute;
+    }
+    return false;
+  }
+};
+
+/// Kind discriminator for `RhsConcept`.
+enum class RhsConceptKind : uint8_t {
+  kBasic,            ///< B
+  kNegatedBasic,     ///< ¬B   (negative inclusion)
+  kQualifiedExists,  ///< ∃Q.A (qualified existential, RHS only)
+};
+
+/// A general concept `C`, allowed only on the right-hand side of a concept
+/// inclusion.
+struct RhsConcept {
+  RhsConceptKind kind = RhsConceptKind::kBasic;
+  BasicConcept basic;      ///< valid for kBasic / kNegatedBasic
+  BasicRole role;          ///< valid for kQualifiedExists
+  ConceptId filler = 0;    ///< valid for kQualifiedExists
+
+  static RhsConcept Positive(BasicConcept b) {
+    RhsConcept c;
+    c.kind = RhsConceptKind::kBasic;
+    c.basic = b;
+    return c;
+  }
+  static RhsConcept Negated(BasicConcept b) {
+    RhsConcept c;
+    c.kind = RhsConceptKind::kNegatedBasic;
+    c.basic = b;
+    return c;
+  }
+  static RhsConcept QualifiedExists(BasicRole q, ConceptId a) {
+    RhsConcept c;
+    c.kind = RhsConceptKind::kQualifiedExists;
+    c.role = q;
+    c.filler = a;
+    return c;
+  }
+
+  bool operator==(const RhsConcept& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case RhsConceptKind::kBasic:
+      case RhsConceptKind::kNegatedBasic:
+        return basic == o.basic;
+      case RhsConceptKind::kQualifiedExists:
+        return role == o.role && filler == o.filler;
+    }
+    return false;
+  }
+};
+
+/// Renders `Q` using `vocab` names, e.g. `"hasPart-"`.
+std::string ToString(const BasicRole& q, const Vocabulary& vocab);
+/// Renders `B`, e.g. `"exists hasPart-"` or `"delta(age)"`.
+std::string ToString(const BasicConcept& b, const Vocabulary& vocab);
+/// Renders `C`, e.g. `"not Person"` or `"exists isPartOf . State"`.
+std::string ToString(const RhsConcept& c, const Vocabulary& vocab);
+
+}  // namespace olite::dllite
+
+namespace std {
+
+template <>
+struct hash<olite::dllite::BasicRole> {
+  size_t operator()(const olite::dllite::BasicRole& q) const {
+    return (static_cast<size_t>(q.role) << 1) | (q.inverse ? 1u : 0u);
+  }
+};
+
+template <>
+struct hash<olite::dllite::BasicConcept> {
+  size_t operator()(const olite::dllite::BasicConcept& b) const {
+    using olite::dllite::BasicConceptKind;
+    size_t h = static_cast<size_t>(b.kind) * 0x9E3779B97F4A7C15ULL;
+    switch (b.kind) {
+      case BasicConceptKind::kAtomic:
+        return h ^ b.concept_id;
+      case BasicConceptKind::kExists:
+        return h ^ std::hash<olite::dllite::BasicRole>()(b.role);
+      case BasicConceptKind::kAttrDomain:
+        return h ^ (static_cast<size_t>(b.attribute) << 8);
+    }
+    return h;
+  }
+};
+
+}  // namespace std
+
+#endif  // OLITE_DLLITE_EXPRESSIONS_H_

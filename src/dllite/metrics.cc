@@ -1,0 +1,110 @@
+#include "dllite/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace olite::dllite {
+
+TBoxMetrics ComputeMetrics(const TBox& tbox, const Vocabulary& vocab) {
+  TBoxMetrics m;
+  m.num_concepts = vocab.NumConcepts();
+  m.num_roles = vocab.NumRoles();
+  m.num_attributes = vocab.NumAttributes();
+  m.concept_inclusions = tbox.concept_inclusions().size();
+  m.role_inclusions = tbox.role_inclusions().size();
+  m.attribute_inclusions = tbox.attribute_inclusions().size();
+  m.negative_inclusions = tbox.NumNegativeInclusions();
+
+  // Told taxonomy: atomic ⊑ atomic axioms.
+  std::vector<std::vector<uint32_t>> parents(m.num_concepts);
+  for (const auto& ax : tbox.concept_inclusions()) {
+    switch (ax.rhs.kind) {
+      case RhsConceptKind::kQualifiedExists:
+        ++m.qualified_existentials;
+        break;
+      case RhsConceptKind::kBasic:
+        if (ax.rhs.basic.kind == BasicConceptKind::kExists) {
+          ++m.unqualified_existential_rhs;
+        }
+        break;
+      case RhsConceptKind::kNegatedBasic:
+        break;
+    }
+    if (ax.lhs.kind == BasicConceptKind::kExists) ++m.existential_lhs;
+    if (ax.lhs.kind == BasicConceptKind::kAtomic &&
+        ax.rhs.kind == RhsConceptKind::kBasic &&
+        ax.rhs.basic.kind == BasicConceptKind::kAtomic) {
+      ++m.taxonomy_edges;
+      parents[ax.lhs.concept_id].push_back(ax.rhs.basic.concept_id);
+    }
+  }
+
+  for (auto& p : parents) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    if (p.size() >= 2) ++m.multi_parent_concepts;
+  }
+  for (uint32_t a = 0; a < m.num_concepts; ++a) {
+    if (parents[a].empty()) ++m.taxonomy_roots;
+  }
+
+  // Longest upward chain with an iterative DFS + memo; visiting flags
+  // break told cycles.
+  std::vector<uint32_t> depth(m.num_concepts, 0);
+  std::vector<uint8_t> state(m.num_concepts, 0);  // 0 new, 1 open, 2 done
+  for (uint32_t start = 0; start < m.num_concepts; ++start) {
+    if (state[start] == 2) continue;
+    std::vector<std::pair<uint32_t, size_t>> stack = {{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      if (idx < parents[v].size()) {
+        uint32_t p = parents[v][idx++];
+        if (state[p] == 0) {
+          state[p] = 1;
+          stack.push_back({p, 0});
+        }
+        // Open (cycle) or done parents contribute their current depth.
+      } else {
+        uint32_t best = 0;
+        for (uint32_t p : parents[v]) {
+          best = std::max(best, depth[p] + 1);
+        }
+        depth[v] = best;
+        state[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  for (uint32_t a = 0; a < m.num_concepts; ++a) {
+    m.taxonomy_depth = std::max<size_t>(m.taxonomy_depth, depth[a]);
+  }
+  return m;
+}
+
+std::string TBoxMetrics::ToString() const {
+  std::string out;
+  auto line = [&](const char* label, size_t value) {
+    out += label;
+    out += ": ";
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("concepts", num_concepts);
+  line("roles", num_roles);
+  line("attributes", num_attributes);
+  line("concept inclusions", concept_inclusions);
+  line("role inclusions", role_inclusions);
+  line("attribute inclusions", attribute_inclusions);
+  line("negative inclusions", negative_inclusions);
+  line("qualified existential RHS", qualified_existentials);
+  line("unqualified existential RHS", unqualified_existential_rhs);
+  line("existential LHS (domain/range)", existential_lhs);
+  line("taxonomy edges", taxonomy_edges);
+  line("taxonomy roots", taxonomy_roots);
+  line("taxonomy depth", taxonomy_depth);
+  line("multi-parent concepts", multi_parent_concepts);
+  return out;
+}
+
+}  // namespace olite::dllite

@@ -1,0 +1,46 @@
+#ifndef OLITE_DLLITE_METRICS_H_
+#define OLITE_DLLITE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dllite/tbox.h"
+
+namespace olite::dllite {
+
+/// Structural metrics of a TBox — the shape characteristics the synthetic
+/// benchmark profiles (src/benchgen) are calibrated against, and the
+/// numbers an ontology engineer wants in the §8 auto-generated project
+/// documentation.
+struct TBoxMetrics {
+  size_t num_concepts = 0;
+  size_t num_roles = 0;
+  size_t num_attributes = 0;
+
+  size_t concept_inclusions = 0;
+  size_t role_inclusions = 0;
+  size_t attribute_inclusions = 0;
+  size_t negative_inclusions = 0;
+  size_t qualified_existentials = 0;
+  size_t unqualified_existential_rhs = 0;  ///< axioms `B ⊑ ∃Q`
+  size_t existential_lhs = 0;              ///< axioms `∃Q ⊑ C` (domain/range)
+
+  /// Atomic-to-atomic subclass axioms (the told taxonomy).
+  size_t taxonomy_edges = 0;
+  /// Concepts with at least two told atomic parents.
+  size_t multi_parent_concepts = 0;
+  /// Longest told subclass chain (cycle-safe; cycles contribute their
+  /// condensed length).
+  size_t taxonomy_depth = 0;
+  /// Told roots: concepts with no atomic told parent.
+  size_t taxonomy_roots = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the metrics of `tbox` over `vocab`'s signature.
+TBoxMetrics ComputeMetrics(const TBox& tbox, const Vocabulary& vocab);
+
+}  // namespace olite::dllite
+
+#endif  // OLITE_DLLITE_METRICS_H_

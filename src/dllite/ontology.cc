@@ -1,0 +1,326 @@
+#include "dllite/ontology.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace olite::dllite {
+
+namespace {
+
+// Pads punctuation with spaces so a whitespace split yields clean tokens.
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::string padded;
+  padded.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '(' || c == ')' || c == ',' || c == '.') {
+      padded += ' ';
+      padded += c;
+      padded += ' ';
+    } else {
+      padded += c;
+    }
+  }
+  std::vector<std::string> tokens;
+  for (auto& t : Split(padded, ' ')) {
+    if (!t.empty()) tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+// A parsed axiom side before sort resolution.
+struct SideExpr {
+  enum class Kind { kConcept, kQualifiedExists, kRole, kAttribute };
+  Kind kind = Kind::kConcept;
+  bool negated = false;
+  BasicConcept basic;    // kConcept
+  BasicRole role;        // kQualifiedExists / kRole
+  ConceptId filler = 0;  // kQualifiedExists
+  AttributeId attr = 0;  // kAttribute
+};
+
+// Parses a role token `P` or `P-` against the vocabulary.
+Result<BasicRole> ParseRoleToken(const std::string& tok,
+                                 const Vocabulary& vocab) {
+  bool inverse = EndsWith(tok, "-");
+  std::string name = inverse ? tok.substr(0, tok.size() - 1) : tok;
+  auto id = vocab.FindRole(name);
+  if (!id) return Status::NotFound("undeclared role '" + name + "'");
+  return BasicRole{*id, inverse};
+}
+
+Result<SideExpr> ParseSide(const std::vector<std::string>& tokens, size_t begin,
+                           size_t end, const Vocabulary& vocab,
+                           bool allow_negation) {
+  SideExpr out;
+  size_t i = begin;
+  if (i >= end) return Status::ParseError("empty axiom side");
+  if (tokens[i] == "not") {
+    if (!allow_negation) {
+      return Status::ParseError("negation is only allowed on the RHS");
+    }
+    out.negated = true;
+    ++i;
+    if (i >= end) return Status::ParseError("dangling 'not'");
+  }
+  if (tokens[i] == "exists") {
+    ++i;
+    if (i >= end) return Status::ParseError("dangling 'exists'");
+    OLITE_ASSIGN_OR_RETURN(BasicRole q, ParseRoleToken(tokens[i], vocab));
+    ++i;
+    if (i < end && tokens[i] == ".") {
+      ++i;
+      if (i >= end) return Status::ParseError("missing qualified filler");
+      auto a = vocab.FindConcept(tokens[i]);
+      if (!a) {
+        return Status::NotFound("undeclared concept '" + tokens[i] + "'");
+      }
+      ++i;
+      if (i != end) return Status::ParseError("trailing tokens after filler");
+      out.kind = SideExpr::Kind::kQualifiedExists;
+      out.role = q;
+      out.filler = *a;
+      return out;
+    }
+    if (i != end) return Status::ParseError("trailing tokens after 'exists'");
+    out.kind = SideExpr::Kind::kConcept;
+    out.basic = BasicConcept::Exists(q);
+    return out;
+  }
+  if (tokens[i] == "delta") {
+    if (i + 4 == end && tokens[i + 1] == "(" && tokens[i + 3] == ")") {
+      auto u = vocab.FindAttribute(tokens[i + 2]);
+      if (!u) {
+        return Status::NotFound("undeclared attribute '" + tokens[i + 2] +
+                                "'");
+      }
+      out.kind = SideExpr::Kind::kConcept;
+      out.basic = BasicConcept::AttrDomain(*u);
+      return out;
+    }
+    return Status::ParseError("malformed delta(...) expression");
+  }
+  // Single token: atomic concept, role (possibly inverse), or attribute.
+  const std::string& tok = tokens[i];
+  if (i + 1 != end) {
+    return Status::ParseError("unexpected tokens after '" + tok + "'");
+  }
+  bool inverse = EndsWith(tok, "-");
+  std::string base = inverse ? tok.substr(0, tok.size() - 1) : tok;
+  if (!inverse) {
+    if (auto a = vocab.FindConcept(base)) {
+      out.kind = SideExpr::Kind::kConcept;
+      out.basic = BasicConcept::Atomic(*a);
+      return out;
+    }
+    if (auto u = vocab.FindAttribute(base)) {
+      out.kind = SideExpr::Kind::kAttribute;
+      out.attr = *u;
+      return out;
+    }
+  }
+  if (auto p = vocab.FindRole(base)) {
+    out.kind = SideExpr::Kind::kRole;
+    out.role = BasicRole{*p, inverse};
+    return out;
+  }
+  return Status::NotFound("undeclared term '" + tok + "'");
+}
+
+}  // namespace
+
+Status Ontology::AddAxiom(std::string_view line) {
+  std::string text(Trim(line));
+  size_t pos = text.find("<=");
+  if (pos == std::string::npos) {
+    return Status::ParseError("axiom must contain '<=': " + text);
+  }
+  auto lhs_tokens = Tokenize(std::string_view(text).substr(0, pos));
+  auto rhs_tokens = Tokenize(std::string_view(text).substr(pos + 2));
+
+  OLITE_ASSIGN_OR_RETURN(
+      SideExpr lhs,
+      ParseSide(lhs_tokens, 0, lhs_tokens.size(), vocab_, false));
+  OLITE_ASSIGN_OR_RETURN(
+      SideExpr rhs,
+      ParseSide(rhs_tokens, 0, rhs_tokens.size(), vocab_, true));
+
+  using Kind = SideExpr::Kind;
+  if (lhs.kind == Kind::kQualifiedExists) {
+    return Status::Unsupported(
+        "qualified existentials may only appear on the RHS: " + text);
+  }
+  if (lhs.kind == Kind::kConcept) {
+    ConceptInclusion ax;
+    ax.lhs = lhs.basic;
+    if (rhs.kind == Kind::kConcept) {
+      ax.rhs = rhs.negated ? RhsConcept::Negated(rhs.basic)
+                           : RhsConcept::Positive(rhs.basic);
+    } else if (rhs.kind == Kind::kQualifiedExists) {
+      if (rhs.negated) {
+        return Status::Unsupported(
+            "negated qualified existentials are not in DL-Lite_R: " + text);
+      }
+      ax.rhs = RhsConcept::QualifiedExists(rhs.role, rhs.filler);
+    } else {
+      return Status::InvalidArgument("concept LHS with non-concept RHS: " +
+                                     text);
+    }
+    tbox_.AddConceptInclusion(ax);
+    return Status::Ok();
+  }
+  if (lhs.kind == Kind::kRole) {
+    if (rhs.kind != Kind::kRole) {
+      return Status::InvalidArgument("role LHS with non-role RHS: " + text);
+    }
+    tbox_.AddRoleInclusion(RoleInclusion{lhs.role, rhs.role, rhs.negated});
+    return Status::Ok();
+  }
+  // Attribute LHS.
+  if (rhs.kind != Kind::kAttribute) {
+    return Status::InvalidArgument("attribute LHS with non-attribute RHS: " +
+                                   text);
+  }
+  tbox_.AddAttributeInclusion(
+      AttributeInclusion{lhs.attr, rhs.attr, rhs.negated});
+  return Status::Ok();
+}
+
+Status Ontology::AddAssertion(std::string_view line) {
+  auto tokens = Tokenize(line);
+  // Shapes: NAME ( a )   |   NAME ( a , b )
+  if (tokens.size() < 4 || tokens[1] != "(" || tokens.back() != ")") {
+    return Status::ParseError("malformed assertion: " + std::string(line));
+  }
+  const std::string& pred = tokens[0];
+  if (tokens.size() == 4) {
+    auto a = vocab_.FindConcept(pred);
+    if (!a) return Status::NotFound("undeclared concept '" + pred + "'");
+    abox_.AddConceptAssertion(
+        ConceptAssertion{*a, vocab_.InternIndividual(tokens[2])});
+    return Status::Ok();
+  }
+  if (tokens.size() == 6 && tokens[3] == ",") {
+    if (auto p = vocab_.FindRole(pred)) {
+      abox_.AddRoleAssertion(RoleAssertion{*p,
+                                           vocab_.InternIndividual(tokens[2]),
+                                           vocab_.InternIndividual(tokens[4])});
+      return Status::Ok();
+    }
+    if (auto u = vocab_.FindAttribute(pred)) {
+      abox_.AddAttributeAssertion(AttributeAssertion{
+          *u, vocab_.InternIndividual(tokens[2]), tokens[4]});
+      return Status::Ok();
+    }
+    return Status::NotFound("undeclared role/attribute '" + pred + "'");
+  }
+  return Status::ParseError("malformed assertion: " + std::string(line));
+}
+
+Status Ontology::AddFunctionality(std::string_view line) {
+  std::string_view text = Trim(line);
+  if (text == "funct") return Status::ParseError("empty funct assertion");
+  if (StartsWith(text, "funct ")) text = Trim(text.substr(6));
+  std::string token(text);
+  if (token.empty()) return Status::ParseError("empty funct assertion");
+  bool inverse = EndsWith(token, "-");
+  std::string base = inverse ? token.substr(0, token.size() - 1) : token;
+  if (auto p = vocab_.FindRole(base)) {
+    tbox_.AddFunctionality(
+        FunctionalityAssertion::Role(BasicRole{*p, inverse}));
+    return Status::Ok();
+  }
+  if (!inverse) {
+    if (auto u = vocab_.FindAttribute(base)) {
+      tbox_.AddFunctionality(FunctionalityAssertion::Attribute(*u));
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("undeclared role/attribute '" + token + "'");
+}
+
+std::string Ontology::ToString() const {
+  std::string out;
+  if (vocab_.NumConcepts() > 0) {
+    out += "concept";
+    for (size_t i = 0; i < vocab_.NumConcepts(); ++i) {
+      out += " " + vocab_.ConceptName(static_cast<ConceptId>(i));
+    }
+    out += "\n";
+  }
+  if (vocab_.NumRoles() > 0) {
+    out += "role";
+    for (size_t i = 0; i < vocab_.NumRoles(); ++i) {
+      out += " " + vocab_.RoleName(static_cast<RoleId>(i));
+    }
+    out += "\n";
+  }
+  if (vocab_.NumAttributes() > 0) {
+    out += "attribute";
+    for (size_t i = 0; i < vocab_.NumAttributes(); ++i) {
+      out += " " + vocab_.AttributeName(static_cast<AttributeId>(i));
+    }
+    out += "\n";
+  }
+  out += tbox_.ToString(vocab_);
+  for (const auto& a : abox_.concept_assertions()) {
+    out += vocab_.ConceptName(a.concept_id) + "(" +
+           vocab_.IndividualName(a.individual) + ")\n";
+  }
+  for (const auto& a : abox_.role_assertions()) {
+    out += vocab_.RoleName(a.role) + "(" + vocab_.IndividualName(a.subject) +
+           ", " + vocab_.IndividualName(a.object) + ")\n";
+  }
+  for (const auto& a : abox_.attribute_assertions()) {
+    out += vocab_.AttributeName(a.attribute) + "(" +
+           vocab_.IndividualName(a.subject) + ", " + a.value + ")\n";
+  }
+  return out;
+}
+
+Result<Ontology> ParseOntology(std::string_view text) {
+  Ontology onto;
+  size_t line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const Status& s) {
+      return Status(s.code(),
+                    "line " + std::to_string(line_no) + ": " + s.message());
+    };
+    if (StartsWith(line, "concept ") || StartsWith(line, "role ") ||
+        StartsWith(line, "attribute ")) {
+      auto words = Split(line, ' ');
+      for (size_t i = 1; i < words.size(); ++i) {
+        std::string_view w = Trim(words[i]);
+        if (w.empty()) continue;
+        if (words[0] == "concept") onto.DeclareConcept(w);
+        else if (words[0] == "role") onto.DeclareRole(w);
+        else onto.DeclareAttribute(w);
+      }
+      continue;
+    }
+    if (StartsWith(line, "funct ")) {
+      Status s = onto.AddFunctionality(line);
+      if (!s.ok()) return fail(s);
+      continue;
+    }
+    if (line.find("<=") != std::string_view::npos) {
+      Status s = onto.AddAxiom(line);
+      if (!s.ok()) return fail(s);
+      continue;
+    }
+    if (line.find('(') != std::string_view::npos) {
+      Status s = onto.AddAssertion(line);
+      if (!s.ok()) return fail(s);
+      continue;
+    }
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": unrecognised line '" + std::string(line) +
+                              "'");
+  }
+  return onto;
+}
+
+}  // namespace olite::dllite

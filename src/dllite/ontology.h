@@ -1,0 +1,84 @@
+#ifndef OLITE_DLLITE_ONTOLOGY_H_
+#define OLITE_DLLITE_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dllite/abox.h"
+#include "dllite/tbox.h"
+#include "dllite/vocabulary.h"
+
+namespace olite::dllite {
+
+/// A DL-Lite_R ontology: signature + TBox (+ optional materialised ABox).
+///
+/// `Ontology` is the ergonomic entry point of the library: it owns the
+/// vocabulary and offers a string-based axiom API backed by the text-format
+/// parser, so that examples and tests read like the paper:
+///
+/// ```
+///   Ontology onto;
+///   onto.DeclareConcept("County");
+///   onto.DeclareConcept("State");
+///   onto.DeclareRole("isPartOf");
+///   onto.AddAxiom("County <= exists isPartOf . State");
+///   onto.AddAxiom("State <= exists isPartOf- . County");
+/// ```
+class Ontology {
+ public:
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  TBox& tbox() { return tbox_; }
+  const TBox& tbox() const { return tbox_; }
+  ABox& abox() { return abox_; }
+  const ABox& abox() const { return abox_; }
+
+  ConceptId DeclareConcept(std::string_view name) {
+    return vocab_.InternConcept(name);
+  }
+  RoleId DeclareRole(std::string_view name) { return vocab_.InternRole(name); }
+  AttributeId DeclareAttribute(std::string_view name) {
+    return vocab_.InternAttribute(name);
+  }
+
+  /// Parses and adds one TBox axiom in text syntax, e.g.
+  /// `"A <= B"`, `"A <= not exists P-"`, `"P <= Q"`,
+  /// `"County <= exists isPartOf . State"`. All names must be declared.
+  Status AddAxiom(std::string_view line);
+
+  /// Parses and adds one ABox assertion, e.g. `"A(a)"` or `"P(a, b)"`.
+  Status AddAssertion(std::string_view line);
+
+  /// Parses and adds one functionality assertion: `"funct P"`,
+  /// `"funct P-"` or `"funct u"` (attribute).
+  Status AddFunctionality(std::string_view line);
+
+  /// Serialises declarations + TBox + ABox in the text format accepted by
+  /// `ParseOntology`.
+  std::string ToString() const;
+
+ private:
+  Vocabulary vocab_;
+  TBox tbox_;
+  ABox abox_;
+};
+
+/// Parses a full ontology document. Line-oriented format:
+///
+/// ```
+///   # comment
+///   concept County State
+///   role isPartOf
+///   attribute population
+///   County <= exists isPartOf . State
+///   isPartOf <= locatedIn
+///   County(viterbo)
+///   isPartOf(viterbo, lazio)
+/// ```
+Result<Ontology> ParseOntology(std::string_view text);
+
+}  // namespace olite::dllite
+
+#endif  // OLITE_DLLITE_ONTOLOGY_H_

@@ -1,0 +1,121 @@
+#include "dllite/tbox.h"
+
+namespace olite::dllite {
+
+std::string ToString(const BasicRole& q, const Vocabulary& vocab) {
+  std::string out = vocab.RoleName(q.role);
+  if (q.inverse) out += "-";
+  return out;
+}
+
+std::string ToString(const BasicConcept& b, const Vocabulary& vocab) {
+  switch (b.kind) {
+    case BasicConceptKind::kAtomic:
+      return vocab.ConceptName(b.concept_id);
+    case BasicConceptKind::kExists:
+      return "exists " + ToString(b.role, vocab);
+    case BasicConceptKind::kAttrDomain:
+      return "delta(" + vocab.AttributeName(b.attribute) + ")";
+  }
+  return "?";
+}
+
+std::string ToString(const RhsConcept& c, const Vocabulary& vocab) {
+  switch (c.kind) {
+    case RhsConceptKind::kBasic:
+      return ToString(c.basic, vocab);
+    case RhsConceptKind::kNegatedBasic:
+      return "not " + ToString(c.basic, vocab);
+    case RhsConceptKind::kQualifiedExists:
+      return "exists " + ToString(c.role, vocab) + " . " +
+             vocab.ConceptName(c.filler);
+  }
+  return "?";
+}
+
+std::string ToString(const ConceptInclusion& ax, const Vocabulary& vocab) {
+  return ToString(ax.lhs, vocab) + " <= " + ToString(ax.rhs, vocab);
+}
+
+std::string ToString(const RoleInclusion& ax, const Vocabulary& vocab) {
+  std::string rhs = ToString(ax.rhs, vocab);
+  if (ax.negated) rhs = "not " + rhs;
+  return ToString(ax.lhs, vocab) + " <= " + rhs;
+}
+
+std::string ToString(const AttributeInclusion& ax, const Vocabulary& vocab) {
+  std::string rhs = vocab.AttributeName(ax.rhs);
+  if (ax.negated) rhs = "not " + rhs;
+  return vocab.AttributeName(ax.lhs) + " <= " + rhs;
+}
+
+std::string ToString(const FunctionalityAssertion& ax,
+                     const Vocabulary& vocab) {
+  if (ax.kind == FunctionalityAssertion::Kind::kRole) {
+    return "funct " + ToString(ax.role, vocab);
+  }
+  return "funct " + vocab.AttributeName(ax.attribute);
+}
+
+Status CheckFunctionalityRestriction(const TBox& tbox,
+                                     const Vocabulary& vocab) {
+  for (const auto& f : tbox.functionality()) {
+    if (f.kind == FunctionalityAssertion::Kind::kRole) {
+      for (const auto& ri : tbox.role_inclusions()) {
+        if (ri.negated) continue;
+        // Q1 ⊑ Q2 specialises Q2 and Q2⁻.
+        if (ri.rhs == f.role || ri.rhs == f.role.Inverted()) {
+          return Status::InvalidArgument(
+              "DL-Lite_A violation: functional role '" +
+              ToString(f.role, vocab) +
+              "' is specialised by axiom '" + ToString(ri, vocab) + "'");
+        }
+      }
+    } else {
+      for (const auto& ai : tbox.attribute_inclusions()) {
+        if (!ai.negated && ai.rhs == f.attribute) {
+          return Status::InvalidArgument(
+              "DL-Lite_A violation: functional attribute '" +
+              vocab.AttributeName(f.attribute) +
+              "' is specialised by axiom '" + ToString(ai, vocab) + "'");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t TBox::NumPositiveInclusions() const {
+  size_t n = 0;
+  for (const auto& ax : concept_inclusions_) n += ax.IsPositive() ? 1 : 0;
+  for (const auto& ax : role_inclusions_) n += ax.IsPositive() ? 1 : 0;
+  for (const auto& ax : attribute_inclusions_) n += ax.IsPositive() ? 1 : 0;
+  return n;
+}
+
+size_t TBox::NumNegativeInclusions() const {
+  return NumAxioms() - NumPositiveInclusions();
+}
+
+std::string TBox::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (const auto& ax : concept_inclusions_) {
+    out += dllite::ToString(ax, vocab);
+    out += "\n";
+  }
+  for (const auto& ax : role_inclusions_) {
+    out += dllite::ToString(ax, vocab);
+    out += "\n";
+  }
+  for (const auto& ax : attribute_inclusions_) {
+    out += dllite::ToString(ax, vocab);
+    out += "\n";
+  }
+  for (const auto& ax : functionality_) {
+    out += dllite::ToString(ax, vocab);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace olite::dllite

@@ -1,0 +1,142 @@
+#ifndef OLITE_DLLITE_TBOX_H_
+#define OLITE_DLLITE_TBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dllite/expressions.h"
+
+namespace olite::dllite {
+
+/// A concept inclusion `B ⊑ C` (positive, negative or qualified-existential
+/// depending on the RHS kind).
+struct ConceptInclusion {
+  BasicConcept lhs;
+  RhsConcept rhs;
+
+  bool IsPositive() const { return rhs.kind != RhsConceptKind::kNegatedBasic; }
+  bool operator==(const ConceptInclusion& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+};
+
+/// A role inclusion `Q ⊑ R` where `R` is `Q2` or `¬Q2`.
+struct RoleInclusion {
+  BasicRole lhs;
+  BasicRole rhs;
+  bool negated = false;
+
+  bool IsPositive() const { return !negated; }
+  bool operator==(const RoleInclusion& o) const {
+    return lhs == o.lhs && rhs == o.rhs && negated == o.negated;
+  }
+};
+
+/// An attribute inclusion `U1 ⊑ U2` or `U1 ⊑ ¬U2`.
+struct AttributeInclusion {
+  AttributeId lhs = 0;
+  AttributeId rhs = 0;
+  bool negated = false;
+
+  bool IsPositive() const { return !negated; }
+  bool operator==(const AttributeInclusion& o) const {
+    return lhs == o.lhs && rhs == o.rhs && negated == o.negated;
+  }
+};
+
+/// A functionality assertion `(funct Q)` or `(funct U)` — the DL-Lite_A
+/// extension supported by Mastro. Functionality constrains the *extension*
+/// (at most one filler per subject) and is enforced by the OBDA
+/// consistency service; in DL-Lite_A a functional role/attribute must not
+/// be specialised (see `CheckFunctionalityRestriction`).
+struct FunctionalityAssertion {
+  enum class Kind : uint8_t { kRole, kAttribute };
+  Kind kind = Kind::kRole;
+  BasicRole role;              ///< valid when kind == kRole
+  AttributeId attribute = 0;   ///< valid when kind == kAttribute
+
+  static FunctionalityAssertion Role(BasicRole q) {
+    FunctionalityAssertion f;
+    f.kind = Kind::kRole;
+    f.role = q;
+    return f;
+  }
+  static FunctionalityAssertion Attribute(AttributeId u) {
+    FunctionalityAssertion f;
+    f.kind = Kind::kAttribute;
+    f.attribute = u;
+    return f;
+  }
+  bool operator==(const FunctionalityAssertion& o) const {
+    if (kind != o.kind) return false;
+    return kind == Kind::kRole ? role == o.role : attribute == o.attribute;
+  }
+};
+
+/// A DL-Lite_R TBox: a finite set of concept, role and attribute inclusions
+/// over ids of some `Vocabulary` (kept separately; see `Ontology`), plus
+/// optional DL-Lite_A functionality assertions.
+class TBox {
+ public:
+  void AddConceptInclusion(ConceptInclusion ax) {
+    concept_inclusions_.push_back(ax);
+  }
+  void AddRoleInclusion(RoleInclusion ax) { role_inclusions_.push_back(ax); }
+  void AddAttributeInclusion(AttributeInclusion ax) {
+    attribute_inclusions_.push_back(ax);
+  }
+  void AddFunctionality(FunctionalityAssertion ax) {
+    functionality_.push_back(ax);
+  }
+
+  const std::vector<ConceptInclusion>& concept_inclusions() const {
+    return concept_inclusions_;
+  }
+  const std::vector<RoleInclusion>& role_inclusions() const {
+    return role_inclusions_;
+  }
+  const std::vector<AttributeInclusion>& attribute_inclusions() const {
+    return attribute_inclusions_;
+  }
+  const std::vector<FunctionalityAssertion>& functionality() const {
+    return functionality_;
+  }
+
+  size_t NumAxioms() const {
+    return concept_inclusions_.size() + role_inclusions_.size() +
+           attribute_inclusions_.size() + functionality_.size();
+  }
+
+  /// Number of positive inclusions (concept + role + attribute).
+  size_t NumPositiveInclusions() const;
+  /// Number of negative inclusions.
+  size_t NumNegativeInclusions() const;
+
+  /// Renders the whole TBox in the text serialisation (one axiom per line).
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<ConceptInclusion> concept_inclusions_;
+  std::vector<RoleInclusion> role_inclusions_;
+  std::vector<AttributeInclusion> attribute_inclusions_;
+  std::vector<FunctionalityAssertion> functionality_;
+};
+
+/// DL-Lite_A restriction: a functional role (or attribute) may not occur
+/// on the right-hand side of a positive role (attribute) inclusion —
+/// otherwise FOL-rewritability of query answering is lost. Returns
+/// kInvalidArgument naming the offending axiom pair.
+Status CheckFunctionalityRestriction(const TBox& tbox,
+                                     const Vocabulary& vocab);
+
+/// Renders one axiom, e.g. `"County <= exists isPartOf . State"`.
+std::string ToString(const ConceptInclusion& ax, const Vocabulary& vocab);
+std::string ToString(const RoleInclusion& ax, const Vocabulary& vocab);
+std::string ToString(const AttributeInclusion& ax, const Vocabulary& vocab);
+std::string ToString(const FunctionalityAssertion& ax,
+                     const Vocabulary& vocab);
+
+}  // namespace olite::dllite
+
+#endif  // OLITE_DLLITE_TBOX_H_

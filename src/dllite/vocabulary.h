@@ -1,0 +1,78 @@
+#ifndef OLITE_DLLITE_VOCABULARY_H_
+#define OLITE_DLLITE_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+
+namespace olite::dllite {
+
+/// Dense id of an atomic concept (OWL: class).
+using ConceptId = uint32_t;
+/// Dense id of an atomic role (OWL: object property).
+using RoleId = uint32_t;
+/// Dense id of an attribute (OWL: data property).
+using AttributeId = uint32_t;
+/// Dense id of an individual constant.
+using IndividualId = uint32_t;
+
+/// The signature Σ of an ontology: three disjoint alphabets of atomic
+/// concept, role and attribute names, each mapped to dense ids.
+///
+/// All expression and axiom types in this library refer to terms by id;
+/// the vocabulary owns the id↔name bijections.
+class Vocabulary {
+ public:
+  ConceptId InternConcept(std::string_view name) {
+    return concepts_.Intern(name);
+  }
+  RoleId InternRole(std::string_view name) { return roles_.Intern(name); }
+  AttributeId InternAttribute(std::string_view name) {
+    return attributes_.Intern(name);
+  }
+  IndividualId InternIndividual(std::string_view name) {
+    return individuals_.Intern(name);
+  }
+
+  std::optional<ConceptId> FindConcept(std::string_view name) const {
+    return concepts_.Find(name);
+  }
+  std::optional<RoleId> FindRole(std::string_view name) const {
+    return roles_.Find(name);
+  }
+  std::optional<AttributeId> FindAttribute(std::string_view name) const {
+    return attributes_.Find(name);
+  }
+  std::optional<IndividualId> FindIndividual(std::string_view name) const {
+    return individuals_.Find(name);
+  }
+
+  const std::string& ConceptName(ConceptId id) const {
+    return concepts_.NameOf(id);
+  }
+  const std::string& RoleName(RoleId id) const { return roles_.NameOf(id); }
+  const std::string& AttributeName(AttributeId id) const {
+    return attributes_.NameOf(id);
+  }
+  const std::string& IndividualName(IndividualId id) const {
+    return individuals_.NameOf(id);
+  }
+
+  size_t NumConcepts() const { return concepts_.size(); }
+  size_t NumRoles() const { return roles_.size(); }
+  size_t NumAttributes() const { return attributes_.size(); }
+  size_t NumIndividuals() const { return individuals_.size(); }
+
+ private:
+  Interner concepts_;
+  Interner roles_;
+  Interner attributes_;
+  Interner individuals_;
+};
+
+}  // namespace olite::dllite
+
+#endif  // OLITE_DLLITE_VOCABULARY_H_

@@ -1,0 +1,56 @@
+#ifndef OLITE_GRAPH_BITSET_H_
+#define OLITE_GRAPH_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace olite::graph {
+
+/// Fixed-capacity dynamic bitset with word-parallel union, used by the
+/// bitset transitive-closure engine.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset able to hold bits `[0, n)`, all clear.
+  explicit DynamicBitset(size_t n) : num_bits_(n), words_((n + 63) / 64, 0) {}
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  /// `*this |= other`. Both bitsets must have the same capacity.
+  void OrWith(const DynamicBitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Invokes `fn(i)` for every set bit `i` in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  size_t capacity() const { return num_bits_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace olite::graph
+
+#endif  // OLITE_GRAPH_BITSET_H_

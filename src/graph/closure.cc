@@ -1,0 +1,229 @@
+#include "graph/closure.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/bitset.h"
+#include "graph/scc.h"
+
+namespace olite::graph {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// BFS engine: one breadth-first traversal per source node.
+// ---------------------------------------------------------------------------
+class BfsClosure : public TransitiveClosure {
+ public:
+  explicit BfsClosure(const Digraph& g) {
+    const NodeId n = g.NumNodes();
+    reach_.resize(n);
+    std::vector<uint32_t> visited(n, 0);
+    uint32_t stamp = 0;
+    std::vector<NodeId> queue;
+    for (NodeId src = 0; src < n; ++src) {
+      ++stamp;
+      queue.clear();
+      // Seed with the successors of src (paths of length >= 1).
+      for (NodeId v : g.Successors(src)) {
+        if (visited[v] != stamp) {
+          visited[v] = stamp;
+          queue.push_back(v);
+        }
+      }
+      for (size_t head = 0; head < queue.size(); ++head) {
+        for (NodeId w : g.Successors(queue[head])) {
+          if (visited[w] != stamp) {
+            visited[w] = stamp;
+            queue.push_back(w);
+          }
+        }
+      }
+      std::sort(queue.begin(), queue.end());
+      reach_[src] = queue;
+      num_arcs_ += queue.size();
+    }
+  }
+
+  bool Reaches(NodeId from, NodeId to) const override {
+    const auto& r = reach_[from];
+    return std::binary_search(r.begin(), r.end(), to);
+  }
+
+  std::vector<NodeId> ReachableFrom(NodeId from) const override {
+    return reach_[from];
+  }
+
+  uint64_t NumClosureArcs() const override { return num_arcs_; }
+  std::string EngineName() const override { return "bfs"; }
+
+ private:
+  std::vector<std::vector<NodeId>> reach_;
+  uint64_t num_arcs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared SCC scaffolding: node-level queries on top of per-component
+// reachability, exploiting that Tarjan emits components in reverse
+// topological order (successor components have smaller ids).
+// ---------------------------------------------------------------------------
+class SccClosureBase : public TransitiveClosure {
+ public:
+  explicit SccClosureBase(const Digraph& g)
+      : scc_(ComputeScc(g)), dag_(BuildCondensation(g, scc_)) {}
+
+  bool Reaches(NodeId from, NodeId to) const override {
+    NodeId cf = scc_.component_of[from];
+    NodeId ct = scc_.component_of[to];
+    if (cf == ct) return scc_.cyclic[cf];
+    return ComponentReaches(cf, ct);
+  }
+
+  std::vector<NodeId> ReachableFrom(NodeId from) const override {
+    NodeId cf = scc_.component_of[from];
+    std::vector<NodeId> out;
+    auto add_component = [&](NodeId c) {
+      for (NodeId v : scc_.members[c]) out.push_back(v);
+    };
+    if (scc_.cyclic[cf]) add_component(cf);
+    ForEachReachableComponent(cf, add_component);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  uint64_t NumClosureArcs() const override {
+    uint64_t total = 0;
+    for (NodeId c = 0; c < scc_.NumComponents(); ++c) {
+      uint64_t targets = ReachableNodeCount(c);
+      if (scc_.cyclic[c]) targets += scc_.members[c].size();
+      total += targets * scc_.members[c].size();
+    }
+    return total;
+  }
+
+ protected:
+  /// True iff component `cf` reaches distinct component `ct` in the DAG.
+  virtual bool ComponentReaches(NodeId cf, NodeId ct) const = 0;
+  /// Invokes `fn` for every distinct component reachable from `c`.
+  virtual void ForEachReachableComponent(
+      NodeId c, const std::function<void(NodeId)>& fn) const = 0;
+  /// Number of nodes in distinct components reachable from `c`.
+  virtual uint64_t ReachableNodeCount(NodeId c) const = 0;
+
+  SccResult scc_;
+  Digraph dag_;
+};
+
+// ---------------------------------------------------------------------------
+// SCC + sorted-vector merge engine (production default).
+// ---------------------------------------------------------------------------
+class SccMergeClosure : public SccClosureBase {
+ public:
+  explicit SccMergeClosure(const Digraph& g) : SccClosureBase(g) {
+    const NodeId nc = scc_.NumComponents();
+    comp_reach_.resize(nc);
+    std::vector<NodeId> merged;
+    // Component ids ascend in reverse topological order, so every successor
+    // component's reach set is already final when we process c.
+    for (NodeId c = 0; c < nc; ++c) {
+      merged.clear();
+      for (NodeId d : dag_.Successors(c)) {
+        merged.push_back(d);
+        const auto& rd = comp_reach_[d];
+        merged.insert(merged.end(), rd.begin(), rd.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      comp_reach_[c] = merged;
+    }
+  }
+
+  std::string EngineName() const override { return "scc_merge"; }
+
+ protected:
+  bool ComponentReaches(NodeId cf, NodeId ct) const override {
+    const auto& r = comp_reach_[cf];
+    return std::binary_search(r.begin(), r.end(), ct);
+  }
+
+  void ForEachReachableComponent(
+      NodeId c, const std::function<void(NodeId)>& fn) const override {
+    for (NodeId d : comp_reach_[c]) fn(d);
+  }
+
+  uint64_t ReachableNodeCount(NodeId c) const override {
+    uint64_t total = 0;
+    for (NodeId d : comp_reach_[c]) total += scc_.members[d].size();
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> comp_reach_;
+};
+
+// ---------------------------------------------------------------------------
+// SCC + bitset engine.
+// ---------------------------------------------------------------------------
+class SccBitsetClosure : public SccClosureBase {
+ public:
+  explicit SccBitsetClosure(const Digraph& g) : SccClosureBase(g) {
+    const NodeId nc = scc_.NumComponents();
+    comp_reach_.reserve(nc);
+    for (NodeId c = 0; c < nc; ++c) {
+      DynamicBitset bits(nc);
+      for (NodeId d : dag_.Successors(c)) {
+        bits.Set(d);
+        bits.OrWith(comp_reach_[d]);
+      }
+      comp_reach_.push_back(std::move(bits));
+    }
+  }
+
+  std::string EngineName() const override { return "scc_bitset"; }
+
+ protected:
+  bool ComponentReaches(NodeId cf, NodeId ct) const override {
+    return comp_reach_[cf].Test(ct);
+  }
+
+  void ForEachReachableComponent(
+      NodeId c, const std::function<void(NodeId)>& fn) const override {
+    comp_reach_[c].ForEachSet([&](size_t d) { fn(static_cast<NodeId>(d)); });
+  }
+
+  uint64_t ReachableNodeCount(NodeId c) const override {
+    uint64_t total = 0;
+    comp_reach_[c].ForEachSet(
+        [&](size_t d) { total += scc_.members[d].size(); });
+    return total;
+  }
+
+ private:
+  std::vector<DynamicBitset> comp_reach_;
+};
+
+}  // namespace
+
+const char* ClosureEngineName(ClosureEngine engine) {
+  switch (engine) {
+    case ClosureEngine::kBfs: return "bfs";
+    case ClosureEngine::kSccMerge: return "scc_merge";
+    case ClosureEngine::kSccBitset: return "scc_bitset";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
+                                                  ClosureEngine engine) {
+  switch (engine) {
+    case ClosureEngine::kBfs:
+      return std::make_unique<BfsClosure>(g);
+    case ClosureEngine::kSccMerge:
+      return std::make_unique<SccMergeClosure>(g);
+    case ClosureEngine::kSccBitset:
+      return std::make_unique<SccBitsetClosure>(g);
+  }
+  return nullptr;
+}
+
+}  // namespace olite::graph

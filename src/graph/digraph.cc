@@ -1,0 +1,51 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace olite::graph {
+
+void Digraph::Finalize() {
+  num_arcs_ = 0;
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_arcs_ += list.size();
+  }
+  finalized_ = true;
+}
+
+bool Digraph::HasArc(NodeId from, NodeId to) const {
+  if (from >= adj_.size()) return false;
+  const auto& list = adj_[from];
+  if (finalized_) {
+    return std::binary_search(list.begin(), list.end(), to);
+  }
+  return std::find(list.begin(), list.end(), to) != list.end();
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph rev(NumNodes());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : adj_[u]) rev.AddArc(v, u);
+  }
+  rev.Finalize();
+  return rev;
+}
+
+std::string Digraph::ToDot(const std::vector<std::string>& name_of) const {
+  std::string out = "digraph G {\n";
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    const std::string& from =
+        u < name_of.size() ? name_of[u] : std::to_string(u);
+    out += "  \"" + from + "\";\n";
+    for (NodeId v : adj_[u]) {
+      const std::string& to =
+          v < name_of.size() ? name_of[v] : std::to_string(v);
+      out += "  \"" + from + "\" -> \"" + to + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace olite::graph

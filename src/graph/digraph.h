@@ -1,0 +1,70 @@
+#ifndef OLITE_GRAPH_DIGRAPH_H_
+#define OLITE_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olite::graph {
+
+/// Node id type; nodes are dense integers from 0.
+using NodeId = uint32_t;
+
+/// A simple directed graph over dense node ids with adjacency lists.
+///
+/// This is the substrate for the paper's TBox digraph representation
+/// (Definition 1): each basic concept/role is a node, each positive
+/// inclusion an arc. Parallel arcs are collapsed lazily by `Finalize()`.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a graph with `n` isolated nodes.
+  explicit Digraph(NodeId n) : adj_(n) {}
+
+  /// Adds a fresh node and returns its id.
+  NodeId AddNode() {
+    adj_.emplace_back();
+    return static_cast<NodeId>(adj_.size() - 1);
+  }
+
+  /// Ensures node ids `[0, n)` exist.
+  void EnsureNodes(NodeId n) {
+    if (adj_.size() < n) adj_.resize(n);
+  }
+
+  /// Adds arc `from → to`. Duplicate arcs are permitted until Finalize().
+  void AddArc(NodeId from, NodeId to) {
+    EnsureNodes(std::max(from, to) + 1);
+    adj_[from].push_back(to);
+    ++num_arcs_;
+    finalized_ = false;
+  }
+
+  /// Sorts adjacency lists and removes duplicate arcs.
+  void Finalize();
+
+  /// True if the arc `from → to` exists. Requires Finalize() for O(log d)
+  /// lookup; otherwise does a linear scan.
+  bool HasArc(NodeId from, NodeId to) const;
+
+  NodeId NumNodes() const { return static_cast<NodeId>(adj_.size()); }
+  uint64_t NumArcs() const { return num_arcs_; }
+
+  const std::vector<NodeId>& Successors(NodeId u) const { return adj_[u]; }
+
+  /// Graph with every arc reversed.
+  Digraph Reversed() const;
+
+  /// Graphviz DOT rendering; `name_of` maps node ids to labels.
+  std::string ToDot(const std::vector<std::string>& name_of) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  uint64_t num_arcs_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace olite::graph
+
+#endif  // OLITE_GRAPH_DIGRAPH_H_

@@ -1,0 +1,37 @@
+#ifndef OLITE_MAPPING_PARSER_H_
+#define OLITE_MAPPING_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "dllite/vocabulary.h"
+#include "mapping/mapping.h"
+
+namespace olite::mapping {
+
+/// Parses a textual mapping document: one assertion per line,
+///
+/// ```
+///   # professors come from the emp table
+///   Professor(x)    <- SELECT eid FROM emp
+///   AssistantProf(x)<- SELECT eid FROM emp WHERE grade = 'asst'
+///   teaches(x, y)   <- SELECT t.eid, t.cid FROM teach_asgn t
+///   salary(x, v)    <- SELECT e.eid, e.pay FROM emp e, grades g
+///                      WHERE e.grade = g.name AND g.active = 1
+/// ```
+///
+/// The head predicate must be declared in `vocab` (concepts take one
+/// projected column, roles/attributes two); head variables are
+/// documentation only. The SQL subset is SELECT–FROM–WHERE with
+/// comma-joins, optional aliases, and equality conditions between columns
+/// or against literals (numbers, 'quoted strings').
+Result<MappingSet> ParseMappings(std::string_view text,
+                                 const dllite::Vocabulary& vocab);
+
+/// Parses a single mapping assertion line.
+Result<MappingAssertion> ParseMappingLine(std::string_view line,
+                                          const dllite::Vocabulary& vocab);
+
+}  // namespace olite::mapping
+
+#endif  // OLITE_MAPPING_PARSER_H_

@@ -1,0 +1,83 @@
+#ifndef OLITE_OBDA_SYSTEM_H_
+#define OLITE_OBDA_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dllite/ontology.h"
+#include "mapping/mapping.h"
+#include "query/cq.h"
+#include "query/rewriter.h"
+#include "rdb/query.h"
+#include "rdb/table.h"
+
+namespace olite::obda {
+
+/// One certain answer: a tuple of individual/value names, one per head
+/// variable of the query.
+using AnswerTuple = std::vector<std::string>;
+
+/// Per-query diagnostics returned alongside the answers.
+struct AnswerStats {
+  query::RewriteStats rewrite;
+  size_t sql_blocks = 0;
+  size_t rows = 0;
+  std::string sql;  ///< the executed SQL text (for demos/tests)
+};
+
+/// The OBDA system of the paper's §1: ontology (TBox) + mapping layer +
+/// relational sources, offering the core services — certain-answer query
+/// answering via rewriting + unfolding, and consistency checking.
+///
+/// Mirrors the Mastro architecture: the ABox is *virtual*; every query is
+/// (i) rewritten against the TBox into a UCQ (PerfectRef or the
+/// classification-aided variant), (ii) unfolded through the mappings into
+/// SQL, and (iii) evaluated on the in-memory relational engine.
+class ObdaSystem {
+ public:
+  /// Validates the mappings against the database schema.
+  static Result<std::unique_ptr<ObdaSystem>> Create(
+      dllite::Ontology ontology, mapping::MappingSet mappings,
+      rdb::Database database,
+      query::RewriteMode mode = query::RewriteMode::kPerfectRef);
+
+  /// Certain answers of a CQ in text syntax
+  /// (`q(x) :- Professor(x), teaches(x, y)`).
+  Result<std::vector<AnswerTuple>> Answer(std::string_view query_text,
+                                          AnswerStats* stats = nullptr) const;
+
+  /// Certain answers of a parsed CQ.
+  Result<std::vector<AnswerTuple>> Answer(const query::ConjunctiveQuery& cq,
+                                          AnswerStats* stats = nullptr) const;
+
+  /// True iff the virtual ABox is consistent with the TBox: every negative
+  /// inclusion is checked through a boolean query over the sources.
+  Result<bool> IsConsistent() const;
+
+  /// Concepts/roles whose negative-inclusion violations were found by the
+  /// last IsConsistent() == false call (human-readable axiom strings).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  const dllite::Ontology& ontology() const { return ontology_; }
+  const mapping::MappingSet& mappings() const { return mappings_; }
+  const rdb::Database& database() const { return database_; }
+
+ private:
+  ObdaSystem(dllite::Ontology ontology, mapping::MappingSet mappings,
+             rdb::Database database, query::RewriteMode mode);
+
+  Result<std::vector<AnswerTuple>> Execute(const query::ConjunctiveQuery& cq,
+                                           AnswerStats* stats) const;
+
+  dllite::Ontology ontology_;
+  mapping::MappingSet mappings_;
+  rdb::Database database_;
+  std::unique_ptr<query::Rewriter> rewriter_;
+  mutable std::vector<std::string> violations_;
+};
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_SYSTEM_H_

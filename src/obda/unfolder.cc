@@ -1,0 +1,145 @@
+#include "obda/unfolder.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace olite::obda {
+
+namespace {
+
+using mapping::MappingAssertion;
+using mapping::TargetKind;
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::Term;
+
+TargetKind KindOf(const Atom& atom) {
+  switch (atom.kind) {
+    case Atom::Kind::kConcept: return TargetKind::kConcept;
+    case Atom::Kind::kRole: return TargetKind::kRole;
+    case Atom::Kind::kAttribute: return TargetKind::kAttribute;
+  }
+  return TargetKind::kConcept;
+}
+
+// Chooses the SQL constant for a query constant bound to `col`: numeric
+// literals target INT/DOUBLE columns as numbers, everything else as text.
+rdb::Value ConstantFor(const std::string& name, rdb::ValueType type) {
+  bool numeric = !name.empty();
+  for (char c : name) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+  }
+  if (numeric && type == rdb::ValueType::kInt) {
+    return rdb::Value::Int(std::stoll(name));
+  }
+  if (numeric && type == rdb::ValueType::kDouble) {
+    return rdb::Value::Double(static_cast<double>(std::stoll(name)));
+  }
+  return rdb::Value::Str(name);
+}
+
+// Builds one SQL select block for one disjunct under one mapping choice.
+// Returns false (no block) when a head variable stays unbound.
+Result<bool> BuildBlock(const ConjunctiveQuery& cq,
+                        const std::vector<const MappingAssertion*>& choice,
+                        const rdb::Database& db, rdb::SelectBlock* out) {
+  rdb::SelectBlock block;
+  std::unordered_map<std::string, rdb::ColumnRef> var_binding;
+
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    const Atom& atom = cq.atoms[a];
+    const MappingAssertion& m = *choice[a];
+    size_t offset = block.from_tables.size();
+    for (const auto& t : m.source.from_tables) block.from_tables.push_back(t);
+
+    auto shift = [&](rdb::ColumnRef ref) {
+      ref.table_index += offset;
+      return ref;
+    };
+    for (const auto& j : m.source.joins) {
+      block.joins.push_back({shift(j.lhs), shift(j.rhs)});
+    }
+    for (const auto& filt : m.source.filters) {
+      block.filters.push_back({shift(filt.col), filt.value});
+    }
+
+    // Bind the atom arguments to the mapping's projected columns.
+    for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+      rdb::ColumnRef col = shift(m.source.select[pos]);
+      const Term& term = atom.args[pos];
+      if (term.IsVar()) {
+        auto [it, fresh] = var_binding.emplace(term.name, col);
+        if (!fresh) block.joins.push_back({it->second, col});
+      } else {
+        OLITE_ASSIGN_OR_RETURN(
+            const rdb::Table* table,
+            db.GetTable(block.from_tables[col.table_index]));
+        auto idx = table->schema().ColumnIndex(col.column);
+        if (!idx) {
+          return Status::NotFound("mapping references unknown column '" +
+                                  col.column + "'");
+        }
+        block.filters.push_back(
+            {col, ConstantFor(term.name, table->schema().columns[*idx].type)});
+      }
+    }
+  }
+
+  for (const auto& head : cq.head_vars) {
+    auto it = var_binding.find(head);
+    if (it == var_binding.end()) return false;
+    block.select.push_back(it->second);
+  }
+  *out = std::move(block);
+  return true;
+}
+
+}  // namespace
+
+Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
+                             const mapping::MappingSet& mappings,
+                             const rdb::Database& db) {
+  rdb::SqlQuery sql;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts) {
+    // Mapping choices per atom.
+    std::vector<std::vector<const MappingAssertion*>> options;
+    bool feasible = true;
+    for (const Atom& atom : cq.atoms) {
+      auto views = mappings.For(KindOf(atom), atom.predicate);
+      if (views.empty()) {
+        feasible = false;  // unmapped predicate: empty certain answers
+        break;
+      }
+      options.push_back(std::move(views));
+    }
+    if (!feasible) continue;
+
+    // Cartesian product over per-atom choices.
+    std::vector<size_t> pick(cq.atoms.size(), 0);
+    while (true) {
+      std::vector<const MappingAssertion*> choice;
+      choice.reserve(pick.size());
+      for (size_t i = 0; i < pick.size(); ++i) {
+        choice.push_back(options[i][pick[i]]);
+      }
+      rdb::SelectBlock block;
+      OLITE_ASSIGN_OR_RETURN(bool ok, BuildBlock(cq, choice, db, &block));
+      if (ok) sql.blocks.push_back(std::move(block));
+
+      // Advance the odometer.
+      size_t d = 0;
+      for (; d < pick.size(); ++d) {
+        if (++pick[d] < options[d].size()) break;
+        pick[d] = 0;
+      }
+      if (d == pick.size()) break;
+    }
+  }
+  if (sql.blocks.empty()) {
+    return Status::NotFound(
+        "no disjunct is answerable under the mappings (empty unfolding)");
+  }
+  return sql;
+}
+
+}  // namespace olite::obda

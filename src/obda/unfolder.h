@@ -1,0 +1,23 @@
+#ifndef OLITE_OBDA_UNFOLDER_H_
+#define OLITE_OBDA_UNFOLDER_H_
+
+#include "common/result.h"
+#include "mapping/mapping.h"
+#include "query/cq.h"
+#include "rdb/query.h"
+
+namespace olite::obda {
+
+/// Unfolds a (rewritten) UCQ over the ontology signature into a UCQ over
+/// the relational sources: each ontology atom is replaced by one of its
+/// mapping views (cartesian product over choices), shared query variables
+/// become equi-joins, constants become filters, and head variables become
+/// the projected columns. A disjunct with an unmapped atom contributes
+/// nothing (its certain answers are necessarily empty).
+Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
+                             const mapping::MappingSet& mappings,
+                             const rdb::Database& db);
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_UNFOLDER_H_

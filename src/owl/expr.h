@@ -1,0 +1,109 @@
+#ifndef OLITE_OWL_EXPR_H_
+#define OLITE_OWL_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dllite/expressions.h"
+#include "dllite/vocabulary.h"
+
+namespace olite::owl {
+
+/// Kind of an expressive (OWL/ALCHI) class expression.
+enum class ExprKind : uint8_t {
+  kThing,         ///< ⊤ (owl:Thing)
+  kNothing,       ///< ⊥ (owl:Nothing)
+  kAtomic,        ///< named class A
+  kComplement,    ///< ¬C
+  kIntersection,  ///< C1 ⊓ … ⊓ Cn
+  kUnion,         ///< C1 ⊔ … ⊔ Cn
+  kSome,          ///< ∃R.C
+  kAll,           ///< ∀R.C
+  kAtLeast,       ///< ≥n R.C
+};
+
+class ClassExpr;
+/// Interned, immutable class expression handle. Within one `ExprFactory`,
+/// pointer equality coincides with structural equality.
+using ClassExprPtr = const ClassExpr*;
+
+/// An expressive class expression node. Instances are created and owned
+/// exclusively by `ExprFactory` (hash-consing); user code holds
+/// `ClassExprPtr` handles.
+class ClassExpr {
+ public:
+  ExprKind kind() const { return kind_; }
+  dllite::ConceptId atomic() const { return atomic_; }
+  dllite::BasicRole role() const { return role_; }
+  uint32_t cardinality() const { return card_; }
+  const std::vector<ClassExprPtr>& operands() const { return operands_; }
+  /// First operand (complement / some / all / at-least filler).
+  ClassExprPtr operand() const { return operands_[0]; }
+  /// Dense id assigned in interning order; used for canonical sorting.
+  uint32_t id() const { return id_; }
+
+  /// Renders in OWL functional-style syntax using `vocab` names.
+  std::string ToString(const dllite::Vocabulary& vocab) const;
+
+ private:
+  friend class ExprFactory;
+  ClassExpr() = default;
+
+  ExprKind kind_ = ExprKind::kThing;
+  dllite::ConceptId atomic_ = 0;
+  dllite::BasicRole role_;
+  uint32_t card_ = 0;
+  std::vector<ClassExprPtr> operands_;
+  uint32_t id_ = 0;
+};
+
+/// Hash-consing factory for `ClassExpr`. All constructors canonicalise:
+/// n-ary operators are flattened, operands sorted and deduplicated, and
+/// trivial simplifications applied (`¬¬C = C`, empty ⊓ = ⊤, singleton
+/// ⊓/⊔ collapse, `≥0 R.C = ⊤`, `≥1 R.C = ∃R.C`).
+class ExprFactory {
+ public:
+  ExprFactory();
+  ~ExprFactory();
+
+  ExprFactory(const ExprFactory&) = delete;
+  ExprFactory& operator=(const ExprFactory&) = delete;
+
+  ClassExprPtr Thing() const { return thing_; }
+  ClassExprPtr Nothing() const { return nothing_; }
+  ClassExprPtr Atomic(dllite::ConceptId a);
+  ClassExprPtr Not(ClassExprPtr c);
+  ClassExprPtr And(std::vector<ClassExprPtr> ops);
+  ClassExprPtr Or(std::vector<ClassExprPtr> ops);
+  ClassExprPtr Some(dllite::BasicRole r, ClassExprPtr filler);
+  ClassExprPtr All(dllite::BasicRole r, ClassExprPtr filler);
+  ClassExprPtr AtLeast(uint32_t n, dllite::BasicRole r, ClassExprPtr filler);
+
+  /// Negation normal form: negation only in front of atomic classes.
+  /// `≥n` fillers are also normalised.
+  ClassExprPtr Nnf(ClassExprPtr c);
+  /// `Nnf(Not(c))` — the NNF complement.
+  ClassExprPtr Complement(ClassExprPtr c) { return Nnf(Not(c)); }
+
+  size_t size() const { return pool_.size(); }
+
+  /// Re-creates `expr` (possibly owned by another factory) in this
+  /// factory, so that reasoners operating on axiom subsets can own their
+  /// expressions. Ids in the signature are preserved.
+  ClassExprPtr Import(ClassExprPtr expr);
+
+ private:
+  ClassExprPtr Intern(ClassExpr node);
+
+  std::vector<std::unique_ptr<ClassExpr>> pool_;
+  std::unordered_map<std::string, ClassExprPtr> index_;
+  ClassExprPtr thing_ = nullptr;
+  ClassExprPtr nothing_ = nullptr;
+};
+
+}  // namespace olite::owl
+
+#endif  // OLITE_OWL_EXPR_H_

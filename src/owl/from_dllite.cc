@@ -1,0 +1,99 @@
+#include "owl/from_dllite.h"
+
+#include <vector>
+
+namespace olite::owl {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicConceptKind;
+using dllite::RhsConceptKind;
+
+// Maps the ids of the DL-Lite vocabulary into the OWL ontology's
+// vocabulary, encoding attributes as object properties.
+struct IdMap {
+  std::vector<dllite::ConceptId> concepts;
+  std::vector<dllite::RoleId> roles;
+  std::vector<dllite::RoleId> attr_roles;
+};
+
+ClassExprPtr Translate(const BasicConcept& b, const IdMap& map,
+                       ExprFactory& f) {
+  switch (b.kind) {
+    case BasicConceptKind::kAtomic:
+      return f.Atomic(map.concepts[b.concept_id]);
+    case BasicConceptKind::kExists:
+      return f.Some(dllite::BasicRole{map.roles[b.role.role], b.role.inverse},
+                    f.Thing());
+    case BasicConceptKind::kAttrDomain:
+      return f.Some(dllite::BasicRole::Direct(map.attr_roles[b.attribute]),
+                    f.Thing());
+  }
+  return f.Thing();
+}
+
+}  // namespace
+
+std::unique_ptr<OwlOntology> OwlFromDlLite(const dllite::TBox& tbox,
+                                           const dllite::Vocabulary& vocab) {
+  auto onto = std::make_unique<OwlOntology>();
+  ExprFactory& f = onto->factory();
+
+  IdMap map;
+  for (size_t i = 0; i < vocab.NumConcepts(); ++i) {
+    map.concepts.push_back(onto->vocab().InternConcept(
+        vocab.ConceptName(static_cast<dllite::ConceptId>(i))));
+  }
+  for (size_t i = 0; i < vocab.NumRoles(); ++i) {
+    map.roles.push_back(onto->vocab().InternRole(
+        vocab.RoleName(static_cast<dllite::RoleId>(i))));
+  }
+  for (size_t i = 0; i < vocab.NumAttributes(); ++i) {
+    map.attr_roles.push_back(onto->vocab().InternRole(
+        "attr:" + vocab.AttributeName(static_cast<dllite::AttributeId>(i))));
+  }
+
+  auto xrole = [&](dllite::BasicRole q) {
+    return dllite::BasicRole{map.roles[q.role], q.inverse};
+  };
+
+  for (const auto& ax : tbox.concept_inclusions()) {
+    ClassExprPtr lhs = Translate(ax.lhs, map, f);
+    switch (ax.rhs.kind) {
+      case RhsConceptKind::kBasic:
+        onto->AddAxiom(OwlAxiom::SubClassOf(lhs, Translate(ax.rhs.basic, map, f)));
+        break;
+      case RhsConceptKind::kNegatedBasic:
+        onto->AddAxiom(OwlAxiom::DisjointClasses(
+            {lhs, Translate(ax.rhs.basic, map, f)}));
+        break;
+      case RhsConceptKind::kQualifiedExists:
+        onto->AddAxiom(OwlAxiom::SubClassOf(
+            lhs, f.Some(xrole(ax.rhs.role),
+                        f.Atomic(map.concepts[ax.rhs.filler]))));
+        break;
+    }
+  }
+  for (const auto& ax : tbox.role_inclusions()) {
+    if (ax.negated) {
+      onto->AddAxiom(
+          OwlAxiom::DisjointProperties(xrole(ax.lhs), xrole(ax.rhs)));
+    } else {
+      onto->AddAxiom(
+          OwlAxiom::SubObjectPropertyOf(xrole(ax.lhs), xrole(ax.rhs)));
+    }
+  }
+  for (const auto& ax : tbox.attribute_inclusions()) {
+    dllite::BasicRole lhs = dllite::BasicRole::Direct(map.attr_roles[ax.lhs]);
+    dllite::BasicRole rhs = dllite::BasicRole::Direct(map.attr_roles[ax.rhs]);
+    if (ax.negated) {
+      onto->AddAxiom(OwlAxiom::DisjointProperties(lhs, rhs));
+    } else {
+      onto->AddAxiom(OwlAxiom::SubObjectPropertyOf(lhs, rhs));
+    }
+  }
+  return onto;
+}
+
+}  // namespace olite::owl

@@ -1,0 +1,28 @@
+#ifndef OLITE_OWL_FROM_DLLITE_H_
+#define OLITE_OWL_FROM_DLLITE_H_
+
+#include <memory>
+
+#include "dllite/tbox.h"
+#include "owl/ontology.h"
+
+namespace olite::owl {
+
+/// Translates a DL-Lite_R TBox into an equivalent OWL ontology:
+///
+///   B1 ⊑ B2    → SubClassOf(τ(B1) τ(B2))
+///   B  ⊑ ¬B2   → DisjointClasses(τ(B) τ(B2))
+///   B  ⊑ ∃Q.A  → SubClassOf(τ(B) ObjectSomeValuesFrom(Q A))
+///   Q1 ⊑ Q2    → SubObjectPropertyOf(Q1 Q2)
+///   Q1 ⊑ ¬Q2   → DisjointObjectProperties(Q1 Q2)
+///
+/// with τ(A) = A, τ(∃Q) = ObjectSomeValuesFrom(Q owl:Thing), and
+/// attributes encoded as object properties named `attr:<name>`
+/// (τ(δ(U)) = ∃ attr:U.⊤). Used to feed the identical benchmark input to
+/// the tableau-based classifier.
+std::unique_ptr<OwlOntology> OwlFromDlLite(const dllite::TBox& tbox,
+                                           const dllite::Vocabulary& vocab);
+
+}  // namespace olite::owl
+
+#endif  // OLITE_OWL_FROM_DLLITE_H_

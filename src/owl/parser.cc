@@ -1,0 +1,336 @@
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "owl/ontology.h"
+
+namespace olite::owl {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kLParen, kRParen, kNumber, kEnd };
+  Kind kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token Next() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_};
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return {Token::Kind::kLParen, "(", line_};
+    }
+    if (c == ')') {
+      ++pos_;
+      return {Token::Kind::kRParen, ")", line_};
+    }
+    size_t start = pos_;
+    bool digits_only = true;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      digits_only = digits_only &&
+                    std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    return {digits_only ? Token::Kind::kNumber : Token::Kind::kIdent,
+            std::move(word), line_};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// Strips a namespace prefix (everything up to the last ':') and angle
+// brackets from an entity name.
+std::string LocalName(const std::string& name) {
+  std::string n = name;
+  if (!n.empty() && n.front() == '<' && n.back() == '>') {
+    n = n.substr(1, n.size() - 2);
+    size_t hash = n.find_last_of("#/");
+    if (hash != std::string::npos) n = n.substr(hash + 1);
+    return n;
+  }
+  size_t colon = n.rfind(':');
+  // Keep the reserved owl: names intact.
+  if (n == "owl:Thing" || n == "owl:Nothing") return n;
+  if (colon != std::string::npos) n = n.substr(colon + 1);
+  return n;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { Advance(); }
+
+  Result<std::unique_ptr<OwlOntology>> Parse() {
+    onto_ = std::make_unique<OwlOntology>();
+    // Optional Ontology( wrapper; also skips an optional ontology IRI.
+    if (cur_.kind == Token::Kind::kIdent && cur_.text == "Ontology") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      if (cur_.kind == Token::Kind::kIdent &&
+          cur_.text.find("Of") == std::string::npos &&
+          (cur_.text[0] == '<' || cur_.text.find("://") != std::string::npos)) {
+        Advance();  // ontology IRI
+      }
+      wrapped_ = true;
+    }
+    while (cur_.kind != Token::Kind::kEnd) {
+      if (wrapped_ && cur_.kind == Token::Kind::kRParen) {
+        Advance();
+        break;
+      }
+      OLITE_RETURN_IF_ERROR(ParseItem());
+    }
+    return std::move(onto_);
+  }
+
+ private:
+  void Advance() { cur_ = lexer_.Next(); }
+
+  Status Err(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(cur_.line) + ": " +
+                              msg);
+  }
+
+  Status Expect(Token::Kind kind) {
+    if (cur_.kind != kind) {
+      return Err("expected " +
+                 std::string(kind == Token::Kind::kLParen ? "'('" : "')'") +
+                 ", got '" + cur_.text + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseItem() {
+    if (cur_.kind != Token::Kind::kIdent) {
+      return Err("expected an axiom, got '" + cur_.text + "'");
+    }
+    std::string head = cur_.text;
+    Advance();
+    if (head == "Prefix") {
+      // Prefix(ns:=<iri>) — skip the balanced group.
+      return SkipGroup();
+    }
+    if (head == "Declaration") {
+      return ParseDeclaration();
+    }
+    if (head == "SubClassOf") {
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(ClassExprPtr sub, ParseClass());
+      OLITE_ASSIGN_OR_RETURN(ClassExprPtr sup, ParseClass());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      onto_->AddAxiom(OwlAxiom::SubClassOf(sub, sup));
+      return Status::Ok();
+    }
+    if (head == "EquivalentClasses" || head == "DisjointClasses") {
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      std::vector<ClassExprPtr> cs;
+      while (cur_.kind != Token::Kind::kRParen) {
+        OLITE_ASSIGN_OR_RETURN(ClassExprPtr c, ParseClass());
+        cs.push_back(c);
+      }
+      Advance();  // ')'
+      if (cs.size() < 2) return Err(head + " needs at least two operands");
+      onto_->AddAxiom(head == "EquivalentClasses"
+                          ? OwlAxiom::EquivalentClasses(std::move(cs))
+                          : OwlAxiom::DisjointClasses(std::move(cs)));
+      return Status::Ok();
+    }
+    if (head == "SubObjectPropertyOf" || head == "InverseObjectProperties" ||
+        head == "DisjointObjectProperties") {
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole r1, ParseRole());
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole r2, ParseRole());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      if (head == "SubObjectPropertyOf") {
+        onto_->AddAxiom(OwlAxiom::SubObjectPropertyOf(r1, r2));
+      } else if (head == "InverseObjectProperties") {
+        onto_->AddAxiom(OwlAxiom::InverseProperties(r1, r2));
+      } else {
+        onto_->AddAxiom(OwlAxiom::DisjointProperties(r1, r2));
+      }
+      return Status::Ok();
+    }
+    if (head == "ObjectPropertyDomain" || head == "ObjectPropertyRange") {
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole r, ParseRole());
+      OLITE_ASSIGN_OR_RETURN(ClassExprPtr c, ParseClass());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      onto_->AddAxiom(head == "ObjectPropertyDomain" ? OwlAxiom::Domain(r, c)
+                                                     : OwlAxiom::Range(r, c));
+      return Status::Ok();
+    }
+    return Status::Unsupported("line " + std::to_string(cur_.line) +
+                               ": unsupported construct '" + head + "'");
+  }
+
+  Status ParseDeclaration() {
+    OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+    if (cur_.kind != Token::Kind::kIdent) return Err("malformed Declaration");
+    std::string sort = cur_.text;
+    Advance();
+    OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+    if (cur_.kind != Token::Kind::kIdent) return Err("malformed Declaration");
+    std::string name = LocalName(cur_.text);
+    Advance();
+    OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+    OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+    if (sort == "Class") {
+      onto_->vocab().InternConcept(name);
+    } else if (sort == "ObjectProperty") {
+      onto_->vocab().InternRole(name);
+    } else if (sort == "DataProperty") {
+      onto_->vocab().InternAttribute(name);
+    } else if (sort == "NamedIndividual" || sort == "Datatype" ||
+               sort == "AnnotationProperty") {
+      // Tolerated and ignored.
+    } else {
+      return Err("unsupported declaration sort '" + sort + "'");
+    }
+    return Status::Ok();
+  }
+
+  // Skips a balanced parenthesis group (after the head identifier).
+  Status SkipGroup() {
+    OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+    int depth = 1;
+    while (depth > 0) {
+      if (cur_.kind == Token::Kind::kEnd) return Err("unbalanced parentheses");
+      if (cur_.kind == Token::Kind::kLParen) ++depth;
+      if (cur_.kind == Token::Kind::kRParen) --depth;
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Result<dllite::BasicRole> ParseRole() {
+    if (cur_.kind != Token::Kind::kIdent) {
+      return Err("expected an object property, got '" + cur_.text + "'");
+    }
+    if (cur_.text == "ObjectInverseOf") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole inner, ParseRole());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      return inner.Inverted();
+    }
+    std::string name = LocalName(cur_.text);
+    Advance();
+    return dllite::BasicRole::Direct(onto_->vocab().InternRole(name));
+  }
+
+  Result<ClassExprPtr> ParseClass() {
+    ExprFactory& f = onto_->factory();
+    if (cur_.kind != Token::Kind::kIdent) {
+      return Err("expected a class expression, got '" + cur_.text + "'");
+    }
+    std::string head = cur_.text;
+    if (head == "owl:Thing" || head == "Thing") {
+      Advance();
+      return f.Thing();
+    }
+    if (head == "owl:Nothing" || head == "Nothing") {
+      Advance();
+      return f.Nothing();
+    }
+    if (head == "ObjectIntersectionOf" || head == "ObjectUnionOf") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      std::vector<ClassExprPtr> ops;
+      while (cur_.kind != Token::Kind::kRParen) {
+        OLITE_ASSIGN_OR_RETURN(ClassExprPtr c, ParseClass());
+        ops.push_back(c);
+      }
+      Advance();
+      return head == "ObjectIntersectionOf" ? f.And(std::move(ops))
+                                            : f.Or(std::move(ops));
+    }
+    if (head == "ObjectComplementOf") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(ClassExprPtr c, ParseClass());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      return f.Not(c);
+    }
+    if (head == "ObjectSomeValuesFrom" || head == "ObjectAllValuesFrom") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole r, ParseRole());
+      OLITE_ASSIGN_OR_RETURN(ClassExprPtr c, ParseClass());
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      return head == "ObjectSomeValuesFrom" ? f.Some(r, c) : f.All(r, c);
+    }
+    if (head == "ObjectMinCardinality") {
+      Advance();
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen));
+      if (cur_.kind != Token::Kind::kNumber) return Err("expected cardinality");
+      uint32_t n = static_cast<uint32_t>(std::stoul(cur_.text));
+      if (n >= 2) {
+        return Status::Unsupported(
+            "line " + std::to_string(cur_.line) +
+            ": ObjectMinCardinality with n >= 2 is outside the supported "
+            "fragment (no complement exists without max-cardinality)");
+      }
+      Advance();
+      OLITE_ASSIGN_OR_RETURN(dllite::BasicRole r, ParseRole());
+      ClassExprPtr filler = f.Thing();
+      if (cur_.kind != Token::Kind::kRParen) {
+        OLITE_ASSIGN_OR_RETURN(filler, ParseClass());
+      }
+      OLITE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen));
+      return f.AtLeast(n, r, filler);
+    }
+    if (head.find("Of") != std::string::npos || head.find("Values") !=
+                                                    std::string::npos ||
+        head.find("Cardinality") != std::string::npos) {
+      return Status::Unsupported("line " + std::to_string(cur_.line) +
+                                 ": unsupported class constructor '" + head +
+                                 "'");
+    }
+    // A named class.
+    Advance();
+    return f.Atomic(onto_->vocab().InternConcept(LocalName(head)));
+  }
+
+  Lexer lexer_;
+  Token cur_{Token::Kind::kEnd, "", 0};
+  std::unique_ptr<OwlOntology> onto_;
+  bool wrapped_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<OwlOntology>> ParseOwl(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace olite::owl

@@ -1,0 +1,141 @@
+#include "query/abox_eval.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+
+namespace olite::query {
+
+namespace {
+
+// Candidate ground facts per predicate, with arguments as strings
+// (individual names; attribute values verbatim).
+struct FactIndex {
+  std::unordered_map<uint32_t, std::vector<std::array<std::string, 1>>>
+      concepts;
+  std::unordered_map<uint32_t, std::vector<std::array<std::string, 2>>> roles;
+  std::unordered_map<uint32_t, std::vector<std::array<std::string, 2>>>
+      attributes;
+};
+
+FactIndex BuildIndex(const dllite::ABox& abox,
+                     const dllite::Vocabulary& vocab) {
+  FactIndex idx;
+  for (const auto& a : abox.concept_assertions()) {
+    idx.concepts[a.concept_id].push_back(
+        {vocab.IndividualName(a.individual)});
+  }
+  for (const auto& a : abox.role_assertions()) {
+    idx.roles[a.role].push_back({vocab.IndividualName(a.subject),
+                                 vocab.IndividualName(a.object)});
+  }
+  for (const auto& a : abox.attribute_assertions()) {
+    idx.attributes[a.attribute].push_back(
+        {vocab.IndividualName(a.subject), a.value});
+  }
+  return idx;
+}
+
+using Binding = std::unordered_map<std::string, std::string>;
+
+// Tries to extend `binding` with term := value; constants must match.
+bool Bind(const Term& term, const std::string& value, Binding* binding,
+          std::vector<std::string>* bound_here) {
+  if (!term.IsVar()) return term.name == value;
+  auto it = binding->find(term.name);
+  if (it != binding->end()) return it->second == value;
+  binding->emplace(term.name, value);
+  bound_here->push_back(term.name);
+  return true;
+}
+
+void Unbind(const std::vector<std::string>& bound_here, Binding* binding) {
+  for (const auto& var : bound_here) binding->erase(var);
+}
+
+void EvalAtoms(const ConjunctiveQuery& cq, size_t atom_index,
+               const FactIndex& idx, Binding* binding,
+               std::set<Tuple>* out) {
+  if (atom_index == cq.atoms.size()) {
+    Tuple tuple;
+    tuple.reserve(cq.head_vars.size());
+    for (const auto& head : cq.head_vars) {
+      tuple.push_back(binding->at(head));
+    }
+    out->insert(std::move(tuple));
+    return;
+  }
+  const Atom& atom = cq.atoms[atom_index];
+  auto match2 = [&](const std::vector<std::array<std::string, 2>>& facts) {
+    for (const auto& fact : facts) {
+      std::vector<std::string> bound_here;
+      if (Bind(atom.args[0], fact[0], binding, &bound_here) &&
+          Bind(atom.args[1], fact[1], binding, &bound_here)) {
+        EvalAtoms(cq, atom_index + 1, idx, binding, out);
+      }
+      Unbind(bound_here, binding);
+    }
+  };
+  switch (atom.kind) {
+    case Atom::Kind::kConcept: {
+      auto it = idx.concepts.find(atom.predicate);
+      if (it == idx.concepts.end()) return;
+      for (const auto& fact : it->second) {
+        std::vector<std::string> bound_here;
+        if (Bind(atom.args[0], fact[0], binding, &bound_here)) {
+          EvalAtoms(cq, atom_index + 1, idx, binding, out);
+        }
+        Unbind(bound_here, binding);
+      }
+      break;
+    }
+    case Atom::Kind::kRole: {
+      auto it = idx.roles.find(atom.predicate);
+      if (it != idx.roles.end()) match2(it->second);
+      break;
+    }
+    case Atom::Kind::kAttribute: {
+      auto it = idx.attributes.find(atom.predicate);
+      if (it != idx.attributes.end()) match2(it->second);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> EvaluateOverABox(const UnionQuery& ucq,
+                                            const dllite::ABox& abox,
+                                            const dllite::Vocabulary& vocab) {
+  if (ucq.disjuncts.empty()) {
+    return Status::InvalidArgument("empty union query");
+  }
+  size_t arity = ucq.disjuncts[0].head_vars.size();
+  for (const auto& cq : ucq.disjuncts) {
+    if (cq.head_vars.size() != arity) {
+      return Status::InvalidArgument("disjuncts have different head arity");
+    }
+  }
+  FactIndex idx = BuildIndex(abox, vocab);
+  std::set<Tuple> out;
+  for (const auto& cq : ucq.disjuncts) {
+    Binding binding;
+    EvalAtoms(cq, 0, idx, &binding, &out);
+  }
+  return std::vector<Tuple>(out.begin(), out.end());
+}
+
+Result<std::vector<Tuple>> AnswerOverABox(const ConjunctiveQuery& cq,
+                                          const dllite::TBox& tbox,
+                                          const dllite::ABox& abox,
+                                          const dllite::Vocabulary& vocab,
+                                          RewriteMode mode) {
+  RewriterOptions options;
+  options.mode = mode;
+  Rewriter rewriter(tbox, vocab, options);
+  OLITE_ASSIGN_OR_RETURN(UnionQuery ucq, rewriter.Rewrite(cq));
+  return EvaluateOverABox(ucq, abox, vocab);
+}
+
+}  // namespace olite::query

@@ -1,0 +1,94 @@
+#include "query/containment.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace olite::query {
+
+namespace {
+
+using Assignment = std::unordered_map<std::string, Term>;
+
+// Tries to map `term` (from the general query) onto `target` under the
+// current assignment; head variables and constants must map identically.
+bool TryMap(const Term& term, const Term& target, bool term_is_head,
+            Assignment* assignment, std::vector<std::string>* trail) {
+  if (!term.IsVar()) return term == target;
+  if (term_is_head) return target.IsVar() && target.name == term.name;
+  auto it = assignment->find(term.name);
+  if (it != assignment->end()) return it->second == target;
+  assignment->emplace(term.name, target);
+  trail->push_back(term.name);
+  return true;
+}
+
+bool Search(const ConjunctiveQuery& general,
+            const ConjunctiveQuery& specific,
+            const std::vector<bool>& is_head_var, size_t atom_index,
+            Assignment* assignment) {
+  if (atom_index == general.atoms.size()) return true;
+  const Atom& g = general.atoms[atom_index];
+  for (const Atom& s : specific.atoms) {
+    if (s.kind != g.kind || s.predicate != g.predicate) continue;
+    std::vector<std::string> trail;
+    bool ok = true;
+    for (size_t k = 0; k < g.args.size(); ++k) {
+      bool head = g.args[k].IsVar() &&
+                  is_head_var[atom_index * 2 + k];  // see precompute below
+      if (!TryMap(g.args[k], s.args[k], head, assignment, &trail)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && Search(general, specific, is_head_var, atom_index + 1,
+                     assignment)) {
+      return true;
+    }
+    for (const auto& v : trail) assignment->erase(v);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Contains(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific, size_t max_atoms) {
+  if (general.head_vars != specific.head_vars) return false;
+  if (general.atoms.size() > max_atoms || specific.atoms.size() > max_atoms) {
+    return false;  // conservative
+  }
+  // Precompute, per (atom, argument) of the general query, whether the
+  // variable there is distinguished.
+  std::vector<bool> is_head(general.atoms.size() * 2, false);
+  for (size_t i = 0; i < general.atoms.size(); ++i) {
+    for (size_t k = 0; k < general.atoms[i].args.size(); ++k) {
+      const Term& t = general.atoms[i].args[k];
+      if (!t.IsVar()) continue;
+      for (const auto& h : general.head_vars) {
+        if (h == t.name) is_head[i * 2 + k] = true;
+      }
+    }
+  }
+  Assignment assignment;
+  return Search(general, specific, is_head, 0, &assignment);
+}
+
+void MinimizeUnion(UnionQuery* ucq) {
+  const size_t n = ucq->disjuncts.size();
+  std::vector<bool> removed(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n && !removed[i]; ++j) {
+      if (i == j || removed[j]) continue;
+      if (Contains(ucq->disjuncts[j], ucq->disjuncts[i])) {
+        removed[i] = true;
+      }
+    }
+  }
+  std::vector<ConjunctiveQuery> kept;
+  for (size_t i = 0; i < n; ++i) {
+    if (!removed[i]) kept.push_back(std::move(ucq->disjuncts[i]));
+  }
+  ucq->disjuncts = std::move(kept);
+}
+
+}  // namespace olite::query

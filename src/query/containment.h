@@ -1,0 +1,28 @@
+#ifndef OLITE_QUERY_CONTAINMENT_H_
+#define OLITE_QUERY_CONTAINMENT_H_
+
+#include "query/cq.h"
+
+namespace olite::query {
+
+/// Decides conjunctive-query containment `specific ⊑ general` (every
+/// answer of `specific` is an answer of `general`, over any ABox) via the
+/// classical homomorphism criterion: a mapping from `general`'s terms to
+/// `specific`'s terms that is the identity on head variables and
+/// constants and maps every atom of `general` onto an atom of `specific`.
+///
+/// Both queries must have identical head-variable lists. The check is
+/// NP-complete in general; `max_atoms` bounds the backtracking (larger
+/// queries are conservatively reported as not contained).
+bool Contains(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific, size_t max_atoms = 12);
+
+/// Removes disjuncts contained in another disjunct (keeping one
+/// representative of mutually-equivalent groups). This is the standard
+/// UCQ minimisation step rewriters apply to shrink the union before
+/// unfolding (cf. Presto, §5 of the paper).
+void MinimizeUnion(UnionQuery* ucq);
+
+}  // namespace olite::query
+
+#endif  // OLITE_QUERY_CONTAINMENT_H_

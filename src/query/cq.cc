@@ -1,0 +1,194 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace olite::query {
+
+namespace {
+
+std::string TermToString(const Term& t) {
+  if (t.kind == Term::Kind::kConstant) return "'" + t.name + "'";
+  return t.name;
+}
+
+}  // namespace
+
+std::string Atom::ToString(const dllite::Vocabulary& vocab) const {
+  std::string name;
+  switch (kind) {
+    case Kind::kConcept: name = vocab.ConceptName(predicate); break;
+    case Kind::kRole: name = vocab.RoleName(predicate); break;
+    case Kind::kAttribute: name = vocab.AttributeName(predicate); break;
+  }
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(args[i]);
+  }
+  return out + ")";
+}
+
+size_t ConjunctiveQuery::CountOccurrences(const std::string& var) const {
+  size_t n = 0;
+  for (const auto& atom : atoms) {
+    for (const auto& t : atom.args) {
+      if (t.IsVar() && t.name == var) ++n;
+    }
+  }
+  return n;
+}
+
+bool ConjunctiveQuery::IsBoundVar(const std::string& var) const {
+  for (const auto& h : head_vars) {
+    if (h == var) return true;
+  }
+  return CountOccurrences(var) > 1;
+}
+
+std::string ConjunctiveQuery::ToString(
+    const dllite::Vocabulary& vocab) const {
+  std::string out = "q(";
+  for (size_t i = 0; i < head_vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_vars[i];
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString(vocab);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::CanonicalKey(
+    const dllite::Vocabulary& vocab) const {
+  // Rename non-head variables by first occurrence, then sort atom strings.
+  std::unordered_map<std::string, std::string> rename;
+  for (const auto& h : head_vars) rename[h] = h;
+  size_t next = 0;
+  ConjunctiveQuery copy = *this;
+  for (auto& atom : copy.atoms) {
+    for (auto& t : atom.args) {
+      if (!t.IsVar()) continue;
+      auto it = rename.find(t.name);
+      if (it == rename.end()) {
+        it = rename.emplace(t.name, "_v" + std::to_string(next++)).first;
+      }
+      t.name = it->second;
+    }
+  }
+  std::vector<std::string> parts;
+  parts.reserve(copy.atoms.size());
+  for (const auto& atom : copy.atoms) parts.push_back(atom.ToString(vocab));
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, "&");
+}
+
+std::string UnionQuery::ToString(const dllite::Vocabulary& vocab) const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += disjuncts[i].ToString(vocab);
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const dllite::Vocabulary& vocab) {
+  ConjunctiveQuery cq;
+  size_t sep = text.find(":-");
+  if (sep == std::string_view::npos) {
+    return Status::ParseError("query must contain ':-'");
+  }
+  std::string_view head = Trim(text.substr(0, sep));
+  std::string_view body = Trim(text.substr(sep + 2));
+
+  // Head: q(x, y) or q().
+  size_t lp = head.find('(');
+  size_t rp = head.rfind(')');
+  if (lp == std::string_view::npos || rp == std::string_view::npos ||
+      rp < lp) {
+    return Status::ParseError("malformed query head");
+  }
+  for (const auto& v : Split(head.substr(lp + 1, rp - lp - 1), ',')) {
+    std::string_view name = Trim(v);
+    if (!name.empty()) cq.head_vars.emplace_back(name);
+  }
+
+  // Body: comma-separated atoms — split on commas at paren depth 0.
+  std::vector<std::string> atom_texts;
+  std::string current;
+  int depth = 0;
+  for (char c : body) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      atom_texts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!Trim(current).empty()) atom_texts.push_back(current);
+
+  auto parse_term = [](std::string_view t) -> Term {
+    t = Trim(t);
+    if (!t.empty() && t.front() == '\'' && t.back() == '\'' && t.size() >= 2) {
+      return Term::Const(std::string(t.substr(1, t.size() - 2)));
+    }
+    bool numeric = !t.empty();
+    for (char c : t) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+    }
+    if (numeric) return Term::Const(std::string(t));
+    return Term::Var(std::string(t));
+  };
+
+  for (const auto& atom_text : atom_texts) {
+    std::string_view a = Trim(atom_text);
+    size_t alp = a.find('(');
+    size_t arp = a.rfind(')');
+    if (alp == std::string_view::npos || arp == std::string_view::npos ||
+        arp < alp) {
+      return Status::ParseError("malformed atom '" + std::string(a) + "'");
+    }
+    std::string pred(Trim(a.substr(0, alp)));
+    std::vector<Term> args;
+    for (const auto& t : Split(a.substr(alp + 1, arp - alp - 1), ',')) {
+      args.push_back(parse_term(t));
+    }
+    if (args.size() == 1) {
+      auto c = vocab.FindConcept(pred);
+      if (!c) return Status::NotFound("unknown concept '" + pred + "'");
+      cq.atoms.push_back(Atom{Atom::Kind::kConcept, *c, std::move(args)});
+    } else if (args.size() == 2) {
+      if (auto p = vocab.FindRole(pred)) {
+        cq.atoms.push_back(Atom{Atom::Kind::kRole, *p, std::move(args)});
+      } else if (auto u = vocab.FindAttribute(pred)) {
+        cq.atoms.push_back(Atom{Atom::Kind::kAttribute, *u, std::move(args)});
+      } else {
+        return Status::NotFound("unknown role/attribute '" + pred + "'");
+      }
+    } else {
+      return Status::ParseError("atom arity must be 1 or 2: '" +
+                                std::string(a) + "'");
+    }
+  }
+  if (cq.atoms.empty()) {
+    return Status::ParseError("query body must contain at least one atom");
+  }
+  // Head variables must occur in the body.
+  for (const auto& h : cq.head_vars) {
+    if (cq.CountOccurrences(h) == 0) {
+      return Status::InvalidArgument("head variable '" + h +
+                                     "' does not occur in the body");
+    }
+  }
+  return cq;
+}
+
+}  // namespace olite::query

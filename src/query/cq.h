@@ -1,0 +1,96 @@
+#ifndef OLITE_QUERY_CQ_H_
+#define OLITE_QUERY_CQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dllite/vocabulary.h"
+
+namespace olite::query {
+
+/// A term in a query atom: a variable or an individual constant.
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+  Kind kind = Kind::kVariable;
+  std::string name;
+
+  static Term Var(std::string n) { return {Kind::kVariable, std::move(n)}; }
+  static Term Const(std::string n) { return {Kind::kConstant, std::move(n)}; }
+  bool IsVar() const { return kind == Kind::kVariable; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && name == o.name;
+  }
+  bool operator<(const Term& o) const {
+    return kind != o.kind ? kind < o.kind : name < o.name;
+  }
+};
+
+/// An atom over the ontology signature: `A(t)`, `P(t1, t2)` or `U(t, v)`.
+struct Atom {
+  enum class Kind : uint8_t { kConcept, kRole, kAttribute };
+  Kind kind = Kind::kConcept;
+  uint32_t predicate = 0;  ///< ConceptId / RoleId / AttributeId
+  std::vector<Term> args;  ///< arity 1 (concept) or 2 (role/attribute)
+
+  static Atom Concept(dllite::ConceptId a, Term t) {
+    return {Kind::kConcept, a, {std::move(t)}};
+  }
+  static Atom Role(dllite::RoleId p, Term s, Term o) {
+    return {Kind::kRole, p, {std::move(s), std::move(o)}};
+  }
+  static Atom Attribute(dllite::AttributeId u, Term s, Term v) {
+    return {Kind::kAttribute, u, {std::move(s), std::move(v)}};
+  }
+
+  bool operator==(const Atom& o) const {
+    return kind == o.kind && predicate == o.predicate && args == o.args;
+  }
+
+  std::string ToString(const dllite::Vocabulary& vocab) const;
+};
+
+/// A conjunctive query `q(head_vars) :- atoms`. An empty head is a boolean
+/// query.
+struct ConjunctiveQuery {
+  std::vector<std::string> head_vars;
+  std::vector<Atom> atoms;
+
+  /// A variable is *bound* if it is distinguished (in the head) or occurs
+  /// more than once in the body; only unbound variables admit the
+  /// existential rewriting steps of PerfectRef.
+  bool IsBoundVar(const std::string& var) const;
+
+  /// Number of occurrences of `var` in the body.
+  size_t CountOccurrences(const std::string& var) const;
+
+  /// Datalog-style rendering `q(x) :- Person(x), knows(x, y)`.
+  std::string ToString(const dllite::Vocabulary& vocab) const;
+
+  /// Canonical key for (approximate) duplicate elimination: non-head
+  /// variables renamed by first occurrence, atoms sorted.
+  std::string CanonicalKey(const dllite::Vocabulary& vocab) const;
+
+  bool operator==(const ConjunctiveQuery& o) const {
+    return head_vars == o.head_vars && atoms == o.atoms;
+  }
+};
+
+/// A union of conjunctive queries (all with the same head arity).
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  std::string ToString(const dllite::Vocabulary& vocab) const;
+};
+
+/// Parses `q(x, y) :- Person(x), knows(x, y), age(x, 42)` against a
+/// vocabulary. Lower-case single-letter-ish tokens are not special: a term
+/// is a constant iff it is quoted (`'rome'`) or numeric, else a variable.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const dllite::Vocabulary& vocab);
+
+}  // namespace olite::query
+
+#endif  // OLITE_QUERY_CQ_H_

@@ -1,0 +1,426 @@
+#include "query/rewriter.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/containment.h"
+
+namespace olite::query {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicConceptKind;
+using dllite::BasicRole;
+using dllite::RhsConceptKind;
+
+// Removes duplicate atoms, preserving order.
+void DedupAtoms(ConjunctiveQuery* q) {
+  std::vector<Atom> out;
+  for (const auto& a : q->atoms) {
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  }
+  q->atoms = std::move(out);
+}
+
+}  // namespace
+
+const char* RewriteModeName(RewriteMode mode) {
+  switch (mode) {
+    case RewriteMode::kPerfectRef: return "perfectref";
+    case RewriteMode::kClassified: return "classified";
+  }
+  return "unknown";
+}
+
+class Rewriter::Impl {
+ public:
+  Impl(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,
+       RewriterOptions options)
+      : vocab_(vocab), options_(options) {
+    // Index asserted positive inclusions by the shape of their RHS.
+    for (const auto& ax : tbox.concept_inclusions()) {
+      switch (ax.rhs.kind) {
+        case RhsConceptKind::kBasic:
+          switch (ax.rhs.basic.kind) {
+            case BasicConceptKind::kAtomic:
+              by_atomic_[ax.rhs.basic.concept_id].push_back(ax.lhs);
+              break;
+            case BasicConceptKind::kExists:
+              by_exists_[Key(ax.rhs.basic.role)].push_back(ax.lhs);
+              break;
+            case BasicConceptKind::kAttrDomain:
+              by_attr_domain_[ax.rhs.basic.attribute].push_back(ax.lhs);
+              break;
+          }
+          break;
+        case RhsConceptKind::kQualifiedExists:
+          // Entails B ⊑ ∃Q, and supports the pair rule.
+          by_exists_[Key(ax.rhs.role)].push_back(ax.lhs);
+          qualified_.push_back({ax.lhs, ax.rhs.role, ax.rhs.filler});
+          break;
+        case RhsConceptKind::kNegatedBasic:
+          break;  // negative inclusions play no role in rewriting
+      }
+    }
+    for (const auto& ax : tbox.role_inclusions()) {
+      if (ax.negated) continue;
+      // lhs ⊑ rhs and lhs⁻ ⊑ rhs⁻.
+      by_role_[Key(ax.rhs)].push_back(ax.lhs);
+      by_role_[Key(ax.rhs.Inverted())].push_back(ax.lhs.Inverted());
+    }
+    for (const auto& ax : tbox.attribute_inclusions()) {
+      if (ax.negated) continue;
+      by_attribute_[ax.rhs].push_back(ax.lhs);
+    }
+
+    if (options_.mode == RewriteMode::kClassified) {
+      classification_ = std::make_unique<core::Classification>(
+          core::Classify(tbox, vocab));
+    }
+  }
+
+  Result<UnionQuery> Rewrite(const ConjunctiveQuery& cq,
+                             RewriteStats* stats) const {
+    RewriteStats local;
+    std::unordered_map<std::string, ConjunctiveQuery> seen;
+    std::deque<std::string> queue;
+    size_t fresh_counter = 0;
+
+    auto add = [&](ConjunctiveQuery q) {
+      DedupAtoms(&q);
+      std::string key = q.CanonicalKey(vocab_);
+      ++local.generated;
+      if (seen.emplace(key, std::move(q)).second) queue.push_back(key);
+    };
+
+    add(cq);
+    while (!queue.empty()) {
+      if (seen.size() > options_.max_disjuncts) {
+        return Status::ResourceExhausted(
+            "rewriting exceeded max_disjuncts = " +
+            std::to_string(options_.max_disjuncts));
+      }
+      ConjunctiveQuery q = seen.at(queue.front());
+      queue.pop_front();
+      ++local.iterations;
+
+      // (a) atom rewriting.
+      for (size_t i = 0; i < q.atoms.size(); ++i) {
+        for (ConjunctiveQuery& rewritten :
+             RewriteAtom(q, i, &fresh_counter)) {
+          add(std::move(rewritten));
+        }
+      }
+      // (a') qualified-existential pair rule.
+      for (ConjunctiveQuery& rewritten : PairRule(q, &fresh_counter)) {
+        add(std::move(rewritten));
+      }
+      // (b) reduce: unify pairs of atoms.
+      for (size_t i = 0; i < q.atoms.size(); ++i) {
+        for (size_t j = i + 1; j < q.atoms.size(); ++j) {
+          ConjunctiveQuery reduced;
+          if (TryUnify(q, i, j, &reduced)) add(std::move(reduced));
+        }
+      }
+    }
+
+    UnionQuery out;
+    out.disjuncts.reserve(seen.size());
+    for (auto& [key, q] : seen) {
+      (void)key;
+      out.disjuncts.push_back(std::move(q));
+    }
+    if (options_.prune_subsumed) MinimizeUnion(&out);
+    // Deterministic order.
+    std::sort(out.disjuncts.begin(), out.disjuncts.end(),
+              [&](const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+                return a.ToString(vocab_) < b.ToString(vocab_);
+              });
+    local.final_disjuncts = out.disjuncts.size();
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+ private:
+  static uint64_t Key(BasicRole q) {
+    return (static_cast<uint64_t>(q.role) << 1) | (q.inverse ? 1 : 0);
+  }
+
+  Term FreshVar(size_t* counter) const {
+    return Term::Var("_n" + std::to_string((*counter)++));
+  }
+
+  // gr(B, t): the atom expressing membership of term t in basic concept B.
+  Atom Gr(const BasicConcept& b, const Term& t, size_t* counter) const {
+    switch (b.kind) {
+      case BasicConceptKind::kAtomic:
+        return Atom::Concept(b.concept_id, t);
+      case BasicConceptKind::kExists:
+        if (b.role.inverse) {
+          return Atom::Role(b.role.role, FreshVar(counter), t);
+        }
+        return Atom::Role(b.role.role, t, FreshVar(counter));
+      case BasicConceptKind::kAttrDomain:
+        return Atom::Attribute(b.attribute, t, FreshVar(counter));
+    }
+    return Atom::Concept(0, t);
+  }
+
+  bool IsUnboundVar(const ConjunctiveQuery& q, const Term& t) const {
+    return t.IsVar() && !q.IsBoundVar(t.name);
+  }
+
+  // -- applicable-axiom enumeration (asserted or classified) -----------------
+
+  std::vector<BasicConcept> SubsumeesOfAtomic(dllite::ConceptId a) const {
+    if (classification_ != nullptr) {
+      return SubsumeesOfNode(
+          classification_->tbox_graph().nodes.OfConcept(a));
+    }
+    auto it = by_atomic_.find(a);
+    return it == by_atomic_.end() ? std::vector<BasicConcept>{} : it->second;
+  }
+
+  std::vector<BasicConcept> SubsumeesOfExists(BasicRole q) const {
+    if (classification_ != nullptr) {
+      return SubsumeesOfNode(classification_->tbox_graph().nodes.OfExists(q));
+    }
+    auto it = by_exists_.find(Key(q));
+    return it == by_exists_.end() ? std::vector<BasicConcept>{} : it->second;
+  }
+
+  std::vector<BasicConcept> SubsumeesOfAttrDomain(dllite::AttributeId u) const {
+    if (classification_ != nullptr) {
+      return SubsumeesOfNode(
+          classification_->tbox_graph().nodes.OfAttrDomain(u));
+    }
+    auto it = by_attr_domain_.find(u);
+    return it == by_attr_domain_.end() ? std::vector<BasicConcept>{}
+                                       : it->second;
+  }
+
+  std::vector<BasicConcept> SubsumeesOfNode(graph::NodeId node) const {
+    const core::NodeTable& nt = classification_->tbox_graph().nodes;
+    std::vector<BasicConcept> out;
+    for (graph::NodeId v :
+         classification_->reverse_closure().ReachableFrom(node)) {
+      if (nt.IsConceptSorted(v)) out.push_back(nt.BasicConceptOf(v));
+    }
+    return out;
+  }
+
+  std::vector<BasicRole> SubRolesOf(BasicRole r) const {
+    if (classification_ != nullptr) {
+      const core::NodeTable& nt = classification_->tbox_graph().nodes;
+      std::vector<BasicRole> out;
+      for (graph::NodeId v :
+           classification_->reverse_closure().ReachableFrom(nt.OfRole(r))) {
+        if (nt.KindOf(v) == core::NodeKind::kRole) out.push_back(nt.RoleOf(v));
+      }
+      return out;
+    }
+    auto it = by_role_.find(Key(r));
+    return it == by_role_.end() ? std::vector<BasicRole>{} : it->second;
+  }
+
+  std::vector<dllite::AttributeId> SubAttributesOf(
+      dllite::AttributeId u) const {
+    if (classification_ != nullptr) {
+      const core::NodeTable& nt = classification_->tbox_graph().nodes;
+      std::vector<dllite::AttributeId> out;
+      for (graph::NodeId v : classification_->reverse_closure().ReachableFrom(
+               nt.OfAttribute(u))) {
+        if (nt.KindOf(v) == core::NodeKind::kAttribute) {
+          out.push_back(nt.AttributeOf(v));
+        }
+      }
+      return out;
+    }
+    auto it = by_attribute_.find(u);
+    return it == by_attribute_.end() ? std::vector<dllite::AttributeId>{}
+                                     : it->second;
+  }
+
+  // -- rewriting steps ---------------------------------------------------------
+
+  std::vector<ConjunctiveQuery> RewriteAtom(const ConjunctiveQuery& q,
+                                            size_t i,
+                                            size_t* fresh_counter) const {
+    std::vector<ConjunctiveQuery> out;
+    const Atom& g = q.atoms[i];
+    auto replace_with = [&](Atom atom) {
+      ConjunctiveQuery copy = q;
+      copy.atoms[i] = std::move(atom);
+      out.push_back(std::move(copy));
+    };
+
+    switch (g.kind) {
+      case Atom::Kind::kConcept: {
+        for (const auto& b : SubsumeesOfAtomic(g.predicate)) {
+          replace_with(Gr(b, g.args[0], fresh_counter));
+        }
+        break;
+      }
+      case Atom::Kind::kRole: {
+        BasicRole p = BasicRole::Direct(g.predicate);
+        // Existential applications need an unbound second argument.
+        if (IsUnboundVar(q, g.args[1])) {
+          for (const auto& b : SubsumeesOfExists(p)) {
+            replace_with(Gr(b, g.args[0], fresh_counter));
+          }
+        }
+        if (IsUnboundVar(q, g.args[0])) {
+          for (const auto& b : SubsumeesOfExists(p.Inverted())) {
+            replace_with(Gr(b, g.args[1], fresh_counter));
+          }
+        }
+        // Role hierarchy.
+        for (const auto& r : SubRolesOf(p)) {
+          if (r.inverse) {
+            replace_with(Atom::Role(r.role, g.args[1], g.args[0]));
+          } else {
+            replace_with(Atom::Role(r.role, g.args[0], g.args[1]));
+          }
+        }
+        break;
+      }
+      case Atom::Kind::kAttribute: {
+        if (IsUnboundVar(q, g.args[1])) {
+          for (const auto& b : SubsumeesOfAttrDomain(g.predicate)) {
+            replace_with(Gr(b, g.args[0], fresh_counter));
+          }
+        }
+        for (dllite::AttributeId u : SubAttributesOf(g.predicate)) {
+          replace_with(Atom::Attribute(u, g.args[0], g.args[1]));
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  // Applies B ⊑ ∃Q.A to atom pairs Q(t1, y) ∧ A(y) (or the inverse
+  // orientation) where y occurs nowhere else and is not distinguished.
+  std::vector<ConjunctiveQuery> PairRule(const ConjunctiveQuery& q,
+                                         size_t* fresh_counter) const {
+    std::vector<ConjunctiveQuery> out;
+    for (size_t i = 0; i < q.atoms.size(); ++i) {
+      const Atom& role_atom = q.atoms[i];
+      if (role_atom.kind != Atom::Kind::kRole) continue;
+      for (size_t j = 0; j < q.atoms.size(); ++j) {
+        if (i == j) continue;
+        const Atom& concept_atom = q.atoms[j];
+        if (concept_atom.kind != Atom::Kind::kConcept) continue;
+        const Term& shared = concept_atom.args[0];
+        if (!shared.IsVar()) continue;
+        // y must occur exactly twice (here and in the role atom) and not
+        // be distinguished.
+        if (q.CountOccurrences(shared.name) != 2) continue;
+        bool is_head = std::find(q.head_vars.begin(), q.head_vars.end(),
+                                 shared.name) != q.head_vars.end();
+        if (is_head) continue;
+
+        for (const auto& qe : qualified_) {
+          if (qe.filler != concept_atom.predicate) continue;
+          if (qe.role.role != role_atom.predicate) continue;
+          // Match orientation: Q(t, y) for direct, Q(y, t) for inverse.
+          const Term& other =
+              qe.role.inverse ? role_atom.args[1] : role_atom.args[0];
+          const Term& filler_pos =
+              qe.role.inverse ? role_atom.args[0] : role_atom.args[1];
+          if (!(filler_pos == shared)) continue;
+          ConjunctiveQuery copy = q;
+          // Replace both atoms with gr(B, other).
+          std::vector<Atom> atoms;
+          for (size_t k = 0; k < copy.atoms.size(); ++k) {
+            if (k != i && k != j) atoms.push_back(copy.atoms[k]);
+          }
+          atoms.push_back(Gr(qe.lhs, other, fresh_counter));
+          copy.atoms = std::move(atoms);
+          out.push_back(std::move(copy));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Most-general unification of atoms i and j; on success produces the
+  // reduced query with the substitution applied everywhere.
+  bool TryUnify(const ConjunctiveQuery& q, size_t i, size_t j,
+                ConjunctiveQuery* out) const {
+    const Atom& a = q.atoms[i];
+    const Atom& b = q.atoms[j];
+    if (a.kind != b.kind || a.predicate != b.predicate) return false;
+    ConjunctiveQuery copy = q;
+    // `var` and `to` are taken by value: the loop mutates the very terms a
+    // reference would alias, which would silently retarget the
+    // substitution halfway through.
+    auto substitute = [&](std::string var, Term to) {
+      for (auto& atom : copy.atoms) {
+        for (auto& t : atom.args) {
+          if (t.IsVar() && t.name == var) t = to;
+        }
+      }
+      for (auto& h : copy.head_vars) {
+        if (h == var && to.IsVar()) h = to.name;
+      }
+    };
+    for (size_t k = 0; k < a.args.size(); ++k) {
+      const Term& ta = copy.atoms[i].args[k];
+      const Term& tb = copy.atoms[j].args[k];
+      if (ta == tb) continue;
+      if (ta.IsVar() && tb.IsVar()) {
+        // Prefer substituting away the non-head variable.
+        bool ta_head = std::find(q.head_vars.begin(), q.head_vars.end(),
+                                 ta.name) != q.head_vars.end();
+        if (ta_head) {
+          substitute(tb.name, ta);
+        } else {
+          substitute(ta.name, tb);
+        }
+      } else if (ta.IsVar()) {
+        substitute(ta.name, tb);
+      } else if (tb.IsVar()) {
+        substitute(tb.name, ta);
+      } else {
+        return false;  // distinct constants
+      }
+    }
+    DedupAtoms(&copy);
+    if (copy == q) return false;
+    *out = std::move(copy);
+    return true;
+  }
+
+  struct QualifiedAxiom {
+    BasicConcept lhs;
+    BasicRole role;
+    dllite::ConceptId filler;
+  };
+
+  const dllite::Vocabulary& vocab_;
+  RewriterOptions options_;
+  std::unordered_map<dllite::ConceptId, std::vector<BasicConcept>> by_atomic_;
+  std::unordered_map<uint64_t, std::vector<BasicConcept>> by_exists_;
+  std::unordered_map<dllite::AttributeId, std::vector<BasicConcept>>
+      by_attr_domain_;
+  std::unordered_map<uint64_t, std::vector<BasicRole>> by_role_;
+  std::unordered_map<dllite::AttributeId, std::vector<dllite::AttributeId>>
+      by_attribute_;
+  std::vector<QualifiedAxiom> qualified_;
+  std::unique_ptr<core::Classification> classification_;
+};
+
+Rewriter::Rewriter(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,
+                   RewriterOptions options)
+    : impl_(std::make_shared<Impl>(tbox, vocab, options)) {}
+
+Result<UnionQuery> Rewriter::Rewrite(const ConjunctiveQuery& cq,
+                                     RewriteStats* stats) const {
+  return impl_->Rewrite(cq, stats);
+}
+
+}  // namespace olite::query

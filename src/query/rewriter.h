@@ -1,0 +1,63 @@
+#ifndef OLITE_QUERY_REWRITER_H_
+#define OLITE_QUERY_REWRITER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/classifier.h"
+#include "dllite/tbox.h"
+#include "query/cq.h"
+
+namespace olite::query {
+
+/// Rewriting strategy.
+enum class RewriteMode {
+  /// Textbook PerfectRef: applicable axioms are the *asserted* positive
+  /// inclusions; chains of subsumptions need one iteration per step.
+  kPerfectRef,
+  /// Classification-aided rewriting (Presto-inspired, §5 of the paper):
+  /// atoms are expanded against the *transitive closure* of the TBox
+  /// digraph, so each subsumption chain is applied in a single step.
+  kClassified,
+};
+
+const char* RewriteModeName(RewriteMode mode);
+
+/// Counters for a rewriting run.
+struct RewriteStats {
+  size_t iterations = 0;       ///< CQs popped from the work queue
+  size_t generated = 0;        ///< candidate CQs produced (pre-dedup)
+  size_t final_disjuncts = 0;  ///< CQs in the output UCQ
+};
+
+/// Options for `Rewriter::Rewrite`.
+struct RewriterOptions {
+  RewriteMode mode = RewriteMode::kPerfectRef;
+  /// Abort with kResourceExhausted beyond this many distinct disjuncts.
+  size_t max_disjuncts = 100000;
+  /// Drop output disjuncts contained in another disjunct (UCQ
+  /// minimisation via the homomorphism criterion — see containment.h).
+  bool prune_subsumed = true;
+};
+
+/// UCQ rewriting of conjunctive queries under a DL-Lite_R TBox: the output
+/// UCQ evaluated over the (virtual) ABox alone yields the certain answers
+/// of the input CQ w.r.t. TBox ∪ ABox. This is the core OBDA service
+/// (paper §1/§3: "query rewriting").
+class Rewriter {
+ public:
+  Rewriter(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,
+           RewriterOptions options = {});
+
+  /// Rewrites `cq` into a union of CQs. `stats` is optional.
+  Result<UnionQuery> Rewrite(const ConjunctiveQuery& cq,
+                             RewriteStats* stats = nullptr) const;
+
+ private:
+  class Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace olite::query
+
+#endif  // OLITE_QUERY_REWRITER_H_

@@ -1,0 +1,169 @@
+#include "rdb/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace olite::rdb {
+
+namespace {
+
+std::string RefToString(const ColumnRef& ref) {
+  std::string out = "t";
+  out += std::to_string(ref.table_index);
+  out += '.';
+  out += ref.column;
+  return out;
+}
+
+// Resolved column reference: (table position, column position).
+struct ResolvedRef {
+  size_t table_index;
+  size_t column_index;
+};
+
+struct ResolvedBlock {
+  std::vector<const Table*> tables;
+  std::vector<ResolvedRef> select;
+  std::vector<std::pair<ResolvedRef, ResolvedRef>> joins;
+  std::vector<std::pair<ResolvedRef, Value>> filters;
+};
+
+Result<ResolvedRef> Resolve(const ColumnRef& ref,
+                            const std::vector<const Table*>& tables) {
+  if (ref.table_index >= tables.size()) {
+    return Status::OutOfRange("column reference " + RefToString(ref) +
+                              " exceeds FROM list");
+  }
+  auto idx = tables[ref.table_index]->schema().ColumnIndex(ref.column);
+  if (!idx) {
+    return Status::NotFound("no column '" + ref.column + "' in table '" +
+                            tables[ref.table_index]->schema().table_name +
+                            "'");
+  }
+  return ResolvedRef{ref.table_index, *idx};
+}
+
+Result<ResolvedBlock> ResolveBlock(const Database& db,
+                                   const SelectBlock& block) {
+  ResolvedBlock out;
+  if (block.from_tables.empty()) {
+    return Status::InvalidArgument("empty FROM list");
+  }
+  for (const auto& name : block.from_tables) {
+    OLITE_ASSIGN_OR_RETURN(const Table* t, db.GetTable(name));
+    out.tables.push_back(t);
+  }
+  for (const auto& ref : block.select) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedRef r, Resolve(ref, out.tables));
+    out.select.push_back(r);
+  }
+  for (const auto& join : block.joins) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedRef l, Resolve(join.lhs, out.tables));
+    OLITE_ASSIGN_OR_RETURN(ResolvedRef r, Resolve(join.rhs, out.tables));
+    out.joins.push_back({l, r});
+  }
+  for (const auto& filter : block.filters) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedRef c, Resolve(filter.col, out.tables));
+    out.filters.push_back({c, filter.value});
+  }
+  return out;
+}
+
+// Left-deep nested-loop evaluation: bind tables one at a time, applying
+// every join/filter as soon as all of its references are bound.
+void EvalBlock(const ResolvedBlock& block, size_t depth,
+               std::vector<const Row*>* binding, std::set<Row>* out) {
+  if (depth == block.tables.size()) {
+    Row result;
+    result.reserve(block.select.size());
+    for (const auto& ref : block.select) {
+      result.push_back((*(*binding)[ref.table_index])[ref.column_index]);
+    }
+    out->insert(std::move(result));
+    return;
+  }
+  auto bound = [&](const ResolvedRef& r) { return r.table_index <= depth; };
+  for (const Row& row : block.tables[depth]->rows()) {
+    (*binding)[depth] = &row;
+    bool ok = true;
+    for (const auto& [col, value] : block.filters) {
+      if (col.table_index == depth &&
+          !((*(*binding)[col.table_index])[col.column_index] == value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& [l, r] : block.joins) {
+        // Apply once both sides are bound and at least one was bound now.
+        if (!bound(l) || !bound(r)) continue;
+        if (l.table_index != depth && r.table_index != depth) continue;
+        if (!((*(*binding)[l.table_index])[l.column_index] ==
+              (*(*binding)[r.table_index])[r.column_index])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) EvalBlock(block, depth + 1, binding, out);
+  }
+}
+
+}  // namespace
+
+std::string SqlQuery::ToString() const {
+  std::string out;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (b > 0) out += "\nUNION\n";
+    const SelectBlock& block = blocks[b];
+    out += "SELECT ";
+    if (block.select.empty()) out += "*";
+    for (size_t i = 0; i < block.select.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RefToString(block.select[i]);
+    }
+    out += " FROM ";
+    for (size_t i = 0; i < block.from_tables.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += block.from_tables[i] + " t" + std::to_string(i);
+    }
+    bool first = true;
+    auto where = [&]() -> std::string {
+      if (first) {
+        first = false;
+        return " WHERE ";
+      }
+      return " AND ";
+    };
+    for (const auto& join : block.joins) {
+      out += where() + RefToString(join.lhs) + " = " + RefToString(join.rhs);
+    }
+    for (const auto& filter : block.filters) {
+      out += where() + RefToString(filter.col) + " = " +
+             filter.value.ToString();
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query) {
+  if (query.blocks.empty()) {
+    return Status::InvalidArgument("query has no select blocks");
+  }
+  size_t arity = query.blocks[0].select.size();
+  for (const auto& block : query.blocks) {
+    if (block.select.size() != arity) {
+      return Status::InvalidArgument(
+          "UNION blocks project different arities");
+    }
+  }
+  std::set<Row> out;
+  for (const auto& block : query.blocks) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedBlock resolved, ResolveBlock(db, block));
+    std::vector<const Row*> binding(resolved.tables.size(), nullptr);
+    EvalBlock(resolved, 0, &binding, &out);
+  }
+  return std::vector<Row>(out.begin(), out.end());
+}
+
+}  // namespace olite::rdb

@@ -1,0 +1,59 @@
+#ifndef OLITE_RDB_QUERY_H_
+#define OLITE_RDB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/table.h"
+
+namespace olite::rdb {
+
+/// A column reference inside a select block: `t<table_index>.<column>`.
+struct ColumnRef {
+  size_t table_index = 0;  ///< index into SelectBlock::from_tables
+  std::string column;
+
+  bool operator==(const ColumnRef& o) const {
+    return table_index == o.table_index && column == o.column;
+  }
+};
+
+/// Equality join condition between two column references.
+struct EqJoin {
+  ColumnRef lhs;
+  ColumnRef rhs;
+};
+
+/// Constant selection `col = value`.
+struct EqConst {
+  ColumnRef col;
+  Value value;
+};
+
+/// One select-project-join block:
+/// `SELECT <select> FROM from_tables WHERE joins AND filters`.
+struct SelectBlock {
+  std::vector<std::string> from_tables;
+  std::vector<ColumnRef> select;
+  std::vector<EqJoin> joins;
+  std::vector<EqConst> filters;
+};
+
+/// A union of SPJ blocks evaluated under set semantics, i.e. a UCQ over
+/// the relational sources — exactly the query class DL-Lite rewriting
+/// produces. All blocks must project the same arity.
+struct SqlQuery {
+  std::vector<SelectBlock> blocks;
+
+  /// Renders readable SQL (`SELECT … UNION SELECT …`).
+  std::string ToString() const;
+};
+
+/// Evaluates `query` against `db`: left-deep nested-loop join with eager
+/// filter application, distinct rows in deterministic (sorted) order.
+Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query);
+
+}  // namespace olite::rdb
+
+#endif  // OLITE_RDB_QUERY_H_

@@ -1,0 +1,75 @@
+#include "rdb/table.h"
+
+namespace olite::rdb {
+
+std::string Schema::ToString() const {
+  std::string out = "CREATE TABLE " + table_name + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name;
+    out += ' ';
+    out += ValueTypeName(columns[i].type);
+  }
+  out += ");";
+  return out;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        schema_.table_name + " arity " +
+        std::to_string(schema_.columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.columns[i].type) {
+      return Status::InvalidArgument(
+          "type mismatch in column " + schema_.columns[i].name + " of " +
+          schema_.table_name + ": expected " +
+          ValueTypeName(schema_.columns[i].type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Database::CreateTable(Schema schema) {
+  if (schema.table_name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(schema.table_name) > 0) {
+    return Status::AlreadyExists("table '" + schema.table_name +
+                                 "' already exists");
+  }
+  std::string name = schema.table_name;
+  tables_.emplace(std::move(name), Table(std::move(schema)));
+  return Status::Ok();
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  return it->second.Insert(std::move(row));
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::string Database::SchemaToString() const {
+  std::string out;
+  for (const auto& [name, table] : tables_) {
+    out += table.schema().ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace olite::rdb

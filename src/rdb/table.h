@@ -1,0 +1,87 @@
+#ifndef OLITE_RDB_TABLE_H_
+#define OLITE_RDB_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdb/value.h"
+
+namespace olite::rdb {
+
+/// One tuple.
+using Row = std::vector<Value>;
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// Table schema: name plus ordered columns.
+struct Schema {
+  std::string table_name;
+  std::vector<Column> columns;
+
+  /// Index of column `name`, if present.
+  std::optional<size_t> ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// `CREATE TABLE …` rendering.
+  std::string ToString() const;
+};
+
+/// An in-memory heap table.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row after arity/type validation.
+  Status Insert(Row row);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// A database: a set of tables addressed by name. This is the "data
+/// source" of the OBDA stack — the layer the mapping assertions query.
+class Database {
+ public:
+  /// Creates an empty table; fails if the name is taken.
+  Status CreateTable(Schema schema);
+
+  /// Inserts into an existing table.
+  Status Insert(const std::string& table, Row row);
+
+  /// Looks a table up by name.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Deterministic iteration order (sorted by table name).
+  const std::map<std::string, Table>& tables() const { return tables_; }
+
+  /// All CREATE TABLE statements.
+  std::string SchemaToString() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace olite::rdb
+
+#endif  // OLITE_RDB_TABLE_H_

@@ -1,0 +1,33 @@
+#include "rdb/value.h"
+
+namespace olite::rdb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "TEXT";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace olite::rdb

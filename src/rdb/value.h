@@ -1,0 +1,44 @@
+#ifndef OLITE_RDB_VALUE_H_
+#define OLITE_RDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace olite::rdb {
+
+/// Column type of the relational engine.
+enum class ValueType : uint8_t { kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// A typed SQL value. Totally ordered within one type; ordering across
+/// types follows the type tag (needed only for deterministic result sets).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// SQL-literal rendering: strings are single-quoted.
+  std::string ToString() const;
+
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator<(const Value& o) const { return data_ < o.data_; }
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace olite::rdb
+
+#endif  // OLITE_RDB_VALUE_H_

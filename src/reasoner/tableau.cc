@@ -1,0 +1,635 @@
+#include "reasoner/tableau.h"
+
+#include "common/stopwatch.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace olite::reasoner {
+
+namespace {
+
+using dllite::BasicRole;
+using owl::AxiomKind;
+using owl::ClassExprPtr;
+using owl::ExprKind;
+using owl::OwlAxiom;
+
+// Node id inside one tableau run.
+using TNodeId = uint32_t;
+constexpr TNodeId kNoNode = static_cast<TNodeId>(-1);
+
+// Orders interned expressions deterministically.
+struct ExprIdLess {
+  bool operator()(ClassExprPtr a, ClassExprPtr b) const {
+    return a->id() < b->id();
+  }
+};
+
+using Label = std::set<ClassExprPtr, ExprIdLess>;
+
+struct TNode {
+  Label label;
+  TNodeId parent = kNoNode;
+  BasicRole parent_role;  // role of the edge parent → this
+  std::vector<std::pair<TNodeId, BasicRole>> children;
+};
+
+struct Task {
+  TNodeId node;
+  ClassExprPtr expr;
+};
+
+// The whole completion-graph state. Copied wholesale at each or-branch —
+// simple chronological backtracking; the budget bounds the damage on
+// pathological inputs.
+struct TState {
+  std::vector<TNode> nodes;
+  std::vector<Task> queue;
+  std::vector<Task> deferred_unions;  // branch only with maximal labels
+  std::vector<Task> deferred_exists;  // skipped because the node was blocked
+};
+
+}  // namespace
+
+class TableauReasoner::Impl {
+ public:
+  Impl(const owl::OwlOntology& onto, TableauOptions options)
+      : onto_(onto), options_(options) {
+    BuildRoleHierarchy();
+    BuildUniversalConcept();
+    CollectDisjointRoles();
+  }
+
+  Result<bool> IsSatisfiable(ClassExprPtr c) {
+    rule_budget_ = options_.max_rule_applications;
+    branch_budget_ = options_.max_branches;
+    branch_depth_ = 0;
+    watch_.Reset();
+    TState state;
+    Status overflow = Status::Ok();
+    AddNode(&state, kNoNode, BasicRole{}, factory().Nnf(c));
+    bool sat = Expand(std::move(state), &overflow);
+    if (!overflow.ok()) return overflow;
+    return sat;
+  }
+
+  bool RoleSubsumedSyntactically(BasicRole r1, BasicRole r2) const {
+    if (r1 == r2) return true;
+    return role_closure_->Reaches(RoleNode(r1), RoleNode(r2));
+  }
+
+  const owl::OwlOntology& onto() const { return onto_; }
+  owl::ExprFactory& factory() const {
+    return const_cast<owl::OwlOntology&>(onto_).factory();
+  }
+
+ private:
+  // -- preprocessing --------------------------------------------------------
+
+  graph::NodeId RoleNode(BasicRole r) const {
+    return 2 * r.role + (r.inverse ? 1 : 0);
+  }
+
+  void BuildRoleHierarchy() {
+    graph::Digraph g(static_cast<graph::NodeId>(2 * onto_.vocab().NumRoles()));
+    auto add = [&](BasicRole a, BasicRole b) {
+      g.AddArc(RoleNode(a), RoleNode(b));
+      g.AddArc(RoleNode(a.Inverted()), RoleNode(b.Inverted()));
+    };
+    for (const auto& ax : onto_.axioms()) {
+      if (ax.kind == AxiomKind::kSubObjectPropertyOf) {
+        add(ax.roles[0], ax.roles[1]);
+      } else if (ax.kind == AxiomKind::kInverseProperties) {
+        // q ≡ p⁻.
+        add(ax.roles[1], ax.roles[0].Inverted());
+        add(ax.roles[0].Inverted(), ax.roles[1]);
+      }
+    }
+    g.Finalize();
+    role_closure_ = graph::ComputeClosure(g, graph::ClosureEngine::kSccMerge);
+  }
+
+  void BuildUniversalConcept() {
+    owl::ExprFactory& f = factory();
+    std::vector<ClassExprPtr> conjuncts;
+    // Absorption / lazy unfolding: an inclusion with an atomic LHS is not
+    // internalised into the universal concept; instead its RHS is queued
+    // whenever the LHS atom enters a node label. This keeps the per-test
+    // cost proportional to the *relevant* axioms — the optimisation that
+    // lets real tableau reasoners survive large taxonomies.
+    auto gci = [&](ClassExprPtr sub, ClassExprPtr sup) {
+      if (sub->kind() == ExprKind::kAtomic) {
+        unfold_[sub->atomic()].push_back(f.Nnf(sup));
+        return;
+      }
+      // Role absorption of domain-style GCIs ∃r.⊤ ⊑ C: fire on edge
+      // creation instead of internalising the branching ¬∃r.⊤ ⊔ C.
+      if (sub->kind() == ExprKind::kSome &&
+          sub->operand()->kind() == ExprKind::kThing) {
+        role_constraints_.push_back({sub->role(), f.Nnf(sup)});
+        return;
+      }
+      conjuncts.push_back(f.Or({f.Complement(sub), f.Nnf(sup)}));
+    };
+    for (const auto& ax : onto_.axioms()) {
+      switch (ax.kind) {
+        case AxiomKind::kSubClassOf:
+          gci(ax.classes[0], ax.classes[1]);
+          break;
+        case AxiomKind::kEquivalentClasses:
+          for (size_t i = 0; i + 1 < ax.classes.size(); ++i) {
+            gci(ax.classes[i], ax.classes[i + 1]);
+            gci(ax.classes[i + 1], ax.classes[i]);
+          }
+          break;
+        case AxiomKind::kDisjointClasses:
+          for (size_t i = 0; i < ax.classes.size(); ++i) {
+            for (size_t j = i + 1; j < ax.classes.size(); ++j) {
+              // Ci ⊓ Cj ⊑ ⊥: absorb on whichever side is atomic.
+              if (ax.classes[i]->kind() == ExprKind::kAtomic ||
+                  ax.classes[j]->kind() != ExprKind::kAtomic) {
+                gci(ax.classes[i], f.Not(ax.classes[j]));
+              } else {
+                gci(ax.classes[j], f.Not(ax.classes[i]));
+              }
+            }
+          }
+          break;
+        case AxiomKind::kObjectPropertyDomain:
+          gci(f.Some(ax.roles[0], f.Thing()), ax.classes[0]);
+          break;
+        case AxiomKind::kObjectPropertyRange:
+          gci(f.Some(ax.roles[0].Inverted(), f.Thing()), ax.classes[0]);
+          break;
+        case AxiomKind::kSubObjectPropertyOf:
+        case AxiomKind::kInverseProperties:
+        case AxiomKind::kDisjointProperties:
+          break;  // handled structurally
+      }
+    }
+    universal_ = f.And(std::move(conjuncts));
+  }
+
+  void CollectDisjointRoles() {
+    for (const auto& ax : onto_.axioms()) {
+      if (ax.kind == AxiomKind::kDisjointProperties) {
+        disjoint_roles_.emplace_back(ax.roles[0], ax.roles[1]);
+      }
+    }
+  }
+
+  // -- tableau expansion ----------------------------------------------------
+
+  bool ChargeRule(Status* overflow) {
+    if (rule_budget_ == 0) {
+      *overflow = Status::ResourceExhausted(
+          "tableau rule-application budget exhausted");
+      return false;
+    }
+    --rule_budget_;
+    if (options_.deadline_ms > 0 && (rule_budget_ & 0xFF) == 0 &&
+        watch_.ElapsedMillis() > options_.deadline_ms) {
+      *overflow =
+          Status::ResourceExhausted("tableau wall-clock deadline exceeded");
+      return false;
+    }
+    return true;
+  }
+
+  TNodeId AddNode(TState* s, TNodeId parent, BasicRole via,
+                  ClassExprPtr seed) {
+    TNodeId id = static_cast<TNodeId>(s->nodes.size());
+    s->nodes.push_back(TNode{});
+    TNode& n = s->nodes.back();
+    n.parent = parent;
+    n.parent_role = via;
+    if (parent != kNoNode) {
+      s->nodes[parent].children.push_back({id, via});
+    }
+    s->queue.push_back({id, seed});
+    if (universal_ != factory().Thing()) {
+      s->queue.push_back({id, universal_});
+    }
+    return id;
+  }
+
+  // Adds `e` to the node label; returns false on clash.
+  bool AddToLabel(TState* s, TNodeId x, ClassExprPtr e) {
+    TNode& n = s->nodes[x];
+    if (!n.label.insert(e).second) return true;  // already present
+    if (e->kind() == ExprKind::kNothing) return false;
+    if (e->kind() == ExprKind::kAtomic || e->kind() == ExprKind::kComplement) {
+      ClassExprPtr neg = factory().Not(e);
+      if (n.label.count(neg) > 0) return false;
+    }
+    // Lazy unfolding: absorbed axioms fire when their LHS atom arrives.
+    if (e->kind() == ExprKind::kAtomic) {
+      auto it = unfold_.find(e->atomic());
+      if (it != unfold_.end()) {
+        for (ClassExprPtr rhs : it->second) s->queue.push_back({x, rhs});
+      }
+    }
+    // Atoms and literals need no further processing; everything else is
+    // queued for its expansion rule. Universals need no re-firing on label
+    // additions — only a *new edge* makes a ∀ newly applicable, and edge
+    // creation (the ∃-rule) requeues the source's universals explicitly
+    // while the fresh target processes its own label from scratch.
+    if (e->kind() != ExprKind::kAtomic && e->kind() != ExprKind::kComplement &&
+        e->kind() != ExprKind::kThing) {
+      s->queue.push_back({x, e});
+    }
+    return true;
+  }
+
+  // All (neighbor, connecting-role-as-seen-from-x) pairs of x.
+  void ForEachNeighbor(const TState& s, TNodeId x,
+                       const std::function<void(TNodeId, BasicRole)>& fn) {
+    const TNode& n = s.nodes[x];
+    if (n.parent != kNoNode) fn(n.parent, n.parent_role.Inverted());
+    for (const auto& [child, role] : n.children) fn(child, role);
+  }
+
+  // Anywhere pairwise (double) blocking, as required for inverse roles:
+  // x is *directly* blocked by any earlier-created node y when both have
+  // predecessors, L(x) = L(y), L(pred(x)) = L(pred(y)), and the incoming
+  // edges carry the same role. Since the conditions are pure label
+  // equalities, a blocked witness always forwards to an unblocked one with
+  // identical labels, so the usual "y is itself unblocked" side condition
+  // can be dropped.
+  bool DirectlyBlocked(const TState& s, TNodeId x) {
+    const TNode& nx = s.nodes[x];
+    if (nx.parent == kNoNode) return false;
+    const Label& parent_label = s.nodes[nx.parent].label;
+    for (TNodeId y = 1; y < x; ++y) {
+      const TNode& ny = s.nodes[y];
+      if (ny.parent == kNoNode) continue;  // witness needs a predecessor
+      if (!(nx.parent_role == ny.parent_role)) continue;
+      if (nx.label.size() != ny.label.size()) continue;  // cheap prefilter
+      if (parent_label.size() != s.nodes[ny.parent].label.size()) continue;
+      if (nx.label != ny.label) continue;
+      if (parent_label == s.nodes[ny.parent].label) return true;
+    }
+    return false;
+  }
+
+  // x is blocked if it or any ancestor is directly blocked (indirect
+  // blocking): generating rules must not fire below a blocked node.
+  bool IsBlocked(const TState& s, TNodeId x) {
+    for (TNodeId z = x; z != kNoNode; z = s.nodes[z].parent) {
+      if (DirectlyBlocked(s, z)) return true;
+    }
+    return false;
+  }
+
+  // True if adding `e` to L(x) would clash at once: its negation is
+  // already present, or it is an intersection with a doomed conjunct.
+  bool ImmediatelyClashes(const TState& s, TNodeId x, ClassExprPtr e) {
+    if (e->kind() == ExprKind::kNothing) return true;
+    if (e->kind() == ExprKind::kAtomic ||
+        e->kind() == ExprKind::kComplement) {
+      return s.nodes[x].label.count(factory().Not(e)) > 0;
+    }
+    if (e->kind() == ExprKind::kIntersection) {
+      for (ClassExprPtr op : e->operands()) {
+        if (ImmediatelyClashes(s, x, op)) return true;
+      }
+    }
+    return false;
+  }
+
+  bool EdgeClash(const TState& s, TNodeId x) {
+    if (disjoint_roles_.empty()) return false;
+    // Collect all roles connecting x to each neighbor (normalised x→y).
+    const TNode& n = s.nodes[x];
+    if (n.parent == kNoNode) return false;
+    // Only the freshly created parent link can add a clash; gather all
+    // x↔parent connections.
+    std::vector<BasicRole> links;
+    links.push_back(n.parent_role.Inverted());  // x → parent
+    for (const auto& [child, role] : s.nodes[x].children) {
+      if (child == n.parent) links.push_back(role);
+    }
+    for (size_t i = 0; i < links.size(); ++i) {
+      for (size_t j = 0; j < links.size(); ++j) {
+        for (const auto& [d1, d2] : disjoint_roles_) {
+          if (RoleSubsumedSyntactically(links[i], d1) &&
+              RoleSubsumedSyntactically(links[j], d2)) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  enum class StepResult {
+    kOk,         ///< rule applied, keep expanding this state
+    kClash,      ///< contradiction (or budget overflow; check *overflow)
+    kSatisfied,  ///< an or-branch copy completed: whole test satisfiable
+  };
+
+  // Runs the queue to completion; branches recursively on ⊔. Returns
+  // satisfiability of the branch; sets *overflow on budget exhaustion.
+  bool Expand(TState state, Status* overflow) {
+    while (true) {
+      if (!state.queue.empty()) {
+        Task t = state.queue.back();
+        state.queue.pop_back();
+        StepResult r = Step(&state, t, overflow);
+        if (!overflow->ok()) return false;
+        if (r == StepResult::kClash) return false;
+        if (r == StepResult::kSatisfied) return true;
+        continue;
+      }
+      // Deterministic work done: branch on one deferred union (labels are
+      // now maximal, so BCP prunes as much as possible).
+      if (!state.deferred_unions.empty()) {
+        Task t = state.deferred_unions.back();
+        state.deferred_unions.pop_back();
+        StepResult r = Step(&state, t, overflow);
+        if (!overflow->ok()) return false;
+        if (r == StepResult::kClash) return false;
+        if (r == StepResult::kSatisfied) return true;
+        continue;
+      }
+      // Queue drained: retry deferred existentials whose nodes unblocked.
+      bool fired = false;
+      std::vector<Task> still_deferred;
+      for (const Task& t : state.deferred_exists) {
+        if (!IsBlocked(state, t.node)) {
+          state.queue.push_back(t);
+          fired = true;
+        } else {
+          still_deferred.push_back(t);
+        }
+      }
+      state.deferred_exists = std::move(still_deferred);
+      if (!fired) return true;  // complete and clash-free
+    }
+  }
+
+  // Applies one rule. May recurse via ⊔, in which case kSatisfied /
+  // kClash carry the verdict of the whole branching subtree.
+  StepResult Step(TState* s, Task t, Status* overflow) {
+    if (!ChargeRule(overflow)) return StepResult::kClash;
+    ClassExprPtr e = t.expr;
+    TNodeId x = t.node;
+    switch (e->kind()) {
+      case ExprKind::kThing:
+      case ExprKind::kAtomic:
+      case ExprKind::kComplement:
+        return AddToLabel(s, x, e) ? StepResult::kOk : StepResult::kClash;
+      case ExprKind::kNothing:
+        return StepResult::kClash;
+      case ExprKind::kIntersection: {
+        if (!AddToLabel(s, x, e)) return StepResult::kClash;
+        for (ClassExprPtr op : e->operands()) {
+          if (!AddToLabel(s, x, op)) return StepResult::kClash;
+        }
+        return StepResult::kOk;
+      }
+      case ExprKind::kUnion: {
+        if (!AddToLabel(s, x, e)) return StepResult::kClash;
+        for (ClassExprPtr op : e->operands()) {
+          if (s->nodes[x].label.count(op) > 0) return StepResult::kOk;
+        }
+        // Boolean constraint propagation (semantic branching): disjuncts
+        // whose negation is already forced clash immediately and are
+        // skipped; a single survivor is added deterministically without
+        // consuming branch budget or copying the state.
+        std::vector<ClassExprPtr> open;
+        for (ClassExprPtr op : e->operands()) {
+          if (!ImmediatelyClashes(*s, x, op)) open.push_back(op);
+        }
+        if (open.empty()) return StepResult::kClash;
+        if (open.size() == 1) {
+          s->queue.push_back({x, open[0]});
+          return StepResult::kOk;
+        }
+        // Branching is postponed until all deterministic rules have fired.
+        if (!s->queue.empty()) {
+          s->deferred_unions.push_back({x, e});
+          return StepResult::kOk;
+        }
+        // Heuristic: explore non-negated disjuncts first — negated ones
+        // tend to clash late against labels added further down the tree.
+        std::stable_partition(open.begin(), open.end(), [](ClassExprPtr op) {
+          return op->kind() != ExprKind::kComplement &&
+                 op->kind() != ExprKind::kIntersection;
+        });
+        // Branch: try each disjunct on a copy of the state. The copies own
+        // the remaining queue, so the verdict here is final either way.
+        // Each open branch holds a completion-graph copy, so the depth cap
+        // bounds peak memory.
+        if (branch_depth_ >= kMaxBranchDepth) {
+          *overflow =
+              Status::ResourceExhausted("tableau branch depth exceeded");
+          return StepResult::kClash;
+        }
+        ++branch_depth_;
+        for (ClassExprPtr op : open) {
+          if (branch_budget_ == 0) {
+            *overflow =
+                Status::ResourceExhausted("tableau branch budget exhausted");
+            --branch_depth_;
+            return StepResult::kClash;
+          }
+          --branch_budget_;
+          TState copy = *s;
+          copy.queue.push_back({x, op});
+          if (Expand(std::move(copy), overflow)) {
+            --branch_depth_;
+            return StepResult::kSatisfied;
+          }
+          if (!overflow->ok()) {
+            --branch_depth_;
+            return StepResult::kClash;
+          }
+        }
+        --branch_depth_;
+        return StepResult::kClash;  // every disjunct clashes
+      }
+      case ExprKind::kSome:
+      case ExprKind::kAtLeast: {
+        // ≥n with n ≥ 2 behaves like ∃ for satisfiability: the language has
+        // no upper cardinality bounds, so successors can be duplicated.
+        if (!AddToLabel(s, x, e)) return StepResult::kClash;
+        ClassExprPtr filler = e->operand();
+        // Already satisfied by an existing neighbor?
+        bool satisfied = false;
+        ForEachNeighbor(*s, x, [&](TNodeId y, BasicRole via) {
+          if (satisfied) return;
+          if (RoleSubsumedSyntactically(via, e->role()) &&
+              s->nodes[y].label.count(filler) > 0) {
+            satisfied = true;
+          }
+        });
+        if (satisfied) return StepResult::kOk;
+        if (IsBlocked(*s, x)) {
+          s->deferred_exists.push_back({x, e});
+          return StepResult::kOk;
+        }
+        TNodeId y = AddNode(s, x, e->role(), filler);
+        if (EdgeClash(*s, y)) return StepResult::kClash;
+        // Fire universals of x along the new edge.
+        for (ClassExprPtr g : s->nodes[x].label) {
+          if (g->kind() == ExprKind::kAll) s->queue.push_back({x, g});
+        }
+        // Absorbed domain/range constraints of the new edge (x, y, role):
+        // x gains an outgoing `role` edge, y an outgoing `role⁻` edge.
+        for (const auto& [r, c] : role_constraints_) {
+          if (RoleSubsumedSyntactically(e->role(), r)) {
+            s->queue.push_back({x, c});
+          }
+          if (RoleSubsumedSyntactically(e->role().Inverted(), r)) {
+            s->queue.push_back({y, c});
+          }
+        }
+        return StepResult::kOk;
+      }
+      case ExprKind::kAll: {
+        if (!AddToLabel(s, x, e)) return StepResult::kClash;
+        std::vector<std::pair<TNodeId, ClassExprPtr>> additions;
+        ForEachNeighbor(*s, x, [&](TNodeId y, BasicRole via) {
+          if (RoleSubsumedSyntactically(via, e->role())) {
+            additions.emplace_back(y, e->operand());
+          }
+        });
+        for (const auto& [y, c] : additions) {
+          if (!AddToLabel(s, y, c)) return StepResult::kClash;
+        }
+        return StepResult::kOk;
+      }
+    }
+    return StepResult::kOk;
+  }
+
+  const owl::OwlOntology& onto_;
+  TableauOptions options_;
+  std::unique_ptr<graph::TransitiveClosure> role_closure_;
+  ClassExprPtr universal_ = nullptr;
+  std::unordered_map<dllite::ConceptId, std::vector<ClassExprPtr>> unfold_;
+  /// Absorbed domain/range axioms: (role, constraint) fires on the source
+  /// of every new edge whose role is subsumed by `role`.
+  std::vector<std::pair<BasicRole, ClassExprPtr>> role_constraints_;
+  std::vector<std::pair<BasicRole, BasicRole>> disjoint_roles_;
+  // Peak simultaneous open or-branches (memory bound: each holds a state
+  // copy on the C++ stack of nested Expand calls).
+  static constexpr uint32_t kMaxBranchDepth = 2048;
+
+  uint64_t rule_budget_ = 0;
+  uint64_t branch_budget_ = 0;
+  uint32_t branch_depth_ = 0;
+  Stopwatch watch_;
+};
+
+TableauReasoner::TableauReasoner(const owl::OwlOntology& onto,
+                                 TableauOptions options)
+    : impl_(std::make_unique<Impl>(onto, options)) {}
+
+TableauReasoner::~TableauReasoner() = default;
+
+Result<bool> TableauReasoner::IsSatisfiable(owl::ClassExprPtr c) {
+  ++num_sat_tests_;
+  return impl_->IsSatisfiable(c);
+}
+
+Result<bool> TableauReasoner::IsSubsumedBy(owl::ClassExprPtr sub,
+                                           owl::ClassExprPtr sup) {
+  owl::ExprFactory& f = impl_->factory();
+  OLITE_ASSIGN_OR_RETURN(bool sat,
+                         IsSatisfiable(f.And({sub, f.Not(sup)})));
+  return !sat;
+}
+
+Result<bool> TableauReasoner::AreDisjoint(owl::ClassExprPtr c,
+                                          owl::ClassExprPtr d) {
+  owl::ExprFactory& f = impl_->factory();
+  OLITE_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(f.And({c, d})));
+  return !sat;
+}
+
+bool TableauReasoner::RoleSubsumedSyntactically(dllite::BasicRole r1,
+                                                dllite::BasicRole r2) const {
+  return impl_->RoleSubsumedSyntactically(r1, r2);
+}
+
+Result<bool> TableauReasoner::IsSubRoleOf(dllite::BasicRole r1,
+                                          dllite::BasicRole r2) {
+  if (impl_->RoleSubsumedSyntactically(r1, r2)) return true;
+  // An empty role is a sub-role of anything.
+  owl::ExprFactory& f = impl_->factory();
+  OLITE_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(f.Some(r1, f.Thing())));
+  return !sat;
+}
+
+Result<bool> TableauReasoner::EntailsAxiom(const owl::OwlAxiom& ax) {
+  owl::ExprFactory& f = impl_->factory();
+  switch (ax.kind) {
+    case AxiomKind::kSubClassOf:
+      return IsSubsumedBy(ax.classes[0], ax.classes[1]);
+    case AxiomKind::kEquivalentClasses: {
+      for (size_t i = 0; i + 1 < ax.classes.size(); ++i) {
+        OLITE_ASSIGN_OR_RETURN(
+            bool fwd, IsSubsumedBy(ax.classes[i], ax.classes[i + 1]));
+        if (!fwd) return false;
+        OLITE_ASSIGN_OR_RETURN(
+            bool bwd, IsSubsumedBy(ax.classes[i + 1], ax.classes[i]));
+        if (!bwd) return false;
+      }
+      return true;
+    }
+    case AxiomKind::kDisjointClasses: {
+      for (size_t i = 0; i < ax.classes.size(); ++i) {
+        for (size_t j = i + 1; j < ax.classes.size(); ++j) {
+          OLITE_ASSIGN_OR_RETURN(bool dis,
+                                 AreDisjoint(ax.classes[i], ax.classes[j]));
+          if (!dis) return false;
+        }
+      }
+      return true;
+    }
+    case AxiomKind::kSubObjectPropertyOf:
+      return IsSubRoleOf(ax.roles[0], ax.roles[1]);
+    case AxiomKind::kInverseProperties: {
+      OLITE_ASSIGN_OR_RETURN(bool a,
+                             IsSubRoleOf(ax.roles[1], ax.roles[0].Inverted()));
+      if (!a) return false;
+      return IsSubRoleOf(ax.roles[0].Inverted(), ax.roles[1]);
+    }
+    case AxiomKind::kObjectPropertyDomain:
+      return IsSubsumedBy(f.Some(ax.roles[0], f.Thing()), ax.classes[0]);
+    case AxiomKind::kObjectPropertyRange:
+      return IsSubsumedBy(f.Some(ax.roles[0].Inverted(), f.Thing()),
+                          ax.classes[0]);
+    case AxiomKind::kDisjointProperties: {
+      // Entailed if asserted (closed under sub-roles) or either role empty.
+      for (const auto& other : impl_->onto().axioms()) {
+        if (other.kind != AxiomKind::kDisjointProperties) continue;
+        auto matches = [&](dllite::BasicRole a, dllite::BasicRole b) {
+          return (RoleSubsumedSyntactically(ax.roles[0], a) &&
+                  RoleSubsumedSyntactically(ax.roles[1], b)) ||
+                 (RoleSubsumedSyntactically(ax.roles[0], b) &&
+                  RoleSubsumedSyntactically(ax.roles[1], a));
+        };
+        if (matches(other.roles[0], other.roles[1]) ||
+            matches(other.roles[0].Inverted(), other.roles[1].Inverted())) {
+          return true;
+        }
+      }
+      OLITE_ASSIGN_OR_RETURN(bool sat1,
+                             IsSatisfiable(f.Some(ax.roles[0], f.Thing())));
+      if (!sat1) return true;
+      OLITE_ASSIGN_OR_RETURN(bool sat2,
+                             IsSatisfiable(f.Some(ax.roles[1], f.Thing())));
+      return !sat2;
+    }
+  }
+  return Status::Internal("unhandled axiom kind");
+}
+
+}  // namespace olite::reasoner

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "dllite/ontology.h"
+#include "query/abox_eval.h"
+
+namespace olite::query {
+namespace {
+
+using dllite::Ontology;
+using dllite::ParseOntology;
+
+Ontology Fixture() {
+  auto r = ParseOntology(R"(
+concept Professor Person Course
+role teaches
+attribute salary
+Professor <= Person
+Professor <= exists teaches
+exists teaches- <= Course
+
+Professor(ada)
+Professor(alan)
+teaches(ada, db101)
+salary(ada, 90)
+)");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+ConjunctiveQuery Q(const char* text, const dllite::Vocabulary& v) {
+  auto r = ParseQuery(text, v);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AboxEvalTest, DirectEvaluationWithoutReasoning) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x) :- Professor(x)", onto.vocab()));
+  auto rows = EvaluateOverABox(ucq, onto.abox(), onto.vocab());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<Tuple>{{"ada"}, {"alan"}}));
+}
+
+TEST(AboxEvalTest, JoinsAndConstants) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(
+      Q("q(y) :- teaches('ada', y)", onto.vocab()));
+  auto rows = EvaluateOverABox(ucq, onto.abox(), onto.vocab());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<Tuple>{{"db101"}}));
+
+  UnionQuery none;
+  none.disjuncts.push_back(Q("q(y) :- teaches('alan', y)", onto.vocab()));
+  auto empty = EvaluateOverABox(none, onto.abox(), onto.vocab());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(AboxEvalTest, AttributeValues) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x, v) :- salary(x, v)", onto.vocab()));
+  auto rows = EvaluateOverABox(ucq, onto.abox(), onto.vocab());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<Tuple>{{"ada", "90"}}));
+}
+
+TEST(AboxEvalTest, UnionDeduplicates) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x) :- Professor(x)", onto.vocab()));
+  ucq.disjuncts.push_back(Q("q(x) :- teaches(x, y)", onto.vocab()));
+  auto rows = EvaluateOverABox(ucq, onto.abox(), onto.vocab());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // ada appears once
+}
+
+TEST(AboxEvalTest, ArityMismatchRejected) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x) :- Professor(x)", onto.vocab()));
+  ucq.disjuncts.push_back(Q("q(x, y) :- teaches(x, y)", onto.vocab()));
+  EXPECT_EQ(EvaluateOverABox(ucq, onto.abox(), onto.vocab()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvaluateOverABox(UnionQuery{}, onto.abox(), onto.vocab())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+class AnswerModeTest : public ::testing::TestWithParam<RewriteMode> {};
+
+TEST_P(AnswerModeTest, RewritingAddsCertainAnswers) {
+  Ontology onto = Fixture();
+  // Person is empty in the ABox; rewriting brings in the professors.
+  auto rows = AnswerOverABox(Q("q(x) :- Person(x)", onto.vocab()),
+                             onto.tbox(), onto.abox(), onto.vocab(),
+                             GetParam());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, (std::vector<Tuple>{{"ada"}, {"alan"}}));
+
+  // Everyone certainly teaches something.
+  auto teachers = AnswerOverABox(Q("q(x) :- teaches(x, y)", onto.vocab()),
+                                 onto.tbox(), onto.abox(), onto.vocab(),
+                                 GetParam());
+  ASSERT_TRUE(teachers.ok());
+  EXPECT_EQ(teachers->size(), 2u);
+
+  // Courses only from actual data.
+  auto courses = AnswerOverABox(
+      Q("q(y) :- teaches(x, y), Course(y)", onto.vocab()), onto.tbox(),
+      onto.abox(), onto.vocab(), GetParam());
+  ASSERT_TRUE(courses.ok());
+  EXPECT_EQ(*courses, (std::vector<Tuple>{{"db101"}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, AnswerModeTest,
+                         ::testing::Values(RewriteMode::kPerfectRef,
+                                           RewriteMode::kClassified),
+                         [](const auto& pinfo) {
+                           return RewriteModeName(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace olite::query

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.h"
+#include "benchgen/profiles.h"
+#include "completion/completion_classifier.h"
+#include "core/classifier.h"
+#include "owl/from_dllite.h"
+#include "reasoner/tableau_classifier.h"
+
+namespace olite::benchgen {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig cfg;
+  cfg.num_concepts = 200;
+  cfg.num_roles = 10;
+  cfg.qualified_exists_per_concept = 0.2;
+  cfg.disjointness_fraction = 0.1;
+  cfg.seed = 7;
+  dllite::Ontology a = Generate(cfg);
+  dllite::Ontology b = Generate(cfg);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  GeneratorConfig cfg2 = cfg;
+  cfg2.seed = 8;
+  EXPECT_NE(Generate(cfg2).ToString(), a.ToString());
+}
+
+TEST(GeneratorTest, RespectsSignatureCounts) {
+  GeneratorConfig cfg;
+  cfg.num_concepts = 321;
+  cfg.num_roles = 17;
+  cfg.num_attributes = 5;
+  dllite::Ontology onto = Generate(cfg);
+  EXPECT_EQ(onto.vocab().NumConcepts(), 321u);
+  EXPECT_EQ(onto.vocab().NumRoles(), 17u);
+  EXPECT_EQ(onto.vocab().NumAttributes(), 5u);
+  // Taxonomy: every non-root concept has at least one parent axiom.
+  EXPECT_GE(onto.tbox().concept_inclusions().size(),
+            321u - cfg.num_roots);
+}
+
+TEST(GeneratorTest, SiblingDisjointnessIsSatisfiable) {
+  GeneratorConfig cfg;
+  cfg.num_concepts = 400;
+  cfg.num_roles = 4;
+  cfg.disjointness_fraction = 0.5;
+  cfg.multi_parent_prob = 0.4;  // DAG: the NI filter must still hold
+  cfg.role_disjointness_fraction = 0.3;
+  cfg.role_hierarchy_fraction = 0.4;
+  cfg.seed = 11;
+  dllite::Ontology onto = Generate(cfg);
+  core::Classification cls = core::Classify(onto.tbox(), onto.vocab());
+  // Filtered disjointness must not make anything unsatisfiable.
+  EXPECT_TRUE(cls.UnsatisfiableConcepts().empty());
+  EXPECT_TRUE(cls.UnsatisfiableRoles().empty());
+  EXPECT_GT(onto.tbox().NumNegativeInclusions(), 0u);
+}
+
+TEST(GeneratorTest, UnsatisfiableFractionInjectsErrors) {
+  GeneratorConfig cfg;
+  cfg.num_concepts = 300;
+  cfg.num_roles = 4;
+  cfg.disjointness_fraction = 0.2;
+  cfg.unsatisfiable_fraction = 0.05;
+  cfg.seed = 13;
+  dllite::Ontology onto = Generate(cfg);
+  core::Classification cls = core::Classify(onto.tbox(), onto.vocab());
+  size_t unsat = cls.UnsatisfiableConcepts().size();
+  EXPECT_GT(unsat, 0u);
+  // Victims are leaf-biased, so errors stay local: well under half the
+  // signature collapses.
+  EXPECT_LT(unsat, 150u);
+}
+
+TEST(GeneratorTest, ScaledKeepsShape) {
+  GeneratorConfig cfg;
+  cfg.num_concepts = 1000;
+  cfg.num_roles = 50;
+  cfg.num_attributes = 10;
+  GeneratorConfig small = cfg.Scaled(0.1);
+  EXPECT_EQ(small.num_concepts, 100u);
+  EXPECT_EQ(small.num_roles, 5u);
+  EXPECT_EQ(small.num_attributes, 1u);
+  // Floors guard degenerate scales.
+  GeneratorConfig tiny = cfg.Scaled(0.0001);
+  EXPECT_GE(tiny.num_concepts, 8u);
+  EXPECT_GE(tiny.num_roles, 1u);
+}
+
+TEST(ProfilesTest, AllElevenOntologiesPresent) {
+  auto profiles = PaperProfiles();
+  ASSERT_EQ(profiles.size(), 11u);
+  EXPECT_EQ(profiles[0].config.name, "Mouse");
+  EXPECT_EQ(profiles[6].config.name, "Galen");
+  EXPECT_EQ(profiles[10].config.name, "FMA-OBO");
+  // Published sizes at scale 1.
+  EXPECT_EQ(profiles[0].config.num_concepts, 2744u);
+  EXPECT_EQ(profiles[7].config.num_concepts, 72559u);
+  // Paper cells are carried along for the report.
+  EXPECT_STREQ(profiles[0].paper.quonto, "0.156");
+  EXPECT_STREQ(profiles[8].paper.factpp, "out-of-mem");
+  EXPECT_STREQ(profiles[6].paper.pellet, "timeout");
+}
+
+TEST(ProfilesTest, ScaledProfilesGenerateAndClassify) {
+  // Smoke: every profile at 2% scale generates, classifies with the graph
+  // engine, and agrees with the completion engine on subsumption counts.
+  for (const auto& profile : PaperProfiles(0.02)) {
+    dllite::Ontology onto = Generate(profile.config);
+    core::Classification cls = core::Classify(onto.tbox(), onto.vocab());
+    completion::CompletionResult cr =
+        completion::ClassifyWithCompletion(onto.tbox(), onto.vocab());
+    ASSERT_TRUE(cr.completed) << profile.config.name;
+    uint64_t graph_count = cls.CountNamedSubsumptions();
+    uint64_t completion_count = cr.NumSubsumptions();
+    EXPECT_EQ(graph_count, completion_count) << profile.config.name;
+  }
+}
+
+TEST(ProfilesTest, OwlConversionPreservesAxiomCount) {
+  auto profiles = PaperProfiles(0.02);
+  const auto& dolce = profiles[2];
+  ASSERT_EQ(dolce.config.name, "DOLCE");
+  dllite::Ontology onto = Generate(dolce.config);
+  auto owl = owl::OwlFromDlLite(onto.tbox(), onto.vocab());
+  EXPECT_EQ(owl->axioms().size(), onto.tbox().NumAxioms());
+  EXPECT_EQ(owl->vocab().NumConcepts(), onto.vocab().NumConcepts());
+  // Attributes become extra object properties.
+  EXPECT_EQ(owl->vocab().NumRoles(),
+            onto.vocab().NumRoles() + onto.vocab().NumAttributes());
+}
+
+TEST(ProfilesTest, TableauAgreesWithGraphOnTinyProfile) {
+  // End-to-end cross-engine validation on a small Transportation twin.
+  auto profiles = PaperProfiles(0.05);
+  const auto& transport = profiles[1];
+  ASSERT_EQ(transport.config.name, "Transportation");
+  dllite::Ontology onto = Generate(transport.config);
+  core::Classification graph_cls = core::Classify(onto.tbox(), onto.vocab());
+
+  auto owl = owl::OwlFromDlLite(onto.tbox(), onto.vocab());
+  reasoner::TableauClassifierOptions opts;
+  opts.strategy = reasoner::ClassifyStrategy::kEnhancedTraversal;
+  opts.time_budget_ms = 60000;
+  auto tab = reasoner::ClassifyWithTableau(*owl, opts);
+  ASSERT_TRUE(tab.completed);
+
+  for (uint32_t a = 0; a < onto.vocab().NumConcepts(); ++a) {
+    EXPECT_EQ(tab.concept_subsumers[a], graph_cls.SuperConcepts(a))
+        << "concept " << onto.vocab().ConceptName(a);
+  }
+  EXPECT_EQ(tab.unsatisfiable, graph_cls.UnsatisfiableConcepts());
+}
+
+}  // namespace
+}  // namespace olite::benchgen

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/deductive_closure.h"
+#include "core/node_table.h"
+#include "dllite/ontology.h"
+
+namespace olite::core {
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::Ontology;
+using dllite::ParseOntology;
+
+Ontology MustParse(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// NodeTable
+// ---------------------------------------------------------------------------
+
+TEST(NodeTableTest, LayoutAndDecode) {
+  dllite::Vocabulary v;
+  auto a = v.InternConcept("A");
+  auto b = v.InternConcept("B");
+  auto p = v.InternRole("P");
+  auto q = v.InternRole("Q");
+  auto u = v.InternAttribute("u");
+  NodeTable nt(v);
+
+  EXPECT_EQ(nt.NumNodes(), 2u + 4 * 2u + 2 * 1u);
+  EXPECT_EQ(nt.OfConcept(a), 0u);
+  EXPECT_EQ(nt.OfConcept(b), 1u);
+  EXPECT_EQ(nt.KindOf(nt.OfRole(BasicRole::Direct(p))), NodeKind::kRole);
+  EXPECT_EQ(nt.KindOf(nt.OfRole(BasicRole::Inverse(q))), NodeKind::kRole);
+  EXPECT_EQ(nt.KindOf(nt.OfExists(BasicRole::Direct(p))), NodeKind::kExists);
+  EXPECT_EQ(nt.KindOf(nt.OfAttribute(u)), NodeKind::kAttribute);
+  EXPECT_EQ(nt.KindOf(nt.OfAttrDomain(u)), NodeKind::kAttrDomain);
+
+  // Round trips.
+  EXPECT_EQ(nt.RoleOf(nt.OfRole(BasicRole::Inverse(q))),
+            BasicRole::Inverse(q));
+  EXPECT_EQ(nt.RoleOf(nt.OfExists(BasicRole::Inverse(p))),
+            BasicRole::Inverse(p));
+  EXPECT_EQ(nt.AttributeOf(nt.OfAttrDomain(u)), u);
+  EXPECT_EQ(nt.BasicConceptOf(nt.OfExists(BasicRole::Direct(q))),
+            BasicConcept::Exists(BasicRole::Direct(q)));
+  EXPECT_TRUE(nt.IsConceptSorted(nt.OfConcept(a)));
+  EXPECT_TRUE(nt.IsConceptSorted(nt.OfExists(BasicRole::Direct(p))));
+  EXPECT_TRUE(nt.IsConceptSorted(nt.OfAttrDomain(u)));
+  EXPECT_FALSE(nt.IsConceptSorted(nt.OfRole(BasicRole::Direct(p))));
+  EXPECT_FALSE(nt.IsConceptSorted(nt.OfAttribute(u)));
+}
+
+TEST(NodeTableTest, NamesAreReadable) {
+  dllite::Vocabulary v;
+  v.InternConcept("Person");
+  auto p = v.InternRole("knows");
+  NodeTable nt(v);
+  EXPECT_EQ(nt.NameOf(0, v), "Person");
+  EXPECT_EQ(nt.NameOf(nt.OfExists(BasicRole::Inverse(p)), v),
+            "exists knows-");
+}
+
+// ---------------------------------------------------------------------------
+// Digraph construction (Definition 1)
+// ---------------------------------------------------------------------------
+
+TEST(TBoxGraphTest, ConceptInclusionMakesOneArc) {
+  Ontology onto = MustParse("concept A B\nA <= B\n");
+  TBoxGraph g = BuildTBoxGraph(onto.tbox(), onto.vocab());
+  EXPECT_TRUE(g.digraph.HasArc(0, 1));
+  EXPECT_EQ(g.digraph.NumArcs(), 1u);
+}
+
+TEST(TBoxGraphTest, RoleInclusionMakesFourArcs) {
+  Ontology onto = MustParse("role P Q\nP <= Q\n");
+  TBoxGraph g = BuildTBoxGraph(onto.tbox(), onto.vocab());
+  const NodeTable& nt = g.nodes;
+  auto p = BasicRole::Direct(0);
+  auto q = BasicRole::Direct(1);
+  EXPECT_TRUE(g.digraph.HasArc(nt.OfRole(p), nt.OfRole(q)));
+  EXPECT_TRUE(
+      g.digraph.HasArc(nt.OfRole(p.Inverted()), nt.OfRole(q.Inverted())));
+  EXPECT_TRUE(g.digraph.HasArc(nt.OfExists(p), nt.OfExists(q)));
+  EXPECT_TRUE(
+      g.digraph.HasArc(nt.OfExists(p.Inverted()), nt.OfExists(q.Inverted())));
+  EXPECT_EQ(g.digraph.NumArcs(), 4u);
+}
+
+TEST(TBoxGraphTest, QualifiedExistentialMakesDomainArcAndIndexEntry) {
+  Ontology onto =
+      MustParse("concept County State\nrole isPartOf\n"
+                "County <= exists isPartOf . State\n");
+  TBoxGraph g = BuildTBoxGraph(onto.tbox(), onto.vocab());
+  const NodeTable& nt = g.nodes;
+  EXPECT_TRUE(g.digraph.HasArc(nt.OfConcept(0),
+                               nt.OfExists(BasicRole::Direct(0))));
+  ASSERT_EQ(g.qualified_existentials.size(), 1u);
+  EXPECT_EQ(g.qualified_existentials[0].filler, 1u);
+  EXPECT_TRUE(g.negative_inclusions.empty());
+}
+
+TEST(TBoxGraphTest, NegativeInclusionsGoToSideIndex) {
+  Ontology onto = MustParse("concept A B\nrole P Q\nA <= not B\nP <= not Q\n");
+  TBoxGraph g = BuildTBoxGraph(onto.tbox(), onto.vocab());
+  // Concept NI once; role NI recorded for both component pairs.
+  EXPECT_EQ(g.negative_inclusions.size(), 3u);
+  EXPECT_EQ(g.digraph.NumArcs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Φ_T: subsumptions from positive inclusions (Theorem 1)
+// ---------------------------------------------------------------------------
+
+class ClassifyEngineTest
+    : public ::testing::TestWithParam<graph::ClosureEngine> {
+ protected:
+  ClassificationOptions Opts() const {
+    ClassificationOptions o;
+    o.engine = GetParam();
+    return o;
+  }
+};
+
+TEST_P(ClassifyEngineTest, TransitiveConceptChain) {
+  Ontology onto = MustParse("concept A1 A2 A3\nA1 <= A2\nA2 <= A3\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  // The paper's introductory example: A1 ⊑ A3 is inferred.
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(2)));
+  EXPECT_FALSE(cls.Entails(BasicConcept::Atomic(2), BasicConcept::Atomic(0)));
+  EXPECT_EQ(cls.SuperConcepts(0), (std::vector<dllite::ConceptId>{1, 2}));
+  EXPECT_EQ(cls.SubConcepts(2), (std::vector<dllite::ConceptId>{0, 1}));
+}
+
+TEST_P(ClassifyEngineTest, RoleHierarchyPropagatesToDomains) {
+  Ontology onto = MustParse(
+      "concept A B\nrole P Q\nP <= Q\nexists Q <= A\nexists P- <= B\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  // ∃P ⊑ ∃Q ⊑ A.
+  EXPECT_TRUE(cls.Entails(BasicConcept::Exists(BasicRole::Direct(0)),
+                          BasicConcept::Atomic(0)));
+  // Role subsumption itself.
+  EXPECT_TRUE(cls.Entails(BasicRole::Direct(0), BasicRole::Direct(1)));
+  EXPECT_TRUE(cls.Entails(BasicRole::Inverse(0), BasicRole::Inverse(1)));
+  EXPECT_FALSE(cls.Entails(BasicRole::Direct(1), BasicRole::Direct(0)));
+  // ∃Q⁻ is not constrained.
+  EXPECT_FALSE(cls.Entails(BasicConcept::Exists(BasicRole::Inverse(1)),
+                           BasicConcept::Atomic(1)));
+  EXPECT_EQ(cls.SuperRoles(0), (std::vector<dllite::RoleId>{1}));
+  EXPECT_TRUE(cls.SuperRoles(1).empty());
+}
+
+TEST_P(ClassifyEngineTest, EquivalentConceptsViaCycle) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nB <= A\nB <= C\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(1)));
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(1), BasicConcept::Atomic(0)));
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(2)));
+  EXPECT_FALSE(cls.Entails(BasicConcept::Atomic(2), BasicConcept::Atomic(0)));
+}
+
+TEST_P(ClassifyEngineTest, AttributeHierarchy) {
+  Ontology onto = MustParse(
+      "concept A\nattribute u w\nu <= w\ndelta(w) <= A\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.EntailsAttribute(0, 1));
+  EXPECT_FALSE(cls.EntailsAttribute(1, 0));
+  // δ(u) ⊑ δ(w) ⊑ A.
+  EXPECT_TRUE(cls.Entails(BasicConcept::AttrDomain(0),
+                          BasicConcept::Atomic(0)));
+  EXPECT_EQ(cls.SuperAttributes(0), (std::vector<dllite::AttributeId>{1}));
+}
+
+TEST_P(ClassifyEngineTest, QualifiedExistentialGivesUnqualifiedDomain) {
+  Ontology onto = MustParse(
+      "concept County State Region\nrole isPartOf\n"
+      "County <= exists isPartOf . State\n"
+      "exists isPartOf <= Region\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  // County ⊑ ∃isPartOf ⊑ Region.
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(2)));
+}
+
+// ---------------------------------------------------------------------------
+// Ω_T: computeUnsat
+// ---------------------------------------------------------------------------
+
+TEST_P(ClassifyEngineTest, DirectContradictionIsUnsat) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nA <= C\nB <= not C\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(1)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(2)));
+  EXPECT_EQ(cls.UnsatisfiableConcepts(), (std::vector<dllite::ConceptId>{0}));
+  // Ω_T: the unsatisfiable A is classified under everything.
+  EXPECT_EQ(cls.SuperConcepts(0), (std::vector<dllite::ConceptId>{1, 2}));
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(1)));
+}
+
+TEST_P(ClassifyEngineTest, SelfDisjointConceptIsUnsat) {
+  Ontology onto = MustParse("concept A B\nB <= A\nA <= not A\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+  // Subsumees of an unsatisfiable concept are unsatisfiable.
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(1)));
+}
+
+TEST_P(ClassifyEngineTest, UnsatRolePropagatesToComponents) {
+  Ontology onto = MustParse("concept A\nrole P Q\nP <= Q\nP <= not Q\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicRole::Direct(0)));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicRole::Inverse(0)));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Exists(BasicRole::Direct(0))));
+  EXPECT_TRUE(
+      cls.IsUnsatisfiable(BasicConcept::Exists(BasicRole::Inverse(0))));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicRole::Direct(1)));
+  EXPECT_EQ(cls.UnsatisfiableRoles(), (std::vector<dllite::RoleId>{0}));
+}
+
+TEST_P(ClassifyEngineTest, EmptyDomainEmptiesRole) {
+  Ontology onto = MustParse(
+      "concept A\nrole P\nexists P <= A\nexists P <= not A\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Exists(BasicRole::Direct(0))));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicRole::Direct(0)));
+  EXPECT_TRUE(
+      cls.IsUnsatisfiable(BasicConcept::Exists(BasicRole::Inverse(0))));
+}
+
+TEST_P(ClassifyEngineTest, UnsatFillerEmptiesQualifiedLhs) {
+  Ontology onto = MustParse(
+      "concept A B C\nrole P\n"
+      "B <= C\nB <= not C\n"        // B is unsatisfiable
+      "A <= exists P . B\n");       // hence A is too
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(1)));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(2)));
+}
+
+TEST_P(ClassifyEngineTest, UnsatRoleInQualifiedExistentialEmptiesLhs) {
+  Ontology onto = MustParse(
+      "concept A B\nrole P\n"
+      "P <= not P\n"              // P is unsatisfiable
+      "A <= exists P . B\n");     // hence A is too
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicRole::Direct(0)));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(1)));
+}
+
+TEST_P(ClassifyEngineTest, UnsatAttributePropagatesToDomain) {
+  Ontology onto = MustParse(
+      "concept A\nattribute u w\nu <= w\nu <= not w\ndelta(u) <= A\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_EQ(cls.UnsatisfiableAttributes(),
+            (std::vector<dllite::AttributeId>{0}));
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::AttrDomain(0)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+}
+
+TEST_P(ClassifyEngineTest, QualifiedSuccessorConflictDetected) {
+  // B ⊑ ∃P.F with range(P) ⊑ R and the successor's memberships F, R
+  // having disjoint ancestors: the anonymous successor is contradictory,
+  // so B is unsatisfiable (the paper's "remaining challenge" case).
+  Ontology onto = MustParse(
+      "concept B F R X Y\nrole P\n"
+      "F <= X\nR <= Y\nX <= not Y\n"
+      "exists P- <= R\n"
+      "B <= exists P . F\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  auto b = onto.vocab().FindConcept("B").value();
+  EXPECT_TRUE(cls.IsUnsatisfiable(BasicConcept::Atomic(b)));
+  // Neither the filler nor the range class is unsatisfiable themselves.
+  EXPECT_FALSE(cls.IsUnsatisfiable(
+      BasicConcept::Atomic(onto.vocab().FindConcept("F").value())));
+  EXPECT_FALSE(cls.IsUnsatisfiable(
+      BasicConcept::Atomic(onto.vocab().FindConcept("R").value())));
+}
+
+TEST_P(ClassifyEngineTest, QualifiedSuccessorViaSuperRoleRange) {
+  // The range constraint sits on a super-role of the qualified one.
+  Ontology onto = MustParse(
+      "concept B F R\nrole P Q\n"
+      "P <= Q\n"
+      "exists Q- <= R\n"
+      "F <= not R\n"
+      "B <= exists P . F\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.IsUnsatisfiable(
+      BasicConcept::Atomic(onto.vocab().FindConcept("B").value())));
+}
+
+TEST_P(ClassifyEngineTest, QualifiedSuccessorCompatibleFillerIsFine) {
+  Ontology onto = MustParse(
+      "concept B F R\nrole P\n"
+      "exists P- <= R\n"
+      "B <= exists P . F\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_TRUE(cls.UnsatisfiableConcepts().empty());
+}
+
+TEST_P(ClassifyEngineTest, DisjointRolesAloneCauseNoUnsat) {
+  // Disjoint roles do NOT make their domains disjoint or empty.
+  Ontology onto = MustParse("role P Q\nP <= not Q\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicRole::Direct(0)));
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicRole::Direct(1)));
+  EXPECT_FALSE(
+      cls.IsUnsatisfiable(BasicConcept::Exists(BasicRole::Direct(0))));
+}
+
+TEST_P(ClassifyEngineTest, SkippingUnsatStepLeavesPhiOnly) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nA <= not B\n");
+  ClassificationOptions opts = Opts();
+  opts.compute_unsat = false;
+  Classification cls = Classify(onto.tbox(), onto.vocab(), opts);
+  EXPECT_FALSE(cls.IsUnsatisfiable(BasicConcept::Atomic(0)));
+  EXPECT_TRUE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(1)));
+  // Without Ω_T, A ⊑ C is missed (A is actually unsatisfiable).
+  EXPECT_FALSE(cls.Entails(BasicConcept::Atomic(0), BasicConcept::Atomic(2)));
+}
+
+TEST_P(ClassifyEngineTest, StatsAreFilled) {
+  Ontology onto = MustParse("concept A B\nrole P\nA <= B\nA <= not B\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  const auto& st = cls.stats();
+  EXPECT_EQ(st.num_nodes, 2u + 4u);
+  EXPECT_EQ(st.num_graph_arcs, 1u);
+  EXPECT_GT(st.num_unsat_nodes, 0u);
+  EXPECT_GE(st.TotalMillis(), 0.0);
+}
+
+TEST_P(ClassifyEngineTest, CountNamedSubsumptions) {
+  Ontology onto = MustParse("concept A B C\nrole P Q\nA <= B\nB <= C\nP <= Q\n");
+  Classification cls = Classify(onto.tbox(), onto.vocab(), Opts());
+  // A⊑B, A⊑C, B⊑C plus P⊑Q.
+  EXPECT_EQ(cls.CountNamedSubsumptions(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ClassifyEngineTest,
+                         ::testing::Values(graph::ClosureEngine::kBfs,
+                                           graph::ClosureEngine::kSccMerge,
+                                           graph::ClosureEngine::kSccBitset),
+                         [](const auto& pinfo) {
+                           return graph::ClosureEngineName(pinfo.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Deductive closure
+// ---------------------------------------------------------------------------
+
+TEST(DeductiveClosureTest, BasicPositives) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nB <= C\n");
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab());
+  // A⊑B, B⊑C, A⊑C.
+  EXPECT_EQ(closure.concept_inclusions().size(), 3u);
+}
+
+TEST(DeductiveClosureTest, RoleClosureIncludesInverseForms) {
+  Ontology onto = MustParse("role P Q R\nP <= Q\nQ <= R\n");
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab());
+  // {P⊑Q, Q⊑R, P⊑R} in both direct and inverse component forms.
+  EXPECT_EQ(closure.role_inclusions().size(), 6u);
+}
+
+TEST(DeductiveClosureTest, NegativeClosurePropagatesUpward) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nB <= not C\n");
+  DeductiveClosureOptions opts;
+  opts.positive_basic = false;
+  opts.qualified_existentials = false;
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab(), opts);
+  // B ⊑ ¬C, C ⊑ ¬B, A ⊑ ¬C, C ⊑ ¬A.
+  EXPECT_EQ(closure.concept_inclusions().size(), 4u);
+  for (const auto& ax : closure.concept_inclusions()) {
+    EXPECT_EQ(ax.rhs.kind, dllite::RhsConceptKind::kNegatedBasic);
+  }
+}
+
+TEST(DeductiveClosureTest, QualifiedExistentialConsequences) {
+  Ontology onto = MustParse(
+      "concept A B State Region\nrole P Q\n"
+      "A <= B\nState <= Region\nP <= Q\n"
+      "B <= exists P . State\n");
+  DeductiveClosureOptions opts;
+  opts.positive_basic = false;
+  opts.negative = false;
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab(), opts);
+  // Expected QE consequences include A ⊑ ∃P.State, A ⊑ ∃Q.Region, etc.
+  auto contains = [&](const char* lhs, const char* role, bool inv,
+                      const char* filler) {
+    auto a = onto.vocab().FindConcept(lhs).value();
+    auto p = onto.vocab().FindRole(role).value();
+    auto f = onto.vocab().FindConcept(filler).value();
+    for (const auto& ax : closure.concept_inclusions()) {
+      if (ax.lhs == BasicConcept::Atomic(a) &&
+          ax.rhs.kind == dllite::RhsConceptKind::kQualifiedExists &&
+          ax.rhs.role == dllite::BasicRole{p, inv} && ax.rhs.filler == f) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("B", "P", false, "State"));
+  EXPECT_TRUE(contains("A", "P", false, "State"));
+  EXPECT_TRUE(contains("A", "Q", false, "Region"));
+  EXPECT_TRUE(contains("B", "Q", false, "State"));
+  EXPECT_FALSE(contains("State", "P", false, "State"));
+  EXPECT_FALSE(contains("A", "P", true, "State"));
+}
+
+}  // namespace
+}  // namespace olite::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "completion/completion_classifier.h"
+#include "core/classifier.h"
+#include "dllite/ontology.h"
+
+namespace olite::completion {
+namespace {
+
+using dllite::Ontology;
+using dllite::ParseOntology;
+
+Ontology MustParse(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(CompletionTest, TransitiveChain) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nB <= C\n");
+  CompletionResult r = ClassifyWithCompletion(onto.tbox(), onto.vocab());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.concept_subsumers[0], (std::vector<dllite::ConceptId>{1, 2}));
+  EXPECT_EQ(r.concept_subsumers[1], (std::vector<dllite::ConceptId>{2}));
+  EXPECT_TRUE(r.concept_subsumers[2].empty());
+  EXPECT_TRUE(r.unsatisfiable_concepts.empty());
+}
+
+TEST(CompletionTest, RoleHierarchyAndDomains) {
+  Ontology onto = MustParse(
+      "concept A\nrole P Q\nP <= Q\nexists Q <= A\n");
+  CompletionResult r = ClassifyWithCompletion(onto.tbox(), onto.vocab());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.role_subsumers[0], (std::vector<dllite::RoleId>{1}));
+  EXPECT_TRUE(r.role_subsumers[1].empty());
+}
+
+TEST(CompletionTest, RoleHierarchySkippedWhenDisabled) {
+  // Reproduces the paper's CB caveat: property hierarchy not computed.
+  Ontology onto = MustParse("concept A B\nrole P Q\nP <= Q\nA <= B\n");
+  CompletionOptions opts;
+  opts.compute_role_hierarchy = false;
+  CompletionResult r =
+      ClassifyWithCompletion(onto.tbox(), onto.vocab(), opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.role_subsumers[0].empty());
+  // Concept classification is still complete.
+  EXPECT_EQ(r.concept_subsumers[0], (std::vector<dllite::ConceptId>{1}));
+}
+
+TEST(CompletionTest, UnsatViaNegativeInclusion) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nA <= C\nB <= not C\n");
+  CompletionResult r = ClassifyWithCompletion(onto.tbox(), onto.vocab());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.unsatisfiable_concepts, (std::vector<dllite::ConceptId>{0}));
+  EXPECT_EQ(r.concept_subsumers[0].size(), 2u);
+}
+
+TEST(CompletionTest, UnsatRoleComponentPropagation) {
+  Ontology onto = MustParse(
+      "concept A B\nrole P\nP <= not P\nA <= exists P . B\n");
+  CompletionResult r = ClassifyWithCompletion(onto.tbox(), onto.vocab());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.unsatisfiable_roles, (std::vector<dllite::RoleId>{0}));
+  EXPECT_EQ(r.unsatisfiable_concepts, (std::vector<dllite::ConceptId>{0}));
+}
+
+// The completion engine and the paper's graph engine must agree exactly.
+class AgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AgreementTest, MatchesGraphClassifier) {
+  Ontology onto = MustParse(GetParam());
+  CompletionResult cr = ClassifyWithCompletion(onto.tbox(), onto.vocab());
+  ASSERT_TRUE(cr.completed);
+  core::Classification gc = core::Classify(onto.tbox(), onto.vocab());
+  for (uint32_t a = 0; a < onto.vocab().NumConcepts(); ++a) {
+    EXPECT_EQ(cr.concept_subsumers[a], gc.SuperConcepts(a)) << "concept " << a;
+  }
+  for (uint32_t p = 0; p < onto.vocab().NumRoles(); ++p) {
+    EXPECT_EQ(cr.role_subsumers[p], gc.SuperRoles(p)) << "role " << p;
+  }
+  for (uint32_t u = 0; u < onto.vocab().NumAttributes(); ++u) {
+    EXPECT_EQ(cr.attribute_subsumers[u], gc.SuperAttributes(u))
+        << "attribute " << u;
+  }
+  EXPECT_EQ(cr.unsatisfiable_concepts, gc.UnsatisfiableConcepts());
+  EXPECT_EQ(cr.unsatisfiable_roles, gc.UnsatisfiableRoles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AgreementTest,
+    ::testing::Values(
+        "concept A B C\nA <= B\nB <= C\nC <= A\n",           // cycle
+        "concept A B\nrole P Q\nP <= Q\nexists Q <= A\nexists P- <= B\n",
+        "concept A B C\nrole P\nA <= exists P . B\nB <= C\nB <= not C\n",
+        "concept A\nattribute u w\nu <= w\ndelta(w) <= A\nu <= not u\n",
+        "concept A B C D\nA <= B\nC <= D\nB <= not D\nA <= C\n",
+        "role P Q R\nP <= Q\nQ <= R\nR <= not P\n"));
+
+}  // namespace
+}  // namespace olite::completion

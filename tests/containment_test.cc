@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "dllite/ontology.h"
+#include "query/containment.h"
+#include "query/rewriter.h"
+
+namespace olite::query {
+namespace {
+
+using dllite::Ontology;
+using dllite::ParseOntology;
+
+Ontology Fixture() {
+  auto r = ParseOntology("concept A B\nrole P Q\nattribute u\n");
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+ConjunctiveQuery Q(const char* text, const dllite::Vocabulary& v) {
+  auto r = ParseQuery(text, v);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ContainmentTest, IdenticalQueriesContainEachOther) {
+  Ontology onto = Fixture();
+  auto q1 = Q("q(x) :- A(x)", onto.vocab());
+  auto q2 = Q("q(x) :- A(x)", onto.vocab());
+  EXPECT_TRUE(Contains(q1, q2));
+  EXPECT_TRUE(Contains(q2, q1));
+}
+
+TEST(ContainmentTest, MoreAtomsIsMoreSpecific) {
+  Ontology onto = Fixture();
+  auto general = Q("q(x) :- P(x, y)", onto.vocab());
+  auto specific = Q("q(x) :- P(x, y), A(y)", onto.vocab());
+  EXPECT_TRUE(Contains(general, specific));
+  EXPECT_FALSE(Contains(specific, general));
+}
+
+TEST(ContainmentTest, FoldingHomomorphism) {
+  Ontology onto = Fixture();
+  // The two-atom query folds onto the one-atom query (z ↦ x): they are
+  // equivalent.
+  auto folded = Q("q(x) :- P(x, y)", onto.vocab());
+  auto redundant = Q("q(x) :- P(x, y), P(z, y)", onto.vocab());
+  EXPECT_TRUE(Contains(redundant, folded));
+  EXPECT_TRUE(Contains(folded, redundant));
+}
+
+TEST(ContainmentTest, HeadVariablesMustMapIdentically) {
+  Ontology onto = Fixture();
+  auto q1 = Q("q(x) :- P(x, y)", onto.vocab());
+  auto q2 = Q("q(x) :- P(y, x)", onto.vocab());
+  EXPECT_FALSE(Contains(q1, q2));
+  EXPECT_FALSE(Contains(q2, q1));
+  // Different head lists never contain each other.
+  auto q3 = Q("q(x, y) :- P(x, y)", onto.vocab());
+  EXPECT_FALSE(Contains(q1, q3));
+}
+
+TEST(ContainmentTest, ConstantsMustMatch) {
+  Ontology onto = Fixture();
+  auto with_const = Q("q(x) :- P(x, 'rome')", onto.vocab());
+  auto with_var = Q("q(x) :- P(x, y)", onto.vocab());
+  // Var version is more general.
+  EXPECT_TRUE(Contains(with_var, with_const));
+  EXPECT_FALSE(Contains(with_const, with_var));
+}
+
+TEST(ContainmentTest, DifferentPredicatesNeverContain) {
+  Ontology onto = Fixture();
+  auto qa = Q("q(x) :- A(x)", onto.vocab());
+  auto qb = Q("q(x) :- B(x)", onto.vocab());
+  EXPECT_FALSE(Contains(qa, qb));
+  EXPECT_FALSE(Contains(qb, qa));
+}
+
+TEST(ContainmentTest, AttributeAtoms) {
+  Ontology onto = Fixture();
+  auto general = Q("q(x) :- u(x, v)", onto.vocab());
+  auto specific = Q("q(x) :- u(x, v), u(x, w)", onto.vocab());
+  EXPECT_TRUE(Contains(general, specific));
+  EXPECT_TRUE(Contains(specific, general));  // folds w ↦ v
+}
+
+TEST(MinimizeUnionTest, DropsContainedDisjuncts) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x) :- P(x, y)", onto.vocab()));
+  ucq.disjuncts.push_back(Q("q(x) :- P(x, y), A(y)", onto.vocab()));  // ⊆ 1st
+  ucq.disjuncts.push_back(Q("q(x) :- B(x)", onto.vocab()));
+  MinimizeUnion(&ucq);
+  ASSERT_EQ(ucq.disjuncts.size(), 2u);
+}
+
+TEST(MinimizeUnionTest, KeepsOneOfEquivalentGroup) {
+  Ontology onto = Fixture();
+  UnionQuery ucq;
+  ucq.disjuncts.push_back(Q("q(x) :- P(x, y), P(z, y)", onto.vocab()));
+  ucq.disjuncts.push_back(Q("q(x) :- P(x, y)", onto.vocab()));
+  MinimizeUnion(&ucq);
+  ASSERT_EQ(ucq.disjuncts.size(), 1u);
+}
+
+TEST(MinimizeUnionTest, RewriterPrunesReduceArtifacts) {
+  auto parsed = ParseOntology(
+      "concept Professor\nrole teaches\nProfessor <= exists teaches\n");
+  ASSERT_TRUE(parsed.ok());
+  const Ontology& onto = *parsed;
+  RewriterOptions with, without;
+  with.prune_subsumed = true;
+  without.prune_subsumed = false;
+  Rewriter pruned(onto.tbox(), onto.vocab(), with);
+  Rewriter raw(onto.tbox(), onto.vocab(), without);
+  auto cq = Q("q(x) :- teaches(x, y), teaches(z, y)", onto.vocab());
+  auto a = pruned.Rewrite(cq);
+  auto b = raw.Rewrite(cq);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The reduce step makes the original two-atom disjunct redundant.
+  EXPECT_LT(a->disjuncts.size(), b->disjuncts.size());
+  EXPECT_EQ(a->disjuncts.size(), 2u);  // teaches(x,_) and Professor(x)
+}
+
+}  // namespace
+}  // namespace olite::query

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/deductive_closure.h"
+#include "dllite/ontology.h"
+
+namespace olite::core {
+namespace {
+
+using dllite::Ontology;
+using dllite::ParseOntology;
+using dllite::RhsConceptKind;
+
+Ontology MustParse(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(DeductiveClosureOptionsTest, FlagsSelectAxiomFamilies) {
+  Ontology onto = MustParse(
+      "concept A B C\nrole P\nA <= B\nB <= not C\nA <= exists P . C\n");
+
+  DeductiveClosureOptions only_positive;
+  only_positive.negative = false;
+  only_positive.qualified_existentials = false;
+  dllite::TBox pos = DeductiveClosure(onto.tbox(), onto.vocab(),
+                                      only_positive);
+  for (const auto& ax : pos.concept_inclusions()) {
+    EXPECT_NE(ax.rhs.kind, RhsConceptKind::kNegatedBasic);
+    EXPECT_NE(ax.rhs.kind, RhsConceptKind::kQualifiedExists);
+  }
+
+  DeductiveClosureOptions only_negative;
+  only_negative.positive_basic = false;
+  only_negative.qualified_existentials = false;
+  dllite::TBox neg = DeductiveClosure(onto.tbox(), onto.vocab(),
+                                      only_negative);
+  EXPECT_GT(neg.concept_inclusions().size(), 0u);
+  for (const auto& ax : neg.concept_inclusions()) {
+    EXPECT_EQ(ax.rhs.kind, RhsConceptKind::kNegatedBasic);
+  }
+
+  DeductiveClosureOptions only_qe;
+  only_qe.positive_basic = false;
+  only_qe.negative = false;
+  dllite::TBox qe = DeductiveClosure(onto.tbox(), onto.vocab(), only_qe);
+  EXPECT_GT(qe.concept_inclusions().size(), 0u);
+  for (const auto& ax : qe.concept_inclusions()) {
+    EXPECT_EQ(ax.rhs.kind, RhsConceptKind::kQualifiedExists);
+  }
+}
+
+TEST(DeductiveClosureOptionsTest, UnsatDisjointnessFlag) {
+  // A is unsatisfiable; by default its trivially entailed axioms are
+  // suppressed.
+  Ontology onto = MustParse("concept A B C\nA <= B\nA <= C\nB <= not C\n");
+  DeductiveClosureOptions quiet;
+  quiet.positive_basic = false;
+  quiet.qualified_existentials = false;
+  dllite::TBox without = DeductiveClosure(onto.tbox(), onto.vocab(), quiet);
+  DeductiveClosureOptions noisy = quiet;
+  noisy.unsat_disjointness = true;
+  dllite::TBox with = DeductiveClosure(onto.tbox(), onto.vocab(), noisy);
+  EXPECT_GT(with.concept_inclusions().size(),
+            without.concept_inclusions().size());
+}
+
+TEST(DeductiveClosureTest, EmptyTBoxYieldsEmptyClosure) {
+  Ontology onto = MustParse("concept A B\nrole P\n");
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab());
+  EXPECT_EQ(closure.NumAxioms(), 0u);
+}
+
+TEST(DeductiveClosureTest, AttributeClosure) {
+  Ontology onto = MustParse("attribute u v w\nu <= v\nv <= w\n");
+  dllite::TBox closure = DeductiveClosure(onto.tbox(), onto.vocab());
+  // u⊑v, v⊑w, u⊑w.
+  EXPECT_EQ(closure.attribute_inclusions().size(), 3u);
+}
+
+TEST(DeductiveClosureTest, ClosureIsIdempotent) {
+  Ontology onto = MustParse(
+      "concept A B C\nrole P\nA <= B\nB <= C\nA <= exists P . B\n");
+  dllite::TBox once = DeductiveClosure(onto.tbox(), onto.vocab());
+  dllite::TBox twice = DeductiveClosure(once, onto.vocab());
+  EXPECT_EQ(once.concept_inclusions().size(),
+            twice.concept_inclusions().size());
+  EXPECT_EQ(once.role_inclusions().size(), twice.role_inclusions().size());
+}
+
+}  // namespace
+}  // namespace olite::core

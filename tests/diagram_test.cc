@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "diagram/diagram.h"
+
+namespace olite::diagram {
+namespace {
+
+// Builds the paper's Figure 2 diagram: County, State, isPartOf with a
+// white qualified square (County ⊑ ∃isPartOf.State) and a black qualified
+// square (State ⊑ ∃isPartOf⁻.County).
+Diagram Figure2() {
+  Diagram d;
+  ElementId county = d.AddConcept("County");
+  ElementId state = d.AddConcept("State");
+  ElementId is_part_of = d.AddRole("isPartOf");
+  auto white = d.AddDomainRestriction(is_part_of, state);
+  auto black = d.AddRangeRestriction(is_part_of, county);
+  EXPECT_TRUE(white.ok());
+  EXPECT_TRUE(black.ok());
+  EXPECT_TRUE(d.AddInclusion({county, *white, false, false, false}).ok());
+  EXPECT_TRUE(d.AddInclusion({state, *black, false, false, false}).ok());
+  return d;
+}
+
+TEST(DiagramTest, Figure2TranslatesToThePaperAxioms) {
+  Diagram d = Figure2();
+  ASSERT_TRUE(d.Validate().ok());
+  auto onto = d.ToOntology();
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  std::string text = onto->tbox().ToString(onto->vocab());
+  EXPECT_NE(text.find("County <= exists isPartOf . State"),
+            std::string::npos);
+  EXPECT_NE(text.find("State <= exists isPartOf- . County"),
+            std::string::npos);
+  EXPECT_EQ(onto->tbox().NumAxioms(), 2u);
+}
+
+TEST(DiagramTest, Figure2DotRendering) {
+  Diagram d = Figure2();
+  std::string dot = d.ToDot("figure2");
+  EXPECT_NE(dot.find("shape=box, label=\"County\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond, label=\"isPartOf\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=black"), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted, dir=none"), std::string::npos);
+}
+
+TEST(DiagramTest, SortValidationOnEdges) {
+  Diagram d;
+  ElementId a = d.AddConcept("A");
+  ElementId p = d.AddRole("P");
+  ElementId u = d.AddAttribute("u");
+  EXPECT_EQ(d.AddInclusion({a, p, false, false, false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(d.AddInclusion({a, u, false, false, false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(d.AddInclusion({a, a, true, true, false}).code(),
+            StatusCode::kInvalidArgument);  // inverse marker on concepts
+  EXPECT_EQ(d.AddInclusion({a, 99, false, false, false}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DiagramTest, QualifiedSquareOnlyOnRhs) {
+  Diagram d;
+  ElementId a = d.AddConcept("A");
+  ElementId b = d.AddConcept("B");
+  ElementId p = d.AddRole("P");
+  auto sq = d.AddDomainRestriction(p, b);
+  ASSERT_TRUE(sq.ok());
+  EXPECT_EQ(d.AddInclusion({*sq, a, false, false, false}).code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(d.AddInclusion({a, *sq, true, false, false}).code(),
+            StatusCode::kUnsupported);  // negated qualified RHS
+  EXPECT_TRUE(d.AddInclusion({a, *sq, false, false, false}).ok());
+}
+
+TEST(DiagramTest, SquareAttachmentValidation) {
+  Diagram d;
+  ElementId a = d.AddConcept("A");
+  ElementId p = d.AddRole("P");
+  EXPECT_FALSE(d.AddDomainRestriction(a).ok());       // not a diamond
+  EXPECT_FALSE(d.AddRangeRestriction(p, p).ok());     // filler not a box
+  EXPECT_TRUE(d.AddDomainRestriction(p, a).ok());
+}
+
+TEST(DiagramTest, DuplicateLabelsRejectedByValidate) {
+  Diagram d;
+  d.AddConcept("A");
+  d.AddConcept("A");
+  EXPECT_EQ(d.Validate().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DiagramTest, RoleAndAttributeEdges) {
+  Diagram d;
+  ElementId p = d.AddRole("P");
+  ElementId q = d.AddRole("Q");
+  ElementId u = d.AddAttribute("u");
+  ElementId w = d.AddAttribute("w");
+  ASSERT_TRUE(d.AddInclusion({p, q, false, false, true}).ok());  // P ⊑ Q⁻
+  ASSERT_TRUE(d.AddInclusion({u, w, true, false, false}).ok());  // u ⊑ ¬w
+  auto onto = d.ToOntology();
+  ASSERT_TRUE(onto.ok());
+  ASSERT_EQ(onto->tbox().role_inclusions().size(), 1u);
+  EXPECT_TRUE(onto->tbox().role_inclusions()[0].rhs.inverse);
+  ASSERT_EQ(onto->tbox().attribute_inclusions().size(), 1u);
+  EXPECT_TRUE(onto->tbox().attribute_inclusions()[0].negated);
+}
+
+TEST(DiagramTest, RoundTripThroughOntology) {
+  Diagram d = Figure2();
+  auto onto = d.ToOntology();
+  ASSERT_TRUE(onto.ok());
+  auto back = FromOntology(onto->tbox(), onto->vocab());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto onto2 = back->ToOntology();
+  ASSERT_TRUE(onto2.ok());
+  EXPECT_EQ(onto2->tbox().ToString(onto2->vocab()),
+            onto->tbox().ToString(onto->vocab()));
+}
+
+TEST(DiagramTest, FromOntologySharesSquares) {
+  auto parsed = dllite::ParseOntology(
+      "concept A B\nrole P\nA <= exists P\nB <= exists P\n");
+  ASSERT_TRUE(parsed.ok());
+  auto d = FromOntology(parsed->tbox(), parsed->vocab());
+  ASSERT_TRUE(d.ok());
+  // A, B, P, one shared white square.
+  EXPECT_EQ(d->elements().size(), 4u);
+  EXPECT_EQ(d->edges().size(), 2u);
+}
+
+TEST(DiagramTest, TranslationAgreesWithClassifier) {
+  // Design in the diagram, reason on the translation (§3 workflow).
+  Diagram d;
+  ElementId dog = d.AddConcept("Dog");
+  ElementId mammal = d.AddConcept("Mammal");
+  ElementId animal = d.AddConcept("Animal");
+  ElementId plant = d.AddConcept("Plant");
+  ASSERT_TRUE(d.AddInclusion({dog, mammal, false, false, false}).ok());
+  ASSERT_TRUE(d.AddInclusion({mammal, animal, false, false, false}).ok());
+  ASSERT_TRUE(d.AddInclusion({animal, plant, true, false, false}).ok());
+  auto onto = d.ToOntology();
+  ASSERT_TRUE(onto.ok());
+  core::Classification cls = core::Classify(onto->tbox(), onto->vocab());
+  EXPECT_TRUE(cls.Entails(dllite::BasicConcept::Atomic(0),
+                          dllite::BasicConcept::Atomic(2)));
+  EXPECT_TRUE(cls.UnsatisfiableConcepts().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Modularization / visualization
+// ---------------------------------------------------------------------------
+
+Diagram Telecom() {
+  // A small two-domain ontology: Customers and Network.
+  Diagram d;
+  ElementId customer = d.AddConcept("Customer");
+  ElementId contract = d.AddConcept("Contract");
+  ElementId vip = d.AddConcept("VipCustomer");
+  ElementId line = d.AddConcept("Line");
+  ElementId cell = d.AddConcept("CellTower");
+  ElementId holds = d.AddRole("holds");
+  ElementId connects = d.AddRole("connectsTo");
+  EXPECT_TRUE(d.AddInclusion({vip, customer, false, false, false}).ok());
+  auto hd = d.AddDomainRestriction(holds);
+  auto hr = d.AddRangeRestriction(holds);
+  EXPECT_TRUE(d.AddInclusion({*hd, customer, false, false, false}).ok());
+  EXPECT_TRUE(d.AddInclusion({*hr, contract, false, false, false}).ok());
+  auto cd = d.AddDomainRestriction(connects);
+  EXPECT_TRUE(d.AddInclusion({*cd, line, false, false, false}).ok());
+  EXPECT_TRUE(d.AddInclusion({line, cell, true, false, false}).ok());
+  return d;
+}
+
+TEST(ModularizationTest, RelevantContextLimitsHops) {
+  Diagram d = Telecom();
+  auto customer = d.Find(ElementKind::kConceptBox, "Customer");
+  ASSERT_TRUE(customer.ok());
+  auto ctx1 = RelevantContext(d, *customer, 1);
+  ASSERT_TRUE(ctx1.ok()) << ctx1.status().ToString();
+  // 1 hop: Customer, VipCustomer, the holds-domain square (+ forced
+  // attachments: holds diamond).
+  EXPECT_TRUE(ctx1->Find(ElementKind::kConceptBox, "Customer").ok());
+  EXPECT_TRUE(ctx1->Find(ElementKind::kConceptBox, "VipCustomer").ok());
+  EXPECT_TRUE(ctx1->Find(ElementKind::kRoleDiamond, "holds").ok());
+  EXPECT_FALSE(ctx1->Find(ElementKind::kConceptBox, "Line").ok());
+  EXPECT_FALSE(ctx1->Find(ElementKind::kRoleDiamond, "connectsTo").ok());
+  ASSERT_TRUE(ctx1->Validate().ok());
+  // Wider context reaches the contract side: Customer — domain-square —
+  // holds — range-square — Contract is four hops.
+  auto ctx3 = RelevantContext(d, *customer, 3);
+  ASSERT_TRUE(ctx3.ok());
+  EXPECT_FALSE(ctx3->Find(ElementKind::kConceptBox, "Contract").ok());
+  auto ctx4 = RelevantContext(d, *customer, 4);
+  ASSERT_TRUE(ctx4.ok());
+  EXPECT_TRUE(ctx4->Find(ElementKind::kConceptBox, "Contract").ok());
+}
+
+TEST(ModularizationTest, DomainModuleKeepsIntraModuleAxioms) {
+  Diagram d = Telecom();
+  auto mod = DomainModule(d, {"Customer", "VipCustomer", "Contract"});
+  ASSERT_TRUE(mod.ok()) << mod.status().ToString();
+  auto onto = mod->ToOntology();
+  ASSERT_TRUE(onto.ok());
+  std::string text = onto->tbox().ToString(onto->vocab());
+  EXPECT_NE(text.find("VipCustomer <= Customer"), std::string::npos);
+  EXPECT_NE(text.find("exists holds <= Customer"), std::string::npos);
+  EXPECT_EQ(text.find("Line"), std::string::npos);
+  auto missing = DomainModule(d, {"Nope"});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModularizationTest, AbstractViewCutsDepth) {
+  Diagram d;
+  ElementId a = d.AddConcept("Root");
+  ElementId b = d.AddConcept("Mid");
+  ElementId c = d.AddConcept("Leaf");
+  ASSERT_TRUE(d.AddInclusion({b, a, false, false, false}).ok());
+  ASSERT_TRUE(d.AddInclusion({c, b, false, false, false}).ok());
+  auto view = AbstractView(d, 1);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->Find(ElementKind::kConceptBox, "Root").ok());
+  EXPECT_TRUE(view->Find(ElementKind::kConceptBox, "Mid").ok());
+  EXPECT_FALSE(view->Find(ElementKind::kConceptBox, "Leaf").ok());
+  auto full = AbstractView(d, 5);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->Find(ElementKind::kConceptBox, "Leaf").ok());
+}
+
+TEST(DiagramTest, AttributeDomainSquare) {
+  Diagram d;
+  ElementId person = d.AddConcept("Person");
+  ElementId age = d.AddAttribute("age");
+  auto sq = d.AddAttrDomainRestriction(age);
+  ASSERT_TRUE(sq.ok()) << sq.status().ToString();
+  // δ(age) ⊑ Person.
+  ASSERT_TRUE(d.AddInclusion({*sq, person, false, false, false}).ok());
+  ASSERT_TRUE(d.Validate().ok());
+  auto onto = d.ToOntology();
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  std::string text = onto->tbox().ToString(onto->vocab());
+  EXPECT_NE(text.find("delta(age) <= Person"), std::string::npos);
+  EXPECT_NE(d.ToDot().find("fillcolor=gray"), std::string::npos);
+  // Misattached squares are rejected.
+  EXPECT_FALSE(d.AddAttrDomainRestriction(person).ok());
+}
+
+TEST(DiagramTest, AttrDomainRoundTrip) {
+  auto parsed = dllite::ParseOntology(
+      "concept Person\nattribute age ssn\n"
+      "delta(age) <= Person\ndelta(ssn) <= delta(age)\nssn <= age\n");
+  ASSERT_TRUE(parsed.ok());
+  auto d = FromOntology(parsed->tbox(), parsed->vocab());
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  auto onto2 = d->ToOntology();
+  ASSERT_TRUE(onto2.ok());
+  EXPECT_EQ(onto2->tbox().ToString(onto2->vocab()),
+            parsed->tbox().ToString(parsed->vocab()));
+}
+
+}  // namespace
+}  // namespace olite::diagram

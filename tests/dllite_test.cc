@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "dllite/ontology.h"
+
+namespace olite::dllite {
+namespace {
+
+Ontology CountyStateOntology() {
+  // The paper's Figure 2 example.
+  Ontology onto;
+  onto.DeclareConcept("County");
+  onto.DeclareConcept("State");
+  onto.DeclareRole("isPartOf");
+  EXPECT_TRUE(onto.AddAxiom("County <= exists isPartOf . State").ok());
+  EXPECT_TRUE(onto.AddAxiom("State <= exists isPartOf- . County").ok());
+  return onto;
+}
+
+TEST(ExpressionsTest, BasicRoleInversion) {
+  BasicRole p = BasicRole::Direct(3);
+  EXPECT_FALSE(p.inverse);
+  BasicRole pi = p.Inverted();
+  EXPECT_TRUE(pi.inverse);
+  EXPECT_EQ(pi.Inverted(), p);
+}
+
+TEST(ExpressionsTest, BasicConceptEquality) {
+  EXPECT_EQ(BasicConcept::Atomic(1), BasicConcept::Atomic(1));
+  EXPECT_FALSE(BasicConcept::Atomic(1) == BasicConcept::Atomic(2));
+  EXPECT_FALSE(BasicConcept::Atomic(1) ==
+               BasicConcept::Exists(BasicRole::Direct(1)));
+  EXPECT_EQ(BasicConcept::Exists(BasicRole::Inverse(0)),
+            BasicConcept::Exists(BasicRole::Inverse(0)));
+}
+
+TEST(ExpressionsTest, ToStringForms) {
+  Vocabulary v;
+  ConceptId a = v.InternConcept("Person");
+  RoleId p = v.InternRole("knows");
+  AttributeId u = v.InternAttribute("age");
+  EXPECT_EQ(ToString(BasicConcept::Atomic(a), v), "Person");
+  EXPECT_EQ(ToString(BasicRole::Inverse(p), v), "knows-");
+  EXPECT_EQ(ToString(BasicConcept::Exists(BasicRole::Direct(p)), v),
+            "exists knows");
+  EXPECT_EQ(ToString(BasicConcept::AttrDomain(u), v), "delta(age)");
+  EXPECT_EQ(ToString(RhsConcept::Negated(BasicConcept::Atomic(a)), v),
+            "not Person");
+  EXPECT_EQ(
+      ToString(RhsConcept::QualifiedExists(BasicRole::Direct(p), a), v),
+      "exists knows . Person");
+}
+
+TEST(OntologyTest, Figure2AxiomsParse) {
+  Ontology onto = CountyStateOntology();
+  ASSERT_EQ(onto.tbox().concept_inclusions().size(), 2u);
+  const auto& ax0 = onto.tbox().concept_inclusions()[0];
+  EXPECT_EQ(ax0.lhs.kind, BasicConceptKind::kAtomic);
+  EXPECT_EQ(ax0.rhs.kind, RhsConceptKind::kQualifiedExists);
+  EXPECT_FALSE(ax0.rhs.role.inverse);
+  const auto& ax1 = onto.tbox().concept_inclusions()[1];
+  EXPECT_TRUE(ax1.rhs.role.inverse);
+}
+
+TEST(OntologyTest, NegationAndExistsParse) {
+  Ontology onto;
+  onto.DeclareConcept("A");
+  onto.DeclareConcept("B");
+  onto.DeclareRole("P");
+  ASSERT_TRUE(onto.AddAxiom("A <= not B").ok());
+  ASSERT_TRUE(onto.AddAxiom("exists P <= A").ok());
+  ASSERT_TRUE(onto.AddAxiom("exists P- <= not exists P").ok());
+  const auto& axs = onto.tbox().concept_inclusions();
+  ASSERT_EQ(axs.size(), 3u);
+  EXPECT_EQ(axs[0].rhs.kind, RhsConceptKind::kNegatedBasic);
+  EXPECT_EQ(axs[1].lhs.kind, BasicConceptKind::kExists);
+  EXPECT_EQ(axs[2].lhs.role, BasicRole::Inverse(0));
+  EXPECT_EQ(axs[2].rhs.basic.role, BasicRole::Direct(0));
+}
+
+TEST(OntologyTest, RoleAndAttributeInclusions) {
+  Ontology onto;
+  onto.DeclareRole("P");
+  onto.DeclareRole("Q");
+  onto.DeclareAttribute("u");
+  onto.DeclareAttribute("w");
+  ASSERT_TRUE(onto.AddAxiom("P <= Q").ok());
+  ASSERT_TRUE(onto.AddAxiom("P- <= not Q-").ok());
+  ASSERT_TRUE(onto.AddAxiom("u <= w").ok());
+  ASSERT_TRUE(onto.AddAxiom("u <= not w").ok());
+  ASSERT_EQ(onto.tbox().role_inclusions().size(), 2u);
+  EXPECT_FALSE(onto.tbox().role_inclusions()[0].negated);
+  EXPECT_TRUE(onto.tbox().role_inclusions()[1].negated);
+  EXPECT_TRUE(onto.tbox().role_inclusions()[1].lhs.inverse);
+  ASSERT_EQ(onto.tbox().attribute_inclusions().size(), 2u);
+  EXPECT_TRUE(onto.tbox().attribute_inclusions()[1].negated);
+}
+
+TEST(OntologyTest, DeltaDomainParses) {
+  Ontology onto;
+  onto.DeclareConcept("Person");
+  onto.DeclareAttribute("age");
+  ASSERT_TRUE(onto.AddAxiom("delta(age) <= Person").ok());
+  const auto& ax = onto.tbox().concept_inclusions()[0];
+  EXPECT_EQ(ax.lhs.kind, BasicConceptKind::kAttrDomain);
+}
+
+TEST(OntologyTest, ErrorsAreReported) {
+  Ontology onto;
+  onto.DeclareConcept("A");
+  onto.DeclareRole("P");
+  EXPECT_EQ(onto.AddAxiom("A - B").code(), StatusCode::kParseError);
+  EXPECT_EQ(onto.AddAxiom("A <= Zzz").code(), StatusCode::kNotFound);
+  EXPECT_EQ(onto.AddAxiom("A <= P").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(onto.AddAxiom("P <= A").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(onto.AddAxiom("exists P . A <= A").code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(onto.AddAxiom("not A <= A").code(), StatusCode::kParseError);
+  EXPECT_EQ(onto.AddAxiom("A <= exists").code(), StatusCode::kParseError);
+}
+
+TEST(OntologyTest, AssertionsParse) {
+  Ontology onto;
+  onto.DeclareConcept("County");
+  onto.DeclareRole("isPartOf");
+  onto.DeclareAttribute("population");
+  ASSERT_TRUE(onto.AddAssertion("County(viterbo)").ok());
+  ASSERT_TRUE(onto.AddAssertion("isPartOf(viterbo, lazio)").ok());
+  ASSERT_TRUE(onto.AddAssertion("population(viterbo, 67173)").ok());
+  EXPECT_EQ(onto.abox().concept_assertions().size(), 1u);
+  EXPECT_EQ(onto.abox().role_assertions().size(), 1u);
+  EXPECT_EQ(onto.abox().attribute_assertions().size(), 1u);
+  EXPECT_EQ(onto.abox().attribute_assertions()[0].value, "67173");
+  EXPECT_EQ(onto.AddAssertion("Nope(x)").code(), StatusCode::kNotFound);
+  EXPECT_EQ(onto.AddAssertion("County viterbo").code(),
+            StatusCode::kParseError);
+}
+
+TEST(OntologyTest, ParseDocumentRoundTrip) {
+  const char* text = R"(
+# Figure 2 of the paper
+concept County State
+role isPartOf
+County <= exists isPartOf . State
+State <= exists isPartOf- . County
+County(viterbo)
+isPartOf(viterbo, lazio)
+)";
+  auto parsed = ParseOntology(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Ontology& onto = *parsed;
+  EXPECT_EQ(onto.vocab().NumConcepts(), 2u);
+  EXPECT_EQ(onto.vocab().NumRoles(), 1u);
+  EXPECT_EQ(onto.tbox().NumAxioms(), 2u);
+  EXPECT_EQ(onto.abox().NumAssertions(), 2u);
+
+  // Serialise and re-parse: same axiom count and names.
+  auto reparsed = ParseOntology(onto.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->tbox().NumAxioms(), 2u);
+  EXPECT_EQ(reparsed->abox().NumAssertions(), 2u);
+  EXPECT_EQ(reparsed->ToString(), onto.ToString());
+}
+
+TEST(OntologyTest, ParseReportsLineNumbers) {
+  auto bad = ParseOntology("concept A\nA <= B\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TBoxTest, AxiomCounters) {
+  Ontology onto;
+  onto.DeclareConcept("A");
+  onto.DeclareConcept("B");
+  onto.DeclareRole("P");
+  ASSERT_TRUE(onto.AddAxiom("A <= B").ok());
+  ASSERT_TRUE(onto.AddAxiom("A <= not B").ok());
+  ASSERT_TRUE(onto.AddAxiom("P <= not P").ok());
+  ASSERT_TRUE(onto.AddAxiom("A <= exists P . B").ok());
+  EXPECT_EQ(onto.tbox().NumAxioms(), 4u);
+  EXPECT_EQ(onto.tbox().NumPositiveInclusions(), 2u);
+  EXPECT_EQ(onto.tbox().NumNegativeInclusions(), 2u);
+}
+
+TEST(TBoxTest, ToStringFormats) {
+  Ontology onto;
+  onto.DeclareConcept("A");
+  onto.DeclareConcept("B");
+  onto.DeclareRole("P");
+  ASSERT_TRUE(onto.AddAxiom("A <= exists P . B").ok());
+  ASSERT_TRUE(onto.AddAxiom("P- <= not P").ok());
+  std::string s = onto.tbox().ToString(onto.vocab());
+  EXPECT_NE(s.find("A <= exists P . B"), std::string::npos);
+  EXPECT_NE(s.find("P- <= not P"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olite::dllite

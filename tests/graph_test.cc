@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/bitset.h"
+#include "graph/closure.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+
+namespace olite::graph {
+namespace {
+
+TEST(DigraphTest, AddArcGrowsNodes) {
+  Digraph g;
+  g.AddArc(0, 5);
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_TRUE(g.HasArc(0, 5));
+  EXPECT_FALSE(g.HasArc(5, 0));
+}
+
+TEST(DigraphTest, FinalizeDeduplicates) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.Finalize();
+  EXPECT_EQ(g.NumArcs(), 2u);
+  EXPECT_EQ(g.Successors(0).size(), 2u);
+  EXPECT_TRUE(g.HasArc(0, 1));
+}
+
+TEST(DigraphTest, ReversedFlipsArcs) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasArc(1, 0));
+  EXPECT_TRUE(r.HasArc(2, 1));
+  EXPECT_FALSE(r.HasArc(0, 1));
+}
+
+TEST(DigraphTest, ToDotMentionsNodesAndArcs) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  std::string dot = g.ToDot({"A", "B"});
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, OrWithUnions) {
+  DynamicBitset a(100), b(100);
+  a.Set(3);
+  b.Set(70);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(70));
+}
+
+TEST(BitsetTest, ForEachSetAscending) {
+  DynamicBitset b(200);
+  b.Set(5);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  std::vector<size_t> seen;
+  b.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{5, 63, 64, 199}));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.Finalize();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.NumComponents(), 4u);
+  for (NodeId c = 0; c < 4; ++c) EXPECT_FALSE(scc.cyclic[c]);
+  // Reverse topological numbering: successors get smaller component ids.
+  EXPECT_LT(scc.component_of[3], scc.component_of[2]);
+  EXPECT_LT(scc.component_of[2], scc.component_of[1]);
+  EXPECT_LT(scc.component_of[1], scc.component_of[0]);
+}
+
+TEST(SccTest, CycleCollapses) {
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 0);
+  g.AddArc(2, 3);
+  g.AddArc(4, 0);
+  g.Finalize();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.NumComponents(), 3u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_TRUE(scc.cyclic[scc.component_of[0]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[3]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[4]]);
+}
+
+TEST(SccTest, SelfLoopIsCyclic) {
+  Digraph g(2);
+  g.AddArc(0, 0);
+  g.Finalize();
+  SccResult scc = ComputeScc(g);
+  EXPECT_TRUE(scc.cyclic[scc.component_of[0]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[1]]);
+}
+
+TEST(SccTest, CondensationIsAcyclicAndDeduplicated) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.Finalize();
+  SccResult scc = ComputeScc(g);
+  Digraph dag = BuildCondensation(g, scc);
+  EXPECT_EQ(dag.NumNodes(), 3u);
+  // The two arcs {0,1}→2 collapse to one.
+  NodeId c01 = scc.component_of[0];
+  NodeId c2 = scc.component_of[2];
+  EXPECT_TRUE(dag.HasArc(c01, c2));
+  EXPECT_EQ(dag.Successors(c01).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Closure engines: identical semantics across all three implementations.
+// ---------------------------------------------------------------------------
+
+class ClosureEngineTest : public ::testing::TestWithParam<ClosureEngine> {};
+
+TEST_P(ClosureEngineTest, ChainReachability) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.Finalize();
+  auto c = ComputeClosure(g, GetParam());
+  EXPECT_TRUE(c->Reaches(0, 3));
+  EXPECT_TRUE(c->Reaches(1, 3));
+  EXPECT_FALSE(c->Reaches(3, 0));
+  EXPECT_FALSE(c->Reaches(0, 0));  // no cycle: not self-reaching
+  EXPECT_EQ(c->ReachableFrom(0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(c->NumClosureArcs(), 6u);
+}
+
+TEST_P(ClosureEngineTest, CycleMembersReachThemselves) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(1, 2);
+  g.Finalize();
+  auto c = ComputeClosure(g, GetParam());
+  EXPECT_TRUE(c->Reaches(0, 0));
+  EXPECT_TRUE(c->Reaches(1, 1));
+  EXPECT_FALSE(c->Reaches(2, 2));
+  EXPECT_EQ(c->ReachableFrom(0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(c->ReachableFrom(2), (std::vector<NodeId>{}));
+}
+
+TEST_P(ClosureEngineTest, SelfLoop) {
+  Digraph g(2);
+  g.AddArc(0, 0);
+  g.Finalize();
+  auto c = ComputeClosure(g, GetParam());
+  EXPECT_TRUE(c->Reaches(0, 0));
+  EXPECT_FALSE(c->Reaches(1, 1));
+}
+
+TEST_P(ClosureEngineTest, DiamondDag) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  g.Finalize();
+  auto c = ComputeClosure(g, GetParam());
+  EXPECT_EQ(c->ReachableFrom(0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(c->NumClosureArcs(), 5u);
+}
+
+TEST_P(ClosureEngineTest, EmptyAndIsolated) {
+  Digraph g(3);
+  g.Finalize();
+  auto c = ComputeClosure(g, GetParam());
+  EXPECT_FALSE(c->Reaches(0, 1));
+  EXPECT_TRUE(c->ReachableFrom(2).empty());
+  EXPECT_EQ(c->NumClosureArcs(), 0u);
+}
+
+TEST_P(ClosureEngineTest, RandomGraphAgreesWithBfsOracle) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = 40;
+    Digraph g(n);
+    for (int e = 0; e < 120; ++e) {
+      g.AddArc(static_cast<NodeId>(rng.Uniform(n)),
+               static_cast<NodeId>(rng.Uniform(n)));
+    }
+    g.Finalize();
+    auto oracle = ComputeClosure(g, ClosureEngine::kBfs);
+    auto tested = ComputeClosure(g, GetParam());
+    EXPECT_EQ(tested->NumClosureArcs(), oracle->NumClosureArcs());
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_EQ(tested->ReachableFrom(u), oracle->ReachableFrom(u))
+          << "engine " << tested->EngineName() << " node " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ClosureEngineTest,
+                         ::testing::Values(ClosureEngine::kBfs,
+                                           ClosureEngine::kSccMerge,
+                                           ClosureEngine::kSccBitset),
+                         [](const auto& pinfo) {
+                           return ClosureEngineName(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace olite::graph

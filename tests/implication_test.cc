@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/implication.h"
+#include "dllite/ontology.h"
+
+namespace olite::core {
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicRole;
+using dllite::ConceptInclusion;
+using dllite::Ontology;
+using dllite::ParseOntology;
+using dllite::RhsConcept;
+using dllite::RoleInclusion;
+
+Ontology MustParse(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+class ImplicationModeTest : public ::testing::TestWithParam<ReachabilityMode> {
+};
+
+TEST_P(ImplicationModeTest, PositiveConceptInclusions) {
+  Ontology onto = MustParse("concept A B C D\nA <= B\nB <= C\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  auto ci = [](uint32_t l, uint32_t r) {
+    return ConceptInclusion{BasicConcept::Atomic(l),
+                            RhsConcept::Positive(BasicConcept::Atomic(r))};
+  };
+  EXPECT_TRUE(chk.Entails(ci(0, 1)));
+  EXPECT_TRUE(chk.Entails(ci(0, 2)));
+  EXPECT_TRUE(chk.Entails(ci(0, 0)));  // reflexivity
+  EXPECT_FALSE(chk.Entails(ci(2, 0)));
+  EXPECT_FALSE(chk.Entails(ci(0, 3)));
+}
+
+TEST_P(ImplicationModeTest, UnsatLhsEntailsEverything) {
+  Ontology onto = MustParse("concept A B C\nA <= B\nA <= not B\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  ConceptInclusion any{BasicConcept::Atomic(0),
+                       RhsConcept::Positive(BasicConcept::Atomic(2))};
+  EXPECT_TRUE(chk.Entails(any));
+  ConceptInclusion disj{BasicConcept::Atomic(0),
+                        RhsConcept::Negated(BasicConcept::Atomic(2))};
+  EXPECT_TRUE(chk.Entails(disj));
+}
+
+TEST_P(ImplicationModeTest, DisjointnessPropagatesDownward) {
+  Ontology onto = MustParse(
+      "concept Man Woman Person Boy\n"
+      "Boy <= Man\nMan <= Person\nWoman <= Person\nMan <= not Woman\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  auto disjoint = [&](const char* l, const char* r) {
+    auto lc = onto.vocab().FindConcept(l).value();
+    auto rc = onto.vocab().FindConcept(r).value();
+    return chk.Entails(ConceptInclusion{
+        BasicConcept::Atomic(lc),
+        RhsConcept::Negated(BasicConcept::Atomic(rc))});
+  };
+  EXPECT_TRUE(disjoint("Man", "Woman"));
+  EXPECT_TRUE(disjoint("Woman", "Man"));   // symmetry
+  EXPECT_TRUE(disjoint("Boy", "Woman"));   // inherited
+  EXPECT_FALSE(disjoint("Person", "Man"));
+  EXPECT_FALSE(disjoint("Person", "Person"));
+  EXPECT_FALSE(disjoint("Man", "Person"));
+}
+
+TEST_P(ImplicationModeTest, RoleInclusionsAndDisjointness) {
+  Ontology onto = MustParse(
+      "role P Q R S\nP <= Q\nQ <= R\nQ <= not S\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  auto ri = [](uint32_t l, bool li, uint32_t r, bool ri_, bool neg) {
+    return RoleInclusion{{l, li}, {r, ri_}, neg};
+  };
+  EXPECT_TRUE(chk.Entails(ri(0, false, 2, false, false)));   // P ⊑ R
+  EXPECT_TRUE(chk.Entails(ri(0, true, 2, true, false)));     // P⁻ ⊑ R⁻
+  EXPECT_FALSE(chk.Entails(ri(0, false, 2, true, false)));   // P ⊑ R⁻ no
+  EXPECT_TRUE(chk.Entails(ri(0, false, 3, false, true)));    // P ⊑ ¬S
+  EXPECT_TRUE(chk.Entails(ri(3, false, 0, false, true)));    // S ⊑ ¬P
+  EXPECT_TRUE(chk.Entails(ri(0, true, 3, true, true)));      // P⁻ ⊑ ¬S⁻
+  EXPECT_FALSE(chk.Entails(ri(0, false, 3, true, true)));    // P ⊑ ¬S⁻ no
+  EXPECT_FALSE(chk.Entails(ri(2, false, 3, false, true)));   // R ⊑ ¬S no
+}
+
+TEST_P(ImplicationModeTest, AttributeInclusions) {
+  Ontology onto = MustParse("attribute u v w x\nu <= v\nv <= w\nv <= not x\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  EXPECT_TRUE(chk.Entails(dllite::AttributeInclusion{0, 2, false}));
+  EXPECT_FALSE(chk.Entails(dllite::AttributeInclusion{2, 0, false}));
+  EXPECT_TRUE(chk.Entails(dllite::AttributeInclusion{0, 3, true}));
+  EXPECT_TRUE(chk.Entails(dllite::AttributeInclusion{3, 0, true}));
+  EXPECT_FALSE(chk.Entails(dllite::AttributeInclusion{2, 3, true}));
+}
+
+TEST_P(ImplicationModeTest, QualifiedExistentialFromAssertedAxiom) {
+  Ontology onto = MustParse(
+      "concept A B State Region\nrole P Q\n"
+      "A <= B\nState <= Region\nP <= Q\n"
+      "B <= exists P . State\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  auto qe = [&](const char* lhs, const char* role, const char* filler) {
+    auto l = onto.vocab().FindConcept(lhs).value();
+    auto p = onto.vocab().FindRole(role).value();
+    auto f = onto.vocab().FindConcept(filler).value();
+    return chk.Entails(ConceptInclusion{
+        BasicConcept::Atomic(l),
+        RhsConcept::QualifiedExists(BasicRole::Direct(p), f)});
+  };
+  EXPECT_TRUE(qe("B", "P", "State"));   // asserted
+  EXPECT_TRUE(qe("A", "P", "State"));   // LHS strengthening
+  EXPECT_TRUE(qe("B", "Q", "State"));   // role weakening
+  EXPECT_TRUE(qe("B", "P", "Region"));  // filler weakening
+  EXPECT_TRUE(qe("A", "Q", "Region"));  // all three
+  EXPECT_FALSE(qe("State", "P", "State"));
+  EXPECT_FALSE(qe("B", "P", "B"));
+}
+
+TEST_P(ImplicationModeTest, QualifiedExistentialViaRangeAxiom) {
+  // B ⊑ ∃P (unqualified) plus range(P) ⊑ State entails B ⊑ ∃P.State.
+  Ontology onto = MustParse(
+      "concept B State\nrole P\n"
+      "B <= exists P\n"
+      "exists P- <= State\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  ConceptInclusion goal{
+      BasicConcept::Atomic(0),
+      RhsConcept::QualifiedExists(BasicRole::Direct(0), 1)};
+  EXPECT_TRUE(chk.Entails(goal));
+}
+
+TEST_P(ImplicationModeTest, QualifiedExistentialViaIntermediateRoleRange) {
+  // B ⊑ ∃P, P ⊑ Q, range(Q) ⊑ State, Q ⊑ R  ⇒  B ⊑ ∃R.State.
+  Ontology onto = MustParse(
+      "concept B State\nrole P Q R\n"
+      "B <= exists P\nP <= Q\nQ <= R\n"
+      "exists Q- <= State\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  ConceptInclusion goal{
+      BasicConcept::Atomic(0),
+      RhsConcept::QualifiedExists(BasicRole::Direct(2), 1)};
+  EXPECT_TRUE(chk.Entails(goal));
+  // But range(R) is unconstrained, so ∃R alone gives no filler for
+  // concepts that only reach ∃R without passing through Q.
+  Ontology onto2 = MustParse(
+      "concept B State\nrole P R\n"
+      "B <= exists R\nP <= R\n"
+      "exists P- <= State\n");
+  ImplicationChecker chk2(onto2.tbox(), onto2.vocab(), GetParam());
+  ConceptInclusion goal2{
+      BasicConcept::Atomic(0),
+      RhsConcept::QualifiedExists(BasicRole::Direct(1), 1)};
+  EXPECT_FALSE(chk2.Entails(goal2));
+}
+
+TEST_P(ImplicationModeTest, QualifiedGoalWithInverseRole) {
+  // Figure 2: State ⊑ ∃isPartOf⁻.County is asserted; check it and a
+  // weakening.
+  Ontology onto = MustParse(
+      "concept County State Division\nrole isPartOf\n"
+      "County <= Division\n"
+      "County <= exists isPartOf . State\n"
+      "State <= exists isPartOf- . County\n");
+  ImplicationChecker chk(onto.tbox(), onto.vocab(), GetParam());
+  ConceptInclusion asserted{
+      BasicConcept::Atomic(1),
+      RhsConcept::QualifiedExists(BasicRole::Inverse(0), 0)};
+  EXPECT_TRUE(chk.Entails(asserted));
+  ConceptInclusion weakened{
+      BasicConcept::Atomic(1),
+      RhsConcept::QualifiedExists(BasicRole::Inverse(0), 2)};
+  EXPECT_TRUE(chk.Entails(weakened));
+  ConceptInclusion wrong_direction{
+      BasicConcept::Atomic(1),
+      RhsConcept::QualifiedExists(BasicRole::Direct(0), 0)};
+  EXPECT_FALSE(chk.Entails(wrong_direction));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, ImplicationModeTest,
+    ::testing::Values(ReachabilityMode::kOnDemand,
+                      ReachabilityMode::kPrecomputed),
+    [](const auto& pinfo) {
+      return pinfo.param == ReachabilityMode::kOnDemand ? "on_demand"
+                                                       : "precomputed";
+    });
+
+}  // namespace
+}  // namespace olite::core

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "obda/system.h"
+
+namespace olite::mapping {
+namespace {
+
+dllite::Vocabulary Vocab() {
+  dllite::Vocabulary v;
+  v.InternConcept("Professor");
+  v.InternConcept("AssistantProf");
+  v.InternRole("teaches");
+  v.InternAttribute("salary");
+  return v;
+}
+
+TEST(MappingParserTest, SimpleConceptMapping) {
+  auto v = Vocab();
+  auto m = ParseMappingLine("Professor(x) <- SELECT eid FROM emp", v);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->kind, TargetKind::kConcept);
+  EXPECT_EQ(m->predicate, v.FindConcept("Professor").value());
+  EXPECT_EQ(m->source.from_tables, (std::vector<std::string>{"emp"}));
+  ASSERT_EQ(m->source.select.size(), 1u);
+  EXPECT_EQ(m->source.select[0].column, "eid");
+}
+
+TEST(MappingParserTest, WhereWithStringAndNumberLiterals) {
+  auto v = Vocab();
+  auto m = ParseMappingLine(
+      "AssistantProf(x) <- SELECT eid FROM emp WHERE grade = 'asst' AND "
+      "active = 1",
+      v);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->source.filters.size(), 2u);
+  EXPECT_EQ(m->source.filters[0].value, rdb::Value::Str("asst"));
+  EXPECT_EQ(m->source.filters[1].value, rdb::Value::Int(1));
+}
+
+TEST(MappingParserTest, JoinWithAliases) {
+  auto v = Vocab();
+  auto m = ParseMappingLine(
+      "teaches(x, y) <- SELECT e.eid, c.code FROM emp e, course c "
+      "WHERE e.dept = c.dept",
+      v);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->kind, TargetKind::kRole);
+  ASSERT_EQ(m->source.from_tables.size(), 2u);
+  ASSERT_EQ(m->source.joins.size(), 1u);
+  EXPECT_EQ(m->source.joins[0].lhs.table_index, 0u);
+  EXPECT_EQ(m->source.joins[0].rhs.table_index, 1u);
+  ASSERT_EQ(m->source.select.size(), 2u);
+  EXPECT_EQ(m->source.select[1].table_index, 1u);
+}
+
+TEST(MappingParserTest, TableNameActsAsAlias) {
+  auto v = Vocab();
+  auto m = ParseMappingLine(
+      "teaches(x, y) <- SELECT emp.eid, asgn.cid FROM emp, asgn "
+      "WHERE emp.eid = asgn.eid",
+      v);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->source.joins.size(), 1u);
+}
+
+TEST(MappingParserTest, Errors) {
+  auto v = Vocab();
+  EXPECT_EQ(ParseMappingLine("Professor(x) SELECT eid FROM emp", v)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      ParseMappingLine("Ghost(x) <- SELECT eid FROM emp", v).status().code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(ParseMappingLine("Professor(x, y) <- SELECT a, b FROM t", v)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseMappingLine("teaches(x, y) <- SELECT a FROM t", v)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Ambiguous unqualified column with two tables.
+  EXPECT_EQ(ParseMappingLine(
+                "teaches(x, y) <- SELECT a, b FROM t, s WHERE a = b", v)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseMappingLine(
+                "Professor(x) <- SELECT eid FROM emp WHERE g = 'x", v)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(MappingParserTest, DocumentWithCommentsAndBlankLines) {
+  auto v = Vocab();
+  auto set = ParseMappings(R"(
+# professors
+Professor(x) <- SELECT eid FROM emp
+
+salary(x, v) <- SELECT eid, pay FROM emp
+)",
+                           v);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_EQ(set->For(TargetKind::kAttribute,
+                     v.FindAttribute("salary").value())
+                .size(),
+            1u);
+}
+
+TEST(MappingParserTest, DocumentErrorsCarryLineNumbers) {
+  auto v = Vocab();
+  auto bad = ParseMappings("Professor(x) <- SELECT eid FROM emp\nGhost(x) "
+                           "<- SELECT a FROM t\n",
+                           v);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+// End to end: parse the mapping document and answer a query through it.
+TEST(MappingParserTest, ParsedMappingsDriveTheObdaPipeline) {
+  auto parsed = dllite::ParseOntology(R"(
+concept Professor AssistantProf
+role teaches
+attribute salary
+AssistantProf <= Professor
+)");
+  ASSERT_TRUE(parsed.ok());
+  dllite::Ontology onto = std::move(parsed).value();
+
+  rdb::Database db;
+  ASSERT_TRUE(db.CreateTable({"emp",
+                              {{"eid", rdb::ValueType::kString},
+                               {"grade", rdb::ValueType::kString},
+                               {"pay", rdb::ValueType::kInt}}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("emp", {rdb::Value::Str("ada"),
+                                rdb::Value::Str("full"),
+                                rdb::Value::Int(90)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("emp", {rdb::Value::Str("alan"),
+                                rdb::Value::Str("asst"),
+                                rdb::Value::Int(60)})
+                  .ok());
+
+  auto mappings = ParseMappings(R"(
+Professor(x)     <- SELECT eid FROM emp
+AssistantProf(x) <- SELECT eid FROM emp WHERE grade = 'asst'
+salary(x, v)     <- SELECT eid, pay FROM emp
+)",
+                                onto.vocab());
+  ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+
+  auto sys = obda::ObdaSystem::Create(std::move(onto),
+                                      std::move(mappings).value(),
+                                      std::move(db));
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  auto professors = (*sys)->Answer("q(x) :- Professor(x)");
+  ASSERT_TRUE(professors.ok());
+  EXPECT_EQ(professors->size(), 2u);
+  auto assistants = (*sys)->Answer("q(x) :- AssistantProf(x)");
+  ASSERT_TRUE(assistants.ok());
+  ASSERT_EQ(assistants->size(), 1u);
+  EXPECT_EQ((*assistants)[0][0], "alan");
+}
+
+}  // namespace
+}  // namespace olite::mapping

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.h"
+#include "benchgen/profiles.h"
+#include "dllite/metrics.h"
+#include "dllite/ontology.h"
+
+namespace olite::dllite {
+namespace {
+
+TBoxMetrics Of(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return ComputeMetrics(r->tbox(), r->vocab());
+}
+
+TEST(MetricsTest, CountsAxiomKinds) {
+  TBoxMetrics m = Of(
+      "concept A B C\nrole P Q\nattribute u\n"
+      "A <= B\nB <= C\n"
+      "A <= not C\n"
+      "A <= exists P . B\n"
+      "B <= exists Q\n"
+      "exists P <= C\n"
+      "P <= Q\nP <= not Q\n");
+  EXPECT_EQ(m.num_concepts, 3u);
+  EXPECT_EQ(m.num_roles, 2u);
+  EXPECT_EQ(m.num_attributes, 1u);
+  EXPECT_EQ(m.taxonomy_edges, 2u);
+  EXPECT_EQ(m.negative_inclusions, 2u);
+  EXPECT_EQ(m.qualified_existentials, 1u);
+  EXPECT_EQ(m.unqualified_existential_rhs, 1u);
+  EXPECT_EQ(m.existential_lhs, 1u);
+  EXPECT_EQ(m.role_inclusions, 2u);
+}
+
+TEST(MetricsTest, TaxonomyShape) {
+  TBoxMetrics m = Of(
+      "concept R A B C D\n"
+      "A <= R\nB <= R\nC <= A\nD <= C\nD <= B\n");
+  EXPECT_EQ(m.taxonomy_roots, 1u);
+  EXPECT_EQ(m.taxonomy_depth, 3u);  // D -> C -> A -> R
+  EXPECT_EQ(m.multi_parent_concepts, 1u);  // D
+}
+
+TEST(MetricsTest, ToldCyclesDoNotHang) {
+  TBoxMetrics m = Of("concept A B\nA <= B\nB <= A\n");
+  EXPECT_LE(m.taxonomy_depth, 2u);
+  EXPECT_EQ(m.taxonomy_roots, 0u);
+}
+
+TEST(MetricsTest, GeneratorMatchesProfileIntent) {
+  // The Gene profile is a multi-parent DAG with a single role; its twin's
+  // metrics must reflect that shape.
+  auto profiles = benchgen::PaperProfiles(0.05);
+  const auto& gene = profiles[4];
+  ASSERT_EQ(gene.config.name, "Gene");
+  dllite::Ontology onto = benchgen::Generate(gene.config);
+  TBoxMetrics m = ComputeMetrics(onto.tbox(), onto.vocab());
+  EXPECT_EQ(m.num_roles, 1u);
+  EXPECT_GT(m.multi_parent_concepts, m.num_concepts / 10);
+  EXPECT_GE(m.taxonomy_depth, 3u);
+  EXPECT_EQ(m.negative_inclusions, 0u);
+
+  // DOLCE twin: role-heavy and disjointness-heavy.
+  const auto& dolce = profiles[2];
+  dllite::Ontology donto = benchgen::Generate(dolce.config);
+  TBoxMetrics dm = ComputeMetrics(donto.tbox(), donto.vocab());
+  EXPECT_GT(dm.num_roles, dm.num_concepts);
+  EXPECT_GT(dm.negative_inclusions, 0u);
+}
+
+TEST(MetricsTest, ToStringListsEverything) {
+  TBoxMetrics m = Of("concept A B\nA <= B\n");
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("concepts: 2"), std::string::npos);
+  EXPECT_NE(s.find("taxonomy depth: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olite::dllite

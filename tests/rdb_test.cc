@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "rdb/query.h"
+#include "rdb/table.h"
+
+namespace olite::rdb {
+namespace {
+
+Database UniversityDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable({"professor",
+                              {{"id", ValueType::kString},
+                               {"name", ValueType::kString},
+                               {"dept", ValueType::kString}}})
+                  .ok());
+  EXPECT_TRUE(db.CreateTable({"teaches",
+                              {{"prof_id", ValueType::kString},
+                               {"course_id", ValueType::kInt}}})
+                  .ok());
+  EXPECT_TRUE(db.CreateTable({"course",
+                              {{"id", ValueType::kInt},
+                               {"title", ValueType::kString}}})
+                  .ok());
+  EXPECT_TRUE(db.Insert("professor", {Value::Str("p1"), Value::Str("Ada"),
+                                      Value::Str("CS")})
+                  .ok());
+  EXPECT_TRUE(db.Insert("professor", {Value::Str("p2"), Value::Str("Alan"),
+                                      Value::Str("Math")})
+                  .ok());
+  EXPECT_TRUE(db.Insert("teaches", {Value::Str("p1"), Value::Int(101)}).ok());
+  EXPECT_TRUE(db.Insert("teaches", {Value::Str("p1"), Value::Int(102)}).ok());
+  EXPECT_TRUE(db.Insert("teaches", {Value::Str("p2"), Value::Int(201)}).ok());
+  EXPECT_TRUE(db.Insert("course", {Value::Int(101), Value::Str("DB")}).ok());
+  EXPECT_TRUE(db.Insert("course", {Value::Int(102), Value::Str("AI")}).ok());
+  EXPECT_TRUE(db.Insert("course", {Value::Int(201), Value::Str("Logic")}).ok());
+  return db;
+}
+
+TEST(ValueTest, OrderingAndToString) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+}
+
+TEST(TableTest, SchemaValidationOnInsert) {
+  Table t({"t", {{"a", ValueType::kInt}, {"b", ValueType::kString}}});
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_EQ(t.Insert({Value::Int(1)}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Insert({Value::Str("x"), Value::Str("y")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(DatabaseTest, TableManagement) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable({"t", {{"a", ValueType::kInt}}}).ok());
+  EXPECT_EQ(db.CreateTable({"t", {{"a", ValueType::kInt}}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.CreateTable({"", {}}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_FALSE(db.GetTable("nope").ok());
+  EXPECT_EQ(db.Insert("nope", {}).code(), StatusCode::kNotFound);
+  EXPECT_NE(db.SchemaToString().find("CREATE TABLE t (a INT);"),
+            std::string::npos);
+}
+
+TEST(QueryTest, SimpleScanAndFilter) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor"};
+  b.select = {{0, "name"}};
+  b.filters = {{{0, "dept"}, Value::Str("CS")}};
+  q.blocks.push_back(b);
+  auto rows = Execute(db, q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Str("Ada"));
+}
+
+TEST(QueryTest, JoinAcrossTables) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor", "teaches", "course"};
+  b.select = {{0, "name"}, {2, "title"}};
+  b.joins = {{{0, "id"}, {1, "prof_id"}}, {{1, "course_id"}, {2, "id"}}};
+  q.blocks.push_back(b);
+  auto rows = Execute(db, q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(QueryTest, UnionDeduplicates) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b1;
+  b1.from_tables = {"professor"};
+  b1.select = {{0, "id"}};
+  SelectBlock b2 = b1;  // identical block: union must not duplicate
+  q.blocks = {b1, b2};
+  auto rows = Execute(db, q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(QueryTest, ArityMismatchAcrossUnionFails) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b1;
+  b1.from_tables = {"professor"};
+  b1.select = {{0, "id"}};
+  SelectBlock b2;
+  b2.from_tables = {"professor"};
+  b2.select = {{0, "id"}, {0, "name"}};
+  q.blocks = {b1, b2};
+  EXPECT_EQ(Execute(db, q).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ErrorsOnUnknownTableOrColumn) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"ghost"};
+  b.select = {{0, "id"}};
+  q.blocks = {b};
+  EXPECT_EQ(Execute(db, q).status().code(), StatusCode::kNotFound);
+
+  SqlQuery q2;
+  SelectBlock b2;
+  b2.from_tables = {"professor"};
+  b2.select = {{0, "ghost_col"}};
+  q2.blocks = {b2};
+  EXPECT_EQ(Execute(db, q2).status().code(), StatusCode::kNotFound);
+
+  SqlQuery q3;
+  SelectBlock b3;
+  b3.from_tables = {"professor"};
+  b3.select = {{5, "id"}};
+  q3.blocks = {b3};
+  EXPECT_EQ(Execute(db, q3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(QueryTest, BooleanQueryYieldsOneEmptyRowWhenNonEmpty) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor"};
+  b.filters = {{{0, "dept"}, Value::Str("CS")}};
+  q.blocks = {b};
+  auto rows = Execute(db, q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_TRUE((*rows)[0].empty());
+
+  SqlQuery q2 = q;
+  q2.blocks[0].filters[0].value = Value::Str("Philosophy");
+  auto rows2 = Execute(db, q2);
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_TRUE(rows2->empty());
+}
+
+TEST(QueryTest, SelfJoinWithTwoAliases) {
+  Database db = UniversityDb();
+  // Professors sharing a department: professor t0, professor t1.
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor", "professor"};
+  b.select = {{0, "name"}, {1, "name"}};
+  b.joins = {{{0, "dept"}, {1, "dept"}}};
+  q.blocks = {b};
+  auto rows = Execute(db, q);
+  ASSERT_TRUE(rows.ok());
+  // (Ada,Ada), (Alan,Alan) — no cross-department pair.
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(QueryTest, ToStringRendersSql) {
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor", "teaches"};
+  b.select = {{0, "name"}};
+  b.joins = {{{0, "id"}, {1, "prof_id"}}};
+  b.filters = {{{1, "course_id"}, Value::Int(101)}};
+  q.blocks = {b};
+  std::string sql = q.ToString();
+  EXPECT_NE(sql.find("SELECT t0.name"), std::string::npos);
+  EXPECT_NE(sql.find("FROM professor t0, teaches t1"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE t0.id = t1.prof_id"), std::string::npos);
+  EXPECT_NE(sql.find("AND t1.course_id = 101"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olite::rdb

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/taxonomy.h"
+#include "dllite/ontology.h"
+
+namespace olite::core {
+namespace {
+
+using dllite::Ontology;
+using dllite::ParseOntology;
+
+Taxonomy Build(const char* text) {
+  auto r = ParseOntology(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  Classification cls = Classify(r->tbox(), r->vocab());
+  return Taxonomy::Build(cls);
+}
+
+TEST(TaxonomyTest, SimpleTreeHasDirectEdgesOnly) {
+  Taxonomy t = Build("concept Animal Mammal Dog Cat\n"
+                     "Mammal <= Animal\nDog <= Mammal\nCat <= Mammal\n");
+  ASSERT_EQ(t.nodes().size(), 4u);
+  // Dog's only direct parent is Mammal, not Animal.
+  uint32_t dog = t.NodeOf(2);
+  ASSERT_EQ(t.nodes()[dog].direct_parents.size(), 1u);
+  EXPECT_EQ(t.nodes()[dog].direct_parents[0], t.NodeOf(1));
+  EXPECT_EQ(t.DepthOf(dog), 2u);
+  EXPECT_EQ(t.Roots().size(), 1u);
+  EXPECT_EQ(t.Roots()[0], t.NodeOf(0));
+}
+
+TEST(TaxonomyTest, EquivalentConceptsShareANode) {
+  Taxonomy t = Build("concept Human Person Agent\n"
+                     "Human <= Person\nPerson <= Human\nPerson <= Agent\n");
+  ASSERT_EQ(t.nodes().size(), 2u);
+  EXPECT_EQ(t.NodeOf(0), t.NodeOf(1));
+  EXPECT_EQ(t.nodes()[t.NodeOf(0)].members.size(), 2u);
+  EXPECT_EQ(t.DepthOf(t.NodeOf(0)), 1u);
+}
+
+TEST(TaxonomyTest, UnsatisfiableConceptsReportedSeparately) {
+  Taxonomy t = Build("concept A B C\nA <= B\nA <= C\nB <= not C\n");
+  EXPECT_EQ(t.unsatisfiable(), (std::vector<dllite::ConceptId>{0}));
+  EXPECT_EQ(t.nodes().size(), 2u);  // B and C
+}
+
+TEST(TaxonomyTest, DiamondKeepsBothParents) {
+  Taxonomy t = Build("concept Top Left Right Bottom\n"
+                     "Left <= Top\nRight <= Top\n"
+                     "Bottom <= Left\nBottom <= Right\n");
+  uint32_t bottom = t.NodeOf(3);
+  EXPECT_EQ(t.nodes()[bottom].direct_parents.size(), 2u);
+  EXPECT_EQ(t.DepthOf(bottom), 2u);
+}
+
+TEST(TaxonomyTest, ToStringIndentsHierarchy) {
+  Taxonomy t = Build("concept Animal Dog\nDog <= Animal\n");
+  auto parsed = ParseOntology("concept Animal Dog\nDog <= Animal\n");
+  ASSERT_TRUE(parsed.ok());
+  std::string text = t.ToString(parsed->vocab());
+  EXPECT_NE(text.find("Animal\n  Dog\n"), std::string::npos);
+}
+
+TEST(TaxonomyTest, IsolatedConceptsAreRoots) {
+  Taxonomy t = Build("concept A B\n");
+  EXPECT_EQ(t.Roots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace olite::core
