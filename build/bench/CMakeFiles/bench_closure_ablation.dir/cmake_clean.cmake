@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_ablation.dir/bench_closure_ablation.cc.o"
+  "CMakeFiles/bench_closure_ablation.dir/bench_closure_ablation.cc.o.d"
+  "bench_closure_ablation"
+  "bench_closure_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

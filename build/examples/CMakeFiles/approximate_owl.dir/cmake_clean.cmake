@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_owl.dir/approximate_owl.cpp.o"
+  "CMakeFiles/approximate_owl.dir/approximate_owl.cpp.o.d"
+  "approximate_owl"
+  "approximate_owl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_owl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagram_county_state.dir/diagram_county_state.cpp.o"
+  "CMakeFiles/diagram_county_state.dir/diagram_county_state.cpp.o.d"
+  "diagram_county_state"
+  "diagram_county_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagram_county_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diagram_county_state.
+# This may be replaced when dependencies are built.

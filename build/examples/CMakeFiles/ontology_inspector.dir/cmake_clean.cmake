@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_inspector.dir/ontology_inspector.cpp.o"
+  "CMakeFiles/ontology_inspector.dir/ontology_inspector.cpp.o.d"
+  "ontology_inspector"
+  "ontology_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_obda.dir/university_obda.cpp.o"
+  "CMakeFiles/university_obda.dir/university_obda.cpp.o.d"
+  "university_obda"
+  "university_obda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_obda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_approx.dir/approx.cc.o"
+  "CMakeFiles/olite_approx.dir/approx.cc.o.d"
+  "libolite_approx.a"
+  "libolite_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libolite_approx.a"
+)

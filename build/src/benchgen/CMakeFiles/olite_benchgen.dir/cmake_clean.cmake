@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_benchgen.dir/generator.cc.o"
+  "CMakeFiles/olite_benchgen.dir/generator.cc.o.d"
+  "CMakeFiles/olite_benchgen.dir/profiles.cc.o"
+  "CMakeFiles/olite_benchgen.dir/profiles.cc.o.d"
+  "libolite_benchgen.a"
+  "libolite_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_common.dir/status.cc.o"
+  "CMakeFiles/olite_common.dir/status.cc.o.d"
+  "CMakeFiles/olite_common.dir/string_util.cc.o"
+  "CMakeFiles/olite_common.dir/string_util.cc.o.d"
+  "libolite_common.a"
+  "libolite_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

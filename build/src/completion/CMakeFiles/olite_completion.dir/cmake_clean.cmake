@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_completion.dir/completion_classifier.cc.o"
+  "CMakeFiles/olite_completion.dir/completion_classifier.cc.o.d"
+  "libolite_completion.a"
+  "libolite_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

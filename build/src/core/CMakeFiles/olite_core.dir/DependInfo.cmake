@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/olite_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/deductive_closure.cc" "src/core/CMakeFiles/olite_core.dir/deductive_closure.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/deductive_closure.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/core/CMakeFiles/olite_core.dir/implication.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/implication.cc.o.d"
+  "/root/repo/src/core/node_table.cc" "src/core/CMakeFiles/olite_core.dir/node_table.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/node_table.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/core/CMakeFiles/olite_core.dir/taxonomy.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/taxonomy.cc.o.d"
+  "/root/repo/src/core/tbox_graph.cc" "src/core/CMakeFiles/olite_core.dir/tbox_graph.cc.o" "gcc" "src/core/CMakeFiles/olite_core.dir/tbox_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dllite/CMakeFiles/olite_dllite.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olite_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_core.dir/classifier.cc.o"
+  "CMakeFiles/olite_core.dir/classifier.cc.o.d"
+  "CMakeFiles/olite_core.dir/deductive_closure.cc.o"
+  "CMakeFiles/olite_core.dir/deductive_closure.cc.o.d"
+  "CMakeFiles/olite_core.dir/implication.cc.o"
+  "CMakeFiles/olite_core.dir/implication.cc.o.d"
+  "CMakeFiles/olite_core.dir/node_table.cc.o"
+  "CMakeFiles/olite_core.dir/node_table.cc.o.d"
+  "CMakeFiles/olite_core.dir/taxonomy.cc.o"
+  "CMakeFiles/olite_core.dir/taxonomy.cc.o.d"
+  "CMakeFiles/olite_core.dir/tbox_graph.cc.o"
+  "CMakeFiles/olite_core.dir/tbox_graph.cc.o.d"
+  "libolite_core.a"
+  "libolite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_diagram.dir/diagram.cc.o"
+  "CMakeFiles/olite_diagram.dir/diagram.cc.o.d"
+  "libolite_diagram.a"
+  "libolite_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

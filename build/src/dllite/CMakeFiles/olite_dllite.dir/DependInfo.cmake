@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dllite/metrics.cc" "src/dllite/CMakeFiles/olite_dllite.dir/metrics.cc.o" "gcc" "src/dllite/CMakeFiles/olite_dllite.dir/metrics.cc.o.d"
+  "/root/repo/src/dllite/ontology.cc" "src/dllite/CMakeFiles/olite_dllite.dir/ontology.cc.o" "gcc" "src/dllite/CMakeFiles/olite_dllite.dir/ontology.cc.o.d"
+  "/root/repo/src/dllite/tbox.cc" "src/dllite/CMakeFiles/olite_dllite.dir/tbox.cc.o" "gcc" "src/dllite/CMakeFiles/olite_dllite.dir/tbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

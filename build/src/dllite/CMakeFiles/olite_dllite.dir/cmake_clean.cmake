@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_dllite.dir/metrics.cc.o"
+  "CMakeFiles/olite_dllite.dir/metrics.cc.o.d"
+  "CMakeFiles/olite_dllite.dir/ontology.cc.o"
+  "CMakeFiles/olite_dllite.dir/ontology.cc.o.d"
+  "CMakeFiles/olite_dllite.dir/tbox.cc.o"
+  "CMakeFiles/olite_dllite.dir/tbox.cc.o.d"
+  "libolite_dllite.a"
+  "libolite_dllite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_dllite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

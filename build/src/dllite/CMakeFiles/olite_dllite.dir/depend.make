@@ -1,0 +1,2 @@
+# Empty dependencies file for olite_dllite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_graph.dir/closure.cc.o"
+  "CMakeFiles/olite_graph.dir/closure.cc.o.d"
+  "CMakeFiles/olite_graph.dir/digraph.cc.o"
+  "CMakeFiles/olite_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/olite_graph.dir/scc.cc.o"
+  "CMakeFiles/olite_graph.dir/scc.cc.o.d"
+  "libolite_graph.a"
+  "libolite_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

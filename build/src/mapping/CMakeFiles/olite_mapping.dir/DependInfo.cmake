@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/mapping.cc" "src/mapping/CMakeFiles/olite_mapping.dir/mapping.cc.o" "gcc" "src/mapping/CMakeFiles/olite_mapping.dir/mapping.cc.o.d"
+  "/root/repo/src/mapping/parser.cc" "src/mapping/CMakeFiles/olite_mapping.dir/parser.cc.o" "gcc" "src/mapping/CMakeFiles/olite_mapping.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdb/CMakeFiles/olite_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dllite/CMakeFiles/olite_dllite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

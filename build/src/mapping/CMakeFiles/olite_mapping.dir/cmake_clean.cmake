@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_mapping.dir/mapping.cc.o"
+  "CMakeFiles/olite_mapping.dir/mapping.cc.o.d"
+  "CMakeFiles/olite_mapping.dir/parser.cc.o"
+  "CMakeFiles/olite_mapping.dir/parser.cc.o.d"
+  "libolite_mapping.a"
+  "libolite_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_obda.dir/system.cc.o"
+  "CMakeFiles/olite_obda.dir/system.cc.o.d"
+  "CMakeFiles/olite_obda.dir/unfolder.cc.o"
+  "CMakeFiles/olite_obda.dir/unfolder.cc.o.d"
+  "libolite_obda.a"
+  "libolite_obda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_obda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

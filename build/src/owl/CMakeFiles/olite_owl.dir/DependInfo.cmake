@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/owl/expr.cc" "src/owl/CMakeFiles/olite_owl.dir/expr.cc.o" "gcc" "src/owl/CMakeFiles/olite_owl.dir/expr.cc.o.d"
+  "/root/repo/src/owl/from_dllite.cc" "src/owl/CMakeFiles/olite_owl.dir/from_dllite.cc.o" "gcc" "src/owl/CMakeFiles/olite_owl.dir/from_dllite.cc.o.d"
+  "/root/repo/src/owl/ontology.cc" "src/owl/CMakeFiles/olite_owl.dir/ontology.cc.o" "gcc" "src/owl/CMakeFiles/olite_owl.dir/ontology.cc.o.d"
+  "/root/repo/src/owl/parser.cc" "src/owl/CMakeFiles/olite_owl.dir/parser.cc.o" "gcc" "src/owl/CMakeFiles/olite_owl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dllite/CMakeFiles/olite_dllite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

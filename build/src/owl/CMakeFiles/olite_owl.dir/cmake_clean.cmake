@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_owl.dir/expr.cc.o"
+  "CMakeFiles/olite_owl.dir/expr.cc.o.d"
+  "CMakeFiles/olite_owl.dir/from_dllite.cc.o"
+  "CMakeFiles/olite_owl.dir/from_dllite.cc.o.d"
+  "CMakeFiles/olite_owl.dir/ontology.cc.o"
+  "CMakeFiles/olite_owl.dir/ontology.cc.o.d"
+  "CMakeFiles/olite_owl.dir/parser.cc.o"
+  "CMakeFiles/olite_owl.dir/parser.cc.o.d"
+  "libolite_owl.a"
+  "libolite_owl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_owl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/abox_eval.cc" "src/query/CMakeFiles/olite_query.dir/abox_eval.cc.o" "gcc" "src/query/CMakeFiles/olite_query.dir/abox_eval.cc.o.d"
+  "/root/repo/src/query/containment.cc" "src/query/CMakeFiles/olite_query.dir/containment.cc.o" "gcc" "src/query/CMakeFiles/olite_query.dir/containment.cc.o.d"
+  "/root/repo/src/query/cq.cc" "src/query/CMakeFiles/olite_query.dir/cq.cc.o" "gcc" "src/query/CMakeFiles/olite_query.dir/cq.cc.o.d"
+  "/root/repo/src/query/rewriter.cc" "src/query/CMakeFiles/olite_query.dir/rewriter.cc.o" "gcc" "src/query/CMakeFiles/olite_query.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/olite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dllite/CMakeFiles/olite_dllite.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olite_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

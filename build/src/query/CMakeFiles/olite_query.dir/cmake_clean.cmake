@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_query.dir/abox_eval.cc.o"
+  "CMakeFiles/olite_query.dir/abox_eval.cc.o.d"
+  "CMakeFiles/olite_query.dir/containment.cc.o"
+  "CMakeFiles/olite_query.dir/containment.cc.o.d"
+  "CMakeFiles/olite_query.dir/cq.cc.o"
+  "CMakeFiles/olite_query.dir/cq.cc.o.d"
+  "CMakeFiles/olite_query.dir/rewriter.cc.o"
+  "CMakeFiles/olite_query.dir/rewriter.cc.o.d"
+  "libolite_query.a"
+  "libolite_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

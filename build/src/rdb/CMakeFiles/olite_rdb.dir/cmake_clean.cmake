@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_rdb.dir/query.cc.o"
+  "CMakeFiles/olite_rdb.dir/query.cc.o.d"
+  "CMakeFiles/olite_rdb.dir/table.cc.o"
+  "CMakeFiles/olite_rdb.dir/table.cc.o.d"
+  "CMakeFiles/olite_rdb.dir/value.cc.o"
+  "CMakeFiles/olite_rdb.dir/value.cc.o.d"
+  "libolite_rdb.a"
+  "libolite_rdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_rdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

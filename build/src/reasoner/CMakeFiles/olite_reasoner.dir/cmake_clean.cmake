@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olite_reasoner.dir/tableau.cc.o"
+  "CMakeFiles/olite_reasoner.dir/tableau.cc.o.d"
+  "CMakeFiles/olite_reasoner.dir/tableau_classifier.cc.o"
+  "CMakeFiles/olite_reasoner.dir/tableau_classifier.cc.o.d"
+  "libolite_reasoner.a"
+  "libolite_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olite_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

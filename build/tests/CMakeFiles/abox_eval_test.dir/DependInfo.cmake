@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abox_eval_test.cc" "tests/CMakeFiles/abox_eval_test.dir/abox_eval_test.cc.o" "gcc" "tests/CMakeFiles/abox_eval_test.dir/abox_eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/olite_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/olite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olite_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dllite/CMakeFiles/olite_dllite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

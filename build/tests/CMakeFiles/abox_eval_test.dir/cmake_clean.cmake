@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abox_eval_test.dir/abox_eval_test.cc.o"
+  "CMakeFiles/abox_eval_test.dir/abox_eval_test.cc.o.d"
+  "abox_eval_test"
+  "abox_eval_test.pdb"
+  "abox_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abox_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deductive_closure_test.dir/deductive_closure_test.cc.o"
+  "CMakeFiles/deductive_closure_test.dir/deductive_closure_test.cc.o.d"
+  "deductive_closure_test"
+  "deductive_closure_test.pdb"
+  "deductive_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deductive_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

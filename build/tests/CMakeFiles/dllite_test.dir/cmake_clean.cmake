@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dllite_test.dir/dllite_test.cc.o"
+  "CMakeFiles/dllite_test.dir/dllite_test.cc.o.d"
+  "dllite_test"
+  "dllite_test.pdb"
+  "dllite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dllite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functionality_test.dir/functionality_test.cc.o"
+  "CMakeFiles/functionality_test.dir/functionality_test.cc.o.d"
+  "functionality_test"
+  "functionality_test.pdb"
+  "functionality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functionality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_parser_test.dir/mapping_parser_test.cc.o"
+  "CMakeFiles/mapping_parser_test.dir/mapping_parser_test.cc.o.d"
+  "mapping_parser_test"
+  "mapping_parser_test.pdb"
+  "mapping_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_test.dir/obda_test.cc.o"
+  "CMakeFiles/obda_test.dir/obda_test.cc.o.d"
+  "obda_test"
+  "obda_test.pdb"
+  "obda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_test.dir/owl_test.cc.o"
+  "CMakeFiles/owl_test.dir/owl_test.cc.o.d"
+  "owl_test"
+  "owl_test.pdb"
+  "owl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

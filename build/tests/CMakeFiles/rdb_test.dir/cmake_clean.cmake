@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_test.dir/rdb_test.cc.o"
+  "CMakeFiles/rdb_test.dir/rdb_test.cc.o.d"
+  "rdb_test"
+  "rdb_test.pdb"
+  "rdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/dllite_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/implication_test[1]_include.cmake")
+include("/root/repo/build/tests/owl_test[1]_include.cmake")
+include("/root/repo/build/tests/tableau_test[1]_include.cmake")
+include("/root/repo/build/tests/completion_test[1]_include.cmake")
+include("/root/repo/build/tests/rdb_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/obda_test[1]_include.cmake")
+include("/root/repo/build/tests/benchgen_test[1]_include.cmake")
+include("/root/repo/build/tests/diagram_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/abox_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/functionality_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/deductive_closure_test[1]_include.cmake")
