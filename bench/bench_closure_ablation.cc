@@ -5,14 +5,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "benchgen/generator.h"
 #include "benchgen/profiles.h"
+#include "common/thread_pool.h"
 #include "core/classifier.h"
 
 namespace {
 
 using olite::benchgen::GeneratorConfig;
 using olite::benchgen::PaperProfiles;
+
+// Execution width for the classifier, set by --threads=N (default 1,
+// 0 = hardware_concurrency). Parsed before google-benchmark's own flags.
+unsigned g_threads = 1;
 
 // Profile index in PaperProfiles(): 0 Mouse, 2 DOLCE, 4 Gene, 6 Galen.
 const size_t kProfileIndices[] = {0, 2, 4, 6};
@@ -26,6 +34,7 @@ void BM_ClassifyWithEngine(benchmark::State& state) {
 
   olite::core::ClassificationOptions options;
   options.engine = engine;
+  options.threads = g_threads;
   uint64_t closure_arcs = 0;
   for (auto _ : state) {
     olite::core::Classification cls =
@@ -34,9 +43,11 @@ void BM_ClassifyWithEngine(benchmark::State& state) {
     benchmark::DoNotOptimize(cls);
   }
   state.SetLabel(profile.config.name + "/" +
-                 olite::graph::ClosureEngineName(engine));
+                 olite::graph::ClosureEngineName(engine) + "/t" +
+                 std::to_string(g_threads));
   state.counters["closure_arcs"] = static_cast<double>(closure_arcs);
   state.counters["concepts"] = profile.config.num_concepts;
+  state.counters["threads"] = g_threads;
 }
 
 }  // namespace
@@ -46,4 +57,20 @@ BENCHMARK(BM_ClassifyWithEngine)
                    {0, 1, 2, 3}})  // Mouse, DOLCE, Gene, Galen
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = olite::ThreadPool::ResolveThreads(
+          static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10)));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

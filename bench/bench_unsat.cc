@@ -6,10 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "benchgen/generator.h"
+#include "common/thread_pool.h"
 #include "core/classifier.h"
 
 namespace {
+
+// Execution width for the classifier, set by --threads=N (default 1,
+// 0 = hardware_concurrency). Parsed before google-benchmark's own flags.
+unsigned g_threads = 1;
 
 olite::dllite::Ontology MakeOntology(double disjointness_fraction,
                                      double unsat_fraction) {
@@ -35,6 +43,7 @@ void BM_ClassifyUnsatSweep(benchmark::State& state) {
 
   olite::core::ClassificationOptions options;
   options.compute_unsat = with_unsat;
+  options.threads = g_threads;
   double unsat_ms = 0;
   uint64_t unsat_nodes = 0;
   for (auto _ : state) {
@@ -50,6 +59,7 @@ void BM_ClassifyUnsatSweep(benchmark::State& state) {
   state.counters["unsat_nodes"] = static_cast<double>(unsat_nodes);
   state.counters["neg_inclusions"] =
       static_cast<double>(onto.tbox().NumNegativeInclusions());
+  state.counters["threads"] = g_threads;
 }
 
 }  // namespace
@@ -58,4 +68,20 @@ BENCHMARK(BM_ClassifyUnsatSweep)
     ->ArgsProduct({{0, 2, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = olite::ThreadPool::ResolveThreads(
+          static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10)));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

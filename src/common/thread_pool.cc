@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace olite {
+
+/// One parallel region. Chunk claiming is a lock-free ticket
+/// (`next.fetch_add(grain)`); completion accounting goes through the pool
+/// mutex so the owner's wake-up establishes a happens-before edge with
+/// every chunk body — readers of the loop's output need no further
+/// synchronisation. The owner waits for `active == 0` as well as full
+/// completion: a worker may still hold the job pointer after the last
+/// chunk finishes, and the Job lives on the owner's stack.
+struct ThreadPool::Job {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  const std::function<void(unsigned, size_t, size_t)>* chunk = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<unsigned> next_shard{1};  // shard 0 is reserved for the owner
+  size_t completed = 0;                 // guarded by the pool mutex
+  unsigned active = 0;                  // participating workers, ditto
+  ThreadPool* pool = nullptr;
+
+  bool Done() const { return completed == end - begin && active == 0; }
+};
+
+unsigned ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  num_threads_ = ResolveThreads(threads);
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainJob(Job* job, unsigned shard) {
+  size_t done_here = 0;
+  while (true) {
+    size_t b = job->next.fetch_add(job->grain, std::memory_order_relaxed);
+    if (b >= job->end) break;
+    size_t e = std::min(b + job->grain, job->end);
+    (*job->chunk)(shard, b, e);
+    done_here += e - b;
+  }
+  if (done_here > 0) {
+    std::lock_guard<std::mutex> lock(job->pool->mu_);
+    job->completed += done_here;
+  }
+}
+
+void ThreadPool::RunChunked(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(unsigned, size_t, size_t)>& chunk) {
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunk = &chunk;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.pool = this;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(&job);
+  }
+  cv_.notify_all();
+  // The owner participates with the reserved shard 0, then waits until the
+  // last in-flight chunk (and the last worker holding the job) is gone.
+  DrainJob(&job, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&job] { return job.Done(); });
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    unsigned shard = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        if (stop_) return true;
+        for (Job* j : jobs_) {
+          if (j->next.load(std::memory_order_relaxed) < j->end) return true;
+        }
+        return false;
+      });
+      if (stop_) return;
+      for (Job* j : jobs_) {
+        if (j->next.load(std::memory_order_relaxed) < j->end) {
+          job = j;
+          break;
+        }
+      }
+      if (job == nullptr) continue;
+      shard = job->next_shard.fetch_add(1, std::memory_order_relaxed);
+      ++job->active;
+    }
+    // A thread drains a job completely before looking for another, so it
+    // claims at most one shard per job; with one owner plus
+    // `num_threads_ - 1` workers the ids stay below num_threads_.
+    if (shard < num_threads_) DrainJob(job, shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active;
+      if (job->Done()) cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace olite

@@ -1,0 +1,105 @@
+#ifndef OLITE_COMMON_THREAD_POOL_H_
+#define OLITE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace olite {
+
+/// A fixed-size fork-join task pool for data-parallel loops.
+///
+/// The pool owns `threads - 1` worker threads; the thread calling
+/// `ParallelFor` always participates as the extra worker, so `threads == 1`
+/// is an exact serial fallback (no atomics, no queueing, identical
+/// iteration order). Nested `ParallelFor` calls from inside a chunk are
+/// safe: the nested caller drives its own job and idle workers join
+/// whichever job has chunks left, so no thread ever blocks on work that
+/// cannot progress.
+///
+/// Determinism contract: chunk *assignment* to threads is dynamic, so any
+/// parallel loop must write only to per-index or per-shard state and merge
+/// shard results in a fixed order. All engines in this repo follow that
+/// rule; results are bit-identical at every thread count.
+///
+/// One external (non-worker) thread may issue top-level ParallelFor calls
+/// at a time; this matches the classifier/benchmark drivers, which are
+/// single-threaded outside the pool.
+class ThreadPool {
+ public:
+  /// The default pool width: `hardware_concurrency`, at least 1.
+  static unsigned DefaultThreads();
+
+  /// Resolves a user-facing `threads` knob: 0 means DefaultThreads().
+  static unsigned ResolveThreads(unsigned threads) {
+    return threads == 0 ? DefaultThreads() : threads;
+  }
+
+  /// Creates a pool of `threads` (0 = DefaultThreads()). `threads = 1`
+  /// spawns no workers at all.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread.
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(i)` for every `i` in `[begin, end)`, in chunks of `grain`
+  /// indices, across the pool. Blocks until every index is done.
+  template <typename Fn>
+  void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn) {
+    ParallelForShard(begin, end, grain,
+                     [&fn](unsigned /*shard*/, size_t i) { fn(i); });
+  }
+
+  /// Like ParallelFor, but passes the executing shard id (`< num_threads()`)
+  /// as the first argument. A shard id is held by exactly one thread for
+  /// the duration of the call, so `fn` may use it to index mutex-free
+  /// per-shard scratch buffers.
+  template <typename Fn>
+  void ParallelForShard(size_t begin, size_t end, size_t grain, Fn&& fn) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    auto chunk = [&fn](unsigned shard, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) fn(shard, i);
+    };
+    if (num_threads_ == 1 || end - begin <= grain) {
+      chunk(0, begin, end);
+      return;
+    }
+    RunChunked(begin, end, grain, chunk);
+  }
+
+ private:
+  struct Job;
+
+  /// Parallel-region driver: publishes a job, participates in it, and
+  /// blocks until all of `[begin, end)` has been executed.
+  void RunChunked(size_t begin, size_t end, size_t grain,
+                  const std::function<void(unsigned, size_t, size_t)>& chunk);
+
+  /// Executes chunks of `job` until none remain (does not wait for chunks
+  /// claimed by other threads).
+  static void DrainJob(Job* job, unsigned shard);
+
+  void WorkerLoop();
+
+  unsigned num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;  ///< signals new jobs, chunk completion, stop
+  std::deque<Job*> jobs_;       ///< jobs with (possibly) unclaimed chunks
+  bool stop_ = false;
+};
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_THREAD_POOL_H_

@@ -1,10 +1,12 @@
 #include "core/classifier.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace olite::core {
 
@@ -138,8 +140,28 @@ Classification Classify(const dllite::TBox& tbox,
   stats.num_graph_arcs = g.digraph.NumArcs();
 
   sw.Reset();
-  auto forward = graph::ComputeClosure(g.digraph, options.engine);
-  auto reverse = graph::ComputeClosure(g.digraph.Reversed(), options.engine);
+  const unsigned threads = ThreadPool::ResolveThreads(options.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  std::unique_ptr<graph::TransitiveClosure> forward;
+  std::unique_ptr<graph::TransitiveClosure> reverse;
+  if (pool.has_value()) {
+    // Forward and reverse closures are independent: run them as two
+    // concurrent tasks, each of which parallelises internally on the same
+    // pool (nested ParallelFor is safe; see common/thread_pool.h).
+    graph::Digraph reversed = g.digraph.Reversed();
+    pool->ParallelFor(0, 2, 1, [&](size_t i) {
+      if (i == 0) {
+        forward = graph::ComputeClosure(g.digraph, options.engine, &*pool);
+      } else {
+        reverse = graph::ComputeClosure(reversed, options.engine, &*pool);
+      }
+    });
+  } else {
+    forward = graph::ComputeClosure(g.digraph, options.engine);
+    reverse = graph::ComputeClosure(g.digraph.Reversed(), options.engine);
+  }
   stats.closure_ms = sw.ElapsedMillis();
   stats.num_closure_arcs = forward->NumClosureArcs();
 
@@ -261,18 +283,31 @@ std::vector<dllite::AttributeId> Classification::UnsatisfiableAttributes()
   return out;
 }
 
-uint64_t Classification::CountNamedSubsumptions() const {
+uint64_t Classification::CountNamedSubsumptions(ThreadPool* pool) const {
   const NodeTable& nt = graph_.nodes;
+  // One flat index space over all named predicates; each term is an
+  // independent read-only query, so the sum parallelises with per-shard
+  // accumulators (exact: uint64 addition is associative).
+  const uint64_t nc = nt.num_concepts();
+  const uint64_t nr = nt.num_roles();
+  const uint64_t na = nt.num_attributes();
+  auto term = [&](uint64_t i) -> uint64_t {
+    if (i < nc) return SuperConcepts(static_cast<uint32_t>(i)).size();
+    if (i < nc + nr) return SuperRoles(static_cast<uint32_t>(i - nc)).size();
+    return SuperAttributes(static_cast<uint32_t>(i - nc - nr)).size();
+  };
+  const uint64_t n = nc + nr + na;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    uint64_t total = 0;
+    for (uint64_t i = 0; i < n; ++i) total += term(i);
+    return total;
+  }
+  std::vector<uint64_t> partial(pool->num_threads(), 0);
+  pool->ParallelForShard(0, n, /*grain=*/64, [&](unsigned shard, size_t i) {
+    partial[shard] += term(i);
+  });
   uint64_t total = 0;
-  for (uint32_t c = 0; c < nt.num_concepts(); ++c) {
-    total += SuperConcepts(c).size();
-  }
-  for (uint32_t p = 0; p < nt.num_roles(); ++p) {
-    total += SuperRoles(p).size();
-  }
-  for (uint32_t u = 0; u < nt.num_attributes(); ++u) {
-    total += SuperAttributes(u).size();
-  }
+  for (uint64_t p : partial) total += p;
   return total;
 }
 

@@ -8,6 +8,10 @@
 #include "dllite/tbox.h"
 #include "graph/closure.h"
 
+namespace olite {
+class ThreadPool;
+}
+
 namespace olite::core {
 
 /// Tuning knobs for `Classify`.
@@ -19,6 +23,11 @@ struct ClassificationOptions {
   /// complete for TBoxes without unsatisfiable predicates. Used to measure
   /// the cost of the second phase in isolation.
   bool compute_unsat = true;
+  /// Execution width: forward/reverse closures are computed concurrently
+  /// and each closure engine parallelises internally (common/thread_pool.h).
+  /// `1` = exact serial path (the default, and the pre-parallel behaviour);
+  /// `0` = hardware_concurrency. Results are identical at every width.
+  unsigned threads = 1;
 };
 
 /// Timing/volume counters filled in by `Classify`.
@@ -116,8 +125,10 @@ class Classification {
   std::vector<dllite::AttributeId> UnsatisfiableAttributes() const;
 
   /// Total number of entailed non-reflexive subsumptions between *named*
-  /// predicates (the size of the classification output).
-  uint64_t CountNamedSubsumptions() const;
+  /// predicates (the size of the classification output). With a non-null
+  /// `pool`, the per-predicate counts are summed in parallel; the result
+  /// is exact and identical at every pool width.
+  uint64_t CountNamedSubsumptions(ThreadPool* pool = nullptr) const;
 
   const TBoxGraph& tbox_graph() const { return graph_; }
   const graph::TransitiveClosure& closure() const { return *forward_; }

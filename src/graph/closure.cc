@@ -1,8 +1,8 @@
 #include "graph/closure.h"
 
 #include <algorithm>
-#include <functional>
 
+#include "common/thread_pool.h"
 #include "graph/bitset.h"
 #include "graph/scc.h"
 
@@ -10,39 +10,33 @@ namespace olite::graph {
 
 namespace {
 
+bool UsePool(const ThreadPool* pool) {
+  return pool != nullptr && pool->num_threads() > 1;
+}
+
 // ---------------------------------------------------------------------------
-// BFS engine: one breadth-first traversal per source node.
+// BFS engine: one breadth-first traversal per source node. Sources are
+// independent, so construction parallelises with per-shard scratch.
 // ---------------------------------------------------------------------------
 class BfsClosure : public TransitiveClosure {
  public:
-  explicit BfsClosure(const Digraph& g) {
+  explicit BfsClosure(const Digraph& g, ThreadPool* pool) {
     const NodeId n = g.NumNodes();
     reach_.resize(n);
-    std::vector<uint32_t> visited(n, 0);
-    uint32_t stamp = 0;
-    std::vector<NodeId> queue;
-    for (NodeId src = 0; src < n; ++src) {
-      ++stamp;
-      queue.clear();
-      // Seed with the successors of src (paths of length >= 1).
-      for (NodeId v : g.Successors(src)) {
-        if (visited[v] != stamp) {
-          visited[v] = stamp;
-          queue.push_back(v);
-        }
-      }
-      for (size_t head = 0; head < queue.size(); ++head) {
-        for (NodeId w : g.Successors(queue[head])) {
-          if (visited[w] != stamp) {
-            visited[w] = stamp;
-            queue.push_back(w);
-          }
-        }
-      }
-      std::sort(queue.begin(), queue.end());
-      reach_[src] = queue;
-      num_arcs_ += queue.size();
+    if (!UsePool(pool)) {
+      Scratch scratch;
+      scratch.visited.assign(n, 0);
+      for (NodeId src = 0; src < n; ++src) Traverse(g, src, &scratch);
+    } else {
+      std::vector<Scratch> scratch(pool->num_threads());
+      pool->ParallelForShard(0, n, /*grain=*/16, [&](unsigned shard,
+                                                     size_t src) {
+        Scratch& s = scratch[shard];
+        if (s.visited.size() < n) s.visited.assign(n, 0);
+        Traverse(g, static_cast<NodeId>(src), &s);
+      });
     }
+    for (const auto& r : reach_) num_arcs_ += r.size();
   }
 
   bool Reaches(NodeId from, NodeId to) const override {
@@ -58,6 +52,34 @@ class BfsClosure : public TransitiveClosure {
   std::string EngineName() const override { return "bfs"; }
 
  private:
+  struct Scratch {
+    std::vector<uint32_t> visited;
+    uint32_t stamp = 0;
+    std::vector<NodeId> queue;
+  };
+
+  void Traverse(const Digraph& g, NodeId src, Scratch* s) {
+    ++s->stamp;
+    s->queue.clear();
+    // Seed with the successors of src (paths of length >= 1).
+    for (NodeId v : g.Successors(src)) {
+      if (s->visited[v] != s->stamp) {
+        s->visited[v] = s->stamp;
+        s->queue.push_back(v);
+      }
+    }
+    for (size_t head = 0; head < s->queue.size(); ++head) {
+      for (NodeId w : g.Successors(s->queue[head])) {
+        if (s->visited[w] != s->stamp) {
+          s->visited[w] = s->stamp;
+          s->queue.push_back(w);
+        }
+      }
+    }
+    std::sort(s->queue.begin(), s->queue.end());
+    reach_[src] = s->queue;
+  }
+
   std::vector<std::vector<NodeId>> reach_;
   uint64_t num_arcs_ = 0;
 };
@@ -66,132 +88,183 @@ class BfsClosure : public TransitiveClosure {
 // Shared SCC scaffolding: node-level queries on top of per-component
 // reachability, exploiting that Tarjan emits components in reverse
 // topological order (successor components have smaller ids).
+//
+// CRTP instead of virtual hooks: the per-component visitor is a template
+// on the concrete engine, so enumerating a reach set costs no indirect
+// call per reachable component (the hot loop of `ReachableFrom`).
+// Derived classes provide:
+//   bool ComponentReaches(NodeId cf, NodeId ct) const;
+//   template <typename Fn> void ForEachReachableComponent(NodeId c, Fn&&);
+//   uint64_t ReachableNodeCount(NodeId c) const;
 // ---------------------------------------------------------------------------
+template <typename Derived>
 class SccClosureBase : public TransitiveClosure {
  public:
   explicit SccClosureBase(const Digraph& g)
       : scc_(ComputeScc(g)), dag_(BuildCondensation(g, scc_)) {}
 
-  bool Reaches(NodeId from, NodeId to) const override {
+  bool Reaches(NodeId from, NodeId to) const final {
     NodeId cf = scc_.component_of[from];
     NodeId ct = scc_.component_of[to];
     if (cf == ct) return scc_.cyclic[cf];
-    return ComponentReaches(cf, ct);
+    return derived().ComponentReaches(cf, ct);
   }
 
-  std::vector<NodeId> ReachableFrom(NodeId from) const override {
+  std::vector<NodeId> ReachableFrom(NodeId from) const final {
     NodeId cf = scc_.component_of[from];
     std::vector<NodeId> out;
     auto add_component = [&](NodeId c) {
       for (NodeId v : scc_.members[c]) out.push_back(v);
     };
     if (scc_.cyclic[cf]) add_component(cf);
-    ForEachReachableComponent(cf, add_component);
+    derived().ForEachReachableComponent(cf, add_component);
     std::sort(out.begin(), out.end());
     return out;
   }
 
-  uint64_t NumClosureArcs() const override {
-    uint64_t total = 0;
-    for (NodeId c = 0; c < scc_.NumComponents(); ++c) {
-      uint64_t targets = ReachableNodeCount(c);
-      if (scc_.cyclic[c]) targets += scc_.members[c].size();
-      total += targets * scc_.members[c].size();
-    }
-    return total;
-  }
+  uint64_t NumClosureArcs() const final { return num_arcs_; }
 
  protected:
-  /// True iff component `cf` reaches distinct component `ct` in the DAG.
-  virtual bool ComponentReaches(NodeId cf, NodeId ct) const = 0;
-  /// Invokes `fn` for every distinct component reachable from `c`.
-  virtual void ForEachReachableComponent(
-      NodeId c, const std::function<void(NodeId)>& fn) const = 0;
-  /// Number of nodes in distinct components reachable from `c`.
-  virtual uint64_t ReachableNodeCount(NodeId c) const = 0;
+  /// Sums the closure-arc count; called once at the end of construction
+  /// (per-component terms are independent, so this parallelises too).
+  void FinalizeArcCount(ThreadPool* pool) {
+    const NodeId nc = scc_.NumComponents();
+    auto term = [this](NodeId c) {
+      uint64_t targets = derived().ReachableNodeCount(c);
+      if (scc_.cyclic[c]) targets += scc_.members[c].size();
+      return targets * scc_.members[c].size();
+    };
+    if (!UsePool(pool)) {
+      for (NodeId c = 0; c < nc; ++c) num_arcs_ += term(c);
+      return;
+    }
+    std::vector<uint64_t> partial(pool->num_threads(), 0);
+    pool->ParallelForShard(0, nc, /*grain=*/64, [&](unsigned shard, size_t c) {
+      partial[shard] += term(static_cast<NodeId>(c));
+    });
+    for (uint64_t p : partial) num_arcs_ += p;
+  }
+
+  /// Groups components by longest-path depth in the condensation DAG.
+  /// All of a component's successors sit in strictly earlier levels, so
+  /// the components of one level can be processed concurrently once every
+  /// earlier level is final. Levels (and each level) ascend by id.
+  std::vector<std::vector<NodeId>> TopologicalLevels() const {
+    const NodeId nc = dag_.NumNodes();
+    std::vector<uint32_t> level(nc, 0);
+    uint32_t max_level = 0;
+    for (NodeId c = 0; c < nc; ++c) {
+      uint32_t l = 0;
+      // Successor components have smaller ids: already levelled.
+      for (NodeId d : dag_.Successors(c)) l = std::max(l, level[d] + 1);
+      level[c] = l;
+      max_level = std::max(max_level, l);
+    }
+    std::vector<std::vector<NodeId>> levels(max_level + 1);
+    for (NodeId c = 0; c < nc; ++c) levels[level[c]].push_back(c);
+    return levels;
+  }
+
+  const Derived& derived() const { return static_cast<const Derived&>(*this); }
 
   SccResult scc_;
   Digraph dag_;
+  uint64_t num_arcs_ = 0;
 };
 
 // ---------------------------------------------------------------------------
 // SCC + sorted-vector merge engine (production default).
 // ---------------------------------------------------------------------------
-class SccMergeClosure : public SccClosureBase {
+class SccMergeClosure : public SccClosureBase<SccMergeClosure> {
  public:
-  explicit SccMergeClosure(const Digraph& g) : SccClosureBase(g) {
+  explicit SccMergeClosure(const Digraph& g, ThreadPool* pool)
+      : SccClosureBase(g) {
     const NodeId nc = scc_.NumComponents();
     comp_reach_.resize(nc);
-    std::vector<NodeId> merged;
-    // Component ids ascend in reverse topological order, so every successor
-    // component's reach set is already final when we process c.
-    for (NodeId c = 0; c < nc; ++c) {
-      merged.clear();
-      for (NodeId d : dag_.Successors(c)) {
-        merged.push_back(d);
-        const auto& rd = comp_reach_[d];
-        merged.insert(merged.end(), rd.begin(), rd.end());
+    if (!UsePool(pool)) {
+      // Component ids ascend in reverse topological order, so every
+      // successor component's reach set is already final when we process c.
+      std::vector<NodeId> merged;
+      for (NodeId c = 0; c < nc; ++c) MergeOne(c, &merged);
+    } else {
+      // Level-synchronous propagation: within a level no component can
+      // reach another, so their merges only read finalised earlier levels.
+      std::vector<std::vector<NodeId>> scratch(pool->num_threads());
+      for (const auto& level : TopologicalLevels()) {
+        pool->ParallelForShard(
+            0, level.size(), /*grain=*/16,
+            [&](unsigned shard, size_t i) { MergeOne(level[i], &scratch[shard]); });
       }
-      std::sort(merged.begin(), merged.end());
-      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      comp_reach_[c] = merged;
     }
+    FinalizeArcCount(pool);
   }
 
   std::string EngineName() const override { return "scc_merge"; }
 
- protected:
-  bool ComponentReaches(NodeId cf, NodeId ct) const override {
+  bool ComponentReaches(NodeId cf, NodeId ct) const {
     const auto& r = comp_reach_[cf];
     return std::binary_search(r.begin(), r.end(), ct);
   }
 
-  void ForEachReachableComponent(
-      NodeId c, const std::function<void(NodeId)>& fn) const override {
+  template <typename Fn>
+  void ForEachReachableComponent(NodeId c, Fn&& fn) const {
     for (NodeId d : comp_reach_[c]) fn(d);
   }
 
-  uint64_t ReachableNodeCount(NodeId c) const override {
+  uint64_t ReachableNodeCount(NodeId c) const {
     uint64_t total = 0;
     for (NodeId d : comp_reach_[c]) total += scc_.members[d].size();
     return total;
   }
 
  private:
+  void MergeOne(NodeId c, std::vector<NodeId>* merged) {
+    merged->clear();
+    for (NodeId d : dag_.Successors(c)) {
+      merged->push_back(d);
+      const auto& rd = comp_reach_[d];
+      merged->insert(merged->end(), rd.begin(), rd.end());
+    }
+    std::sort(merged->begin(), merged->end());
+    merged->erase(std::unique(merged->begin(), merged->end()), merged->end());
+    comp_reach_[c] = *merged;
+  }
+
   std::vector<std::vector<NodeId>> comp_reach_;
 };
 
 // ---------------------------------------------------------------------------
 // SCC + bitset engine.
 // ---------------------------------------------------------------------------
-class SccBitsetClosure : public SccClosureBase {
+class SccBitsetClosure : public SccClosureBase<SccBitsetClosure> {
  public:
-  explicit SccBitsetClosure(const Digraph& g) : SccClosureBase(g) {
+  explicit SccBitsetClosure(const Digraph& g, ThreadPool* pool)
+      : SccClosureBase(g) {
     const NodeId nc = scc_.NumComponents();
-    comp_reach_.reserve(nc);
-    for (NodeId c = 0; c < nc; ++c) {
-      DynamicBitset bits(nc);
-      for (NodeId d : dag_.Successors(c)) {
-        bits.Set(d);
-        bits.OrWith(comp_reach_[d]);
+    comp_reach_.resize(nc);
+    if (!UsePool(pool)) {
+      for (NodeId c = 0; c < nc; ++c) UnionOne(nc, c);
+    } else {
+      for (const auto& level : TopologicalLevels()) {
+        pool->ParallelFor(0, level.size(), /*grain=*/16,
+                          [&](size_t i) { UnionOne(nc, level[i]); });
       }
-      comp_reach_.push_back(std::move(bits));
     }
+    FinalizeArcCount(pool);
   }
 
   std::string EngineName() const override { return "scc_bitset"; }
 
- protected:
-  bool ComponentReaches(NodeId cf, NodeId ct) const override {
+  bool ComponentReaches(NodeId cf, NodeId ct) const {
     return comp_reach_[cf].Test(ct);
   }
 
-  void ForEachReachableComponent(
-      NodeId c, const std::function<void(NodeId)>& fn) const override {
+  template <typename Fn>
+  void ForEachReachableComponent(NodeId c, Fn&& fn) const {
     comp_reach_[c].ForEachSet([&](size_t d) { fn(static_cast<NodeId>(d)); });
   }
 
-  uint64_t ReachableNodeCount(NodeId c) const override {
+  uint64_t ReachableNodeCount(NodeId c) const {
     uint64_t total = 0;
     comp_reach_[c].ForEachSet(
         [&](size_t d) { total += scc_.members[d].size(); });
@@ -199,6 +272,15 @@ class SccBitsetClosure : public SccClosureBase {
   }
 
  private:
+  void UnionOne(NodeId nc, NodeId c) {
+    DynamicBitset bits(nc);
+    for (NodeId d : dag_.Successors(c)) {
+      bits.Set(d);
+      bits.OrWith(comp_reach_[d]);
+    }
+    comp_reach_[c] = std::move(bits);
+  }
+
   std::vector<DynamicBitset> comp_reach_;
 };
 
@@ -214,14 +296,15 @@ const char* ClosureEngineName(ClosureEngine engine) {
 }
 
 std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
-                                                  ClosureEngine engine) {
+                                                  ClosureEngine engine,
+                                                  ThreadPool* pool) {
   switch (engine) {
     case ClosureEngine::kBfs:
-      return std::make_unique<BfsClosure>(g);
+      return std::make_unique<BfsClosure>(g, pool);
     case ClosureEngine::kSccMerge:
-      return std::make_unique<SccMergeClosure>(g);
+      return std::make_unique<SccMergeClosure>(g, pool);
     case ClosureEngine::kSccBitset:
-      return std::make_unique<SccBitsetClosure>(g);
+      return std::make_unique<SccBitsetClosure>(g, pool);
   }
   return nullptr;
 }

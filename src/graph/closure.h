@@ -7,6 +7,10 @@
 
 #include "graph/digraph.h"
 
+namespace olite {
+class ThreadPool;
+}
+
 namespace olite::graph {
 
 /// Query interface over the transitive closure of a digraph.
@@ -50,8 +54,14 @@ const char* ClosureEngineName(ClosureEngine engine);
 
 /// Computes the transitive closure of `g` with the chosen engine.
 /// `g` should be Finalize()d first.
+///
+/// When `pool` is non-null and wider than one thread, construction is
+/// parallelised: per-source BFS for the `bfs` engine, level-synchronous
+/// propagation over the condensation DAG for the SCC engines. The result
+/// is bit-identical to the serial computation at every pool width.
 std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
-                                                  ClosureEngine engine);
+                                                  ClosureEngine engine,
+                                                  ThreadPool* pool = nullptr);
 
 }  // namespace olite::graph
 

@@ -16,11 +16,30 @@ using dllite::BasicConceptKind;
 using dllite::BasicRole;
 using dllite::RhsConceptKind;
 
-// Removes duplicate atoms, preserving order.
+// Hash of an atom's full signature (kind, predicate, argument terms), for
+// set-based duplicate elimination.
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    size_t h = static_cast<size_t>(a.kind);
+    h = h * 1000003 + a.predicate;
+    for (const Term& t : a.args) {
+      h = h * 1000003 + static_cast<size_t>(t.kind);
+      h = h * 1000003 + std::hash<std::string>{}(t.name);
+    }
+    return h;
+  }
+};
+
+// Removes duplicate atoms, keeping the first occurrence of each. Runs once
+// per generated rewriting candidate, so linear time matters: the previous
+// std::find scan was quadratic and dominated rewritings with many atoms.
 void DedupAtoms(ConjunctiveQuery* q) {
+  std::unordered_set<Atom, AtomHash> seen;
+  seen.reserve(q->atoms.size());
   std::vector<Atom> out;
-  for (const auto& a : q->atoms) {
-    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  out.reserve(q->atoms.size());
+  for (auto& a : q->atoms) {
+    if (seen.insert(a).second) out.push_back(std::move(a));
   }
   q->atoms = std::move(out);
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/classifier.h"
 #include "core/deductive_closure.h"
 #include "core/node_table.h"
@@ -412,6 +414,81 @@ TEST(DeductiveClosureTest, QualifiedExistentialConsequences) {
   EXPECT_TRUE(contains("B", "Q", false, "State"));
   EXPECT_FALSE(contains("State", "P", false, "State"));
   EXPECT_FALSE(contains("A", "P", true, "State"));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel classification determinism
+// ---------------------------------------------------------------------------
+
+// Random DL-Lite_R TBox with atomic/existential inclusions, role
+// hierarchy arcs and a sprinkling of disjointness (⇒ unsat predicates).
+dllite::Ontology RandomOntology(uint64_t seed) {
+  Rng rng(seed);
+  dllite::Ontology onto;
+  const uint32_t nc = 50, nr = 8;
+  for (uint32_t i = 0; i < nc; ++i) {
+    onto.vocab().InternConcept("C" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    onto.vocab().InternRole("P" + std::to_string(i));
+  }
+  auto random_basic = [&] {
+    if (rng.Uniform(4) == 0) {
+      auto q = dllite::BasicRole{static_cast<dllite::RoleId>(rng.Uniform(nr)),
+                                 rng.Uniform(2) == 0};
+      return BasicConcept::Exists(q);
+    }
+    return BasicConcept::Atomic(static_cast<dllite::ConceptId>(rng.Uniform(nc)));
+  };
+  for (int i = 0; i < 120; ++i) {
+    onto.tbox().AddConceptInclusion(
+        {random_basic(), dllite::RhsConcept::Positive(random_basic())});
+  }
+  for (int i = 0; i < 8; ++i) {
+    onto.tbox().AddConceptInclusion(
+        {random_basic(), dllite::RhsConcept::Negated(random_basic())});
+  }
+  for (int i = 0; i < 12; ++i) {
+    auto q1 = dllite::BasicRole{static_cast<dllite::RoleId>(rng.Uniform(nr)),
+                                rng.Uniform(2) == 0};
+    auto q2 = dllite::BasicRole{static_cast<dllite::RoleId>(rng.Uniform(nr)),
+                                rng.Uniform(2) == 0};
+    onto.tbox().AddRoleInclusion({q1, q2, /*negated=*/false});
+  }
+  return onto;
+}
+
+TEST(ClassifierParallelTest, IdenticalResultsAtEveryWidth) {
+  const graph::ClosureEngine kEngines[] = {graph::ClosureEngine::kBfs,
+                                           graph::ClosureEngine::kSccMerge,
+                                           graph::ClosureEngine::kSccBitset};
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    dllite::Ontology onto = RandomOntology(seed);
+    for (graph::ClosureEngine engine : kEngines) {
+      ClassificationOptions serial_opts;
+      serial_opts.engine = engine;
+      serial_opts.threads = 1;
+      Classification serial = Classify(onto.tbox(), onto.vocab(), serial_opts);
+      const uint64_t serial_count = serial.CountNamedSubsumptions();
+      for (unsigned width : {2u, 8u}) {
+        ClassificationOptions opts;
+        opts.engine = engine;
+        opts.threads = width;
+        Classification par = Classify(onto.tbox(), onto.vocab(), opts);
+        EXPECT_EQ(par.stats().num_closure_arcs, serial.stats().num_closure_arcs);
+        EXPECT_EQ(par.stats().num_unsat_nodes, serial.stats().num_unsat_nodes);
+        EXPECT_EQ(par.CountNamedSubsumptions(), serial_count);
+        ThreadPool pool(width);
+        EXPECT_EQ(par.CountNamedSubsumptions(&pool), serial_count);
+        for (uint32_t a = 0; a < onto.vocab().NumConcepts(); ++a) {
+          ASSERT_EQ(par.SuperConcepts(a), serial.SuperConcepts(a))
+              << "seed " << seed << " width " << width << " concept " << a;
+        }
+        EXPECT_EQ(par.UnsatisfiableConcepts(), serial.UnsatisfiableConcepts());
+        EXPECT_EQ(par.UnsatisfiableRoles(), serial.UnsatisfiableRoles());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/bitset.h"
 #include "graph/closure.h"
 #include "graph/digraph.h"
@@ -233,6 +234,41 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, ClosureEngineTest,
                          [](const auto& pinfo) {
                            return ClosureEngineName(pinfo.param);
                          });
+
+// Every engine, serial and at several pool widths, must agree bit-for-bit
+// with the serial BFS oracle on random digraphs (including dense, cyclic
+// and near-empty shapes).
+TEST(ClosureParallelTest, EnginesAgreeAtEveryWidthOnRandomGraphs) {
+  const ClosureEngine kEngines[] = {ClosureEngine::kBfs,
+                                    ClosureEngine::kSccMerge,
+                                    ClosureEngine::kSccBitset};
+  const unsigned kWidths[] = {1, 2, 8};
+  Rng rng(2013);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId n = static_cast<NodeId>(1 + rng.Uniform(60));
+    Digraph g(n);
+    const uint64_t arcs = rng.Uniform(4 * static_cast<uint64_t>(n) + 1);
+    for (uint64_t e = 0; e < arcs; ++e) {
+      g.AddArc(static_cast<NodeId>(rng.Uniform(n)),
+               static_cast<NodeId>(rng.Uniform(n)));
+    }
+    g.Finalize();
+    auto oracle = ComputeClosure(g, ClosureEngine::kBfs);
+    for (ClosureEngine engine : kEngines) {
+      for (unsigned width : kWidths) {
+        ThreadPool pool(width);
+        auto c = ComputeClosure(g, engine, &pool);
+        ASSERT_EQ(c->NumClosureArcs(), oracle->NumClosureArcs())
+            << c->EngineName() << " width " << width << " trial " << trial;
+        for (NodeId u = 0; u < n; ++u) {
+          ASSERT_EQ(c->ReachableFrom(u), oracle->ReachableFrom(u))
+              << c->EngineName() << " width " << width << " trial " << trial
+              << " node " << u;
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace olite::graph

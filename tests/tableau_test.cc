@@ -369,5 +369,51 @@ DisjointClasses(:B :E)
   EXPECT_LE(re.sat_tests, rn.sat_tests);
 }
 
+// A taxonomy with equivalences, non-primitive concepts (⇒ bottom search),
+// an unsatisfiable concept and a role hierarchy; every strategy must
+// produce the same result at every pool width, including the number of
+// sat tests issued.
+TEST(TableauClassifierTest, ParallelClassificationIsDeterministic) {
+  auto onto = MustParse(R"(
+Declaration(Class(:A)) Declaration(Class(:B)) Declaration(Class(:C))
+Declaration(Class(:D)) Declaration(Class(:E)) Declaration(Class(:F))
+Declaration(Class(:G)) Declaration(Class(:H))
+SubClassOf(:A :B)
+SubClassOf(:B :C)
+SubClassOf(:D :C)
+SubClassOf(:E ObjectSomeValuesFrom(:p :A))
+SubClassOf(:F ObjectIntersectionOf(:B :D))
+EquivalentClasses(:G ObjectIntersectionOf(:B :D))
+ObjectPropertyDomain(:p :C)
+DisjointClasses(:A :D)
+SubClassOf(:H :A)
+SubClassOf(:H :D)
+SubObjectPropertyOf(:p :q)
+)");
+  for (ClassifyStrategy strategy :
+       {ClassifyStrategy::kNaivePairwise, ClassifyStrategy::kToldPruned,
+        ClassifyStrategy::kEnhancedTraversal}) {
+    TableauClassifierOptions serial_opts;
+    serial_opts.strategy = strategy;
+    serial_opts.threads = 1;
+    auto serial = ClassifyWithTableau(*onto, serial_opts);
+    ASSERT_TRUE(serial.completed);
+    for (unsigned width : {2u, 8u}) {
+      TableauClassifierOptions opts;
+      opts.strategy = strategy;
+      opts.threads = width;
+      auto par = ClassifyWithTableau(*onto, opts);
+      ASSERT_TRUE(par.completed)
+          << ClassifyStrategyName(strategy) << " width " << width;
+      EXPECT_EQ(par.concept_subsumers, serial.concept_subsumers)
+          << ClassifyStrategyName(strategy) << " width " << width;
+      EXPECT_EQ(par.role_subsumers, serial.role_subsumers);
+      EXPECT_EQ(par.unsatisfiable, serial.unsatisfiable);
+      EXPECT_EQ(par.sat_tests, serial.sat_tests)
+          << ClassifyStrategyName(strategy) << " width " << width;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace olite::reasoner

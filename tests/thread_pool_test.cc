@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace olite {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), ThreadPool::DefaultThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+}
+
+TEST(ThreadPoolTest, SerialWidthVisitsEveryIndexOnce) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), /*grain=*/7,
+                   [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  // Per-index slots: concurrent writers never share an element.
+  std::vector<int> hits(10'000, 0);
+  pool.ParallelFor(0, hits.size(), /*grain=*/16,
+                   [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(5, 6, 1, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 5u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ShardIdsStayBelowWidth) {
+  ThreadPool pool(4);
+  std::vector<unsigned> shard_of(5'000, ~0u);
+  pool.ParallelForShard(0, shard_of.size(), /*grain=*/8,
+                        [&](unsigned shard, size_t i) { shard_of[i] = shard; });
+  for (unsigned s : shard_of) EXPECT_LT(s, pool.num_threads());
+}
+
+TEST(ThreadPoolTest, PerShardAccumulationSumsExactly) {
+  ThreadPool pool(3);
+  std::vector<uint64_t> partial(pool.num_threads(), 0);
+  const size_t n = 20'000;
+  pool.ParallelForShard(0, n, /*grain=*/64,
+                        [&](unsigned shard, size_t i) { partial[shard] += i; });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  // Chunks may issue their own ParallelFor on the same pool; workers must
+  // never deadlock even though every outer chunk waits on an inner job.
+  const size_t outer = 8, inner = 500;
+  std::vector<std::vector<int>> hits(outer, std::vector<int>(inner, 0));
+  pool.ParallelFor(0, outer, /*grain=*/1, [&](size_t o) {
+    pool.ParallelFor(0, inner, /*grain=*/32,
+                     [&](size_t i) { ++hits[o][i]; });
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 100, /*grain=*/9,
+                     [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 5'000u);
+}
+
+}  // namespace
+}  // namespace olite
