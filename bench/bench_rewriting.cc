@@ -1,12 +1,38 @@
-// The OBDA core service (§1/§3): UCQ rewriting. Measures PerfectRef vs.
-// the classification-aided ("Presto-style") rewriter as the TBox hierarchy
-// deepens, plus the full rewrite→unfold→execute pipeline on a university
-// OBDA instance.
+// The OBDA core service (§1/§3): UCQ rewriting and the full
+// rewrite→unfold→execute pipeline, measured under execution budgets.
+//
+// For every mode (perfectref, classified) × layered ontology (depth
+// sweep) × deadline the harness runs the budgeted `ObdaSystem::Answer`
+// with graceful degradation enabled and records whether the cell
+// completed exactly, degraded (sound partial answers inside the budget),
+// or exhausted the budget outright.
+//
+// Flags: --deadline-ms=<list>  deadlines to sweep, e.g. 50 or 0,5,50
+//                              (default 0,5,50; 0 = unlimited)
+//        --depths=<list>       hierarchy depths  (default 2,4,6,8)
+//        --width=<n>           classes per level (default 4)
+//        --rows=<n>            rows in the leaf table (default 40)
+//        --reps=<n>            repetitions per cell, min wins (default 3)
+//        --out=<path>          machine-readable results
+//                              (default BENCH_rewriting.json)
+//
+// Two query shapes per cell: a single-atom query (cheap, completes under
+// any deadline) and a three-atom self-product (the rewritten union and the
+// evaluated cross product grow with depth, so millisecond deadlines
+// degrade or exhaust).
+//
+// The JSON output is a flat array of rows
+//   {"mode", "ontology", "query", "deadline_ms", "ms", "outcome",
+//    "disjuncts", "rows", "degradation"}
+// with outcome one of "complete" | "degraded" | "exhausted".
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/stopwatch.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
 #include "obda/system.h"
@@ -41,81 +67,190 @@ Ontology LayeredTBox(int depth, int width) {
   return onto;
 }
 
-void BM_RewriteDepthSweep(benchmark::State& state) {
-  auto mode = static_cast<RewriteMode>(state.range(0));
-  int depth = static_cast<int>(state.range(1));
-  Ontology onto = LayeredTBox(depth, 4);
-  olite::query::RewriterOptions options;
-  options.mode = mode;
-  olite::query::Rewriter rewriter(onto.tbox(), onto.vocab(), options);
-  auto cq = olite::query::ParseQuery("q(x) :- L0_0(x)", onto.vocab());
-  if (!cq.ok()) {
-    state.SkipWithError("query parse failed");
-    return;
-  }
-  size_t disjuncts = 0;
-  size_t iterations = 0;
-  for (auto _ : state) {
-    olite::query::RewriteStats stats;
-    auto ucq = rewriter.Rewrite(*cq, &stats);
-    if (!ucq.ok()) {
-      state.SkipWithError("rewrite failed");
-      return;
-    }
-    disjuncts = stats.final_disjuncts;
-    iterations = stats.iterations;
-    benchmark::DoNotOptimize(ucq);
-  }
-  state.SetLabel(std::string(RewriteModeName(mode)) + "/depth=" +
-                 std::to_string(depth));
-  state.counters["disjuncts"] = static_cast<double>(disjuncts);
-  state.counters["iterations"] = static_cast<double>(iterations);
-}
-
-void BM_EndToEndPipeline(benchmark::State& state) {
-  auto mode = static_cast<RewriteMode>(state.range(0));
-  Ontology onto = LayeredTBox(5, 4);
-
+// The university-style source: every deepest-level class maps to one leaf
+// table, so the whole rewritten union unfolds and evaluates.
+std::unique_ptr<olite::obda::ObdaSystem> MakeSystem(int depth, int width,
+                                                    int leaf_rows,
+                                                    RewriteMode mode) {
+  Ontology onto = LayeredTBox(depth, width);
   olite::rdb::Database db;
   (void)db.CreateTable({"leaf", {{"id", olite::rdb::ValueType::kString}}});
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < leaf_rows; ++i) {
     (void)db.Insert("leaf", {olite::rdb::Value::Str("e" + std::to_string(i))});
   }
   olite::mapping::MappingSet mappings;
   olite::rdb::SelectBlock block;
   block.from_tables = {"leaf"};
   block.select = {{0, "id"}};
-  // Map every deepest-level class to the leaf table.
-  for (int w = 0; w < 4; ++w) {
+  for (int w = 0; w < width; ++w) {
     (void)mappings.Add(olite::mapping::MappingAssertion::ForConcept(
-        onto.vocab().FindConcept("L4_" + std::to_string(w)).value(), block));
+        onto.vocab()
+            .FindConcept("L" + std::to_string(depth - 1) + "_" +
+                         std::to_string(w))
+            .value(),
+        block));
   }
   auto sys = olite::obda::ObdaSystem::Create(std::move(onto),
                                              std::move(mappings),
                                              std::move(db), mode);
   if (!sys.ok()) {
-    state.SkipWithError("system creation failed");
+    std::fprintf(stderr, "system creation failed: %s\n",
+                 sys.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(sys).value();
+}
+
+struct JsonRow {
+  std::string mode;
+  std::string ontology;
+  std::string query;
+  double deadline_ms = 0;
+  double ms = 0;
+  std::string outcome;  // complete | degraded | exhausted
+  uint64_t disjuncts = 0;
+  uint64_t rows = 0;
+  std::string degradation;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  size_t rows = 0;
-  for (auto _ : state) {
-    auto answers = (*sys)->Answer("q(x) :- L0_0(x)");
-    if (!answers.ok()) {
-      state.SkipWithError("query failed");
-      return;
-    }
-    rows = answers->size();
-    benchmark::DoNotOptimize(answers);
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"mode\": \"%s\", \"ontology\": \"%s\", "
+                 "\"query\": \"%s\", "
+                 "\"deadline_ms\": %.1f, \"ms\": %.3f, \"outcome\": \"%s\", "
+                 "\"disjuncts\": %llu, \"rows\": %llu, "
+                 "\"degradation\": \"%s\"}%s\n",
+                 r.mode.c_str(), r.ontology.c_str(), r.query.c_str(),
+                 r.deadline_ms, r.ms, r.outcome.c_str(),
+                 static_cast<unsigned long long>(r.disjuncts),
+                 static_cast<unsigned long long>(r.rows),
+                 JsonEscape(r.degradation).c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
-  state.SetLabel(RewriteModeName(mode));
-  state.counters["rows"] = static_cast<double>(rows);
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+std::vector<double> ParseList(const char* text) {
+  std::vector<double> out;
+  std::string current;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) out.push_back(std::atof(current.c_str()));
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current += *p;
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
-BENCHMARK(BM_RewriteDepthSweep)
-    ->ArgsProduct({{0, 1}, {2, 4, 6, 8}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EndToEndPipeline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  std::vector<double> deadlines = {0, 5, 50};
+  std::vector<double> depths = {2, 4, 6, 8};
+  int width = 4;
+  int leaf_rows = 40;
+  int reps = 3;
+  std::string out_path = "BENCH_rewriting.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadlines = ParseList(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--depths=", 9) == 0) {
+      depths = ParseList(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--width=", 8) == 0) {
+      width = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      leaf_rows = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (reps < 1) reps = 1;
 
-BENCHMARK_MAIN();
+  const struct {
+    const char* name;
+    const char* text;
+  } kQueries[] = {
+      {"q1_atom", "q(x) :- L0_0(x)"},
+      {"q3_atoms", "q(x, y, z) :- L0_0(x), L0_0(y), L0_0(z)"},
+  };
+
+  std::vector<JsonRow> rows;
+  std::printf("%-12s %-14s %-10s %12s %10s %10s %10s\n", "mode", "ontology",
+              "query", "deadline_ms", "ms", "outcome", "disjuncts");
+  for (RewriteMode mode : {RewriteMode::kPerfectRef, RewriteMode::kClassified}) {
+    for (double depth : depths) {
+      auto sys = MakeSystem(static_cast<int>(depth), width, leaf_rows, mode);
+      std::string ontology =
+          "layered_d" + std::to_string(static_cast<int>(depth)) + "_w" +
+          std::to_string(width);
+      for (const auto& query : kQueries) {
+        for (double deadline : deadlines) {
+          JsonRow row;
+          row.mode = RewriteModeName(mode);
+          row.ontology = ontology;
+          row.query = query.name;
+          row.deadline_ms = deadline;
+          double best_ms = -1;
+          for (int rep = 0; rep < reps; ++rep) {
+            olite::obda::AnswerOptions opts;
+            opts.deadline_ms = deadline;
+            opts.allow_degraded = true;
+            olite::obda::AnswerStats stats;
+            olite::Stopwatch sw;
+            auto answers = sys->Answer(query.text, opts, &stats);
+            double ms = sw.ElapsedMillis();
+            if (best_ms < 0 || ms < best_ms) best_ms = ms;
+            if (!answers.ok()) {
+              row.outcome = "exhausted";
+              row.degradation = answers.status().ToString();
+            } else {
+              row.outcome =
+                  stats.degradation.degraded() ? "degraded" : "complete";
+              row.disjuncts = stats.rewrite.final_disjuncts;
+              row.rows = stats.rows;
+              row.degradation = stats.degradation.degraded()
+                                    ? stats.degradation.ToString()
+                                    : "";
+            }
+          }
+          row.ms = best_ms;
+          rows.push_back(row);
+          std::printf("%-12s %-14s %-10s %12.1f %10.3f %10s %10llu\n",
+                      row.mode.c_str(), row.ontology.c_str(),
+                      row.query.c_str(), row.deadline_ms, row.ms,
+                      row.outcome.c_str(),
+                      static_cast<unsigned long long>(row.disjuncts));
+        }
+      }
+    }
+  }
+  WriteJson(out_path, rows);
+  return 0;
+}

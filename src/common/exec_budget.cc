@@ -1,0 +1,81 @@
+#include "common/exec_budget.h"
+
+#include <limits>
+
+namespace olite {
+
+const char* QuotaName(Quota q) {
+  switch (q) {
+    case Quota::kRewriteIterations: return "rewrite_iterations";
+    case Quota::kContainmentChecks: return "containment_checks";
+    case Quota::kSqlBlocks: return "sql_blocks";
+    case Quota::kRows: return "rows";
+    case Quota::kRuleApplications: return "rule_applications";
+    case Quota::kBranches: return "branches";
+  }
+  return "unknown";
+}
+
+ExecBudget::ExecBudget(const BudgetCaps& caps)
+    : caps_(caps), start_(std::chrono::steady_clock::now()) {}
+
+double ExecBudget::ElapsedMillis() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double ExecBudget::RemainingMillis() const {
+  if (!has_deadline()) return std::numeric_limits<double>::max();
+  return caps_.deadline_ms - ElapsedMillis();
+}
+
+uint64_t ExecBudget::CapOf(Quota q) const {
+  switch (q) {
+    case Quota::kRewriteIterations: return caps_.max_rewrite_iterations;
+    case Quota::kContainmentChecks: return caps_.max_containment_checks;
+    case Quota::kSqlBlocks: return caps_.max_sql_blocks;
+    case Quota::kRows: return caps_.max_rows;
+    case Quota::kRuleApplications: return caps_.max_rule_applications;
+    case Quota::kBranches: return caps_.max_branches;
+  }
+  return 0;
+}
+
+bool ExecBudget::Consume(Quota q, uint64_t n) const {
+  uint64_t drawn = counters_[static_cast<int>(q)].fetch_add(
+                       n, std::memory_order_relaxed) +
+                   n;
+  uint64_t cap = CapOf(q);
+  return cap == 0 || drawn <= cap;
+}
+
+bool ExecBudget::QuotaExceeded(Quota q) const {
+  uint64_t cap = CapOf(q);
+  return cap != 0 && used(q) > cap;
+}
+
+Status ExecBudget::Check(std::string_view stage) const {
+  if (cancelled()) {
+    return Status::ResourceExhausted(std::string(stage) +
+                                     ": operation cancelled");
+  }
+  if (TimeExpired()) {
+    return Status::ResourceExhausted(
+        std::string(stage) + ": deadline of " +
+        std::to_string(caps_.deadline_ms) + " ms exceeded");
+  }
+  return Status::Ok();
+}
+
+std::string Degradation::ToString() const {
+  if (events.empty()) return "none";
+  std::string out;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += events[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace olite

@@ -12,7 +12,10 @@ namespace olite {
 /// A value-or-error holder (StatusOr idiom).
 ///
 /// Either holds a `T` (and `ok()` is true) or a non-OK `Status`. Accessing
-/// `value()` on an error result aborts in debug builds.
+/// `value()` on an error result aborts — in *every* build mode — with the
+/// held status printed to stderr (a debug-only assert would silently read
+/// the wrong variant in Release). Use `value_or` when a fallback value is
+/// acceptable.
 template <typename T>
 class Result {
  public:
@@ -21,8 +24,10 @@ class Result {
 
   /// Implicit construction from a non-OK status (failure).
   Result(Status status) : data_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(data_).ok() &&
-           "Result must not be constructed from an OK status");
+    if (std::get<Status>(data_).ok()) {
+      internal::DieOnStatus("Result constructed from an OK status",
+                            std::get<Status>(data_));
+    }
   }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
@@ -34,16 +39,28 @@ class Result {
   }
 
   const T& value() const& {
-    assert(ok());
+    DieIfError();
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    DieIfError();
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    DieIfError();
     return std::get<T>(std::move(data_));
+  }
+
+  /// The value on success, `fallback` (converted to T) on error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    if (ok()) return std::get<T>(data_);
+    return static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    if (ok()) return std::get<T>(std::move(data_));
+    return static_cast<T>(std::forward<U>(fallback));
   }
 
   const T& operator*() const& { return value(); }
@@ -52,6 +69,13 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void DieIfError() const {
+    if (!ok()) {
+      internal::DieOnStatus("Result::value() called on an error result",
+                            std::get<Status>(data_));
+    }
+  }
+
   std::variant<T, Status> data_;
 };
 

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace olite {
 
 const char* StatusCodeName(StatusCode code) {
@@ -27,5 +30,15 @@ std::string Status::ToString() const {
   }
   return out;
 }
+
+namespace internal {
+
+void DieOnStatus(const char* what, const Status& status) {
+  std::fprintf(stderr, "FATAL: %s [%s]\n", what, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace olite

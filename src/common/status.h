@@ -89,6 +89,13 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Prints `what` plus the status to stderr and aborts. Backs the
+/// `Result<T>::value()` misuse check in every build mode (an assert would
+/// compile away in Release and let the caller read the wrong variant).
+[[noreturn]] void DieOnStatus(const char* what, const Status& status);
+}  // namespace internal
+
 /// Propagates a non-OK status to the caller.
 #define OLITE_RETURN_IF_ERROR(expr)                  \
   do {                                               \

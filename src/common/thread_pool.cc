@@ -16,6 +16,7 @@ struct ThreadPool::Job {
   size_t end = 0;
   size_t grain = 1;
   const std::function<void(unsigned, size_t, size_t)>* chunk = nullptr;
+  const std::atomic<bool>* cancel = nullptr;  // skip bodies once true
   std::atomic<size_t> next{0};
   std::atomic<unsigned> next_shard{1};  // shard 0 is reserved for the owner
   size_t completed = 0;                 // guarded by the pool mutex
@@ -53,7 +54,13 @@ void ThreadPool::DrainJob(Job* job, unsigned shard) {
     size_t b = job->next.fetch_add(job->grain, std::memory_order_relaxed);
     if (b >= job->end) break;
     size_t e = std::min(b + job->grain, job->end);
-    (*job->chunk)(shard, b, e);
+    // A cancelled job stops dispatching real work: remaining claims are
+    // accounted as completed without running the chunk body, so the owner's
+    // wait still terminates with exact bookkeeping.
+    if (job->cancel == nullptr ||
+        !job->cancel->load(std::memory_order_acquire)) {
+      (*job->chunk)(shard, b, e);
+    }
     done_here += e - b;
   }
   if (done_here > 0) {
@@ -64,12 +71,14 @@ void ThreadPool::DrainJob(Job* job, unsigned shard) {
 
 void ThreadPool::RunChunked(
     size_t begin, size_t end, size_t grain,
-    const std::function<void(unsigned, size_t, size_t)>& chunk) {
+    const std::function<void(unsigned, size_t, size_t)>& chunk,
+    const std::atomic<bool>* cancel) {
   Job job;
   job.begin = begin;
   job.end = end;
   job.grain = grain;
   job.chunk = &chunk;
+  job.cancel = cancel;
   job.next.store(begin, std::memory_order_relaxed);
   job.pool = this;
   {

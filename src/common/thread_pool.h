@@ -10,6 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/exec_budget.h"
+#include "common/fault_injection.h"
+#include "common/status.h"
+
 namespace olite {
 
 /// A fixed-size fork-join task pool for data-parallel loops.
@@ -74,16 +78,81 @@ class ThreadPool {
       chunk(0, begin, end);
       return;
     }
-    RunChunked(begin, end, grain, chunk);
+    RunChunked(begin, end, grain, chunk, nullptr);
+  }
+
+  /// Budget-aware, fallible variant of ParallelFor. `fn(i)` returns a
+  /// Status; the first failure (ties broken by the *smallest index*, so
+  /// the merge is deterministic regardless of chunk scheduling) cancels
+  /// the loop: chunks not yet executed are skipped and no new work is
+  /// dispatched. A non-null `budget` is polled cooperatively — its
+  /// cancellation flag on every index, its deadline every 64 indices —
+  /// and exhaustion cancels the loop the same way. Also a fault-injection
+  /// point (`fault::Site::kPoolTask`).
+  ///
+  /// Returns the winning error, or the budget's exhaustion status, or Ok
+  /// when every index ran to completion.
+  template <typename Fn>
+  Status ParallelForCancellable(size_t begin, size_t end, size_t grain,
+                                const ExecBudget* budget, Fn&& fn) {
+    std::atomic<bool> stop{false};
+    std::mutex err_mu;
+    size_t first_index = static_cast<size_t>(-1);
+    Status first_status;
+    auto record = [&](size_t i, Status s) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (i < first_index) {
+        first_index = i;
+        first_status = std::move(s);
+      }
+      stop.store(true, std::memory_order_release);
+    };
+    auto body = [&](unsigned /*shard*/, size_t i) {
+      if (stop.load(std::memory_order_acquire)) return;
+      if (budget != nullptr &&
+          (budget->cancelled() || ((i & 0x3F) == 0 && budget->TimeExpired()))) {
+        Status s = budget->Check("parallel_for");
+        if (s.ok()) s = Status::ResourceExhausted("parallel_for: budget");
+        record(i, std::move(s));
+        return;
+      }
+      Status injected = fault::InjectAt(fault::Site::kPoolTask);
+      if (!injected.ok()) {
+        record(i, std::move(injected));
+        return;
+      }
+      Status s = fn(i);
+      if (!s.ok()) record(i, std::move(s));
+    };
+    if (begin < end) {
+      if (grain == 0) grain = 1;
+      auto chunk = [&body](unsigned shard, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) body(shard, i);
+      };
+      if (num_threads_ == 1 || end - begin <= grain) {
+        for (size_t i = begin; i < end && !stop.load(std::memory_order_acquire);
+             ++i) {
+          body(0, i);
+        }
+      } else {
+        RunChunked(begin, end, grain, chunk, &stop);
+      }
+    }
+    if (first_index != static_cast<size_t>(-1)) return first_status;
+    if (budget != nullptr) return budget->Check("parallel_for");
+    return Status::Ok();
   }
 
  private:
   struct Job;
 
   /// Parallel-region driver: publishes a job, participates in it, and
-  /// blocks until all of `[begin, end)` has been executed.
+  /// blocks until all of `[begin, end)` has been executed. A non-null
+  /// `cancel` flag makes workers skip chunk bodies (claims still drain,
+  /// so completion accounting stays exact) once it reads true.
   void RunChunked(size_t begin, size_t end, size_t grain,
-                  const std::function<void(unsigned, size_t, size_t)>& chunk);
+                  const std::function<void(unsigned, size_t, size_t)>& chunk,
+                  const std::atomic<bool>* cancel);
 
   /// Executes chunks of `job` until none remain (does not wait for chunks
   /// claimed by other threads).

@@ -27,6 +27,13 @@ std::vector<graph::NodeId> ReflexivePredecessors(
 std::vector<bool> ComputeUnsat(const TBoxGraph& g,
                                const graph::TransitiveClosure& forward,
                                const graph::TransitiveClosure& reverse) {
+  // A null budget can never exhaust, so value() cannot die here.
+  return ComputeUnsatBudgeted(g, forward, reverse, nullptr).value();
+}
+
+Result<std::vector<bool>> ComputeUnsatBudgeted(
+    const TBoxGraph& g, const graph::TransitiveClosure& forward,
+    const graph::TransitiveClosure& reverse, const ExecBudget* budget) {
   const graph::NodeId n = g.nodes.NumNodes();
   std::vector<bool> unsat(n, false);
   std::vector<graph::NodeId> worklist;
@@ -41,6 +48,9 @@ std::vector<bool> ComputeUnsat(const TBoxGraph& g,
   // Seeds: for each negative inclusion S1 ⊑ ¬S2, every predicate that is
   // (transitively, reflexively) subsumed by both sides is unsatisfiable.
   for (const auto& ni : g.negative_inclusions) {
+    if (budget != nullptr && budget->Exhausted()) {
+      return budget->Check("classify/unsat");
+    }
     std::vector<graph::NodeId> p1 = ReflexivePredecessors(reverse, ni.lhs);
     std::vector<graph::NodeId> p2 = ReflexivePredecessors(reverse, ni.rhs);
     std::vector<graph::NodeId> both;
@@ -56,6 +66,9 @@ std::vector<bool> ComputeUnsat(const TBoxGraph& g,
   // and B is unsatisfiable. (An *unsatisfiable* member of the closure is
   // handled by the fixpoint rules below.)
   for (const auto& qe : g.qualified_existentials) {
+    if (budget != nullptr && budget->Exhausted()) {
+      return budget->Check("classify/unsat");
+    }
     std::unordered_set<graph::NodeId> memberships;
     auto add_up = [&](graph::NodeId m) {
       memberships.insert(m);
@@ -85,7 +98,11 @@ std::vector<bool> ComputeUnsat(const TBoxGraph& g,
   }
 
   // Fixpoint propagation.
+  uint64_t pops = 0;
   while (!worklist.empty()) {
+    if (budget != nullptr && (++pops & 0x3F) == 0 && budget->Exhausted()) {
+      return budget->Check("classify/unsat");
+    }
     graph::NodeId x = worklist.back();
     worklist.pop_back();
 
@@ -131,6 +148,14 @@ std::vector<bool> ComputeUnsat(const TBoxGraph& g,
 Classification Classify(const dllite::TBox& tbox,
                         const dllite::Vocabulary& vocab,
                         const ClassificationOptions& options) {
+  // A null budget can never exhaust, so value() cannot die here.
+  return ClassifyBudgeted(tbox, vocab, options, nullptr).value();
+}
+
+Result<Classification> ClassifyBudgeted(const dllite::TBox& tbox,
+                                        const dllite::Vocabulary& vocab,
+                                        const ClassificationOptions& options,
+                                        const ExecBudget* budget) {
   ClassificationStats stats;
   Stopwatch sw;
 
@@ -144,8 +169,10 @@ Classification Classify(const dllite::TBox& tbox,
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
 
-  std::unique_ptr<graph::TransitiveClosure> forward;
-  std::unique_ptr<graph::TransitiveClosure> reverse;
+  Result<std::unique_ptr<graph::TransitiveClosure>> forward_result =
+      Status::Internal("closure not computed");
+  Result<std::unique_ptr<graph::TransitiveClosure>> reverse_result =
+      Status::Internal("closure not computed");
   if (pool.has_value()) {
     // Forward and reverse closures are independent: run them as two
     // concurrent tasks, each of which parallelises internally on the same
@@ -153,22 +180,36 @@ Classification Classify(const dllite::TBox& tbox,
     graph::Digraph reversed = g.digraph.Reversed();
     pool->ParallelFor(0, 2, 1, [&](size_t i) {
       if (i == 0) {
-        forward = graph::ComputeClosure(g.digraph, options.engine, &*pool);
+        forward_result = graph::ComputeClosureBudgeted(g.digraph,
+                                                       options.engine, &*pool,
+                                                       budget);
       } else {
-        reverse = graph::ComputeClosure(reversed, options.engine, &*pool);
+        reverse_result = graph::ComputeClosureBudgeted(reversed,
+                                                       options.engine, &*pool,
+                                                       budget);
       }
     });
   } else {
-    forward = graph::ComputeClosure(g.digraph, options.engine);
-    reverse = graph::ComputeClosure(g.digraph.Reversed(), options.engine);
+    forward_result = graph::ComputeClosureBudgeted(g.digraph, options.engine,
+                                                   nullptr, budget);
+    reverse_result = graph::ComputeClosureBudgeted(g.digraph.Reversed(),
+                                                   options.engine, nullptr,
+                                                   budget);
   }
+  OLITE_RETURN_IF_ERROR(forward_result.status());
+  OLITE_RETURN_IF_ERROR(reverse_result.status());
+  std::unique_ptr<graph::TransitiveClosure> forward =
+      std::move(forward_result).value();
+  std::unique_ptr<graph::TransitiveClosure> reverse =
+      std::move(reverse_result).value();
   stats.closure_ms = sw.ElapsedMillis();
   stats.num_closure_arcs = forward->NumClosureArcs();
 
   sw.Reset();
   std::vector<bool> unsat(g.nodes.NumNodes(), false);
   if (options.compute_unsat) {
-    unsat = ComputeUnsat(g, *forward, *reverse);
+    OLITE_ASSIGN_OR_RETURN(unsat,
+                           ComputeUnsatBudgeted(g, *forward, *reverse, budget));
   }
   stats.unsat_ms = sw.ElapsedMillis();
   stats.num_unsat_nodes =

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_budget.h"
+#include "common/result.h"
 #include "core/tbox_graph.h"
 #include "dllite/tbox.h"
 #include "graph/closure.h"
@@ -150,12 +152,30 @@ Classification Classify(const dllite::TBox& tbox,
                         const dllite::Vocabulary& vocab,
                         const ClassificationOptions& options = {});
 
+/// Budget-aware classification: the closure engines poll `budget`
+/// cooperatively (including from pool workers) and `computeUnsat` checks
+/// it per fixpoint step, so an adversarial TBox cannot pin a serving
+/// thread past its deadline. Returns kResourceExhausted once the budget
+/// is cancelled or expired; a null budget behaves exactly like
+/// `Classify`.
+Result<Classification> ClassifyBudgeted(const dllite::TBox& tbox,
+                                        const dllite::Vocabulary& vocab,
+                                        const ClassificationOptions& options,
+                                        const ExecBudget* budget);
+
 /// The paper's `computeUnsat` algorithm: returns the per-node
 /// unsatisfiability flags for the TBox underlying `g`, given forward and
 /// reverse closures of its digraph.
 std::vector<bool> ComputeUnsat(const TBoxGraph& g,
                                const graph::TransitiveClosure& forward,
                                const graph::TransitiveClosure& reverse);
+
+/// Budget-aware computeUnsat: polls `budget` per seed axiom and per
+/// fixpoint pop; kResourceExhausted on exhaustion (null budget = the
+/// plain overload).
+Result<std::vector<bool>> ComputeUnsatBudgeted(
+    const TBoxGraph& g, const graph::TransitiveClosure& forward,
+    const graph::TransitiveClosure& reverse, const ExecBudget* budget);
 
 }  // namespace olite::core
 

@@ -1,6 +1,7 @@
 #include "graph/closure.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/thread_pool.h"
 #include "graph/bitset.h"
@@ -14,23 +15,49 @@ bool UsePool(const ThreadPool* pool) {
   return pool != nullptr && pool->num_threads() > 1;
 }
 
+// Cooperative-abort bookkeeping shared by the engine constructors: polls
+// the budget once per work unit (a source node or an SCC component — each
+// amortises the clock read over real traversal work) and latches. Workers
+// that observe the latch skip their remaining units, so a cancelled build
+// converges quickly; the half-built closure is discarded by the caller.
+struct BuildAbort {
+  const ExecBudget* budget = nullptr;
+  std::atomic<bool> aborted{false};
+
+  // True when the caller should skip this work unit.
+  bool Poll() {
+    if (aborted.load(std::memory_order_relaxed)) return true;
+    if (budget != nullptr && budget->Exhausted()) {
+      aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // BFS engine: one breadth-first traversal per source node. Sources are
 // independent, so construction parallelises with per-shard scratch.
 // ---------------------------------------------------------------------------
 class BfsClosure : public TransitiveClosure {
  public:
-  explicit BfsClosure(const Digraph& g, ThreadPool* pool) {
+  explicit BfsClosure(const Digraph& g, ThreadPool* pool,
+                      const ExecBudget* budget = nullptr) {
+    abort_.budget = budget;
     const NodeId n = g.NumNodes();
     reach_.resize(n);
     if (!UsePool(pool)) {
       Scratch scratch;
       scratch.visited.assign(n, 0);
-      for (NodeId src = 0; src < n; ++src) Traverse(g, src, &scratch);
+      for (NodeId src = 0; src < n; ++src) {
+        if (abort_.Poll()) break;
+        Traverse(g, src, &scratch);
+      }
     } else {
       std::vector<Scratch> scratch(pool->num_threads());
       pool->ParallelForShard(0, n, /*grain=*/16, [&](unsigned shard,
                                                      size_t src) {
+        if (abort_.Poll()) return;
         Scratch& s = scratch[shard];
         if (s.visited.size() < n) s.visited.assign(n, 0);
         Traverse(g, static_cast<NodeId>(src), &s);
@@ -38,6 +65,8 @@ class BfsClosure : public TransitiveClosure {
     }
     for (const auto& r : reach_) num_arcs_ += r.size();
   }
+
+  bool aborted() const { return abort_.aborted.load(std::memory_order_relaxed); }
 
   bool Reaches(NodeId from, NodeId to) const override {
     const auto& r = reach_[from];
@@ -82,6 +111,7 @@ class BfsClosure : public TransitiveClosure {
 
   std::vector<std::vector<NodeId>> reach_;
   uint64_t num_arcs_ = 0;
+  BuildAbort abort_;
 };
 
 // ---------------------------------------------------------------------------
@@ -177,27 +207,36 @@ class SccClosureBase : public TransitiveClosure {
 // ---------------------------------------------------------------------------
 class SccMergeClosure : public SccClosureBase<SccMergeClosure> {
  public:
-  explicit SccMergeClosure(const Digraph& g, ThreadPool* pool)
+  explicit SccMergeClosure(const Digraph& g, ThreadPool* pool,
+                           const ExecBudget* budget = nullptr)
       : SccClosureBase(g) {
+    abort_.budget = budget;
     const NodeId nc = scc_.NumComponents();
     comp_reach_.resize(nc);
     if (!UsePool(pool)) {
       // Component ids ascend in reverse topological order, so every
       // successor component's reach set is already final when we process c.
       std::vector<NodeId> merged;
-      for (NodeId c = 0; c < nc; ++c) MergeOne(c, &merged);
+      for (NodeId c = 0; c < nc; ++c) {
+        if (abort_.Poll()) break;
+        MergeOne(c, &merged);
+      }
     } else {
       // Level-synchronous propagation: within a level no component can
       // reach another, so their merges only read finalised earlier levels.
       std::vector<std::vector<NodeId>> scratch(pool->num_threads());
       for (const auto& level : TopologicalLevels()) {
-        pool->ParallelForShard(
-            0, level.size(), /*grain=*/16,
-            [&](unsigned shard, size_t i) { MergeOne(level[i], &scratch[shard]); });
+        pool->ParallelForShard(0, level.size(), /*grain=*/16,
+                               [&](unsigned shard, size_t i) {
+                                 if (abort_.Poll()) return;
+                                 MergeOne(level[i], &scratch[shard]);
+                               });
       }
     }
     FinalizeArcCount(pool);
   }
+
+  bool aborted() const { return abort_.aborted.load(std::memory_order_relaxed); }
 
   std::string EngineName() const override { return "scc_merge"; }
 
@@ -231,6 +270,7 @@ class SccMergeClosure : public SccClosureBase<SccMergeClosure> {
   }
 
   std::vector<std::vector<NodeId>> comp_reach_;
+  BuildAbort abort_;
 };
 
 // ---------------------------------------------------------------------------
@@ -238,20 +278,29 @@ class SccMergeClosure : public SccClosureBase<SccMergeClosure> {
 // ---------------------------------------------------------------------------
 class SccBitsetClosure : public SccClosureBase<SccBitsetClosure> {
  public:
-  explicit SccBitsetClosure(const Digraph& g, ThreadPool* pool)
+  explicit SccBitsetClosure(const Digraph& g, ThreadPool* pool,
+                            const ExecBudget* budget = nullptr)
       : SccClosureBase(g) {
+    abort_.budget = budget;
     const NodeId nc = scc_.NumComponents();
     comp_reach_.resize(nc);
     if (!UsePool(pool)) {
-      for (NodeId c = 0; c < nc; ++c) UnionOne(nc, c);
+      for (NodeId c = 0; c < nc; ++c) {
+        if (abort_.Poll()) break;
+        UnionOne(nc, c);
+      }
     } else {
       for (const auto& level : TopologicalLevels()) {
-        pool->ParallelFor(0, level.size(), /*grain=*/16,
-                          [&](size_t i) { UnionOne(nc, level[i]); });
+        pool->ParallelFor(0, level.size(), /*grain=*/16, [&](size_t i) {
+          if (abort_.Poll()) return;
+          UnionOne(nc, level[i]);
+        });
       }
     }
     FinalizeArcCount(pool);
   }
+
+  bool aborted() const { return abort_.aborted.load(std::memory_order_relaxed); }
 
   std::string EngineName() const override { return "scc_bitset"; }
 
@@ -282,6 +331,7 @@ class SccBitsetClosure : public SccClosureBase<SccBitsetClosure> {
   }
 
   std::vector<DynamicBitset> comp_reach_;
+  BuildAbort abort_;
 };
 
 }  // namespace
@@ -307,6 +357,28 @@ std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
       return std::make_unique<SccBitsetClosure>(g, pool);
   }
   return nullptr;
+}
+
+Result<std::unique_ptr<TransitiveClosure>> ComputeClosureBudgeted(
+    const Digraph& g, ClosureEngine engine, ThreadPool* pool,
+    const ExecBudget* budget) {
+  auto finish = [&](auto closure) -> Result<std::unique_ptr<TransitiveClosure>> {
+    if (closure->aborted()) {
+      Status s = budget->Check("closure");
+      if (s.ok()) s = Status::ResourceExhausted("closure: budget exhausted");
+      return s;
+    }
+    return std::unique_ptr<TransitiveClosure>(std::move(closure));
+  };
+  switch (engine) {
+    case ClosureEngine::kBfs:
+      return finish(std::make_unique<BfsClosure>(g, pool, budget));
+    case ClosureEngine::kSccMerge:
+      return finish(std::make_unique<SccMergeClosure>(g, pool, budget));
+    case ClosureEngine::kSccBitset:
+      return finish(std::make_unique<SccBitsetClosure>(g, pool, budget));
+  }
+  return Status::InvalidArgument("unknown closure engine");
 }
 
 }  // namespace olite::graph

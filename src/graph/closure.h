@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_budget.h"
+#include "common/result.h"
 #include "graph/digraph.h"
 
 namespace olite {
@@ -62,6 +64,15 @@ const char* ClosureEngineName(ClosureEngine engine);
 std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
                                                   ClosureEngine engine,
                                                   ThreadPool* pool = nullptr);
+
+/// Budget-aware closure computation: the engines poll `budget`
+/// cooperatively (per source node / per SCC component, from every pool
+/// worker) and abandon construction once it is cancelled or past its
+/// deadline, returning kResourceExhausted instead of a partially-built
+/// closure. A null budget behaves exactly like `ComputeClosure`.
+Result<std::unique_ptr<TransitiveClosure>> ComputeClosureBudgeted(
+    const Digraph& g, ClosureEngine engine, ThreadPool* pool,
+    const ExecBudget* budget);
 
 }  // namespace olite::graph
 

@@ -110,6 +110,15 @@ class SqlParser {
       std::string alias;
       if (cur().kind == SqlToken::Kind::kWord &&
           !IsKeyword(cur().text, "WHERE")) {
+        // Reserved words are not aliases: a dangling JOIN/ON/AND here is a
+        // malformed (or unsupported) query, not a table alias.
+        for (const char* kw :
+             {"JOIN", "ON", "AND", "OR", "SELECT", "FROM", "INNER", "LEFT",
+              "RIGHT", "OUTER", "UNION", "GROUP", "ORDER"}) {
+          if (IsKeyword(cur().text, kw)) {
+            return Err("unsupported SQL keyword '" + cur().text + "'");
+          }
+        }
         alias = cur().text;
         ++pos_;
       }
@@ -264,14 +273,25 @@ Result<MappingAssertion> ParseMappingLine(std::string_view line,
   std::string_view sql = Trim(line.substr(arrow + 2));
 
   size_t lp = head.find('(');
-  size_t rp = head.rfind(')');
-  if (lp == std::string_view::npos || rp == std::string_view::npos ||
-      rp < lp) {
+  if (lp == std::string_view::npos || head.empty() || head.back() != ')') {
     return Status::ParseError("malformed mapping head '" + std::string(head) +
                               "'");
   }
   std::string predicate(Trim(head.substr(0, lp)));
-  size_t head_arity = Split(head.substr(lp + 1, rp - lp - 1), ',').size();
+  std::string_view head_inner = head.substr(lp + 1, head.size() - lp - 2);
+  if (head_inner.find('(') != std::string_view::npos ||
+      head_inner.find(')') != std::string_view::npos) {
+    return Status::ParseError("malformed mapping head '" + std::string(head) +
+                              "'");
+  }
+  size_t head_arity = 0;
+  for (const auto& field : Split(head_inner, ',')) {
+    if (Trim(field).empty()) {
+      return Status::ParseError("empty variable in mapping head '" +
+                                std::string(head) + "'");
+    }
+    ++head_arity;
+  }
 
   OLITE_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(sql));
   SqlParser parser(std::move(tokens));

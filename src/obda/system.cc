@@ -1,7 +1,9 @@
 #include "obda/system.h"
 
+#include <optional>
 #include <set>
 
+#include "common/stopwatch.h"
 #include "obda/unfolder.h"
 
 namespace olite::obda {
@@ -55,6 +57,14 @@ ObdaSystem::ObdaSystem(dllite::Ontology ontology, mapping::MappingSet mappings,
   options.mode = mode;
   rewriter_ = std::make_unique<query::Rewriter>(ontology_.tbox(),
                                                 ontology_.vocab(), options);
+  if (mode == query::RewriteMode::kClassified) {
+    // Pre-built fallback for the budget-exhaustion ladder: classified
+    // rewriting that runs out of budget is retried as plain PerfectRef.
+    query::RewriterOptions fallback = options;
+    fallback.mode = query::RewriteMode::kPerfectRef;
+    fallback_rewriter_ = std::make_unique<query::Rewriter>(
+        ontology_.tbox(), ontology_.vocab(), fallback);
+  }
 }
 
 Result<std::unique_ptr<ObdaSystem>> ObdaSystem::Create(
@@ -70,37 +80,120 @@ Result<std::unique_ptr<ObdaSystem>> ObdaSystem::Create(
 
 Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
     std::string_view query_text, AnswerStats* stats) const {
-  OLITE_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
-                         query::ParseQuery(query_text, ontology_.vocab()));
-  return Execute(cq, stats);
+  return Answer(query_text, AnswerOptions{}, stats);
 }
 
 Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
     const query::ConjunctiveQuery& cq, AnswerStats* stats) const {
-  return Execute(cq, stats);
+  return Execute(cq, AnswerOptions{}, stats);
+}
+
+Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
+    std::string_view query_text, const AnswerOptions& options,
+    AnswerStats* stats) const {
+  OLITE_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
+                         query::ParseQuery(query_text, ontology_.vocab()));
+  return Execute(cq, options, stats);
+}
+
+Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
+    const query::ConjunctiveQuery& cq, const AnswerOptions& options,
+    AnswerStats* stats) const {
+  return Execute(cq, options, stats);
 }
 
 Result<std::vector<AnswerTuple>> ObdaSystem::Execute(
-    const ConjunctiveQuery& cq, AnswerStats* stats) const {
+    const ConjunctiveQuery& cq, const AnswerOptions& opts,
+    AnswerStats* stats) const {
+  Stopwatch sw;
+  std::optional<ExecBudget> owned;       // built from opts' caps
+  std::optional<ExecBudget> retry_owned; // fresh quotas for the ladder retry
+  const ExecBudget* budget = opts.budget;
+  if (budget == nullptr) {
+    BudgetCaps caps;
+    caps.deadline_ms = opts.deadline_ms;
+    caps.max_rewrite_iterations = opts.max_rewrite_iterations;
+    caps.max_containment_checks = opts.max_containment_checks;
+    caps.max_sql_blocks = opts.max_sql_blocks;
+    caps.max_rows = opts.max_rows;
+    if (caps.deadline_ms > 0 || caps.max_rewrite_iterations > 0 ||
+        caps.max_containment_checks > 0 || caps.max_sql_blocks > 0 ||
+        caps.max_rows > 0) {
+      owned.emplace(caps);
+      budget = &*owned;
+    }
+  }
+
+  Degradation degradation;
+  auto finish = [&](auto result) {
+    if (stats != nullptr) {
+      stats->degradation = std::move(degradation);
+      stats->elapsed_ms = sw.ElapsedMillis();
+    }
+    return result;
+  };
+
+  query::RewriteRequest req;
+  req.budget = budget;
+  req.allow_partial = opts.allow_degraded;
+  req.degradation = &degradation;
+
   query::RewriteStats rstats;
-  OLITE_ASSIGN_OR_RETURN(query::UnionQuery ucq,
-                         rewriter_->Rewrite(cq, &rstats));
-  auto sql = Unfold(ucq, mappings_, database_);
+  Result<query::UnionQuery> rewritten = rewriter_->Rewrite(cq, req, &rstats);
+  if (!rewritten.ok() &&
+      rewritten.status().code() == StatusCode::kResourceExhausted &&
+      fallback_rewriter_ != nullptr && budget != nullptr &&
+      !budget->Exhausted()) {
+    // Fallback ladder, rung 1: the classified strategy blew a quota but
+    // wall-clock remains — retry as plain PerfectRef. When we own the
+    // budget, the retry gets fresh quota counters under the *remaining*
+    // deadline; an external budget is the caller's to manage, so the
+    // retry draws from whatever it has left.
+    degradation.Add("rewrite",
+                    "classified rewriting exhausted its budget; retried as "
+                    "perfectref");
+    if (owned.has_value()) {
+      BudgetCaps caps = owned->caps();
+      if (owned->has_deadline()) caps.deadline_ms = owned->RemainingMillis();
+      retry_owned.emplace(caps);
+      budget = &*retry_owned;
+      req.budget = budget;
+    }
+    rstats = query::RewriteStats{};
+    rewritten = fallback_rewriter_->Rewrite(cq, req, &rstats);
+  }
+  if (!rewritten.ok()) return finish(rewritten.status());
+  query::UnionQuery ucq = std::move(rewritten).value();
+
+  if (stats != nullptr) stats->rewrite = rstats;
+
+  UnfoldOptions uopts;
+  uopts.budget = budget;
+  uopts.allow_partial = opts.allow_degraded;
+  uopts.degradation = &degradation;
+  auto sql = Unfold(ucq, mappings_, database_, uopts);
   if (!sql.ok()) {
     if (sql.status().code() == StatusCode::kNotFound) {
       // No mapped disjunct: the certain answers are empty.
       if (stats != nullptr) {
-        stats->rewrite = rstats;
         stats->sql_blocks = 0;
         stats->rows = 0;
         stats->sql = "-- empty unfolding";
       }
-      return std::vector<AnswerTuple>{};
+      return finish(Result<std::vector<AnswerTuple>>(
+          std::vector<AnswerTuple>{}));
     }
-    return sql.status();
+    return finish(sql.status());
   }
-  OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
-                         rdb::Execute(database_, *sql));
+
+  rdb::EvalOptions eopts;
+  eopts.budget = budget;
+  eopts.allow_partial = opts.allow_degraded;
+  eopts.degradation = &degradation;
+  auto rows_result = rdb::Execute(database_, *sql, eopts);
+  if (!rows_result.ok()) return finish(rows_result.status());
+  std::vector<rdb::Row> rows = std::move(rows_result).value();
+
   std::vector<AnswerTuple> answers;
   answers.reserve(rows.size());
   for (const auto& row : rows) {
@@ -110,12 +203,11 @@ Result<std::vector<AnswerTuple>> ObdaSystem::Execute(
     answers.push_back(std::move(tuple));
   }
   if (stats != nullptr) {
-    stats->rewrite = rstats;
     stats->sql_blocks = sql->blocks.size();
     stats->rows = answers.size();
     stats->sql = sql->ToString();
   }
-  return answers;
+  return finish(Result<std::vector<AnswerTuple>>(std::move(answers)));
 }
 
 Result<bool> ObdaSystem::IsConsistent() const {
@@ -125,7 +217,8 @@ Result<bool> ObdaSystem::IsConsistent() const {
   size_t fresh = 0;
 
   auto violated = [&](const ConjunctiveQuery& q) -> Result<bool> {
-    OLITE_ASSIGN_OR_RETURN(std::vector<AnswerTuple> rows, Execute(q, nullptr));
+    OLITE_ASSIGN_OR_RETURN(std::vector<AnswerTuple> rows,
+                           Execute(q, AnswerOptions{}, nullptr));
     return !rows.empty();
   };
 

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
+
 namespace olite::obda {
 
 namespace {
@@ -98,11 +100,39 @@ Result<bool> BuildBlock(const ConjunctiveQuery& cq,
 
 Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
                              const mapping::MappingSet& mappings,
-                             const rdb::Database& db) {
+                             const rdb::Database& db,
+                             const UnfoldOptions& options) {
   rdb::SqlQuery sql;
+  const ExecBudget* budget = options.budget;
+  bool truncated = false;
+  size_t disjuncts_done = 0;
+  auto exhaust = [&](Status exhausted) -> Status {
+    if (options.allow_partial) {
+      truncated = true;
+      if (options.degradation != nullptr) {
+        options.degradation->Add(
+            "unfold", "truncated after " + std::to_string(sql.blocks.size()) +
+                          " SQL blocks (" + std::to_string(disjuncts_done) +
+                          "/" + std::to_string(ucq.disjuncts.size()) +
+                          " disjuncts unfolded): " + exhausted.message());
+      }
+      return Status::Ok();  // stop unfolding, keep what we have
+    }
+    return exhausted;
+  };
   for (const ConjunctiveQuery& cq : ucq.disjuncts) {
+    if (truncated) break;
+    Status injected = fault::InjectAt(fault::Site::kUnfold);
+    if (!injected.ok()) return injected;
+    if (budget != nullptr) {
+      Status s = budget->Check("unfold");
+      if (!s.ok()) {
+        OLITE_RETURN_IF_ERROR(exhaust(std::move(s)));
+        break;
+      }
+    }
     // Mapping choices per atom.
-    std::vector<std::vector<const MappingAssertion*>> options;
+    std::vector<std::vector<const MappingAssertion*>> atom_views;
     bool feasible = true;
     for (const Atom& atom : cq.atoms) {
       auto views = mappings.For(KindOf(atom), atom.predicate);
@@ -110,9 +140,12 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
         feasible = false;  // unmapped predicate: empty certain answers
         break;
       }
-      options.push_back(std::move(views));
+      atom_views.push_back(std::move(views));
     }
-    if (!feasible) continue;
+    if (!feasible) {
+      ++disjuncts_done;
+      continue;
+    }
 
     // Cartesian product over per-atom choices.
     std::vector<size_t> pick(cq.atoms.size(), 0);
@@ -120,20 +153,30 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
       std::vector<const MappingAssertion*> choice;
       choice.reserve(pick.size());
       for (size_t i = 0; i < pick.size(); ++i) {
-        choice.push_back(options[i][pick[i]]);
+        choice.push_back(atom_views[i][pick[i]]);
       }
       rdb::SelectBlock block;
       OLITE_ASSIGN_OR_RETURN(bool ok, BuildBlock(cq, choice, db, &block));
-      if (ok) sql.blocks.push_back(std::move(block));
+      if (ok) {
+        if (budget != nullptr && !budget->Consume(Quota::kSqlBlocks)) {
+          OLITE_RETURN_IF_ERROR(exhaust(Status::ResourceExhausted(
+              "unfold: sql-block quota exhausted at " +
+              std::to_string(sql.blocks.size()) + " blocks")));
+          truncated = true;
+          break;
+        }
+        sql.blocks.push_back(std::move(block));
+      }
 
       // Advance the odometer.
       size_t d = 0;
       for (; d < pick.size(); ++d) {
-        if (++pick[d] < options[d].size()) break;
+        if (++pick[d] < atom_views[d].size()) break;
         pick[d] = 0;
       }
       if (d == pick.size()) break;
     }
+    ++disjuncts_done;
   }
   if (sql.blocks.empty()) {
     return Status::NotFound(

@@ -1,12 +1,27 @@
 #ifndef OLITE_OBDA_UNFOLDER_H_
 #define OLITE_OBDA_UNFOLDER_H_
 
+#include "common/exec_budget.h"
 #include "common/result.h"
 #include "mapping/mapping.h"
 #include "query/cq.h"
 #include "rdb/query.h"
 
 namespace olite::obda {
+
+/// Budget controls for `Unfold`.
+struct UnfoldOptions {
+  /// Shared budget: deadline/cancellation checks per disjunct, and the
+  /// kSqlBlocks quota on generated select blocks (the mapping cartesian
+  /// product can explode combinatorially). May be null.
+  const ExecBudget* budget = nullptr;
+  /// On exhaustion, return the blocks generated so far (sound: dropping
+  /// union blocks can only lose answers, never invent them) instead of
+  /// kResourceExhausted.
+  bool allow_partial = false;
+  /// Records a truncation event when blocks were dropped.
+  Degradation* degradation = nullptr;
+};
 
 /// Unfolds a (rewritten) UCQ over the ontology signature into a UCQ over
 /// the relational sources: each ontology atom is replaced by one of its
@@ -16,7 +31,8 @@ namespace olite::obda {
 /// nothing (its certain answers are necessarily empty).
 Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
                              const mapping::MappingSet& mappings,
-                             const rdb::Database& db);
+                             const rdb::Database& db,
+                             const UnfoldOptions& options = {});
 
 }  // namespace olite::obda
 

@@ -73,17 +73,42 @@ bool Contains(const ConjunctiveQuery& general,
   return Search(general, specific, is_head, 0, &assignment);
 }
 
-void MinimizeUnion(UnionQuery* ucq) {
+void MinimizeUnion(UnionQuery* ucq, const ExecBudget* budget,
+                   uint64_t max_checks, MinimizeStats* stats) {
+  MinimizeStats local;
   const size_t n = ucq->disjuncts.size();
   std::vector<bool> removed(n, false);
-  for (size_t i = 0; i < n; ++i) {
+  bool exhausted = false;
+  for (size_t i = 0; i < n && !exhausted; ++i) {
     for (size_t j = 0; j < n && !removed[i]; ++j) {
       if (i == j || removed[j]) continue;
+      if (max_checks != 0 && local.checks >= max_checks) {
+        exhausted = true;
+        break;
+      }
+      if (budget != nullptr) {
+        if (!budget->Consume(Quota::kContainmentChecks) ||
+            budget->cancelled() ||
+            ((local.checks & 0x1F) == 0 && budget->TimeExpired())) {
+          exhausted = true;
+          break;
+        }
+      }
+      ++local.checks;
       if (Contains(ucq->disjuncts[j], ucq->disjuncts[i])) {
         removed[i] = true;
+        ++local.removed;
       }
     }
   }
+  if (exhausted) {
+    local.complete = false;
+    // Remaining pairs are conservatively counted as skipped; the disjuncts
+    // they would have pruned stay in the union (sound, just larger).
+    uint64_t total = static_cast<uint64_t>(n) * (n > 0 ? n - 1 : 0);
+    local.skipped = total > local.checks ? total - local.checks : 0;
+  }
+  if (stats != nullptr) *stats = local;
   std::vector<ConjunctiveQuery> kept;
   for (size_t i = 0; i < n; ++i) {
     if (!removed[i]) kept.push_back(std::move(ucq->disjuncts[i]));

@@ -1,6 +1,9 @@
 #ifndef OLITE_QUERY_CONTAINMENT_H_
 #define OLITE_QUERY_CONTAINMENT_H_
 
+#include <cstdint>
+
+#include "common/exec_budget.h"
 #include "query/cq.h"
 
 namespace olite::query {
@@ -17,11 +20,27 @@ namespace olite::query {
 bool Contains(const ConjunctiveQuery& general,
               const ConjunctiveQuery& specific, size_t max_atoms = 12);
 
+/// Counters for one `MinimizeUnion` sweep.
+struct MinimizeStats {
+  uint64_t checks = 0;   ///< containment tests actually run
+  uint64_t skipped = 0;  ///< pair checks abandoned when the quota ran out
+  uint64_t removed = 0;  ///< disjuncts pruned
+  bool complete = true;  ///< the full O(n²) sweep finished
+};
+
 /// Removes disjuncts contained in another disjunct (keeping one
 /// representative of mutually-equivalent groups). This is the standard
 /// UCQ minimisation step rewriters apply to shrink the union before
 /// unfolding (cf. Presto, §5 of the paper).
-void MinimizeUnion(UnionQuery* ucq);
+///
+/// The sweep is O(n²) homomorphism checks, so it carries its own budget:
+/// it stops — keeping every not-yet-pruned disjunct, which is *sound*
+/// (the union only gets larger, never loses answers) — once `max_checks`
+/// tests have run (0 = unlimited), `budget`'s containment-check quota is
+/// spent, or `budget` is cancelled/past its deadline. `stats->complete`
+/// records whether the sweep finished.
+void MinimizeUnion(UnionQuery* ucq, const ExecBudget* budget = nullptr,
+                   uint64_t max_checks = 0, MinimizeStats* stats = nullptr);
 
 }  // namespace olite::query
 

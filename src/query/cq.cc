@@ -114,9 +114,16 @@ Result<ConjunctiveQuery> ParseQuery(std::string_view text,
       rp < lp) {
     return Status::ParseError("malformed query head");
   }
-  for (const auto& v : Split(head.substr(lp + 1, rp - lp - 1), ',')) {
-    std::string_view name = Trim(v);
-    if (!name.empty()) cq.head_vars.emplace_back(name);
+  std::string_view head_inner = Trim(head.substr(lp + 1, rp - lp - 1));
+  if (!head_inner.empty()) {
+    for (const auto& v : Split(head_inner, ',')) {
+      std::string_view name = Trim(v);
+      if (name.empty()) {
+        return Status::ParseError("empty head variable in '" +
+                                  std::string(head) + "'");
+      }
+      cq.head_vars.emplace_back(name);
+    }
   }
 
   // Body: comma-separated atoms — split on commas at paren depth 0.
@@ -133,7 +140,11 @@ Result<ConjunctiveQuery> ParseQuery(std::string_view text,
       current += c;
     }
   }
-  if (!Trim(current).empty()) atom_texts.push_back(current);
+  if (!Trim(current).empty()) {
+    atom_texts.push_back(current);
+  } else if (!body.empty() && body.back() == ',') {
+    return Status::ParseError("trailing comma in query body");
+  }
 
   auto parse_term = [](std::string_view t) -> Term {
     t = Trim(t);

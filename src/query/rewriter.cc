@@ -102,11 +102,13 @@ class Rewriter::Impl {
   }
 
   Result<UnionQuery> Rewrite(const ConjunctiveQuery& cq,
+                             const RewriteRequest& request,
                              RewriteStats* stats) const {
     RewriteStats local;
     std::unordered_map<std::string, ConjunctiveQuery> seen;
     std::deque<std::string> queue;
     size_t fresh_counter = 0;
+    const ExecBudget* budget = request.budget;
 
     auto add = [&](ConjunctiveQuery q) {
       DedupAtoms(&q);
@@ -121,6 +123,31 @@ class Rewriter::Impl {
         return Status::ResourceExhausted(
             "rewriting exceeded max_disjuncts = " +
             std::to_string(options_.max_disjuncts));
+      }
+      if (budget != nullptr &&
+          (!budget->Consume(Quota::kRewriteIterations) ||
+           budget->cancelled() || budget->TimeExpired())) {
+        if (!request.allow_partial) {
+          Status s = budget->Check("rewrite");
+          if (s.ok()) {
+            s = Status::ResourceExhausted(
+                "rewrite: iteration quota exhausted after " +
+                std::to_string(local.iterations) + " iterations");
+          }
+          return s;
+        }
+        // Degrade: every disjunct generated so far is an entailed
+        // specialisation of the input, so the truncated union is sound.
+        local.expansion_complete = false;
+        if (request.degradation != nullptr) {
+          request.degradation->Add(
+              "rewrite", "expansion truncated after " +
+                             std::to_string(local.iterations) +
+                             " iterations (" + std::to_string(seen.size()) +
+                             " disjuncts kept, " +
+                             std::to_string(queue.size()) + " unexpanded)");
+        }
+        break;
       }
       ConjunctiveQuery q = seen.at(queue.front());
       queue.pop_front();
@@ -152,7 +179,22 @@ class Rewriter::Impl {
       (void)key;
       out.disjuncts.push_back(std::move(q));
     }
-    if (options_.prune_subsumed) MinimizeUnion(&out);
+    if (options_.prune_subsumed) {
+      MinimizeStats mstats;
+      MinimizeUnion(&out, budget, options_.max_prune_checks, &mstats);
+      local.prune_checks = mstats.checks;
+      local.prune_skipped = mstats.skipped;
+      local.pruned = mstats.removed;
+      local.prune_complete = mstats.complete;
+      if (!mstats.complete && request.degradation != nullptr) {
+        request.degradation->Add(
+            "prune", "minimisation stopped after " +
+                         std::to_string(mstats.checks) +
+                         " containment checks (" +
+                         std::to_string(mstats.skipped) +
+                         " skipped; union kept unpruned)");
+      }
+    }
     // Deterministic order.
     std::sort(out.disjuncts.begin(), out.disjuncts.end(),
               [&](const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
@@ -439,7 +481,13 @@ Rewriter::Rewriter(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,
 
 Result<UnionQuery> Rewriter::Rewrite(const ConjunctiveQuery& cq,
                                      RewriteStats* stats) const {
-  return impl_->Rewrite(cq, stats);
+  return impl_->Rewrite(cq, RewriteRequest{}, stats);
+}
+
+Result<UnionQuery> Rewriter::Rewrite(const ConjunctiveQuery& cq,
+                                     const RewriteRequest& request,
+                                     RewriteStats* stats) const {
+  return impl_->Rewrite(cq, request, stats);
 }
 
 }  // namespace olite::query

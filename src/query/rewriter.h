@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/exec_budget.h"
 #include "common/result.h"
 #include "core/classifier.h"
 #include "dllite/tbox.h"
@@ -28,6 +29,15 @@ struct RewriteStats {
   size_t iterations = 0;       ///< CQs popped from the work queue
   size_t generated = 0;        ///< candidate CQs produced (pre-dedup)
   size_t final_disjuncts = 0;  ///< CQs in the output UCQ
+  uint64_t prune_checks = 0;   ///< containment tests run by prune_subsumed
+  uint64_t prune_skipped = 0;  ///< pair checks skipped (quota/deadline ran out)
+  uint64_t pruned = 0;         ///< disjuncts removed by prune_subsumed
+  /// False when the expansion stopped early under a budget (the output is
+  /// still a sound — subset-complete — UCQ).
+  bool expansion_complete = true;
+  /// False when the minimisation sweep was cut short (output is complete
+  /// but possibly redundant).
+  bool prune_complete = true;
 };
 
 /// Options for `Rewriter::Rewrite`.
@@ -38,6 +48,25 @@ struct RewriterOptions {
   /// Drop output disjuncts contained in another disjunct (UCQ
   /// minimisation via the homomorphism criterion — see containment.h).
   bool prune_subsumed = true;
+  /// Component-local quota for the O(n²) prune_subsumed sweep: past this
+  /// many homomorphism tests the remaining pairs are skipped (sound, the
+  /// union just stays larger). 0 = unlimited.
+  uint64_t max_prune_checks = 250000;
+};
+
+/// Per-call budget controls for `Rewriter::Rewrite`.
+struct RewriteRequest {
+  /// Shared budget: per-iteration deadline/cancellation checks, the
+  /// kRewriteIterations quota on the expansion loop, and the
+  /// kContainmentChecks quota on pruning. May be null.
+  const ExecBudget* budget = nullptr;
+  /// On budget exhaustion mid-expansion, return the disjuncts generated so
+  /// far (a *sound* under-approximation — every disjunct is an entailed
+  /// specialisation, so evaluating the partial union yields a subset of
+  /// the certain answers) instead of kResourceExhausted.
+  bool allow_partial = false;
+  /// Records what was cut (expansion truncation, skipped pruning).
+  Degradation* degradation = nullptr;
 };
 
 /// UCQ rewriting of conjunctive queries under a DL-Lite_R TBox: the output
@@ -52,6 +81,12 @@ class Rewriter {
   /// Rewrites `cq` into a union of CQs. `stats` is optional.
   Result<UnionQuery> Rewrite(const ConjunctiveQuery& cq,
                              RewriteStats* stats = nullptr) const;
+
+  /// Budget-aware rewriting (see RewriteRequest). With a default request
+  /// this is identical to the two-argument overload.
+  Result<UnionQuery> Rewrite(const ConjunctiveQuery& cq,
+                             const RewriteRequest& request,
+                             RewriteStats* stats) const;
 
  private:
   class Impl;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault_injection.h"
+
 namespace olite::rdb {
 
 namespace {
@@ -69,21 +71,63 @@ Result<ResolvedBlock> ResolveBlock(const Database& db,
   return out;
 }
 
+// Shared evaluation state: the accumulating distinct-row set plus budget
+// bookkeeping. `stop` latches once a cap is hit; `exhausted` carries the
+// reason (the caller decides between degrading and failing).
+struct EvalContext {
+  std::set<Row>* out = nullptr;
+  const ExecBudget* budget = nullptr;
+  uint64_t max_rows = 0;
+  uint64_t scanned = 0;  // source rows visited, for strided deadline polls
+  bool stop = false;
+  Status exhausted;
+
+  void Exhaust(Status why) {
+    stop = true;
+    if (exhausted.ok()) exhausted = std::move(why);
+  }
+};
+
 // Left-deep nested-loop evaluation: bind tables one at a time, applying
-// every join/filter as soon as all of its references are bound.
+// every join/filter as soon as all of its references are bound. Returns
+// early (ctx->stop) once a row quota or the deadline is exhausted.
 void EvalBlock(const ResolvedBlock& block, size_t depth,
-               std::vector<const Row*>* binding, std::set<Row>* out) {
+               std::vector<const Row*>* binding, EvalContext* ctx) {
+  if (ctx->stop) return;
   if (depth == block.tables.size()) {
     Row result;
     result.reserve(block.select.size());
     for (const auto& ref : block.select) {
       result.push_back((*(*binding)[ref.table_index])[ref.column_index]);
     }
-    out->insert(std::move(result));
+    auto [it, inserted] = ctx->out->insert(std::move(result));
+    if (inserted) {
+      if (ctx->budget != nullptr && !ctx->budget->Consume(Quota::kRows)) {
+        // The row that blew the quota must not be kept: the result set
+        // stays exactly at the cap.
+        ctx->out->erase(it);
+        ctx->Exhaust(Status::ResourceExhausted(
+            "rdb: row quota exhausted at " +
+            std::to_string(ctx->out->size()) + " rows"));
+        return;
+      }
+      if (ctx->max_rows != 0 && ctx->out->size() >= ctx->max_rows) {
+        ctx->Exhaust(Status::ResourceExhausted(
+            "rdb: row cap of " + std::to_string(ctx->max_rows) + " reached"));
+      }
+    }
     return;
   }
   auto bound = [&](const ResolvedRef& r) { return r.table_index <= depth; };
   for (const Row& row : block.tables[depth]->rows()) {
+    if (ctx->stop) return;
+    if (ctx->budget != nullptr && (++ctx->scanned & 0xFF) == 0) {
+      Status s = ctx->budget->Check("rdb");
+      if (!s.ok()) {
+        ctx->Exhaust(std::move(s));
+        return;
+      }
+    }
     (*binding)[depth] = &row;
     bool ok = true;
     for (const auto& [col, value] : block.filters) {
@@ -105,7 +149,7 @@ void EvalBlock(const ResolvedBlock& block, size_t depth,
         }
       }
     }
-    if (ok) EvalBlock(block, depth + 1, binding, out);
+    if (ok) EvalBlock(block, depth + 1, binding, ctx);
   }
 }
 
@@ -146,7 +190,8 @@ std::string SqlQuery::ToString() const {
   return out;
 }
 
-Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query) {
+Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
+                                 const EvalOptions& options) {
   if (query.blocks.empty()) {
     return Status::InvalidArgument("query has no select blocks");
   }
@@ -158,10 +203,29 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query) {
     }
   }
   std::set<Row> out;
+  EvalContext ctx;
+  ctx.out = &out;
+  ctx.budget = options.budget;
+  ctx.max_rows = options.max_rows;
+  size_t blocks_done = 0;
   for (const auto& block : query.blocks) {
+    Status injected = fault::InjectAt(fault::Site::kRdbExecute);
+    if (!injected.ok()) return injected;
     OLITE_ASSIGN_OR_RETURN(ResolvedBlock resolved, ResolveBlock(db, block));
     std::vector<const Row*> binding(resolved.tables.size(), nullptr);
-    EvalBlock(resolved, 0, &binding, &out);
+    EvalBlock(resolved, 0, &binding, &ctx);
+    if (ctx.stop) break;
+    ++blocks_done;
+  }
+  if (ctx.stop) {
+    if (!options.allow_partial) return ctx.exhausted;
+    if (options.degradation != nullptr) {
+      options.degradation->Add(
+          "rdb", "evaluation truncated after " + std::to_string(out.size()) +
+                     " rows (" + std::to_string(blocks_done) + "/" +
+                     std::to_string(query.blocks.size()) +
+                     " blocks finished): " + ctx.exhausted.message());
+    }
   }
   return std::vector<Row>(out.begin(), out.end());
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_budget.h"
 #include "common/result.h"
 #include "rdb/table.h"
 
@@ -50,9 +51,27 @@ struct SqlQuery {
   std::string ToString() const;
 };
 
+/// Budget controls for `Execute`.
+struct EvalOptions {
+  /// Shared budget: the kRows quota caps materialised distinct rows, the
+  /// deadline/cancellation flag is polled every few hundred scanned source
+  /// rows. May be null.
+  const ExecBudget* budget = nullptr;
+  /// Local distinct-row cap, independent of any budget (0 = unlimited).
+  uint64_t max_rows = 0;
+  /// On exhaustion return the rows found so far (a sound subset) instead
+  /// of kResourceExhausted.
+  bool allow_partial = false;
+  /// Records a truncation event when evaluation stopped early.
+  Degradation* degradation = nullptr;
+};
+
 /// Evaluates `query` against `db`: left-deep nested-loop join with eager
 /// filter application, distinct rows in deterministic (sorted) order.
-Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query);
+/// Each select block is a fault-injection point
+/// (`fault::Site::kRdbExecute`).
+Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
+                                 const EvalOptions& options = {});
 
 }  // namespace olite::rdb
 

@@ -197,6 +197,20 @@ class TableauReasoner::Impl {
           Status::ResourceExhausted("tableau wall-clock deadline exceeded");
       return false;
     }
+    // The shared budget draws one unit per rule and polls its deadline on
+    // the same stride as the local one.
+    if (const ExecBudget* b = options_.exec_budget; b != nullptr) {
+      if (!b->Consume(Quota::kRuleApplications)) {
+        *overflow = Status::ResourceExhausted(
+            "tableau: shared rule-application quota exhausted");
+        return false;
+      }
+      if (b->cancelled() ||
+          ((rule_budget_ & 0xFF) == 0 && b->TimeExpired())) {
+        *overflow = b->Check("tableau");
+        return false;
+      }
+    }
     return true;
   }
 
@@ -439,6 +453,13 @@ class TableauReasoner::Impl {
             return StepResult::kClash;
           }
           --branch_budget_;
+          if (options_.exec_budget != nullptr &&
+              !options_.exec_budget->Consume(Quota::kBranches)) {
+            *overflow = Status::ResourceExhausted(
+                "tableau: shared branch quota exhausted");
+            --branch_depth_;
+            return StepResult::kClash;
+          }
           TState copy = *s;
           copy.queue.push_back({x, op});
           if (Expand(std::move(copy), overflow)) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_budget.h"
 #include "common/result.h"
 #include "graph/closure.h"
 #include "owl/ontology.h"
@@ -23,6 +24,13 @@ struct TableauOptions {
   /// Wall-clock limit per satisfiability test, in milliseconds. Checked
   /// every few hundred rule applications; 0 disables the check.
   double deadline_ms = 0;
+  /// Optional shared execution budget. When set, the component-local
+  /// limits above still apply *per test*, and in addition every rule
+  /// application draws from the budget's kRuleApplications quota, every
+  /// or-branch from kBranches, and its deadline/cancellation flag is
+  /// polled alongside the local deadline — so one budget bounds a whole
+  /// batch of tests across components.
+  const ExecBudget* exec_budget = nullptr;
 };
 
 /// A sound and complete tableau decision procedure for concept

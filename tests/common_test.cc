@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "common/exec_budget.h"
 #include "common/interner.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -63,6 +66,102 @@ TEST(ResultTest, AssignOrReturnUnwraps) {
   };
   EXPECT_EQ(*use(true), 14);
   EXPECT_EQ(use(false).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> err(Status::NotFound("x"));
+  EXPECT_EQ(err.value_or(9), 9);
+  Result<int> good(4);
+  EXPECT_EQ(good.value_or(9), 4);
+  Result<std::string> s(Status::Internal("y"));
+  EXPECT_EQ(std::move(s).value_or("fallback"), "fallback");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  // The hard abort fires in *every* build mode (a debug-only assert would
+  // silently read the wrong variant in Release).
+  Result<int> r(Status::ParseError("unterminated string"));
+  EXPECT_DEATH({ (void)r.value(); }, "unterminated string");
+}
+
+TEST(ResultDeathTest, OkStatusConstructionAborts) {
+  EXPECT_DEATH({ Result<int> r{Status::Ok()}; }, "OK status");
+}
+
+TEST(ExecBudgetTest, UnlimitedByDefault) {
+  ExecBudget b;
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.Exhausted());
+  EXPECT_TRUE(b.Check("stage").ok());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.Consume(Quota::kRows));
+  EXPECT_EQ(b.used(Quota::kRows), 1000u);
+  EXPECT_FALSE(b.QuotaExceeded(Quota::kRows));
+}
+
+TEST(ExecBudgetTest, QuotaRefusesPastCap) {
+  BudgetCaps caps;
+  caps.max_sql_blocks = 3;
+  ExecBudget b(caps);
+  EXPECT_TRUE(b.Consume(Quota::kSqlBlocks));
+  EXPECT_TRUE(b.Consume(Quota::kSqlBlocks, 2));
+  EXPECT_FALSE(b.Consume(Quota::kSqlBlocks));
+  EXPECT_TRUE(b.QuotaExceeded(Quota::kSqlBlocks));
+  // A spent quota is local to its stage: the budget as a whole is not
+  // exhausted and other quotas still have room.
+  EXPECT_FALSE(b.Exhausted());
+  EXPECT_TRUE(b.Consume(Quota::kRows));
+}
+
+TEST(ExecBudgetTest, CancellationFlipsCheck) {
+  ExecBudget b;
+  EXPECT_TRUE(b.Check("rewrite").ok());
+  b.Cancel();
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_TRUE(b.Exhausted());
+  Status s = b.Check("rewrite");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("rewrite"), std::string::npos);
+}
+
+TEST(ExecBudgetTest, DeadlineExpires) {
+  BudgetCaps caps;
+  caps.deadline_ms = 1;
+  ExecBudget b(caps);
+  EXPECT_TRUE(b.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(b.TimeExpired());
+  EXPECT_TRUE(b.Exhausted());
+  EXPECT_EQ(b.Check("unfold").code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(b.RemainingMillis(), 0.0);
+}
+
+TEST(ExecBudgetTest, ConcurrentConsumeIsExact) {
+  BudgetCaps caps;
+  caps.max_rows = 100'000;
+  ExecBudget b(caps);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&b] {
+      for (int i = 0; i < 10'000; ++i) b.Consume(Quota::kRows);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(b.used(Quota::kRows), 40'000u);
+}
+
+TEST(ExecBudgetTest, QuotaNamesAreCanonical) {
+  EXPECT_STREQ(QuotaName(Quota::kRewriteIterations), "rewrite_iterations");
+  EXPECT_STREQ(QuotaName(Quota::kRows), "rows");
+}
+
+TEST(DegradationTest, TrailAccumulatesAndPrints) {
+  Degradation d;
+  EXPECT_FALSE(d.degraded());
+  EXPECT_EQ(d.ToString(), "none");
+  d.Add("rewrite", "expansion truncated");
+  d.Add("rdb", "row cap hit");
+  EXPECT_TRUE(d.degraded());
+  EXPECT_EQ(d.ToString(), "rewrite: expansion truncated; rdb: row cap hit");
 }
 
 TEST(StringUtilTest, SplitKeepsEmptyFields) {

@@ -94,6 +94,74 @@ TEST(MappingParserTest, Errors) {
             StatusCode::kParseError);
 }
 
+// Adversarial mapping texts: malformed heads, truncated SQL, unterminated
+// literals, and junk must all surface as clean errors — never a crash.
+TEST(MappingParserTest, AdversarialInputsNeverCrash) {
+  auto v = Vocab();
+  const char* cases[] = {
+      "",
+      "<-",
+      "Professor",
+      "Professor(x)",
+      "Professor(x) <-",
+      "Professor(x) <- SELECT",
+      "Professor(x) <- SELECT eid",
+      "Professor(x) <- SELECT eid FROM",
+      "Professor(x) <- SELECT FROM emp",
+      "Professor(x) <- SELECT eid FROM emp WHERE",
+      "Professor(x) <- SELECT eid FROM emp WHERE rank =",
+      "Professor(x) <- SELECT eid FROM emp WHERE rank = 'unterminated",
+      "Professor(x) <- SELECT eid FROM emp WHERE = 'x'",
+      "Professor(x) <- SELECT eid, FROM emp",
+      "Professor(x) <- SELECT , FROM emp",
+      "Professor( <- SELECT eid FROM emp",
+      "Professor) <- SELECT eid FROM emp",
+      "Professor() <- SELECT eid FROM emp",
+      "(x) <- SELECT eid FROM emp",
+      "Professor(x <- SELECT eid FROM emp",
+      "Professor(x)) <- SELECT eid FROM emp",
+      "Professor(x) <- <- SELECT eid FROM emp",
+      "Professor(x) <- INSERT INTO emp",
+      "Professor(x) <- SELECT eid FROM emp JOIN",
+      "teaches(x, y) <- SELECT a, b FROM t WHERE t. = 'x'",
+      "salary(x, '",
+  };
+  for (const char* text : cases) {
+    auto m = ParseMappingLine(text, v);
+    EXPECT_FALSE(m.ok()) << "accepted: \"" << text << "\"";
+    StatusCode code = m.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kInvalidArgument ||
+                code == StatusCode::kNotFound)
+        << "\"" << text << "\" -> " << m.status().ToString();
+  }
+}
+
+TEST(MappingParserTest, DeeplyNestedAndTruncatedDocuments) {
+  auto v = Vocab();
+  // A kilobyte of parens in the head.
+  std::string nested(1024, '(');
+  EXPECT_FALSE(ParseMappingLine("Professor" + nested, v).ok());
+  // Truncations of a valid line parse or fail cleanly, never crash.
+  std::string good =
+      "teaches(x, y) <- SELECT a.pid, b.cid FROM ta a, tb b "
+      "WHERE a.pid = b.pid AND a.rank = 'assistant'";
+  ASSERT_TRUE(ParseMappingLine(good, v).ok());
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto m = ParseMappingLine(good.substr(0, len), v);
+    if (!m.ok()) {
+      StatusCode code = m.status().code();
+      EXPECT_TRUE(code == StatusCode::kParseError ||
+                  code == StatusCode::kInvalidArgument ||
+                  code == StatusCode::kNotFound)
+          << "\"" << good.substr(0, len) << "\" -> " << m.status().ToString();
+    }
+  }
+  // A document whose every line is garbage reports the first bad line.
+  auto doc = ParseMappings("\x01\x02\x03\n\xff\xfe\n<<<>>>", v);
+  EXPECT_FALSE(doc.ok());
+}
+
 TEST(MappingParserTest, DocumentWithCommentsAndBlankLines) {
   auto v = Vocab();
   auto set = ParseMappings(R"(

@@ -73,6 +73,82 @@ TEST(CqTest, ParserErrors) {
             StatusCode::kParseError);
 }
 
+// Adversarial inputs: malformed, truncated, and pathologically nested
+// texts must come back as a clean parse/validation error — never a crash,
+// a hang, or an OK result.
+TEST(CqTest, AdversarialInputsNeverCrash) {
+  Ontology onto = MustParse("concept A\nrole P\n");
+  const dllite::Vocabulary& v = onto.vocab();
+  const char* cases[] = {
+      "",
+      " ",
+      "\n\n\n",
+      ":-",
+      "q",
+      "q(",
+      "q)",
+      "q()",
+      "q(x",
+      "q(x))",
+      "q(x) :-",
+      "q(x) :- ,",
+      "q(x) :- A",
+      "q(x) :- A(",
+      "q(x) :- A)",
+      "q(x) :- A()",
+      "q(x) :- A(x,",
+      "q(x) :- A(x,)",
+      "q(x) :- A(x),",
+      "q(x) :- A(x),, A(x)",
+      "q(x) :- A(x) A(x)",
+      "q(x) :- (A(x))",
+      "q(x) :- A((x))",
+      "q(x) :- A(x)) :- A(x)",
+      "q(x) q(y) :- A(x)",
+      ":- A(x)",
+      "q(x) :- :- A(x)",
+      "q(x,) :- A(x)",
+      "q(,x) :- A(x)",
+      "((((((((((",
+      "q(x) :- P(x, y, z, w)",
+      "q(x) :- P(x)",
+      "q(x y) :- A(x)",
+  };
+  for (const char* text : cases) {
+    auto r = ParseQuery(text, v);
+    EXPECT_FALSE(r.ok()) << "accepted: \"" << text << "\"";
+    StatusCode code = r.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kInvalidArgument ||
+                code == StatusCode::kNotFound)
+        << "\"" << text << "\" -> " << r.status().ToString();
+  }
+}
+
+TEST(CqTest, DeeplyNestedAndOversizedInputsFailGracefully) {
+  Ontology onto = MustParse("concept A\nrole P\n");
+  const dllite::Vocabulary& v = onto.vocab();
+  // A kilobyte of opening parens, unterminated.
+  std::string nested = "q(x) :- A";
+  nested.append(1024, '(');
+  EXPECT_FALSE(ParseQuery(nested, v).ok());
+  // A truncated tail of a long but well-formed query.
+  std::string long_query = "q(x) :- A(x)";
+  for (int i = 0; i < 500; ++i) long_query += ", P(x, y" + std::to_string(i) + ")";
+  EXPECT_TRUE(ParseQuery(long_query, v).ok());
+  for (size_t cut = 1; cut < 40; ++cut) {
+    auto r = ParseQuery(long_query.substr(0, long_query.size() - cut), v);
+    // Any prefix either parses (cut fell on an atom boundary) or fails
+    // cleanly; it must never crash.
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().code() == StatusCode::kParseError ||
+                  r.status().code() == StatusCode::kInvalidArgument ||
+                  r.status().code() == StatusCode::kNotFound)
+          << r.status().ToString();
+    }
+  }
+}
+
 TEST(CqTest, CanonicalKeyIgnoresVariableNames) {
   Ontology onto = MustParse("concept A\nrole P\n");
   ConjunctiveQuery a = MustQuery("q(x) :- P(x, y), A(y)", onto.vocab());
