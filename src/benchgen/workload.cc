@@ -1,0 +1,296 @@
+#include "benchgen/workload.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace olite::benchgen {
+
+namespace {
+
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::Term;
+
+/// Where the rows of one mapped predicate live.
+enum class Storage : uint8_t { kUnmapped, kOwnTable, kSharedTable };
+
+struct PredicateLayout {
+  std::vector<Storage> concepts;
+  std::vector<Storage> roles;
+  std::vector<Storage> attributes;
+};
+
+std::string OwnTable(char sort, uint32_t id) {
+  return std::string(1, sort) + std::to_string(id);
+}
+
+rdb::SelectBlock OwnBlock(const std::string& table, bool binary) {
+  rdb::SelectBlock block;
+  block.from_tables = {table};
+  block.select = {{0, "s"}};
+  if (binary) block.select.push_back({0, "o"});
+  return block;
+}
+
+rdb::SelectBlock SharedBlock(const std::string& table, bool binary,
+                             const std::string& kind) {
+  rdb::SelectBlock block = OwnBlock(table, binary);
+  block.from_tables = {table};
+  block.filters = {{{0, "kind"}, rdb::Value::Str(kind)}};
+  return block;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.ontology = Generate(config.ontology);
+  Rng rng(config.seed);
+
+  const auto nc = static_cast<uint32_t>(w.ontology.vocab().NumConcepts());
+  const auto nr = static_cast<uint32_t>(w.ontology.vocab().NumRoles());
+  const auto na = static_cast<uint32_t>(w.ontology.vocab().NumAttributes());
+
+  // -- storage layout ---------------------------------------------------------
+  PredicateLayout layout;
+  auto decide = [&](uint32_t n) {
+    std::vector<Storage> out(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (rng.Chance(config.unmapped_predicate_fraction)) {
+        out[i] = Storage::kUnmapped;
+      } else if (rng.Chance(config.shared_table_fraction)) {
+        out[i] = Storage::kSharedTable;
+      } else {
+        out[i] = Storage::kOwnTable;
+      }
+    }
+    return out;
+  };
+  layout.concepts = decide(nc);
+  layout.roles = decide(nr);
+  layout.attributes = decide(na);
+
+  // -- schema -----------------------------------------------------------------
+  const rdb::ValueType str = rdb::ValueType::kString;
+  auto any_shared = [](const std::vector<Storage>& v) {
+    for (Storage s : v) {
+      if (s == Storage::kSharedTable) return true;
+    }
+    return false;
+  };
+  if (any_shared(layout.concepts)) {
+    (void)w.database.CreateTable({"facts", {{"kind", str}, {"s", str}}});
+  }
+  if (any_shared(layout.roles) || any_shared(layout.attributes)) {
+    (void)w.database.CreateTable(
+        {"edges", {{"kind", str}, {"s", str}, {"o", str}}});
+  }
+  auto add_schema = [&](char sort, uint32_t n,
+                        const std::vector<Storage>& storage, bool binary) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (storage[i] != Storage::kOwnTable) continue;
+      rdb::Schema schema{OwnTable(sort, i), {{"s", str}}};
+      if (binary) schema.columns.push_back({"o", str});
+      (void)w.database.CreateTable(std::move(schema));
+    }
+  };
+  add_schema('c', nc, layout.concepts, false);
+  add_schema('r', nr, layout.roles, true);
+  add_schema('a', na, layout.attributes, true);
+
+  // -- mappings ---------------------------------------------------------------
+  auto kind_tag = [](char sort, uint32_t id) {
+    return std::string(1, sort) + "_" + std::to_string(id);
+  };
+  for (uint32_t i = 0; i < nc; ++i) {
+    if (layout.concepts[i] == Storage::kUnmapped) continue;
+    rdb::SelectBlock block =
+        layout.concepts[i] == Storage::kOwnTable
+            ? OwnBlock(OwnTable('c', i), false)
+            : SharedBlock("facts", false, kind_tag('c', i));
+    (void)w.mappings.Add(
+        mapping::MappingAssertion::ForConcept(i, std::move(block)));
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    if (layout.roles[i] == Storage::kUnmapped) continue;
+    rdb::SelectBlock block =
+        layout.roles[i] == Storage::kOwnTable
+            ? OwnBlock(OwnTable('r', i), true)
+            : SharedBlock("edges", true, kind_tag('r', i));
+    (void)w.mappings.Add(
+        mapping::MappingAssertion::ForRole(i, std::move(block)));
+  }
+  for (uint32_t i = 0; i < na; ++i) {
+    if (layout.attributes[i] == Storage::kUnmapped) continue;
+    rdb::SelectBlock block =
+        layout.attributes[i] == Storage::kOwnTable
+            ? OwnBlock(OwnTable('a', i), true)
+            : SharedBlock("edges", true, kind_tag('a', i));
+    (void)w.mappings.Add(
+        mapping::MappingAssertion::ForAttribute(i, std::move(block)));
+  }
+
+  // -- rows -------------------------------------------------------------------
+  auto individual = [&] {
+    return "i" + std::to_string(rng.Uniform(
+                     std::max<uint32_t>(config.num_individuals, 1)));
+  };
+  auto value_literal = [&] {
+    return "v" + std::to_string(rng.Uniform(
+                     std::max<uint32_t>(config.num_individuals, 1)));
+  };
+  auto insert = [&](char sort, uint32_t id, Storage storage,
+                    const std::string& subj, const std::string& obj,
+                    bool binary) {
+    if (storage == Storage::kUnmapped) return;
+    if (storage == Storage::kOwnTable) {
+      rdb::Row row{rdb::Value::Str(subj)};
+      if (binary) row.push_back(rdb::Value::Str(obj));
+      (void)w.database.Insert(OwnTable(sort, id), std::move(row));
+      return;
+    }
+    if (binary) {
+      (void)w.database.Insert("edges",
+                              {rdb::Value::Str(kind_tag(sort, id)),
+                               rdb::Value::Str(subj), rdb::Value::Str(obj)});
+    } else {
+      (void)w.database.Insert("facts", {rdb::Value::Str(kind_tag(sort, id)),
+                                        rdb::Value::Str(subj)});
+    }
+  };
+  for (uint32_t k = 0; nc > 0 && k < config.num_concept_assertions; ++k) {
+    auto c = static_cast<uint32_t>(rng.Uniform(nc));
+    insert('c', c, layout.concepts[c], individual(), "", false);
+  }
+  for (uint32_t k = 0; nr > 0 && k < config.num_role_assertions; ++k) {
+    auto p = static_cast<uint32_t>(rng.Uniform(nr));
+    insert('r', p, layout.roles[p], individual(), individual(), true);
+  }
+  for (uint32_t k = 0; na > 0 && k < config.num_attribute_assertions; ++k) {
+    auto u = static_cast<uint32_t>(rng.Uniform(na));
+    insert('a', u, layout.attributes[u], individual(), value_literal(), true);
+  }
+
+  // The oracle-side ABox is exactly what the mappings retrieve.
+  w.abox = mapping::MaterializeABox(w.mappings, w.database,
+                                    &w.ontology.vocab())
+               .value();
+
+  // -- queries ----------------------------------------------------------------
+  for (uint32_t qi = 0; qi < config.num_queries; ++qi) {
+    ConjunctiveQuery cq;
+    std::vector<std::string> vars;  // variables minted so far
+    size_t fresh = 0;
+    auto variable = [&](bool force_fresh) {
+      if (!force_fresh && !vars.empty() && rng.Chance(config.join_prob)) {
+        return vars[rng.Uniform(vars.size())];
+      }
+      std::string v = "x" + std::to_string(fresh++);
+      vars.push_back(v);
+      return v;
+    };
+    auto term = [&](bool is_value_position, bool force_var) {
+      if (!force_var && rng.Chance(config.constant_prob)) {
+        return Term::Const(is_value_position ? value_literal() : individual());
+      }
+      return Term::Var(variable(false));
+    };
+    // Pick a predicate of one sort; occasionally target an unmapped one.
+    auto pick = [&](uint32_t n, const std::vector<Storage>& storage) {
+      auto id = static_cast<uint32_t>(rng.Uniform(n));
+      bool want_unmapped = rng.Chance(config.unmapped_atom_prob);
+      for (uint32_t step = 0; step < n; ++step) {
+        uint32_t candidate = (id + step) % n;
+        bool unmapped = storage[candidate] == Storage::kUnmapped;
+        if (unmapped == want_unmapped) return candidate;
+      }
+      return id;
+    };
+
+    auto natoms = 1 + rng.Uniform(std::max<uint32_t>(
+                          config.max_atoms_per_query, 1));
+    for (uint64_t ai = 0; ai < natoms; ++ai) {
+      // Sort choice weighted toward the binary predicates that make joins.
+      uint64_t sorts = (nc > 0 ? 1 : 0) + (nr > 0 ? 2 : 0) + (na > 0 ? 1 : 0);
+      if (sorts == 0) break;
+      uint64_t pickx = rng.Uniform(sorts);
+      bool first_arg_var = ai == 0;  // ensures >= 1 variable per query
+      if (nc > 0 && pickx == 0) {
+        cq.atoms.push_back(Atom::Concept(pick(nc, layout.concepts),
+                                         term(false, first_arg_var)));
+      } else if (nr > 0 && pickx <= (nc > 0 ? 2u : 1u)) {
+        cq.atoms.push_back(Atom::Role(pick(nr, layout.roles),
+                                      term(false, first_arg_var),
+                                      term(false, false)));
+      } else {
+        cq.atoms.push_back(Atom::Attribute(pick(na, layout.attributes),
+                                           term(false, first_arg_var),
+                                           term(true, false)));
+      }
+    }
+    if (cq.atoms.empty()) continue;
+
+    // Head: a random non-empty subset of the variables used.
+    for (const auto& v : vars) {
+      if (rng.Chance(0.5)) cq.head_vars.push_back(v);
+    }
+    if (cq.head_vars.empty() && !vars.empty()) cq.head_vars.push_back(vars[0]);
+
+    // Anchor every connected component: bounded-depth chase oracles are
+    // complete only when each component's match is rooted at a named
+    // individual (a head variable binding or a constant).
+    std::vector<int> component(cq.atoms.size());
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      component[i] = static_cast<int>(i);
+    }
+    auto root = [&](int x) {
+      while (component[x] != x) x = component[x] = component[component[x]];
+      return x;
+    };
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      for (size_t j = i + 1; j < cq.atoms.size(); ++j) {
+        for (const auto& a : cq.atoms[i].args) {
+          for (const auto& b : cq.atoms[j].args) {
+            if (a.IsVar() && b.IsVar() && a.name == b.name) {
+              component[root(static_cast<int>(i))] =
+                  root(static_cast<int>(j));
+            }
+          }
+        }
+      }
+    }
+    auto in_head = [&](const std::string& v) {
+      for (const auto& h : cq.head_vars) {
+        if (h == v) return true;
+      }
+      return false;
+    };
+    std::vector<bool> anchored(cq.atoms.size(), false);
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      for (const auto& a : cq.atoms[i].args) {
+        if (!a.IsVar() || in_head(a.name)) {
+          anchored[root(static_cast<int>(i))] = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      int r = root(static_cast<int>(i));
+      if (anchored[r]) continue;
+      for (const auto& a : cq.atoms[i].args) {
+        if (a.IsVar()) {
+          cq.head_vars.push_back(a.name);
+          anchored[r] = true;
+          break;
+        }
+      }
+    }
+    w.queries.push_back(std::move(cq));
+  }
+  return w;
+}
+
+}  // namespace olite::benchgen

@@ -1,0 +1,77 @@
+#ifndef OLITE_BENCHGEN_WORKLOAD_H_
+#define OLITE_BENCHGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "benchgen/generator.h"
+#include "dllite/abox.h"
+#include "dllite/ontology.h"
+#include "mapping/mapping.h"
+#include "query/cq.h"
+#include "rdb/table.h"
+
+namespace olite::benchgen {
+
+/// Shape parameters of a full OBDA workload: a synthetic ontology plus a
+/// seeded relational instance, GAV mappings over it, and a batch of
+/// conjunctive queries. Deterministic: identical configs yield identical
+/// workloads (the ontology stream and the data/query stream are seeded
+/// independently so the same TBox can carry many data/query variations).
+struct WorkloadConfig {
+  /// TBox shape (see GeneratorConfig); `ontology.seed` drives the TBox.
+  GeneratorConfig ontology;
+  /// Seed of the data + mapping + query stream.
+  uint64_t seed = 1;
+
+  // -- data -----------------------------------------------------------------
+  uint32_t num_individuals = 40;
+  uint32_t num_concept_assertions = 60;
+  uint32_t num_role_assertions = 60;
+  uint32_t num_attribute_assertions = 0;
+  /// Fraction of predicates with no mapping assertion at all: queries over
+  /// them exercise the empty-unfolding path, and their certain answers are
+  /// empty everywhere.
+  double unmapped_predicate_fraction = 0.1;
+  /// Fraction of mapped predicates stored in a *shared* table behind a
+  /// constant filter (`WHERE kind = 'C3'`) instead of a dedicated table —
+  /// exercises filter pushdown through unfolding.
+  double shared_table_fraction = 0.3;
+
+  // -- queries --------------------------------------------------------------
+  uint32_t num_queries = 4;
+  /// Atom count per query is uniform in [1, max_atoms_per_query].
+  uint32_t max_atoms_per_query = 3;
+  /// Probability that an atom argument reuses an already-introduced
+  /// variable (controls join width) instead of minting a fresh one.
+  double join_prob = 0.5;
+  /// Probability that an atom argument is a constant from the individual
+  /// pool instead of a variable.
+  double constant_prob = 0.15;
+  /// Probability that a query atom targets an unmapped predicate (only
+  /// meaningful when unmapped_predicate_fraction > 0).
+  double unmapped_atom_prob = 0.1;
+};
+
+/// A generated OBDA workload. `abox` is the *materialised* virtual ABox —
+/// exactly what the mappings retrieve from `database` — so direct ABox
+/// evaluation, chase oracles and the full rewrite→unfold→SQL path all see
+/// the same extensional data. Individuals are interned in
+/// `ontology.vocab()`.
+struct Workload {
+  dllite::Ontology ontology;
+  mapping::MappingSet mappings;
+  rdb::Database database;
+  dllite::ABox abox;
+  std::vector<query::ConjunctiveQuery> queries;
+};
+
+/// Generates a workload. Every query has at least one head variable, every
+/// head variable occurs in the body, and every connected component of a
+/// query body contains a head variable or a constant (so bounded-depth
+/// chase oracles are complete for it — see testkit/chase_oracle.h).
+Workload GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace olite::benchgen
+
+#endif  // OLITE_BENCHGEN_WORKLOAD_H_

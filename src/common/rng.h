@@ -24,9 +24,21 @@ class Rng {
   }
 
   /// Uniform integer in `[0, bound)`. `bound` must be positive.
+  ///
+  /// Unbiased rejection sampling: a plain `Next() % bound` over-weights
+  /// the low residues whenever `bound` does not divide 2^64. Draws below
+  /// `2^64 mod bound` are rejected, which leaves an exact multiple of
+  /// `bound` raw values, so the final modulo is exactly uniform for every
+  /// bound — and still bit-exact deterministic for a fixed seed: the
+  /// retry decision depends only on the draw sequence, never on platform
+  /// or clock. The rejection branch is rare (probability < bound / 2^64).
   uint64_t Uniform(uint64_t bound) {
     assert(bound > 0);
-    return Next() % bound;
+    // 2^64 mod bound, computed in 64 bits as (0 - bound) mod bound.
+    const uint64_t threshold = (0 - bound) % bound;
+    uint64_t r = Next();
+    while (r < threshold) r = Next();
+    return r % bound;
   }
 
   /// Uniform integer in `[lo, hi]` inclusive.

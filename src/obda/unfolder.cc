@@ -87,7 +87,14 @@ Result<bool> BuildBlock(const ConjunctiveQuery& cq,
     }
   }
 
-  for (const auto& head : cq.head_vars) {
+  for (size_t pos = 0; pos < cq.head_vars.size(); ++pos) {
+    const std::string& head = cq.head_vars[pos];
+    // A head variable the rewriter bound to a constant has no body
+    // occurrence; project the literal at this coordinate.
+    if (const std::string* c = cq.HeadBinding(head)) {
+      block.const_select.push_back({pos, rdb::Value::Str(*c)});
+      continue;
+    }
     auto it = var_binding.find(head);
     if (it == var_binding.end()) return false;
     block.select.push_back(it->second);

@@ -61,6 +61,12 @@ void EvalAtoms(const ConjunctiveQuery& cq, size_t atom_index,
     Tuple tuple;
     tuple.reserve(cq.head_vars.size());
     for (const auto& head : cq.head_vars) {
+      // Rewriting may have bound this head variable to a constant (it no
+      // longer occurs in the body); emit the constant at this coordinate.
+      if (const std::string* c = cq.HeadBinding(head)) {
+        tuple.push_back(*c);
+        continue;
+      }
       tuple.push_back(binding->at(head));
     }
     out->insert(std::move(tuple));

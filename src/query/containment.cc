@@ -54,6 +54,9 @@ bool Search(const ConjunctiveQuery& general,
 bool Contains(const ConjunctiveQuery& general,
               const ConjunctiveQuery& specific, size_t max_atoms) {
   if (general.head_vars != specific.head_vars) return false;
+  // Bound head coordinates are part of the answer shape: queries that
+  // force different constants (or none) are never comparable.
+  if (general.head_bindings != specific.head_bindings) return false;
   if (general.atoms.size() > max_atoms || specific.atoms.size() > max_atoms) {
     return false;  // conservative
   }

@@ -32,6 +32,14 @@ std::string Atom::ToString(const dllite::Vocabulary& vocab) const {
   return out + ")";
 }
 
+const std::string* ConjunctiveQuery::HeadBinding(
+    const std::string& var) const {
+  for (const auto& [v, c] : head_bindings) {
+    if (v == var) return &c;
+  }
+  return nullptr;
+}
+
 size_t ConjunctiveQuery::CountOccurrences(const std::string& var) const {
   size_t n = 0;
   for (const auto& atom : atoms) {
@@ -54,7 +62,13 @@ std::string ConjunctiveQuery::ToString(
   std::string out = "q(";
   for (size_t i = 0; i < head_vars.size(); ++i) {
     if (i > 0) out += ", ";
-    out += head_vars[i];
+    // A head variable bound to a constant renders as the constant — the
+    // PerfectRef presentation of a reduced query, e.g. `q('rome') :- …`.
+    if (const std::string* c = HeadBinding(head_vars[i])) {
+      out += "'" + *c + "'";
+    } else {
+      out += head_vars[i];
+    }
   }
   out += ") :- ";
   for (size_t i = 0; i < atoms.size(); ++i) {
@@ -85,7 +99,11 @@ std::string ConjunctiveQuery::CanonicalKey(
   parts.reserve(copy.atoms.size());
   for (const auto& atom : copy.atoms) parts.push_back(atom.ToString(vocab));
   std::sort(parts.begin(), parts.end());
-  return Join(parts, "&");
+  std::string key = Join(parts, "&");
+  // Head bindings distinguish otherwise-identical bodies (they change the
+  // emitted answer tuples); head_bindings is kept sorted by the rewriter.
+  for (const auto& [v, c] : head_bindings) key += "|" + v + "='" + c + "'";
+  return key;
 }
 
 std::string UnionQuery::ToString(const dllite::Vocabulary& vocab) const {

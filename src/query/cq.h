@@ -57,6 +57,17 @@ struct Atom {
 struct ConjunctiveQuery {
   std::vector<std::string> head_vars;
   std::vector<Atom> atoms;
+  /// Constants forced onto distinguished variables, sorted by variable
+  /// name. PerfectRef's reduce step may unify a head variable with a
+  /// constant; the substitution runs over the body (the variable
+  /// disappears from it) while the variable stays in `head_vars` to keep
+  /// the head arity and order. Evaluation emits the recorded constant at
+  /// that coordinate. Always empty for parsed (user-written) queries —
+  /// only rewriting produces bound heads.
+  std::vector<std::pair<std::string, std::string>> head_bindings;
+
+  /// The constant bound to head variable `var`, or nullptr.
+  const std::string* HeadBinding(const std::string& var) const;
 
   /// A variable is *bound* if it is distinguished (in the head) or occurs
   /// more than once in the body; only unbound variables admit the
@@ -74,7 +85,8 @@ struct ConjunctiveQuery {
   std::string CanonicalKey(const dllite::Vocabulary& vocab) const;
 
   bool operator==(const ConjunctiveQuery& o) const {
-    return head_vars == o.head_vars && atoms == o.atoms;
+    return head_vars == o.head_vars && atoms == o.atoms &&
+           head_bindings == o.head_bindings;
   }
 };
 

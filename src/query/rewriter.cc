@@ -425,8 +425,17 @@ class Rewriter::Impl {
           if (t.IsVar() && t.name == var) t = to;
         }
       }
-      for (auto& h : copy.head_vars) {
-        if (h == var && to.IsVar()) h = to.name;
+      if (to.IsVar()) {
+        for (auto& h : copy.head_vars) {
+          if (h == var) h = to.name;
+        }
+      } else if (std::find(copy.head_vars.begin(), copy.head_vars.end(),
+                           var) != copy.head_vars.end()) {
+        // A distinguished variable unified with a constant: the variable
+        // is gone from the body, so record the forced answer coordinate
+        // (q(x) :- P(y,x), P(y,'c') reduces to q('c') :- P(y,'c')).
+        copy.head_bindings.emplace_back(var, to.name);
+        std::sort(copy.head_bindings.begin(), copy.head_bindings.end());
       }
     };
     for (size_t k = 0; k < a.args.size(); ++k) {

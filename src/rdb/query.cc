@@ -28,6 +28,10 @@ struct ResolvedBlock {
   std::vector<ResolvedRef> select;
   std::vector<std::pair<ResolvedRef, ResolvedRef>> joins;
   std::vector<std::pair<ResolvedRef, Value>> filters;
+  /// Prototype output row with constant coordinates pre-filled;
+  /// `select_positions[i]` is the coordinate `select[i]` writes into.
+  Row row_template;
+  std::vector<size_t> select_positions;
 };
 
 Result<ResolvedRef> Resolve(const ColumnRef& ref,
@@ -68,6 +72,27 @@ Result<ResolvedBlock> ResolveBlock(const Database& db,
     OLITE_ASSIGN_OR_RETURN(ResolvedRef c, Resolve(filter.col, out.tables));
     out.filters.push_back({c, filter.value});
   }
+  // Lay out the output row: constants claim their positions, columns fill
+  // the remaining coordinates in order.
+  const size_t arity = block.select.size() + block.const_select.size();
+  out.row_template.assign(arity, Value());
+  std::vector<bool> taken(arity, false);
+  for (const auto& c : block.const_select) {
+    if (c.position >= arity || taken[c.position]) {
+      return Status::InvalidArgument(
+          "constant select position " + std::to_string(c.position) +
+          " out of range or duplicated (arity " + std::to_string(arity) +
+          ")");
+    }
+    taken[c.position] = true;
+    out.row_template[c.position] = c.value;
+  }
+  size_t next = 0;
+  for (size_t i = 0; i < block.select.size(); ++i) {
+    while (taken[next]) ++next;
+    out.select_positions.push_back(next);
+    taken[next++] = true;
+  }
   return out;
 }
 
@@ -95,10 +120,11 @@ void EvalBlock(const ResolvedBlock& block, size_t depth,
                std::vector<const Row*>* binding, EvalContext* ctx) {
   if (ctx->stop) return;
   if (depth == block.tables.size()) {
-    Row result;
-    result.reserve(block.select.size());
-    for (const auto& ref : block.select) {
-      result.push_back((*(*binding)[ref.table_index])[ref.column_index]);
+    Row result = block.row_template;
+    for (size_t i = 0; i < block.select.size(); ++i) {
+      const ResolvedRef& ref = block.select[i];
+      result[block.select_positions[i]] =
+          (*(*binding)[ref.table_index])[ref.column_index];
     }
     auto [it, inserted] = ctx->out->insert(std::move(result));
     if (inserted) {
@@ -161,10 +187,23 @@ std::string SqlQuery::ToString() const {
     if (b > 0) out += "\nUNION\n";
     const SelectBlock& block = blocks[b];
     out += "SELECT ";
-    if (block.select.empty()) out += "*";
-    for (size_t i = 0; i < block.select.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += RefToString(block.select[i]);
+    if (block.select.empty() && block.const_select.empty()) out += "*";
+    // Render in output-coordinate order, splicing constant literals in.
+    {
+      const size_t arity = block.select.size() + block.const_select.size();
+      std::vector<const Value*> consts(arity, nullptr);
+      for (const auto& c : block.const_select) {
+        if (c.position < arity) consts[c.position] = &c.value;
+      }
+      size_t col = 0;
+      for (size_t i = 0; i < arity; ++i) {
+        if (i > 0) out += ", ";
+        if (consts[i] != nullptr) {
+          out += consts[i]->ToString();
+        } else if (col < block.select.size()) {
+          out += RefToString(block.select[col++]);
+        }
+      }
     }
     out += " FROM ";
     for (size_t i = 0; i < block.from_tables.size(); ++i) {
@@ -195,9 +234,10 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
   if (query.blocks.empty()) {
     return Status::InvalidArgument("query has no select blocks");
   }
-  size_t arity = query.blocks[0].select.size();
+  size_t arity =
+      query.blocks[0].select.size() + query.blocks[0].const_select.size();
   for (const auto& block : query.blocks) {
-    if (block.select.size() != arity) {
+    if (block.select.size() + block.const_select.size() != arity) {
       return Status::InvalidArgument(
           "UNION blocks project different arities");
     }

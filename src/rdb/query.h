@@ -32,13 +32,26 @@ struct EqConst {
   Value value;
 };
 
+/// Constant projection: the literal `value` emitted at output coordinate
+/// `position`. DL-Lite rewriting can pin an answer coordinate to a
+/// constant (a distinguished variable unified with a constant by the
+/// reduce step); such coordinates select a literal instead of a column.
+struct ConstSelect {
+  size_t position = 0;  ///< index into the block's output row
+  Value value;
+};
+
 /// One select-project-join block:
 /// `SELECT <select> FROM from_tables WHERE joins AND filters`.
+/// The output row interleaves `select` columns and `const_select`
+/// literals: constants claim their `position`; the columns fill the
+/// remaining coordinates in order. Arity = select + const_select.
 struct SelectBlock {
   std::vector<std::string> from_tables;
   std::vector<ColumnRef> select;
   std::vector<EqJoin> joins;
   std::vector<EqConst> filters;
+  std::vector<ConstSelect> const_select;
 };
 
 /// A union of SPJ blocks evaluated under set semantics, i.e. a UCQ over

@@ -1,0 +1,352 @@
+#include "testkit/chase_oracle.h"
+
+#include <array>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+namespace olite::testkit {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicConceptKind;
+using dllite::BasicRole;
+using dllite::ConceptInclusion;
+using dllite::RhsConceptKind;
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::Term;
+
+/// The saturation workspace: objects are dense ids (named individuals
+/// first, labelled nulls appended), facts are deduplicated sets, and a
+/// worklist drives naive rule application to fixpoint.
+struct Builder {
+  const dllite::TBox& tbox;
+  const uint32_t max_depth;
+
+  struct Object {
+    std::string name;
+    bool named = false;
+    uint32_t depth = 0;
+  };
+  std::vector<Object> objects;
+  std::vector<std::pair<std::string, bool>> values;  // text, named
+
+  // Dedup: (concept, obj), (role, subj, obj), (attr, subj, value).
+  std::set<std::array<uint32_t, 2>> concept_set;
+  std::set<std::array<uint32_t, 3>> role_set;
+  std::set<std::array<uint32_t, 3>> attr_set;
+
+  // Worklist entries: kind 0 = concept (a = predicate, b = obj),
+  // 1 = role (b, c = subj, obj), 2 = attribute (b = subj, c = value).
+  struct Pending {
+    uint8_t kind;
+    uint32_t a, b, c;
+  };
+  std::deque<Pending> worklist;
+
+  // Rule index over the positive concept inclusions, keyed by LHS shape.
+  std::unordered_map<uint32_t, std::vector<const ConceptInclusion*>>
+      by_atomic, by_exists_fwd, by_exists_inv, by_attrdom;
+  std::unordered_map<uint32_t, std::vector<const dllite::RoleInclusion*>>
+      role_incls;
+  std::unordered_map<uint32_t, std::vector<const dllite::AttributeInclusion*>>
+      attr_incls;
+  /// Oblivious-chase memo: each existential axiom fires at most once per
+  /// object ((axiom index << 32) | object id).
+  std::set<uint64_t> fired;
+
+  Builder(const dllite::TBox& t, uint32_t depth) : tbox(t), max_depth(depth) {
+    for (const auto& ci : t.concept_inclusions()) {
+      if (ci.rhs.kind == RhsConceptKind::kNegatedBasic) continue;
+      switch (ci.lhs.kind) {
+        case BasicConceptKind::kAtomic:
+          by_atomic[ci.lhs.concept_id].push_back(&ci);
+          break;
+        case BasicConceptKind::kExists:
+          (ci.lhs.role.inverse ? by_exists_inv
+                               : by_exists_fwd)[ci.lhs.role.role]
+              .push_back(&ci);
+          break;
+        case BasicConceptKind::kAttrDomain:
+          by_attrdom[ci.lhs.attribute].push_back(&ci);
+          break;
+      }
+    }
+    for (const auto& ri : t.role_inclusions()) {
+      if (!ri.negated) role_incls[ri.lhs.role].push_back(&ri);
+    }
+    for (const auto& ai : t.attribute_inclusions()) {
+      if (!ai.negated) attr_incls[ai.lhs].push_back(&ai);
+    }
+  }
+
+  uint32_t NewObject(std::string name, bool named, uint32_t depth) {
+    objects.push_back({std::move(name), named, depth});
+    return static_cast<uint32_t>(objects.size() - 1);
+  }
+  uint32_t NewValue(std::string text, bool named) {
+    values.emplace_back(std::move(text), named);
+    return static_cast<uint32_t>(values.size() - 1);
+  }
+  uint32_t FreshNull() {
+    return NewObject("_:n" + std::to_string(objects.size()), false,
+                     /*depth=*/0);  // depth set by caller via objects.back()
+  }
+
+  void AddConcept(uint32_t concept_id, uint32_t obj) {
+    if (concept_set.insert({concept_id, obj}).second) {
+      worklist.push_back({0, concept_id, obj, 0});
+    }
+  }
+  void AddRole(uint32_t role, uint32_t subj, uint32_t obj) {
+    if (role_set.insert({role, subj, obj}).second) {
+      worklist.push_back({1, role, subj, obj});
+    }
+  }
+  void AddAttr(uint32_t attr, uint32_t subj, uint32_t value) {
+    if (attr_set.insert({attr, subj, value}).second) {
+      worklist.push_back({2, attr, subj, value});
+    }
+  }
+
+  /// Asserts the RHS of a positive inclusion of object `x`. Existential
+  /// RHS forms consult the per-(axiom, object) memo and the depth cap.
+  void ApplyRhs(const ConceptInclusion* ci, uint32_t x) {
+    const auto axiom_key =
+        (static_cast<uint64_t>(ci - tbox.concept_inclusions().data()) << 32) |
+        x;
+    switch (ci->rhs.kind) {
+      case RhsConceptKind::kNegatedBasic:
+        return;
+      case RhsConceptKind::kBasic: {
+        const BasicConcept& b = ci->rhs.basic;
+        if (b.kind == BasicConceptKind::kAtomic) {
+          AddConcept(b.concept_id, x);
+          return;
+        }
+        if (!fired.insert(axiom_key).second) return;
+        if (b.kind == BasicConceptKind::kExists) {
+          if (objects[x].depth + 1 >= max_depth) return;
+          uint32_t y = FreshNull();
+          objects[y].depth = objects[x].depth + 1;
+          if (b.role.inverse) {
+            AddRole(b.role.role, y, x);
+          } else {
+            AddRole(b.role.role, x, y);
+          }
+        } else {  // kAttrDomain: B ⊑ δ(U) forces some value
+          AddAttr(b.attribute, x, NewValue("_:v" + std::to_string(values.size()),
+                                           false));
+        }
+        return;
+      }
+      case RhsConceptKind::kQualifiedExists: {
+        if (!fired.insert(axiom_key).second) return;
+        if (objects[x].depth + 1 >= max_depth) return;
+        uint32_t y = FreshNull();
+        objects[y].depth = objects[x].depth + 1;
+        if (ci->rhs.role.inverse) {
+          AddRole(ci->rhs.role.role, y, x);
+        } else {
+          AddRole(ci->rhs.role.role, x, y);
+        }
+        AddConcept(ci->rhs.filler, y);
+        return;
+      }
+    }
+  }
+
+  void Saturate() {
+    while (!worklist.empty()) {
+      Pending f = worklist.front();
+      worklist.pop_front();
+      if (f.kind == 0) {
+        auto it = by_atomic.find(f.a);
+        if (it == by_atomic.end()) continue;
+        for (const ConceptInclusion* ci : it->second) ApplyRhs(ci, f.b);
+      } else if (f.kind == 1) {
+        // P(s, o) satisfies ∃P at s and ∃P⁻ at o.
+        if (auto it = by_exists_fwd.find(f.a); it != by_exists_fwd.end()) {
+          for (const ConceptInclusion* ci : it->second) ApplyRhs(ci, f.b);
+        }
+        if (auto it = by_exists_inv.find(f.a); it != by_exists_inv.end()) {
+          for (const ConceptInclusion* ci : it->second) ApplyRhs(ci, f.c);
+        }
+        // Role inclusions: P(s,o) is Q1 = P at (s,o) and Q1 = P⁻ at (o,s);
+        // Q2⁻(x,y) is stored as Q2(y,x), so one orientation pass covers
+        // the implied inverse inclusion too.
+        if (auto it = role_incls.find(f.a); it != role_incls.end()) {
+          for (const dllite::RoleInclusion* ri : it->second) {
+            uint32_t a = ri->lhs.inverse ? f.c : f.b;
+            uint32_t b = ri->lhs.inverse ? f.b : f.c;
+            if (ri->rhs.inverse) {
+              AddRole(ri->rhs.role, b, a);
+            } else {
+              AddRole(ri->rhs.role, a, b);
+            }
+          }
+        }
+      } else {
+        if (auto it = by_attrdom.find(f.a); it != by_attrdom.end()) {
+          for (const ConceptInclusion* ci : it->second) ApplyRhs(ci, f.b);
+        }
+        if (auto it = attr_incls.find(f.a); it != attr_incls.end()) {
+          for (const dllite::AttributeInclusion* ai : it->second) {
+            AddAttr(ai->rhs, f.b, f.c);
+          }
+        }
+      }
+    }
+  }
+};
+
+using Binding = std::unordered_map<std::string, std::string>;
+
+bool Bind(const Term& term, const std::string& value, Binding* binding,
+          std::vector<std::string>* bound_here) {
+  if (!term.IsVar()) return term.name == value;
+  auto it = binding->find(term.name);
+  if (it != binding->end()) return it->second == value;
+  binding->emplace(term.name, value);
+  bound_here->push_back(term.name);
+  return true;
+}
+
+}  // namespace
+
+ChaseOracle::ChaseOracle(const dllite::TBox& tbox,
+                         const dllite::Vocabulary& vocab,
+                         const dllite::ABox& abox, uint32_t max_depth) {
+  Builder b(tbox, max_depth);
+
+  // Seed: one chase object per named individual, one value per distinct
+  // asserted attribute value.
+  std::unordered_map<uint32_t, uint32_t> obj_of;  // IndividualId -> object
+  auto object_of = [&](dllite::IndividualId ind) {
+    auto it = obj_of.find(ind);
+    if (it != obj_of.end()) return it->second;
+    uint32_t id = b.NewObject(vocab.IndividualName(ind), true, 0);
+    obj_of.emplace(ind, id);
+    return id;
+  };
+  std::unordered_map<std::string, uint32_t> value_of;
+  auto value_id = [&](const std::string& text) {
+    auto it = value_of.find(text);
+    if (it != value_of.end()) return it->second;
+    uint32_t id = b.NewValue(text, true);
+    value_of.emplace(text, id);
+    return id;
+  };
+  for (const auto& a : abox.concept_assertions()) {
+    b.AddConcept(a.concept_id, object_of(a.individual));
+  }
+  for (const auto& a : abox.role_assertions()) {
+    b.AddRole(a.role, object_of(a.subject), object_of(a.object));
+  }
+  for (const auto& a : abox.attribute_assertions()) {
+    b.AddAttr(a.attribute, object_of(a.subject), value_id(a.value));
+  }
+
+  b.Saturate();
+
+  // Freeze into string-keyed fact lists for backtracking evaluation.
+  size_t nc = vocab.NumConcepts(), nr = vocab.NumRoles(),
+         na = vocab.NumAttributes();
+  concept_facts_.resize(nc);
+  role_facts_.resize(nr);
+  attr_facts_.resize(na);
+  for (const auto& f : b.concept_set) {
+    if (f[0] < nc) concept_facts_[f[0]].push_back({b.objects[f[1]].name});
+  }
+  for (const auto& f : b.role_set) {
+    if (f[0] < nr) {
+      role_facts_[f[0]].push_back(
+          {b.objects[f[1]].name, b.objects[f[2]].name});
+    }
+  }
+  for (const auto& f : b.attr_set) {
+    if (f[0] < na) {
+      attr_facts_[f[0]].push_back(
+          {b.objects[f[1]].name, b.values[f[2]].first});
+    }
+  }
+  for (const auto& o : b.objects) {
+    if (o.named) named_.insert(o.name);
+  }
+  for (const auto& [text, named] : b.values) {
+    if (named) named_.insert(text);
+  }
+  num_objects_ = b.objects.size();
+  num_facts_ =
+      b.concept_set.size() + b.role_set.size() + b.attr_set.size();
+}
+
+std::vector<std::vector<std::string>> ChaseOracle::CertainAnswers(
+    const ConjunctiveQuery& cq) const {
+  std::set<std::vector<std::string>> out;
+  Binding binding;
+
+  // Backtracking join, structurally identical to query::EvaluateOverABox.
+  auto eval = [&](auto&& self, size_t atom_index) -> void {
+    if (atom_index == cq.atoms.size()) {
+      std::vector<std::string> tuple;
+      tuple.reserve(cq.head_vars.size());
+      for (const auto& head : cq.head_vars) {
+        // Head variables bound to constants by rewriting are absent from
+        // the body; emit the constant (a named term by construction).
+        if (const std::string* c = cq.HeadBinding(head)) {
+          tuple.push_back(*c);
+          continue;
+        }
+        const std::string& v = binding.at(head);
+        if (named_.count(v) == 0) return;  // labelled nulls never answer
+        tuple.push_back(v);
+      }
+      out.insert(std::move(tuple));
+      return;
+    }
+    const Atom& atom = cq.atoms[atom_index];
+    auto match1 = [&](const std::vector<std::array<std::string, 1>>& facts) {
+      for (const auto& fact : facts) {
+        std::vector<std::string> bound_here;
+        if (Bind(atom.args[0], fact[0], &binding, &bound_here)) {
+          self(self, atom_index + 1);
+        }
+        for (const auto& var : bound_here) binding.erase(var);
+      }
+    };
+    auto match2 = [&](const std::vector<std::array<std::string, 2>>& facts) {
+      for (const auto& fact : facts) {
+        std::vector<std::string> bound_here;
+        if (Bind(atom.args[0], fact[0], &binding, &bound_here) &&
+            Bind(atom.args[1], fact[1], &binding, &bound_here)) {
+          self(self, atom_index + 1);
+        }
+        for (const auto& var : bound_here) binding.erase(var);
+      }
+    };
+    switch (atom.kind) {
+      case Atom::Kind::kConcept:
+        if (atom.predicate < concept_facts_.size()) {
+          match1(concept_facts_[atom.predicate]);
+        }
+        break;
+      case Atom::Kind::kRole:
+        if (atom.predicate < role_facts_.size()) {
+          match2(role_facts_[atom.predicate]);
+        }
+        break;
+      case Atom::Kind::kAttribute:
+        if (atom.predicate < attr_facts_.size()) {
+          match2(attr_facts_[atom.predicate]);
+        }
+        break;
+    }
+  };
+  eval(eval, 0);
+  return std::vector<std::vector<std::string>>(out.begin(), out.end());
+}
+
+}  // namespace olite::testkit

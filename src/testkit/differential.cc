@@ -1,0 +1,496 @@
+#include "testkit/differential.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "approx/approx.h"
+#include "common/rng.h"
+#include "completion/completion_classifier.h"
+#include "core/classifier.h"
+#include "owl/from_dllite.h"
+#include "query/abox_eval.h"
+#include "reasoner/tableau_classifier.h"
+#include "testkit/chase_oracle.h"
+#include "testkit/subsumption_oracle.h"
+
+namespace olite::testkit {
+
+namespace {
+
+using dllite::Ontology;
+using dllite::Vocabulary;
+
+std::string FormatIds(const std::vector<uint32_t>& ids, size_t limit = 8) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < ids.size() && i < limit; ++i) {
+    if (i > 0) os << ",";
+    os << ids[i];
+  }
+  if (ids.size() > limit) os << ",…+" << (ids.size() - limit);
+  os << "}";
+  return os.str();
+}
+
+void CompareSets(const std::string& what, const std::vector<uint32_t>& expect,
+                 const std::vector<uint32_t>& got, const std::string& engine,
+                 std::vector<std::string>* out) {
+  if (expect == got) return;
+  out->push_back(what + ": oracle=" + FormatIds(expect) + " " + engine + "=" +
+                 FormatIds(got));
+}
+
+std::string FormatTuples(const std::set<std::vector<std::string>>& tuples,
+                         size_t limit = 4) {
+  std::ostringstream os;
+  os << "{";
+  size_t i = 0;
+  for (const auto& t : tuples) {
+    if (i == limit) {
+      os << " …+" << (tuples.size() - limit);
+      break;
+    }
+    if (i++ > 0) os << " ";
+    os << "(";
+    for (size_t k = 0; k < t.size(); ++k) {
+      if (k > 0) os << ",";
+      os << t[k];
+    }
+    os << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+using TupleSet = std::set<std::vector<std::string>>;
+
+void CompareTupleSets(const std::string& what, const TupleSet& expect,
+                      const TupleSet& got, const std::string& engine,
+                      std::vector<std::string>* out) {
+  if (expect == got) return;
+  TupleSet missing, extra;
+  std::set_difference(expect.begin(), expect.end(), got.begin(), got.end(),
+                      std::inserter(missing, missing.begin()));
+  std::set_difference(got.begin(), got.end(), expect.begin(), expect.end(),
+                      std::inserter(extra, extra.begin()));
+  out->push_back(what + " [" + engine + "]: missing=" + FormatTuples(missing) +
+                 " extra=" + FormatTuples(extra));
+}
+
+}  // namespace
+
+std::vector<std::string> CompareClassifiers(
+    const Ontology& onto, const ClassifierDiffOptions& options) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = onto.vocab();
+  const auto nc = static_cast<uint32_t>(vocab.NumConcepts());
+  const auto nr = static_cast<uint32_t>(vocab.NumRoles());
+  const auto na = static_cast<uint32_t>(vocab.NumAttributes());
+
+  SubsumptionOracle oracle(onto.tbox(), vocab);
+  core::Classification graph = core::Classify(onto.tbox(), vocab);
+  completion::CompletionResult cb =
+      completion::ClassifyWithCompletion(onto.tbox(), vocab);
+  if (!cb.completed) {
+    diffs.push_back("completion classifier did not complete");
+    return diffs;
+  }
+
+  std::optional<uint32_t> mutated_concept;
+  if (options.mutation.enabled()) {
+    mutated_concept = vocab.FindConcept(options.mutation.drop_concept_supers_of);
+  }
+
+  for (uint32_t c = 0; c < nc; ++c) {
+    std::vector<uint32_t> want = oracle.SuperConcepts(c);
+    std::vector<uint32_t> graph_supers = graph.SuperConcepts(c);
+    if (mutated_concept && *mutated_concept == c) graph_supers.clear();
+    const std::string what = "SuperConcepts(" + vocab.ConceptName(c) + ")";
+    CompareSets(what, want, graph_supers, "graph", &diffs);
+    CompareSets(what, want, cb.concept_subsumers[c], "completion", &diffs);
+  }
+  for (uint32_t p = 0; p < nr; ++p) {
+    std::vector<uint32_t> want = oracle.SuperRoles(p);
+    const std::string what = "SuperRoles(" + vocab.RoleName(p) + ")";
+    CompareSets(what, want, graph.SuperRoles(p), "graph", &diffs);
+    CompareSets(what, want, cb.role_subsumers[p], "completion", &diffs);
+  }
+  for (uint32_t u = 0; u < na; ++u) {
+    std::vector<uint32_t> want = oracle.SuperAttributes(u);
+    const std::string what = "SuperAttributes(" + vocab.AttributeName(u) + ")";
+    CompareSets(what, want, graph.SuperAttributes(u), "graph", &diffs);
+    CompareSets(what, want, cb.attribute_subsumers[u], "completion", &diffs);
+  }
+  CompareSets("UnsatisfiableConcepts", oracle.UnsatisfiableConcepts(),
+              graph.UnsatisfiableConcepts(), "graph", &diffs);
+  CompareSets("UnsatisfiableConcepts", oracle.UnsatisfiableConcepts(),
+              cb.unsatisfiable_concepts, "completion", &diffs);
+  CompareSets("UnsatisfiableRoles", oracle.UnsatisfiableRoles(),
+              graph.UnsatisfiableRoles(), "graph", &diffs);
+  CompareSets("UnsatisfiableRoles", oracle.UnsatisfiableRoles(),
+              cb.unsatisfiable_roles, "completion", &diffs);
+
+  if (options.run_tableau) {
+    auto owl = owl::OwlFromDlLite(onto.tbox(), vocab);
+    reasoner::TableauClassifierOptions topts;
+    topts.time_budget_ms = options.tableau_budget_ms;
+    reasoner::TableauClassification tab =
+        reasoner::ClassifyWithTableau(*owl, topts);
+    if (tab.completed) {
+      for (uint32_t c = 0; c < nc; ++c) {
+        CompareSets("SuperConcepts(" + vocab.ConceptName(c) + ")",
+                    oracle.SuperConcepts(c), tab.concept_subsumers[c],
+                    "tableau", &diffs);
+      }
+      CompareSets("UnsatisfiableConcepts", oracle.UnsatisfiableConcepts(),
+                  tab.unsatisfiable, "tableau", &diffs);
+    }
+    // A timed-out tableau is not a discrepancy (that is the paper's point);
+    // the remaining engines still triangulate.
+  }
+  return diffs;
+}
+
+std::vector<std::string> CompareAnswerPaths(const benchgen::Workload& w,
+                                            const AnswerDiffOptions& options) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+
+  auto system =
+      obda::ObdaSystem::Create(w.ontology, w.mappings, w.database,
+                               query::RewriteMode::kClassified);
+  if (!system.ok()) {
+    diffs.push_back("ObdaSystem::Create failed: " +
+                    system.status().ToString());
+    return diffs;
+  }
+  ChaseOracle chase(w.ontology.tbox(), vocab, w.abox, options.chase_depth);
+
+  for (const auto& cq : w.queries) {
+    const std::string label = cq.ToString(vocab);
+
+    auto chase_rows = chase.CertainAnswers(cq);
+    TupleSet want(chase_rows.begin(), chase_rows.end());
+
+    auto sql = (*system)->Answer(cq);
+    if (!sql.ok()) {
+      diffs.push_back(label + " [obda]: " + sql.status().ToString());
+    } else {
+      CompareTupleSets(label, want, TupleSet(sql->begin(), sql->end()),
+                       "obda-sql", &diffs);
+    }
+
+    auto direct = query::AnswerOverABox(cq, w.ontology.tbox(), w.abox, vocab,
+                                        query::RewriteMode::kPerfectRef);
+    if (!direct.ok()) {
+      diffs.push_back(label + " [abox]: " + direct.status().ToString());
+    } else {
+      CompareTupleSets(label, want, TupleSet(direct->begin(), direct->end()),
+                       "abox-eval", &diffs);
+    }
+  }
+  return diffs;
+}
+
+std::vector<std::string> CheckPiMonotonicity(const Ontology& onto,
+                                             uint64_t seed) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = onto.vocab();
+  const auto nc = static_cast<uint32_t>(vocab.NumConcepts());
+  const auto nr = static_cast<uint32_t>(vocab.NumRoles());
+  if (nc < 2) return diffs;
+
+  Ontology extended = onto;
+  Rng rng(seed);
+  // One random positive inclusion: A ⊑ B, Q1 ⊑ Q2, or A ⊑ ∃Q.
+  uint64_t kind = rng.Uniform(nr >= 2 ? 3 : (nr >= 1 ? 2 : 1));
+  if (kind == 2) {
+    auto p = static_cast<uint32_t>(rng.Uniform(nr));
+    auto q = static_cast<uint32_t>(rng.Uniform(nr - 1));
+    if (q >= p) ++q;
+    extended.tbox().AddRoleInclusion(
+        {dllite::BasicRole::Direct(p), dllite::BasicRole::Direct(q), false});
+  } else if (kind == 1) {
+    auto a = static_cast<uint32_t>(rng.Uniform(nc));
+    auto p = static_cast<uint32_t>(rng.Uniform(nr));
+    extended.tbox().AddConceptInclusion(
+        {dllite::BasicConcept::Atomic(a),
+         dllite::RhsConcept::Positive(
+             dllite::BasicConcept::Exists(dllite::BasicRole::Direct(p)))});
+  } else {
+    auto a = static_cast<uint32_t>(rng.Uniform(nc));
+    auto b = static_cast<uint32_t>(rng.Uniform(nc - 1));
+    if (b >= a) ++b;
+    extended.tbox().AddConceptInclusion(
+        {dllite::BasicConcept::Atomic(a),
+         dllite::RhsConcept::Positive(dllite::BasicConcept::Atomic(b))});
+  }
+
+  core::Classification before = core::Classify(onto.tbox(), vocab);
+  core::Classification after = core::Classify(extended.tbox(), vocab);
+
+  auto check_subset = [&](const std::string& what,
+                          const std::vector<uint32_t>& small,
+                          const std::vector<uint32_t>& big) {
+    if (!std::includes(big.begin(), big.end(), small.begin(), small.end())) {
+      diffs.push_back(what + " shrank after adding a positive inclusion: " +
+                      FormatIds(small) + " ⊄ " + FormatIds(big));
+    }
+  };
+  for (uint32_t c = 0; c < nc; ++c) {
+    check_subset("SuperConcepts(" + vocab.ConceptName(c) + ")",
+                 before.SuperConcepts(c), after.SuperConcepts(c));
+  }
+  for (uint32_t p = 0; p < nr; ++p) {
+    check_subset("SuperRoles(" + vocab.RoleName(p) + ")",
+                 before.SuperRoles(p), after.SuperRoles(p));
+  }
+  check_subset("UnsatisfiableConcepts", before.UnsatisfiableConcepts(),
+               after.UnsatisfiableConcepts());
+  check_subset("UnsatisfiableRoles", before.UnsatisfiableRoles(),
+               after.UnsatisfiableRoles());
+  return diffs;
+}
+
+std::vector<std::string> CheckRenamingInvariance(const Ontology& onto,
+                                                 uint64_t seed) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = onto.vocab();
+  const auto nc = static_cast<uint32_t>(vocab.NumConcepts());
+  const auto nr = static_cast<uint32_t>(vocab.NumRoles());
+  const auto na = static_cast<uint32_t>(vocab.NumAttributes());
+
+  // Permute intern order and prefix every name — a consistent renaming
+  // that also scrambles the dense id assignment.
+  Rng rng(seed);
+  auto permutation = [&](uint32_t n) {
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    return order;  // order[position] = old id interned at that position
+  };
+  std::vector<uint32_t> corder = permutation(nc), rorder = permutation(nr),
+                        aorder = permutation(na);
+  std::vector<uint32_t> cmap(nc), rmap(nr), amap(na);  // old id -> new id
+  Ontology renamed;
+  for (uint32_t i = 0; i < nc; ++i) {
+    cmap[corder[i]] =
+        renamed.DeclareConcept("rn_" + vocab.ConceptName(corder[i]));
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    rmap[rorder[i]] = renamed.DeclareRole("rn_" + vocab.RoleName(rorder[i]));
+  }
+  for (uint32_t i = 0; i < na; ++i) {
+    amap[aorder[i]] =
+        renamed.DeclareAttribute("rn_" + vocab.AttributeName(aorder[i]));
+  }
+
+  auto map_role = [&](dllite::BasicRole q) {
+    return dllite::BasicRole{rmap[q.role], q.inverse};
+  };
+  auto map_basic = [&](const dllite::BasicConcept& b) {
+    switch (b.kind) {
+      case dllite::BasicConceptKind::kAtomic:
+        return dllite::BasicConcept::Atomic(cmap[b.concept_id]);
+      case dllite::BasicConceptKind::kExists:
+        return dllite::BasicConcept::Exists(map_role(b.role));
+      case dllite::BasicConceptKind::kAttrDomain:
+        return dllite::BasicConcept::AttrDomain(amap[b.attribute]);
+    }
+    return b;
+  };
+  for (const auto& ax : onto.tbox().concept_inclusions()) {
+    dllite::RhsConcept rhs;
+    switch (ax.rhs.kind) {
+      case dllite::RhsConceptKind::kBasic:
+        rhs = dllite::RhsConcept::Positive(map_basic(ax.rhs.basic));
+        break;
+      case dllite::RhsConceptKind::kNegatedBasic:
+        rhs = dllite::RhsConcept::Negated(map_basic(ax.rhs.basic));
+        break;
+      case dllite::RhsConceptKind::kQualifiedExists:
+        rhs = dllite::RhsConcept::QualifiedExists(map_role(ax.rhs.role),
+                                                  cmap[ax.rhs.filler]);
+        break;
+    }
+    renamed.tbox().AddConceptInclusion({map_basic(ax.lhs), rhs});
+  }
+  for (const auto& ax : onto.tbox().role_inclusions()) {
+    renamed.tbox().AddRoleInclusion(
+        {map_role(ax.lhs), map_role(ax.rhs), ax.negated});
+  }
+  for (const auto& ax : onto.tbox().attribute_inclusions()) {
+    renamed.tbox().AddAttributeInclusion(
+        {amap[ax.lhs], amap[ax.rhs], ax.negated});
+  }
+  for (const auto& ax : onto.tbox().functionality()) {
+    auto mapped = ax;
+    if (ax.kind == dllite::FunctionalityAssertion::Kind::kRole) {
+      mapped.role = map_role(ax.role);
+    } else {
+      mapped.attribute = amap[ax.attribute];
+    }
+    renamed.tbox().AddFunctionality(mapped);
+  }
+
+  core::Classification a = core::Classify(onto.tbox(), vocab);
+  core::Classification b =
+      core::Classify(renamed.tbox(), renamed.vocab());
+
+  auto mapped_sorted = [](const std::vector<uint32_t>& ids,
+                          const std::vector<uint32_t>& map) {
+    std::vector<uint32_t> out;
+    out.reserve(ids.size());
+    for (uint32_t id : ids) out.push_back(map[id]);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (uint32_t c = 0; c < nc; ++c) {
+    auto want = mapped_sorted(a.SuperConcepts(c), cmap);
+    auto got = b.SuperConcepts(cmap[c]);
+    if (want != got) {
+      diffs.push_back("SuperConcepts(" + vocab.ConceptName(c) +
+                      ") not renaming-invariant: " + FormatIds(want) +
+                      " vs " + FormatIds(got));
+    }
+  }
+  for (uint32_t p = 0; p < nr; ++p) {
+    auto want = mapped_sorted(a.SuperRoles(p), rmap);
+    auto got = b.SuperRoles(rmap[p]);
+    if (want != got) {
+      diffs.push_back("SuperRoles(" + vocab.RoleName(p) +
+                      ") not renaming-invariant: " + FormatIds(want) +
+                      " vs " + FormatIds(got));
+    }
+  }
+  auto want_unsat = mapped_sorted(a.UnsatisfiableConcepts(), cmap);
+  if (want_unsat != b.UnsatisfiableConcepts()) {
+    diffs.push_back("UnsatisfiableConcepts not renaming-invariant");
+  }
+  return diffs;
+}
+
+std::vector<std::string> CheckBudgetMonotonicity(
+    const benchgen::Workload& w, const obda::AnswerOptions& options,
+    const std::function<void()>& between_passes) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+  auto system =
+      obda::ObdaSystem::Create(w.ontology, w.mappings, w.database,
+                               query::RewriteMode::kClassified);
+  if (!system.ok()) {
+    diffs.push_back("ObdaSystem::Create failed: " +
+                    system.status().ToString());
+    return diffs;
+  }
+
+  std::vector<std::optional<TupleSet>> full(w.queries.size());
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    auto rows = (*system)->Answer(w.queries[i]);
+    if (rows.ok()) full[i] = TupleSet(rows->begin(), rows->end());
+  }
+  if (between_passes) between_passes();
+
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (!full[i].has_value()) continue;  // no clean baseline for this query
+    obda::AnswerStats stats;
+    auto rows = (*system)->Answer(w.queries[i], options, &stats);
+    if (!rows.ok()) continue;  // a clean failure is an acceptable outcome
+    TupleSet degraded(rows->begin(), rows->end());
+    TupleSet extra;
+    std::set_difference(degraded.begin(), degraded.end(), full[i]->begin(),
+                        full[i]->end(), std::inserter(extra, extra.begin()));
+    if (!extra.empty()) {
+      diffs.push_back(w.queries[i].ToString(vocab) +
+                      ": degraded answers are not a subset, extra=" +
+                      FormatTuples(extra));
+    }
+  }
+  return diffs;
+}
+
+std::vector<std::string> CheckApproxSoundness(const benchgen::Workload& w) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+  if (vocab.NumAttributes() > 0) return diffs;  // documented skip
+
+  auto owl = owl::OwlFromDlLite(w.ontology.tbox(), vocab);
+  auto approx = approx::SemanticApproximation(*owl);
+  if (!approx.ok()) {
+    diffs.push_back("SemanticApproximation failed: " +
+                    approx.status().ToString());
+    return diffs;
+  }
+  dllite::Ontology& ap = approx->ontology;
+
+  // Rebuild the ABox in the approximated ontology's id space (names are
+  // preserved; predicates absent from the approximation carry no facts).
+  dllite::ABox ap_abox;
+  for (const auto& a : w.abox.concept_assertions()) {
+    auto c = ap.vocab().FindConcept(vocab.ConceptName(a.concept_id));
+    if (!c) continue;
+    ap_abox.AddConceptAssertion(
+        {*c, ap.vocab().InternIndividual(vocab.IndividualName(a.individual))});
+  }
+  for (const auto& a : w.abox.role_assertions()) {
+    auto p = ap.vocab().FindRole(vocab.RoleName(a.role));
+    if (!p) continue;
+    ap_abox.AddRoleAssertion(
+        {*p, ap.vocab().InternIndividual(vocab.IndividualName(a.subject)),
+         ap.vocab().InternIndividual(vocab.IndividualName(a.object))});
+  }
+
+  for (const auto& cq : w.queries) {
+    // Remap the query; an atom over a predicate the approximation dropped
+    // entirely makes the approximated answer set empty — trivially sound.
+    query::ConjunctiveQuery mapped = cq;
+    bool droppable = false;
+    for (auto& atom : mapped.atoms) {
+      std::optional<uint32_t> id;
+      switch (atom.kind) {
+        case query::Atom::Kind::kConcept:
+          id = ap.vocab().FindConcept(vocab.ConceptName(atom.predicate));
+          break;
+        case query::Atom::Kind::kRole:
+          id = ap.vocab().FindRole(vocab.RoleName(atom.predicate));
+          break;
+        case query::Atom::Kind::kAttribute:
+          id = ap.vocab().FindAttribute(vocab.AttributeName(atom.predicate));
+          break;
+      }
+      if (!id) {
+        droppable = true;
+        break;
+      }
+      atom.predicate = *id;
+    }
+    if (droppable) continue;
+
+    auto ap_rows = query::AnswerOverABox(mapped, ap.tbox(), ap_abox,
+                                         ap.vocab(),
+                                         query::RewriteMode::kPerfectRef);
+    auto rows = query::AnswerOverABox(cq, w.ontology.tbox(), w.abox, vocab,
+                                      query::RewriteMode::kPerfectRef);
+    if (!ap_rows.ok() || !rows.ok()) {
+      diffs.push_back(cq.ToString(vocab) + ": approx answering failed");
+      continue;
+    }
+    TupleSet approx_set(ap_rows->begin(), ap_rows->end());
+    TupleSet full_set(rows->begin(), rows->end());
+    TupleSet extra;
+    std::set_difference(approx_set.begin(), approx_set.end(),
+                        full_set.begin(), full_set.end(),
+                        std::inserter(extra, extra.begin()));
+    if (!extra.empty()) {
+      diffs.push_back(cq.ToString(vocab) +
+                      ": approximated answers unsound, extra=" +
+                      FormatTuples(extra));
+    }
+  }
+  return diffs;
+}
+
+}  // namespace olite::testkit

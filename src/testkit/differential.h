@@ -1,0 +1,95 @@
+#ifndef OLITE_TESTKIT_DIFFERENTIAL_H_
+#define OLITE_TESTKIT_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchgen/workload.h"
+#include "common/exec_budget.h"
+#include "dllite/ontology.h"
+#include "obda/system.h"
+
+namespace olite::testkit {
+
+/// Test-only corruption of one engine's *reported* result, applied between
+/// classification and comparison. It lets the differential + shrinking
+/// machinery be exercised end-to-end on demand (a discrepancy is observed,
+/// shrunk and replayed) without planting a bug in a shipping engine.
+/// Default-constructed = disabled.
+struct EngineMutation {
+  /// Drop every subsumer the graph classifier reports for this named
+  /// concept (by name; empty = no mutation). Concepts that genuinely have
+  /// subsumers then disagree with the other engines.
+  std::string drop_concept_supers_of;
+
+  bool enabled() const { return !drop_concept_supers_of.empty(); }
+};
+
+/// Options for `CompareClassifiers`.
+struct ClassifierDiffOptions {
+  /// The tableau is worst-case exponential; large or adversarial
+  /// signatures can skip it (graph/completion/oracle still triangulate).
+  bool run_tableau = true;
+  double tableau_budget_ms = 60000;
+  EngineMutation mutation;
+};
+
+/// Differential classification: graph (core::Classify), completion
+/// (consequence-based), optionally tableau (through the OWL translation),
+/// all refereed by the brute-force `SubsumptionOracle` — subsumer sets and
+/// unsatisfiable-predicate sets must agree exactly. Returns human-readable
+/// discrepancy descriptions; empty = full agreement.
+std::vector<std::string> CompareClassifiers(
+    const dllite::Ontology& onto, const ClassifierDiffOptions& options = {});
+
+/// Options for `CompareAnswerPaths`.
+struct AnswerDiffOptions {
+  /// Null-generation cutoff of the chase oracle; must exceed the largest
+  /// query component's atom count (see testkit/chase_oracle.h).
+  uint32_t chase_depth = 8;
+};
+
+/// Differential query answering over every query of `w`: the full OBDA
+/// pipeline (classified rewrite → unfold → SQL on the sources), direct
+/// evaluation (PerfectRef rewrite → materialised ABox) and the chase
+/// oracle must produce identical certain-answer sets. Returns discrepancy
+/// descriptions; empty = agreement.
+std::vector<std::string> CompareAnswerPaths(
+    const benchgen::Workload& w, const AnswerDiffOptions& options = {});
+
+// -- metamorphic properties -------------------------------------------------
+
+/// Adding one random *positive* inclusion (concept or role) must never
+/// shrink any subsumer set or the unsatisfiable sets. `seed` drives the
+/// choice of added axiom.
+std::vector<std::string> CheckPiMonotonicity(const dllite::Ontology& onto,
+                                             uint64_t seed);
+
+/// Consistently renaming and re-ordering every predicate name must yield an
+/// isomorphic classification (same subsumptions modulo the renaming).
+std::vector<std::string> CheckRenamingInvariance(const dllite::Ontology& onto,
+                                                 uint64_t seed);
+
+/// Degraded answering under `options` (which should set `allow_degraded`)
+/// must return a subset of the unbudgeted answers, row by row, for every
+/// query of `w`. Errors (budget exhausted without degradation, or injected
+/// faults surfacing as failures) are accepted; *wrong rows* are not.
+/// `between_passes`, if set, runs after the unbudgeted baseline pass and
+/// before the budgeted pass — the fault-injection tests use it to arm the
+/// injector so only the degraded pass sees faults.
+std::vector<std::string> CheckBudgetMonotonicity(
+    const benchgen::Workload& w, const obda::AnswerOptions& options,
+    const std::function<void()>& between_passes = {});
+
+/// Semantic approximation (src/approx) of the OWL translation of `w`'s
+/// ontology must yield *sound* answers: every certain answer over the
+/// approximated TBox is a certain answer over the original. Skipped (empty
+/// result) for ontologies with attributes — the OWL round trip renames
+/// attributes to `attr:` roles, which the workload ABox cannot follow.
+std::vector<std::string> CheckApproxSoundness(const benchgen::Workload& w);
+
+}  // namespace olite::testkit
+
+#endif  // OLITE_TESTKIT_DIFFERENTIAL_H_

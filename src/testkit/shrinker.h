@@ -1,0 +1,52 @@
+#ifndef OLITE_TESTKIT_SHRINKER_H_
+#define OLITE_TESTKIT_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "testkit/corpus.h"
+
+namespace olite::testkit {
+
+/// The failure predicate a shrink run preserves: true iff the (possibly
+/// reduced) case still exhibits the failure being minimised. Make it as
+/// specific as possible — e.g. "CompareClassifiers reports a graph
+/// discrepancy" rather than "any diff" — so the shrinker cannot wander to
+/// an unrelated failure.
+using FailurePredicate = std::function<bool(const ConformanceCase&)>;
+
+/// Counters from one shrink run.
+struct ShrinkStats {
+  uint64_t iterations = 0;   ///< predicate evaluations
+  uint64_t reductions = 0;   ///< accepted removals
+  size_t initial_axioms = 0;
+  size_t final_axioms = 0;
+  size_t initial_rows = 0;
+  size_t final_rows = 0;
+  /// Declared concepts + roles + attributes before/after the final
+  /// dead-vocabulary sweep (ddmin itself never touches declarations).
+  size_t initial_predicates = 0;
+  size_t final_predicates = 0;
+};
+
+/// Options for `Shrink`.
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (the dominant cost).
+  uint64_t max_iterations = 20000;
+};
+
+/// Delta-debugging minimisation of a failing case: greedily removes chunks
+/// (halving chunk size down to single elements, ddmin-style) from every
+/// component list — TBox axioms, mapping assertions, database rows,
+/// queries — re-checking `fails` after each candidate removal, until no
+/// single-element removal preserves the failure (1-minimal per component)
+/// or the iteration cap is hit. `fails(input)` must be true on entry;
+/// the returned case always satisfies `fails`.
+ConformanceCase Shrink(const ConformanceCase& input,
+                       const FailurePredicate& fails,
+                       const ShrinkOptions& options = {},
+                       ShrinkStats* stats = nullptr);
+
+}  // namespace olite::testkit
+
+#endif  // OLITE_TESTKIT_SHRINKER_H_

@@ -1,0 +1,255 @@
+#include "testkit/subsumption_oracle.h"
+
+#include <deque>
+#include <utility>
+
+#include "dllite/expressions.h"
+
+namespace olite::testkit {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicConceptKind;
+using dllite::BasicRole;
+using dllite::RhsConceptKind;
+
+}  // namespace
+
+SubsumptionOracle::SubsumptionOracle(const dllite::TBox& tbox,
+                                     const dllite::Vocabulary& vocab) {
+  nc_ = static_cast<uint32_t>(vocab.NumConcepts());
+  nr_ = static_cast<uint32_t>(vocab.NumRoles());
+  na_ = static_cast<uint32_t>(vocab.NumAttributes());
+  const uint32_t n = NumNodes();
+
+  auto node_of = [&](const BasicConcept& b) {
+    switch (b.kind) {
+      case BasicConceptKind::kAtomic:
+        return ConceptNode(b.concept_id);
+      case BasicConceptKind::kExists:
+        return ExistsNode(b.role.role, b.role.inverse);
+      case BasicConceptKind::kAttrDomain:
+        return AttrDomNode(b.attribute);
+    }
+    return 0u;
+  };
+
+  // Direct arcs per Definition 1, plus the NI pair list and the
+  // qualified-existential side index.
+  std::vector<std::vector<uint32_t>> arcs(n);
+  std::vector<std::pair<uint32_t, uint32_t>> negatives;
+  struct Qe {
+    uint32_t lhs;
+    BasicRole role;
+    dllite::ConceptId filler;
+  };
+  std::vector<Qe> qes;
+
+  for (const auto& ax : tbox.concept_inclusions()) {
+    uint32_t lhs = node_of(ax.lhs);
+    switch (ax.rhs.kind) {
+      case RhsConceptKind::kBasic:
+        arcs[lhs].push_back(node_of(ax.rhs.basic));
+        break;
+      case RhsConceptKind::kNegatedBasic:
+        negatives.emplace_back(lhs, node_of(ax.rhs.basic));
+        break;
+      case RhsConceptKind::kQualifiedExists:
+        arcs[lhs].push_back(ExistsNode(ax.rhs.role.role, ax.rhs.role.inverse));
+        qes.push_back({lhs, ax.rhs.role, ax.rhs.filler});
+        break;
+    }
+  }
+  for (const auto& ax : tbox.role_inclusions()) {
+    if (ax.negated) {
+      // Q1 ⊑ ¬Q2 entails Q1⁻ ⊑ ¬Q2⁻ too.
+      negatives.emplace_back(RoleNode(ax.lhs.role, ax.lhs.inverse),
+                             RoleNode(ax.rhs.role, ax.rhs.inverse));
+      negatives.emplace_back(RoleNode(ax.lhs.role, !ax.lhs.inverse),
+                             RoleNode(ax.rhs.role, !ax.rhs.inverse));
+      continue;
+    }
+    arcs[RoleNode(ax.lhs.role, ax.lhs.inverse)].push_back(
+        RoleNode(ax.rhs.role, ax.rhs.inverse));
+    arcs[RoleNode(ax.lhs.role, !ax.lhs.inverse)].push_back(
+        RoleNode(ax.rhs.role, !ax.rhs.inverse));
+    arcs[ExistsNode(ax.lhs.role, ax.lhs.inverse)].push_back(
+        ExistsNode(ax.rhs.role, ax.rhs.inverse));
+    arcs[ExistsNode(ax.lhs.role, !ax.lhs.inverse)].push_back(
+        ExistsNode(ax.rhs.role, !ax.rhs.inverse));
+  }
+  for (const auto& ax : tbox.attribute_inclusions()) {
+    if (ax.negated) {
+      negatives.emplace_back(AttrNode(ax.lhs), AttrNode(ax.rhs));
+      continue;
+    }
+    arcs[AttrNode(ax.lhs)].push_back(AttrNode(ax.rhs));
+    arcs[AttrDomNode(ax.lhs)].push_back(AttrDomNode(ax.rhs));
+  }
+
+  // Reflexive reachability by one BFS per node.
+  reach_.assign(n, std::vector<bool>(n, false));
+  for (uint32_t s = 0; s < n; ++s) {
+    std::deque<uint32_t> frontier{s};
+    reach_[s][s] = true;
+    while (!frontier.empty()) {
+      uint32_t x = frontier.front();
+      frontier.pop_front();
+      for (uint32_t y : arcs[x]) {
+        if (!reach_[s][y]) {
+          reach_[s][y] = true;
+          frontier.push_back(y);
+        }
+      }
+    }
+  }
+
+  // -- unsatisfiability (Ω_T), by naive whole-universe rescans --------------
+
+  unsat_.assign(n, false);
+
+  // Seeds: x ⊑* both sides of some negative inclusion.
+  for (const auto& [s1, s2] : negatives) {
+    for (uint32_t x = 0; x < n; ++x) {
+      if (reach_[x][s1] && reach_[x][s2]) unsat_[x] = true;
+    }
+  }
+
+  // Qualified-existential successor rule: the fresh successor forced by
+  // B ⊑ ∃Q.A satisfies the up-closure of {A} ∪ {∃r⁻ : Q ⊑* r}; if a
+  // negative inclusion holds inside that membership set, B is empty.
+  for (const auto& qe : qes) {
+    std::vector<bool> member(n, false);
+    auto add_up = [&](uint32_t m) {
+      for (uint32_t y = 0; y < n; ++y) {
+        if (reach_[m][y]) member[y] = true;
+      }
+    };
+    add_up(ConceptNode(qe.filler));
+    add_up(ExistsNode(qe.role.role, !qe.role.inverse));
+    uint32_t qnode = RoleNode(qe.role.role, qe.role.inverse);
+    for (dllite::RoleId r = 0; r < nr_; ++r) {
+      for (int inv = 0; inv < 2; ++inv) {
+        if (reach_[qnode][RoleNode(r, inv != 0)]) {
+          add_up(ExistsNode(r, inv == 0));
+        }
+      }
+    }
+    for (const auto& [s1, s2] : negatives) {
+      if (member[s1] && member[s2]) {
+        unsat_[qe.lhs] = true;
+        break;
+      }
+    }
+  }
+
+  // Fixpoint: rescan every rule over the whole universe until stable.
+  bool changed = true;
+  auto mark = [&](uint32_t x) {
+    if (!unsat_[x]) {
+      unsat_[x] = true;
+      changed = true;
+    }
+  };
+  while (changed) {
+    changed = false;
+    // Downward closure: anything below an unsatisfiable node is empty.
+    for (uint32_t x = 0; x < n; ++x) {
+      if (unsat_[x]) continue;
+      for (uint32_t y = 0; y < n; ++y) {
+        if (unsat_[y] && reach_[x][y]) {
+          mark(x);
+          break;
+        }
+      }
+    }
+    // Component coupling: role ⇔ inverse ⇔ domain ⇔ range.
+    for (dllite::RoleId p = 0; p < nr_; ++p) {
+      bool any = unsat_[RoleNode(p, false)] || unsat_[RoleNode(p, true)] ||
+                 unsat_[ExistsNode(p, false)] || unsat_[ExistsNode(p, true)];
+      if (any) {
+        mark(RoleNode(p, false));
+        mark(RoleNode(p, true));
+        mark(ExistsNode(p, false));
+        mark(ExistsNode(p, true));
+      }
+    }
+    // Attribute ⇔ attribute domain.
+    for (dllite::AttributeId u = 0; u < na_; ++u) {
+      if (unsat_[AttrNode(u)] || unsat_[AttrDomNode(u)]) {
+        mark(AttrNode(u));
+        mark(AttrDomNode(u));
+      }
+    }
+    // B ⊑ ∃Q.A with empty filler A empties B.
+    for (const auto& qe : qes) {
+      if (unsat_[ConceptNode(qe.filler)]) mark(qe.lhs);
+    }
+  }
+}
+
+std::vector<dllite::ConceptId> SubsumptionOracle::SuperConcepts(
+    dllite::ConceptId a) const {
+  std::vector<dllite::ConceptId> out;
+  for (dllite::ConceptId c = 0; c < nc_; ++c) {
+    if (c == a) continue;
+    if (unsat_[ConceptNode(a)] || reach_[ConceptNode(a)][ConceptNode(c)]) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<dllite::RoleId> SubsumptionOracle::SuperRoles(
+    dllite::RoleId p) const {
+  std::vector<dllite::RoleId> out;
+  for (dllite::RoleId r = 0; r < nr_; ++r) {
+    if (r == p) continue;
+    if (unsat_[RoleNode(p, false)] ||
+        reach_[RoleNode(p, false)][RoleNode(r, false)]) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<dllite::AttributeId> SubsumptionOracle::SuperAttributes(
+    dllite::AttributeId u) const {
+  std::vector<dllite::AttributeId> out;
+  for (dllite::AttributeId w = 0; w < na_; ++w) {
+    if (w == u) continue;
+    if (unsat_[AttrNode(u)] || reach_[AttrNode(u)][AttrNode(w)]) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+std::vector<dllite::ConceptId> SubsumptionOracle::UnsatisfiableConcepts()
+    const {
+  std::vector<dllite::ConceptId> out;
+  for (dllite::ConceptId c = 0; c < nc_; ++c) {
+    if (unsat_[ConceptNode(c)]) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<dllite::RoleId> SubsumptionOracle::UnsatisfiableRoles() const {
+  std::vector<dllite::RoleId> out;
+  for (dllite::RoleId p = 0; p < nr_; ++p) {
+    if (unsat_[RoleNode(p, false)]) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<dllite::AttributeId> SubsumptionOracle::UnsatisfiableAttributes()
+    const {
+  std::vector<dllite::AttributeId> out;
+  for (dllite::AttributeId u = 0; u < na_; ++u) {
+    if (unsat_[AttrNode(u)]) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace olite::testkit

@@ -1,0 +1,59 @@
+#ifndef OLITE_TESTKIT_SUBSUMPTION_ORACLE_H_
+#define OLITE_TESTKIT_SUBSUMPTION_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dllite/tbox.h"
+#include "dllite/vocabulary.h"
+
+namespace olite::testkit {
+
+/// A brute-force classification oracle: the DL-Lite_R subsumption semantics
+/// (Φ_T ∪ Ω_T) implemented the slowest defensible way — a dense O(n²)
+/// reachability matrix filled by per-node BFS over the Definition 1 arcs,
+/// and unsatisfiability by a whole-universe fixpoint re-scanned until no
+/// flag changes. Shares *no* code with core::Classify, the tableau or the
+/// completion classifier: no TBoxGraph, no transitive-closure engine, no
+/// worklist. Intended purely as the referee in differential tests; cost is
+/// quadratic in the signature, so keep TBoxes small (hundreds of names).
+class SubsumptionOracle {
+ public:
+  SubsumptionOracle(const dllite::TBox& tbox, const dllite::Vocabulary& vocab);
+
+  /// Named strict superclasses of `a`, ascending. For an unsatisfiable `a`
+  /// this is every other named concept (Ω_T), matching
+  /// `core::Classification::SuperConcepts`.
+  std::vector<dllite::ConceptId> SuperConcepts(dllite::ConceptId a) const;
+  /// Named strict super-roles of `p` (direct polarity only), ascending.
+  std::vector<dllite::RoleId> SuperRoles(dllite::RoleId p) const;
+  /// Named strict super-attributes of `u`, ascending.
+  std::vector<dllite::AttributeId> SuperAttributes(dllite::AttributeId u) const;
+
+  std::vector<dllite::ConceptId> UnsatisfiableConcepts() const;
+  std::vector<dllite::RoleId> UnsatisfiableRoles() const;
+  std::vector<dllite::AttributeId> UnsatisfiableAttributes() const;
+
+ private:
+  uint32_t ConceptNode(dllite::ConceptId c) const { return c; }
+  uint32_t ExistsNode(dllite::RoleId p, bool inverse) const {
+    return nc_ + 2 * p + (inverse ? 1 : 0);
+  }
+  uint32_t AttrDomNode(dllite::AttributeId u) const { return nc_ + 2 * nr_ + u; }
+  uint32_t RoleNode(dllite::RoleId p, bool inverse) const {
+    return nc_ + 2 * nr_ + na_ + 2 * p + (inverse ? 1 : 0);
+  }
+  uint32_t AttrNode(dllite::AttributeId u) const {
+    return nc_ + 4 * nr_ + na_ + u;
+  }
+  uint32_t NumNodes() const { return nc_ + 4 * nr_ + 2 * na_; }
+
+  uint32_t nc_ = 0, nr_ = 0, na_ = 0;
+  /// reach_[x][y] ⇔ T ⊨ x ⊑ y via positive inclusions alone (reflexive).
+  std::vector<std::vector<bool>> reach_;
+  std::vector<bool> unsat_;
+};
+
+}  // namespace olite::testkit
+
+#endif  // OLITE_TESTKIT_SUBSUMPTION_ORACLE_H_

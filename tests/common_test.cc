@@ -240,5 +240,34 @@ TEST(RngTest, SkewedPickInRange) {
   for (int i = 0; i < 500; ++i) EXPECT_LT(rng.SkewedPick(17), 17u);
 }
 
+// Regression for the modulo bias: with bound = 3 * 2^62 a plain
+// `Next() % bound` hits [0, 2^62) twice as often as [2^62, bound) —
+// P(v < 2^62) = 1/2 instead of the uniform 1/3. Rejection sampling must
+// bring it back to 1/3.
+TEST(RngTest, UniformIsUnbiasedAtExtremeBounds) {
+  constexpr uint64_t kBound = 3 * (1ULL << 62);
+  Rng rng(42);
+  int low = 0;
+  constexpr int kDraws = 3000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.Uniform(kBound);
+    EXPECT_LT(v, kBound);
+    if (v < (1ULL << 62)) ++low;
+  }
+  // ~Binomial(3000, 1/3), sigma ~ 26; +-6 sigma keeps flakes ~1e-9 while
+  // the biased implementation would land near 1500.
+  EXPECT_GT(low, kDraws / 3 - 155);
+  EXPECT_LT(low, kDraws / 3 + 155);
+}
+
+// The rejection loop must stay bit-exact deterministic for a fixed seed.
+TEST(RngTest, UniformDeterministicWithRejection) {
+  Rng a(77), b(77);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t bound = (1ULL << 62) + 12345 * static_cast<uint64_t>(i + 1);
+    EXPECT_EQ(a.Uniform(bound), b.Uniform(bound));
+  }
+}
+
 }  // namespace
 }  // namespace olite

@@ -1,0 +1,431 @@
+// The conformance harness end-to-end (src/testkit): a seeded differential
+// sweep (three classifiers refereed by the brute-force oracle; three
+// answer paths refereed by the chase oracle), metamorphic properties,
+// budget/fault monotonicity, delta-debugging shrinking of injected
+// discrepancies, and replay of the checked-in tests/corpus/ cases.
+//
+// Sweep size and seed window are overridable without a rebuild:
+//   OLITE_CONFORMANCE_SEEDS      number of seeds   (default 200)
+//   OLITE_CONFORMANCE_SEED_BASE  first seed        (default 0)
+// The nightly CI job uses these to sweep fresh seeds every run.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/workload.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "obda/system.h"
+#include "query/abox_eval.h"
+#include "testkit/chase_oracle.h"
+#include "testkit/corpus.h"
+#include "testkit/differential.h"
+#include "testkit/shrinker.h"
+#include "testkit/subsumption_oracle.h"
+
+#ifndef OLITE_CORPUS_DIR
+#define OLITE_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace olite {
+namespace {
+
+using benchgen::Workload;
+using benchgen::WorkloadConfig;
+using testkit::ConformanceCase;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// Seed-varied small workloads: big enough to exercise joins, shared
+/// tables, unmapped predicates and existential axioms; small enough that
+/// 200 of them (plus a tableau run every 8th) stay well inside tier-1.
+WorkloadConfig SweepConfig(uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.ontology.name = "conformance";
+  cfg.ontology.seed = 2 * seed + 1;
+  cfg.ontology.num_concepts = 12 + static_cast<uint32_t>(seed % 14);
+  cfg.ontology.num_roles = 3 + static_cast<uint32_t>(seed % 3);
+  cfg.ontology.num_attributes = static_cast<uint32_t>(seed % 2);
+  cfg.ontology.num_roots = 2;
+  cfg.ontology.avg_branching = 2.0 + static_cast<double>(seed % 3);
+  cfg.ontology.multi_parent_prob = 0.2;
+  cfg.ontology.role_hierarchy_fraction = 0.5;
+  cfg.ontology.domain_range_fraction = 0.3;
+  cfg.ontology.qualified_exists_per_concept = 0.2;
+  cfg.ontology.unqualified_exists_per_concept = 0.2;
+  cfg.ontology.disjointness_fraction = 0.2;
+  cfg.ontology.role_disjointness_fraction = 0.1;
+  cfg.seed = seed + 1000;
+  cfg.num_individuals = 16;
+  cfg.num_concept_assertions = 24;
+  cfg.num_role_assertions = 24;
+  cfg.num_attribute_assertions = (seed % 2 == 1) ? 6 : 0;
+  cfg.num_queries = 3;
+  cfg.max_atoms_per_query = 3;
+  return cfg;
+}
+
+std::string JoinDiffs(const std::vector<std::string>& diffs) {
+  std::ostringstream os;
+  for (const auto& d : diffs) os << "\n  " << d;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Workload generator invariants (tentpole prerequisite: the differential
+// drivers rely on these).
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadGenerator, IsDeterministic) {
+  WorkloadConfig cfg = SweepConfig(7);
+  Workload a = benchgen::GenerateWorkload(cfg);
+  Workload b = benchgen::GenerateWorkload(cfg);
+  EXPECT_EQ(testkit::SerializeCase(testkit::CaseFromWorkload(a)),
+            testkit::SerializeCase(testkit::CaseFromWorkload(b)));
+  EXPECT_EQ(a.abox.NumAssertions(), b.abox.NumAssertions());
+}
+
+TEST(WorkloadGenerator, QueriesAreAnchoredAndWellFormed) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Workload w = benchgen::GenerateWorkload(SweepConfig(seed));
+    for (const auto& cq : w.queries) {
+      ASSERT_FALSE(cq.head_vars.empty());
+      ASSERT_FALSE(cq.atoms.empty());
+      // Every head variable occurs in the body.
+      for (const auto& h : cq.head_vars) {
+        EXPECT_GT(cq.CountOccurrences(h), 0u)
+            << cq.ToString(w.ontology.vocab()) << " seed " << seed;
+      }
+      // Every atom reaches a head variable or a constant through shared
+      // variables (the anchoring invariant the chase oracle needs).
+      auto anchored_atom = [&](const query::Atom& atom) {
+        for (const auto& t : atom.args) {
+          if (!t.IsVar()) return true;
+          for (const auto& h : cq.head_vars) {
+            if (h == t.name) return true;
+          }
+        }
+        return false;
+      };
+      std::vector<bool> anchored(cq.atoms.size(), false);
+      for (size_t i = 0; i < cq.atoms.size(); ++i) {
+        anchored[i] = anchored_atom(cq.atoms[i]);
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t i = 0; i < cq.atoms.size(); ++i) {
+          if (anchored[i]) continue;
+          for (size_t j = 0; j < cq.atoms.size(); ++j) {
+            if (!anchored[j]) continue;
+            for (const auto& a : cq.atoms[i].args) {
+              for (const auto& b : cq.atoms[j].args) {
+                if (a.IsVar() && b.IsVar() && a.name == b.name) {
+                  anchored[i] = changed = true;
+                }
+              }
+            }
+          }
+        }
+      }
+      for (size_t i = 0; i < cq.atoms.size(); ++i) {
+        EXPECT_TRUE(anchored[i])
+            << cq.ToString(w.ontology.vocab()) << " atom " << i << " seed "
+            << seed;
+      }
+    }
+  }
+}
+
+TEST(WorkloadGenerator, MaterialisedABoxMatchesMappings) {
+  Workload w = benchgen::GenerateWorkload(SweepConfig(3));
+  EXPECT_GT(w.abox.NumAssertions(), 0u);
+  EXPECT_GT(w.queries.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chase oracle semantics on a hand-built ontology.
+// ---------------------------------------------------------------------------
+
+TEST(ChaseOracle, ExistentialSuccessorsAnswerExistentialQueries) {
+  dllite::Ontology onto;
+  onto.DeclareConcept("County");
+  onto.DeclareConcept("State");
+  onto.DeclareRole("isPartOf");
+  ASSERT_TRUE(onto.AddAxiom("County <= exists isPartOf . State").ok());
+  ASSERT_TRUE(onto.AddAxiom("exists isPartOf- <= State").ok());
+  dllite::ABox abox;
+  abox.AddConceptAssertion({0, onto.vocab().InternIndividual("viterbo")});
+
+  testkit::ChaseOracle chase(onto.tbox(), onto.vocab(), abox, 4);
+  // q(x) :- isPartOf(x, y): y is satisfied by the labelled null.
+  auto q1 = query::ParseQuery("q(x) :- isPartOf(x, y)", onto.vocab());
+  ASSERT_TRUE(q1.ok());
+  auto rows = chase.CertainAnswers(*q1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "viterbo");
+  // q(x, y) :- isPartOf(x, y): the null may not appear in an answer.
+  auto q2 = query::ParseQuery("q(x, y) :- isPartOf(x, y)", onto.vocab());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(chase.CertainAnswers(*q2).empty());
+  // q(x) :- State(x): the *null* is a State, but it is not named; no
+  // named individual is entailed to be a State.
+  auto q3 = query::ParseQuery("q(x) :- State(x)", onto.vocab());
+  ASSERT_TRUE(q3.ok());
+  EXPECT_TRUE(chase.CertainAnswers(*q3).empty());
+}
+
+TEST(ChaseOracle, AgreesWithRewritingOnHandExample) {
+  dllite::Ontology onto;
+  onto.DeclareConcept("Professor");
+  onto.DeclareConcept("Person");
+  onto.DeclareRole("teaches");
+  ASSERT_TRUE(onto.AddAxiom("Professor <= Person").ok());
+  ASSERT_TRUE(onto.AddAxiom("Professor <= exists teaches").ok());
+  dllite::ABox abox;
+  abox.AddConceptAssertion({0, onto.vocab().InternIndividual("ada")});
+  testkit::ChaseOracle chase(onto.tbox(), onto.vocab(), abox, 4);
+  for (const char* text :
+       {"q(x) :- Person(x)", "q(x) :- teaches(x, y)", "q(x) :- Professor(x)"}) {
+    auto cq = query::ParseQuery(text, onto.vocab());
+    ASSERT_TRUE(cq.ok());
+    auto via_rewrite = query::AnswerOverABox(*cq, onto.tbox(), abox,
+                                             onto.vocab());
+    ASSERT_TRUE(via_rewrite.ok());
+    auto via_chase = chase.CertainAnswers(*cq);
+    EXPECT_EQ(*via_rewrite, via_chase) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The tier-1 differential sweep: >= 200 seeded workloads, all classifier
+// pairs and both answer-path comparisons, plus metamorphic properties.
+// ---------------------------------------------------------------------------
+
+TEST(ConformanceSweep, DifferentialAndMetamorphicAgreement) {
+  const uint64_t num_seeds = EnvOr("OLITE_CONFORMANCE_SEEDS", 200);
+  const uint64_t base = EnvOr("OLITE_CONFORMANCE_SEED_BASE", 0);
+  for (uint64_t seed = base; seed < base + num_seeds; ++seed) {
+    Workload w = benchgen::GenerateWorkload(SweepConfig(seed));
+
+    testkit::ClassifierDiffOptions copts;
+    copts.run_tableau = (seed % 8 == 0);  // tableau pairs, every 8th seed
+    auto diffs = testkit::CompareClassifiers(w.ontology, copts);
+    ASSERT_TRUE(diffs.empty())
+        << "classifier discrepancies at seed " << seed << JoinDiffs(diffs);
+
+    testkit::AnswerDiffOptions aopts;
+    aopts.chase_depth = SweepConfig(seed).max_atoms_per_query + 1;
+    diffs = testkit::CompareAnswerPaths(w, aopts);
+    ASSERT_TRUE(diffs.empty())
+        << "answer discrepancies at seed " << seed << JoinDiffs(diffs);
+
+    diffs = testkit::CheckPiMonotonicity(w.ontology, seed);
+    ASSERT_TRUE(diffs.empty())
+        << "PI monotonicity violated at seed " << seed << JoinDiffs(diffs);
+
+    diffs = testkit::CheckRenamingInvariance(w.ontology, seed);
+    ASSERT_TRUE(diffs.empty())
+        << "renaming invariance violated at seed " << seed
+        << JoinDiffs(diffs);
+
+    if (seed % 16 == 0) {
+      diffs = testkit::CheckApproxSoundness(w);
+      ASSERT_TRUE(diffs.empty())
+          << "approximation soundness violated at seed " << seed
+          << JoinDiffs(diffs);
+    }
+  }
+}
+
+// Satellite: cross-engine agreement on deliberately unsatisfiable
+// ontologies — computeUnsat (graph) vs tableau vs completion vs oracle.
+TEST(ConformanceSweep, UnsatisfiableOntologyAgreement) {
+  size_t total_unsat = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    WorkloadConfig cfg = SweepConfig(seed);
+    cfg.ontology.disjointness_fraction = 0.4;
+    cfg.ontology.unsatisfiable_fraction = 0.25;
+    dllite::Ontology onto = benchgen::Generate(cfg.ontology);
+
+    testkit::ClassifierDiffOptions copts;
+    copts.run_tableau = (seed % 4 == 0);
+    auto diffs = testkit::CompareClassifiers(onto, copts);
+    ASSERT_TRUE(diffs.empty())
+        << "unsat disagreement at seed " << seed << JoinDiffs(diffs);
+    total_unsat +=
+        core::Classify(onto.tbox(), onto.vocab()).UnsatisfiableConcepts()
+            .size();
+  }
+  // The sweep must actually exercise the Ω_T path.
+  EXPECT_GT(total_unsat, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Budget monotonicity: degraded answers are row-by-row subsets.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetMonotonicity, DegradedAnswersAreSubsetsAcrossBudgets) {
+  Workload w = benchgen::GenerateWorkload(SweepConfig(11));
+  for (uint64_t rows : {1u, 2u, 8u}) {
+    for (uint64_t iters : {1u, 2u, 16u}) {
+      obda::AnswerOptions options;
+      options.allow_degraded = true;
+      options.max_rows = rows;
+      options.max_rewrite_iterations = iters;
+      options.max_sql_blocks = 3;
+      auto diffs = testkit::CheckBudgetMonotonicity(w, options);
+      ASSERT_TRUE(diffs.empty())
+          << "rows=" << rows << " iters=" << iters << JoinDiffs(diffs);
+    }
+  }
+}
+
+TEST(BudgetMonotonicity, HoldsUnderRdbFaultInjection) {
+  Workload w = benchgen::GenerateWorkload(SweepConfig(12));
+  obda::AnswerOptions options;
+  options.allow_degraded = true;
+  options.max_rows = 4;
+  auto diffs = testkit::CheckBudgetMonotonicity(w, options, [] {
+    fault::Injector::Global().Arm(fault::Site::kRdbExecute,
+                                  {.fail_every = 2});
+  });
+  uint64_t hits = fault::Injector::Global().hits(fault::Site::kRdbExecute);
+  fault::Injector::Global().DisarmAll();
+  EXPECT_GT(hits, 0u) << "fault site never reached";
+  ASSERT_TRUE(diffs.empty()) << JoinDiffs(diffs);
+}
+
+TEST(BudgetMonotonicity, HoldsUnderUnfoldFaultInjection) {
+  Workload w = benchgen::GenerateWorkload(SweepConfig(13));
+  obda::AnswerOptions options;
+  options.allow_degraded = true;
+  options.max_rewrite_iterations = 8;
+  auto diffs = testkit::CheckBudgetMonotonicity(w, options, [] {
+    fault::Injector::Global().Arm(fault::Site::kUnfold, {.fail_every = 3});
+  });
+  uint64_t hits = fault::Injector::Global().hits(fault::Site::kUnfold);
+  fault::Injector::Global().DisarmAll();
+  EXPECT_GT(hits, 0u) << "fault site never reached";
+  ASSERT_TRUE(diffs.empty()) << JoinDiffs(diffs);
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker: an injected discrepancy in a 1000-concept ontology minimises
+// to a handful of axioms.
+// ---------------------------------------------------------------------------
+
+TEST(Shrinker, ReducesInjectedDiscrepancyToFewAxioms) {
+  benchgen::GeneratorConfig big;
+  big.name = "shrink";
+  big.seed = 17;
+  big.num_concepts = 1000;
+  big.num_roles = 10;
+  big.num_roots = 5;
+  big.avg_branching = 8.0;
+  ConformanceCase c;
+  c.ontology = benchgen::Generate(big);
+  ASSERT_EQ(c.ontology.vocab().NumConcepts(), 1000u);
+
+  // Victim: any concept with a genuinely non-empty subsumer set; the
+  // mutation hook drops the graph engine's report for it.
+  core::Classification cls =
+      core::Classify(c.ontology.tbox(), c.ontology.vocab());
+  std::string victim;
+  for (uint32_t a = 0; a < c.ontology.vocab().NumConcepts(); ++a) {
+    if (!cls.SuperConcepts(a).empty()) {
+      victim = c.ontology.vocab().ConceptName(a);
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  c.mutation.drop_concept_supers_of = victim;
+  c.expect_discrepancy = true;
+
+  const std::string marker = "SuperConcepts(" + victim + ")";
+  auto fails = [&](const ConformanceCase& candidate) {
+    testkit::ClassifierDiffOptions o;
+    o.run_tableau = false;
+    o.mutation = candidate.mutation;
+    for (const auto& d :
+         testkit::CompareClassifiers(candidate.ontology, o)) {
+      if (d.find(marker) != std::string::npos &&
+          d.find("graph") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(c));
+
+  testkit::ShrinkStats stats;
+  ConformanceCase shrunk = testkit::Shrink(c, fails, {}, &stats);
+  EXPECT_GT(stats.initial_axioms, 900u);
+  EXPECT_LE(stats.final_axioms, 10u) << "shrinker left too many axioms";
+  EXPECT_GT(stats.initial_predicates, 1000u);
+  EXPECT_LE(stats.final_predicates, 20u)
+      << "dead vocabulary survived shrinking";
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_LT(stats.iterations, 20000u);
+
+  // The shrunk repro survives a corpus round trip and still fails.
+  auto reparsed = testkit::ParseCase(testkit::SerializeCase(shrunk));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(fails(*reparsed));
+}
+
+// ---------------------------------------------------------------------------
+// Corpus round trip + replay of the checked-in cases.
+// ---------------------------------------------------------------------------
+
+TEST(Corpus, SerialisationRoundTripsExactly) {
+  Workload w = benchgen::GenerateWorkload(SweepConfig(5));
+  ConformanceCase c = testkit::CaseFromWorkload(w);
+  std::string text = testkit::SerializeCase(c);
+  auto parsed = testkit::ParseCase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(testkit::SerializeCase(*parsed), text);
+  // The reparsed case drives the differential harness identically.
+  EXPECT_EQ(testkit::RunCase(*parsed, /*run_tableau=*/false),
+            testkit::RunCase(c, /*run_tableau=*/false));
+}
+
+TEST(Corpus, ReplaysAllCheckedInCases) {
+  namespace fs = std::filesystem;
+  std::set<fs::path> files;
+  ASSERT_TRUE(fs::exists(OLITE_CORPUS_DIR))
+      << "corpus directory missing: " << OLITE_CORPUS_DIR;
+  for (const auto& entry : fs::directory_iterator(OLITE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".case") files.insert(entry.path());
+  }
+  ASSERT_FALSE(files.empty()) << "no .case files in " << OLITE_CORPUS_DIR;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto c = testkit::ParseCase(buffer.str());
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    auto diffs = testkit::RunCase(*c, /*run_tableau=*/true);
+    if (c->expect_discrepancy) {
+      EXPECT_FALSE(diffs.empty())
+          << path << ": recorded discrepancy no longer reproduces";
+    } else {
+      EXPECT_TRUE(diffs.empty()) << path << JoinDiffs(diffs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olite
