@@ -1,0 +1,229 @@
+// Serving-path throughput: the compile-once/serve-many split under a
+// repeated-query workload (the regime the plan cache targets — a fixed
+// application asking the same parametric questions over and over).
+//
+// One synthetic OBDA workload (benchgen) supplies a pool of distinct
+// queries; the request stream picks from the pool with a Zipf-ish skew so
+// a few queries dominate, as in real serving. For every rewriting mode ×
+// thread count × cache on/off the harness answers `--requests` requests
+// against ONE shared QueryEngine and records throughput, the plan-cache
+// hit rate, and the p50/p99 per-request latency.
+//
+// Flags: --requests=<n>     requests per cell            (default 2000)
+//        --threads=<list>   thread counts to sweep       (default 1,4,8)
+//        --queries=<n>      distinct queries in the pool (default 16)
+//        --skew=<z>         Zipf skew of the stream      (default 1.5)
+//        --seed=<n>         workload + stream seed       (default 1)
+//        --out=<path>       machine-readable results
+//                           (default BENCH_serving.json)
+//
+// The JSON output is a flat array of rows
+//   {"mode", "threads", "cache", "requests", "qps", "hit_rate",
+//    "p50_ms", "p99_ms", "total_ms"}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/workload.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "obda/compiled_ontology.h"
+#include "obda/query_engine.h"
+#include "query/rewriter.h"
+
+namespace {
+
+using olite::Rng;
+using olite::Stopwatch;
+using olite::obda::CompiledOntology;
+using olite::obda::QueryEngine;
+using olite::obda::QueryEngineOptions;
+using olite::query::RewriteMode;
+
+struct JsonRow {
+  std::string mode;
+  int threads = 1;
+  bool cache = true;
+  uint64_t requests = 0;
+  double qps = 0;
+  double hit_rate = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double total_ms = 0;
+};
+
+void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"mode\": \"%s\", \"threads\": %d, \"cache\": %s, "
+                 "\"requests\": %llu, \"qps\": %.1f, \"hit_rate\": %.4f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"total_ms\": %.2f}%s\n",
+                 r.mode.c_str(), r.threads, r.cache ? "true" : "false",
+                 static_cast<unsigned long long>(r.requests), r.qps,
+                 r.hit_rate, r.p50_ms, r.p99_ms, r.total_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+std::vector<int> ParseIntList(const char* text) {
+  std::vector<int> out;
+  std::string current;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) out.push_back(std::atoi(current.c_str()));
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current += *p;
+    }
+  }
+  return out;
+}
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted_ms->size() - 1));
+  return (*sorted_ms)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t requests = 2000;
+  std::vector<int> thread_counts = {1, 4, 8};
+  uint32_t num_queries = 16;
+  double skew = 1.5;
+  uint64_t seed = 1;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts = ParseIntList(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      skew = std::atof(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  olite::benchgen::WorkloadConfig config;
+  config.ontology.name = "serving";
+  config.ontology.seed = seed;
+  config.ontology.num_concepts = 60;
+  config.ontology.num_roles = 6;
+  config.ontology.num_attributes = 2;
+  config.ontology.num_roots = 4;
+  config.ontology.avg_branching = 3.0;
+  config.ontology.domain_range_fraction = 0.3;
+  config.ontology.unqualified_exists_per_concept = 0.2;
+  config.seed = seed;
+  config.num_individuals = 120;
+  config.num_concept_assertions = 240;
+  config.num_role_assertions = 240;
+  config.num_attribute_assertions = 60;
+  config.num_queries = num_queries;
+  config.max_atoms_per_query = 3;
+  olite::benchgen::Workload workload =
+      olite::benchgen::GenerateWorkload(config);
+
+  std::vector<JsonRow> rows;
+  std::printf("%-12s %8s %6s %12s %10s %10s %10s\n", "mode", "threads",
+              "cache", "qps", "hit_rate", "p50_ms", "p99_ms");
+  for (RewriteMode mode : {RewriteMode::kPerfectRef, RewriteMode::kClassified}) {
+    auto compiled = CompiledOntology::Compile(workload.ontology,
+                                              workload.mappings,
+                                              workload.database, mode);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    for (int threads : thread_counts) {
+      for (bool cache_on : {false, true}) {
+        QueryEngineOptions eopts;
+        if (!cache_on) eopts.plan_cache_capacity = 0;
+        QueryEngine engine(*compiled, eopts);
+
+        std::vector<std::vector<double>> latencies(threads);
+        uint64_t per_thread = requests / threads;
+        Stopwatch wall;
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+          pool.emplace_back([&, t] {
+            // Zipf-ish stream: rank 0 dominates, long tail follows.
+            Rng rng(seed * 7919 + static_cast<uint64_t>(t));
+            latencies[t].reserve(per_thread);
+            for (uint64_t i = 0; i < per_thread; ++i) {
+              size_t pick = static_cast<size_t>(
+                  rng.SkewedPick(workload.queries.size(), skew));
+              Stopwatch sw;
+              auto r = engine.Answer(workload.queries[pick]);
+              latencies[t].push_back(sw.ElapsedMillis());
+              if (!r.ok()) {
+                std::fprintf(stderr, "answer failed: %s\n",
+                             r.status().ToString().c_str());
+                std::exit(1);
+              }
+            }
+          });
+        }
+        for (auto& th : pool) th.join();
+        double total_ms = wall.ElapsedMillis();
+
+        std::vector<double> all;
+        for (auto& v : latencies) {
+          all.insert(all.end(), v.begin(), v.end());
+        }
+        std::sort(all.begin(), all.end());
+        auto metrics = engine.cache_metrics();
+        uint64_t lookups = metrics.hits + metrics.misses;
+
+        JsonRow row;
+        row.mode = RewriteModeName(mode);
+        row.threads = threads;
+        row.cache = cache_on;
+        row.requests = static_cast<uint64_t>(all.size());
+        row.qps = total_ms > 0 ? 1000.0 * static_cast<double>(all.size()) /
+                                     total_ms
+                               : 0;
+        row.hit_rate =
+            lookups > 0
+                ? static_cast<double>(metrics.hits) /
+                      static_cast<double>(lookups)
+                : 0;
+        row.p50_ms = Percentile(&all, 0.50);
+        row.p99_ms = Percentile(&all, 0.99);
+        row.total_ms = total_ms;
+        rows.push_back(row);
+        std::printf("%-12s %8d %6s %12.1f %10.4f %10.4f %10.4f\n",
+                    row.mode.c_str(), row.threads, row.cache ? "on" : "off",
+                    row.qps, row.hit_rate, row.p50_ms, row.p99_ms);
+      }
+    }
+  }
+  WriteJson(out_path, rows);
+  return 0;
+}

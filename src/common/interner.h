@@ -10,16 +10,33 @@
 
 namespace olite {
 
+/// Transparent (heterogeneous) string hasher: lets `std::string`-keyed
+/// containers look keys up by `std::string_view` or `const char*` without
+/// materialising a temporary `std::string`.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Dense string→id interning table.
 ///
 /// Ontology terms are referenced by dense `uint32_t` ids throughout the
 /// library so that graph nodes, bitsets and closure tables stay cache
-/// friendly; this table owns the name↔id bijection.
+/// friendly; this table owns the name↔id bijection. Lookups are
+/// heterogeneous: a `string_view` probe allocates nothing.
 class Interner {
  public:
   /// Returns the id of `name`, interning it if new. Ids are dense from 0.
   uint32_t Intern(std::string_view name) {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);
     if (it != index_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(names_.size());
     names_.emplace_back(name);
@@ -29,7 +46,7 @@ class Interner {
 
   /// Returns the id of `name` if already interned.
   std::optional<uint32_t> Find(std::string_view name) const {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);
     if (it == index_.end()) return std::nullopt;
     return it->second;
   }
@@ -41,7 +58,9 @@ class Interner {
 
  private:
   std::vector<std::string> names_;
-  std::unordered_map<std::string, uint32_t> index_;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
 };
 
 }  // namespace olite

@@ -4,19 +4,11 @@ namespace olite::mapping {
 
 namespace {
 
-// Renders a value as an individual/value name: strings verbatim, numbers
-// via their decimal rendering.
-std::string ValueToName(const rdb::Value& v) {
-  switch (v.type()) {
-    case rdb::ValueType::kString:
-      return v.AsString();
-    case rdb::ValueType::kInt:
-      return std::to_string(v.AsInt());
-    case rdb::ValueType::kDouble:
-      return std::to_string(v.AsDouble());
-  }
-  return "?";
-}
+// Renders a value as an individual/value name. Must agree with the name
+// rendering of the unfolding path (obda::QueryEngine) — both delegate to
+// rdb::Value::ToName so the materialised ABox and the SQL answers name
+// the same individuals identically.
+std::string ValueToName(const rdb::Value& v) { return v.ToName(); }
 
 }  // namespace
 

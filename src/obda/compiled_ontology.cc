@@ -1,0 +1,46 @@
+#include "obda/compiled_ontology.h"
+
+#include <utility>
+
+namespace olite::obda {
+
+namespace {
+
+query::RewriterOptions OptionsFor(query::RewriteMode mode) {
+  query::RewriterOptions options;
+  options.mode = mode;
+  return options;
+}
+
+}  // namespace
+
+CompiledOntology::CompiledOntology(dllite::Ontology ontology,
+                                   mapping::MappingSet mappings,
+                                   rdb::Database database,
+                                   query::RewriteMode mode)
+    : ontology_(std::move(ontology)),
+      mappings_(std::move(mappings)),
+      database_(std::move(database)),
+      mode_(mode),
+      rewriter_(ontology_.tbox(), ontology_.vocab(), OptionsFor(mode)) {
+  if (mode == query::RewriteMode::kClassified) {
+    // Pre-built fallback for the budget-exhaustion ladder: classified
+    // rewriting that runs out of budget is retried as plain PerfectRef.
+    fallback_rewriter_ = std::make_unique<const query::Rewriter>(
+        ontology_.tbox(), ontology_.vocab(),
+        OptionsFor(query::RewriteMode::kPerfectRef));
+  }
+}
+
+Result<std::shared_ptr<const CompiledOntology>> CompiledOntology::Compile(
+    dllite::Ontology ontology, mapping::MappingSet mappings,
+    rdb::Database database, query::RewriteMode mode) {
+  OLITE_RETURN_IF_ERROR(mappings.Validate(database));
+  OLITE_RETURN_IF_ERROR(
+      CheckFunctionalityRestriction(ontology.tbox(), ontology.vocab()));
+  return std::shared_ptr<const CompiledOntology>(
+      new CompiledOntology(std::move(ontology), std::move(mappings),
+                           std::move(database), mode));
+}
+
+}  // namespace olite::obda

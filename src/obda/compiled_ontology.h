@@ -1,0 +1,63 @@
+#ifndef OLITE_OBDA_COMPILED_ONTOLOGY_H_
+#define OLITE_OBDA_COMPILED_ONTOLOGY_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "dllite/ontology.h"
+#include "mapping/mapping.h"
+#include "query/rewriter.h"
+#include "rdb/table.h"
+
+namespace olite::obda {
+
+/// The offline phase of the serving stack (the Mastro architecture's
+/// compile-once artifact): everything `Answer` needs that depends only on
+/// the OBDA specification — the TBox with its classified closure and
+/// applicable-axiom index (inside the rewriters), the mapping→predicate
+/// view index, and the schema-validated database — built once and frozen.
+///
+/// Immutable after `Compile` and therefore freely shareable: any number of
+/// `QueryEngine`s (and threads inside each) may answer against one
+/// snapshot concurrently. Held by `shared_ptr<const CompiledOntology>` so
+/// a snapshot outlives every engine still serving from it.
+class CompiledOntology {
+ public:
+  /// Validates the mappings against the database schema, checks the
+  /// DL-Lite_A functionality restriction, and builds the rewriter(s) —
+  /// including the TBox classification closure when `mode` is
+  /// kClassified.
+  static Result<std::shared_ptr<const CompiledOntology>> Compile(
+      dllite::Ontology ontology, mapping::MappingSet mappings,
+      rdb::Database database,
+      query::RewriteMode mode = query::RewriteMode::kPerfectRef);
+
+  const dllite::Ontology& ontology() const { return ontology_; }
+  const mapping::MappingSet& mappings() const { return mappings_; }
+  const rdb::Database& database() const { return database_; }
+  query::RewriteMode mode() const { return mode_; }
+
+  /// The rewriter for the configured mode.
+  const query::Rewriter& rewriter() const { return rewriter_; }
+
+  /// PerfectRef rewriter used as the budget-exhaustion fallback when the
+  /// primary mode is kClassified; null otherwise.
+  const query::Rewriter* fallback_rewriter() const {
+    return fallback_rewriter_.get();
+  }
+
+ private:
+  CompiledOntology(dllite::Ontology ontology, mapping::MappingSet mappings,
+                   rdb::Database database, query::RewriteMode mode);
+
+  dllite::Ontology ontology_;
+  mapping::MappingSet mappings_;
+  rdb::Database database_;
+  query::RewriteMode mode_;
+  query::Rewriter rewriter_;
+  std::unique_ptr<const query::Rewriter> fallback_rewriter_;
+};
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_COMPILED_ONTOLOGY_H_

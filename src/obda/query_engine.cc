@@ -1,0 +1,330 @@
+#include "obda/query_engine.h"
+
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obda/unfolder.h"
+#include "query/fingerprint.h"
+
+namespace olite::obda {
+
+namespace {
+
+using dllite::BasicConcept;
+using dllite::BasicConceptKind;
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::Term;
+
+// gr(B, x) as a query atom, for the consistency-check queries.
+Atom MembershipAtom(const BasicConcept& b, const Term& x, size_t* fresh) {
+  switch (b.kind) {
+    case BasicConceptKind::kAtomic:
+      return Atom::Concept(b.concept_id, x);
+    case BasicConceptKind::kExists: {
+      Term y = Term::Var("_c" + std::to_string((*fresh)++));
+      if (b.role.inverse) return Atom::Role(b.role.role, y, x);
+      return Atom::Role(b.role.role, x, y);
+    }
+    case BasicConceptKind::kAttrDomain: {
+      Term y = Term::Var("_c" + std::to_string((*fresh)++));
+      return Atom::Attribute(b.attribute, x, y);
+    }
+  }
+  return Atom::Concept(0, x);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
+                         QueryEngineOptions options)
+    : compiled_(std::move(compiled)),
+      plan_cache_(options.plan_cache_capacity, options.plan_cache_shards) {}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Answer(
+    std::string_view query_text, AnswerStats* stats) const {
+  return Answer(query_text, AnswerOptions{}, stats);
+}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Answer(
+    const query::ConjunctiveQuery& cq, AnswerStats* stats) const {
+  return Execute(cq, AnswerOptions{}, stats);
+}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Answer(
+    std::string_view query_text, const AnswerOptions& options,
+    AnswerStats* stats) const {
+  OLITE_ASSIGN_OR_RETURN(
+      ConjunctiveQuery cq,
+      query::ParseQuery(query_text, compiled_->ontology().vocab()));
+  return Execute(cq, options, stats);
+}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Answer(
+    const query::ConjunctiveQuery& cq, const AnswerOptions& options,
+    AnswerStats* stats) const {
+  return Execute(cq, options, stats);
+}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Evaluate(
+    const CachedPlan& plan, const rdb::EvalOptions& eopts,
+    AnswerStats* stats) const {
+  if (plan.plan == nullptr) {
+    // Empty unfolding: no mapped disjunct, the certain answers are empty.
+    if (stats != nullptr) {
+      stats->sql_blocks = 0;
+      stats->rows = 0;
+      stats->sql = "-- empty unfolding";
+    }
+    return std::vector<AnswerTuple>{};
+  }
+  OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
+                         rdb::Execute(*plan.plan, eopts));
+  std::vector<AnswerTuple> answers;
+  answers.reserve(rows.size());
+  for (const auto& row : rows) {
+    AnswerTuple tuple;
+    tuple.reserve(row.size());
+    for (const auto& v : row) tuple.push_back(v.ToName());
+    answers.push_back(std::move(tuple));
+  }
+  if (stats != nullptr) {
+    stats->sql_blocks = plan.plan->num_blocks();
+    stats->rows = answers.size();
+    stats->sql = plan.plan->sql_text();
+  }
+  return answers;
+}
+
+Result<std::vector<AnswerTuple>> QueryEngine::Execute(
+    const ConjunctiveQuery& cq, const AnswerOptions& opts,
+    AnswerStats* stats) const {
+  Stopwatch sw;
+  std::optional<ExecBudget> owned;        // built from opts' caps
+  std::optional<ExecBudget> retry_owned;  // fresh quotas for the ladder retry
+  const ExecBudget* budget = opts.budget;
+  if (budget == nullptr) {
+    BudgetCaps caps;
+    caps.deadline_ms = opts.deadline_ms;
+    caps.max_rewrite_iterations = opts.max_rewrite_iterations;
+    caps.max_containment_checks = opts.max_containment_checks;
+    caps.max_sql_blocks = opts.max_sql_blocks;
+    caps.max_rows = opts.max_rows;
+    if (caps.deadline_ms > 0 || caps.max_rewrite_iterations > 0 ||
+        caps.max_containment_checks > 0 || caps.max_sql_blocks > 0 ||
+        caps.max_rows > 0) {
+      owned.emplace(caps);
+      budget = &*owned;
+    }
+  }
+
+  Degradation degradation;
+  auto finish = [&](auto result) {
+    if (stats != nullptr) {
+      stats->degradation = std::move(degradation);
+      stats->elapsed_ms = sw.ElapsedMillis();
+    }
+    return result;
+  };
+
+  const bool use_cache = plan_cache_.enabled() && !opts.bypass_cache;
+  query::QueryFingerprint fp;
+  size_t shard = 0;
+  if (use_cache) {
+    fp = query::CanonicalFingerprint(cq);
+    shard = plan_cache_.ShardOf(fp.hash);
+    if (stats != nullptr) stats->cache.shard = shard;
+    if (auto cached = plan_cache_.Get(fp.key, fp.hash)) {
+      // Hot path: the plan is already compiled — nothing to rewrite or
+      // unfold. Only evaluation runs, and the per-call budget still
+      // governs it (row quota, deadline, cancellation, fault injection).
+      if (stats != nullptr) {
+        stats->cache.hit = true;
+        stats->cache.evictions = plan_cache_.ShardEvictions(shard);
+        stats->rewrite = query::RewriteStats{};
+        stats->rewrite.final_disjuncts = (*cached)->rewrite.final_disjuncts;
+      }
+      rdb::EvalOptions eopts;
+      eopts.budget = budget;
+      eopts.allow_partial = opts.allow_degraded;
+      eopts.degradation = &degradation;
+      return finish(Evaluate(**cached, eopts, stats));
+    }
+  }
+
+  query::RewriteRequest req;
+  req.budget = budget;
+  req.allow_partial = opts.allow_degraded;
+  req.degradation = &degradation;
+
+  const query::Rewriter* fallback = compiled_->fallback_rewriter();
+  query::RewriteStats rstats;
+  Result<query::UnionQuery> rewritten =
+      compiled_->rewriter().Rewrite(cq, req, &rstats);
+  if (!rewritten.ok() &&
+      rewritten.status().code() == StatusCode::kResourceExhausted &&
+      fallback != nullptr && budget != nullptr && !budget->Exhausted()) {
+    // Fallback ladder, rung 1: the classified strategy blew a quota but
+    // wall-clock remains — retry as plain PerfectRef. When we own the
+    // budget, the retry gets fresh quota counters under the *remaining*
+    // deadline; an external budget is the caller's to manage, so the
+    // retry draws from whatever it has left.
+    degradation.Add("rewrite",
+                    "classified rewriting exhausted its budget; retried as "
+                    "perfectref");
+    if (owned.has_value()) {
+      BudgetCaps caps = owned->caps();
+      if (owned->has_deadline()) caps.deadline_ms = owned->RemainingMillis();
+      retry_owned.emplace(caps);
+      budget = &*retry_owned;
+      req.budget = budget;
+    }
+    rstats = query::RewriteStats{};
+    rewritten = fallback->Rewrite(cq, req, &rstats);
+  }
+  if (!rewritten.ok()) return finish(rewritten.status());
+
+  if (stats != nullptr) stats->rewrite = rstats;
+
+  CachedPlan compiled_plan;
+  compiled_plan.rewrite = rstats;
+  compiled_plan.ucq = std::make_shared<const query::UnionQuery>(
+      std::move(rewritten).value());
+
+  UnfoldOptions uopts;
+  uopts.budget = budget;
+  uopts.allow_partial = opts.allow_degraded;
+  uopts.degradation = &degradation;
+  auto sql = Unfold(*compiled_plan.ucq, compiled_->mappings(),
+                    compiled_->database(), uopts);
+  if (sql.ok()) {
+    auto prepared = rdb::PreparedPlan::Prepare(compiled_->database(),
+                                               std::move(sql).value());
+    if (!prepared.ok()) return finish(prepared.status());
+    compiled_plan.plan = std::make_shared<const rdb::PreparedPlan>(
+        std::move(prepared).value());
+  } else if (sql.status().code() != StatusCode::kNotFound) {
+    return finish(sql.status());
+  }
+  // kNotFound leaves compiled_plan.plan null: the empty-unfolding plan.
+
+  rdb::EvalOptions eopts;
+  eopts.budget = budget;
+  eopts.allow_partial = opts.allow_degraded;
+  eopts.degradation = &degradation;
+  Result<std::vector<AnswerTuple>> answers =
+      Evaluate(compiled_plan, eopts, stats);
+
+  // Only exact plans enter the cache: a degraded compilation (truncated
+  // expansion, skipped pruning, capped unfolding) must not be replayed as
+  // if it were the complete rewriting. Degradation during *evaluation*
+  // also vetoes the insert — conservative, but eval-stage degradation
+  // only occurs under a budget, where re-compiling is the safer default.
+  if (use_cache && answers.ok() && degradation.events.empty()) {
+    plan_cache_.Put(fp.key, fp.hash,
+                    std::make_shared<const CachedPlan>(compiled_plan));
+    if (stats != nullptr) {
+      stats->cache.stored = true;
+      stats->cache.evictions = plan_cache_.ShardEvictions(shard);
+    }
+  }
+  return finish(std::move(answers));
+}
+
+Result<ConsistencyReport> QueryEngine::CheckConsistency() const {
+  ConsistencyReport report;
+  const dllite::TBox& tbox = compiled_->ontology().tbox();
+  const dllite::Vocabulary& vocab = compiled_->ontology().vocab();
+  size_t fresh = 0;
+
+  // Consistency queries never touch the plan cache: they are internal
+  // boolean probes, not user workload, and must not evict served plans.
+  AnswerOptions probe;
+  probe.bypass_cache = true;
+
+  auto violated = [&](const ConjunctiveQuery& q) -> Result<bool> {
+    OLITE_ASSIGN_OR_RETURN(std::vector<AnswerTuple> rows,
+                           Execute(q, probe, nullptr));
+    return !rows.empty();
+  };
+
+  for (const auto& ax : tbox.concept_inclusions()) {
+    if (ax.rhs.kind != dllite::RhsConceptKind::kNegatedBasic) continue;
+    ConjunctiveQuery q;
+    Term x = Term::Var("x");
+    q.atoms.push_back(MembershipAtom(ax.lhs, x, &fresh));
+    q.atoms.push_back(MembershipAtom(ax.rhs.basic, x, &fresh));
+    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
+    if (bad) report.violations.push_back(ToString(ax, vocab));
+  }
+  for (const auto& ax : tbox.role_inclusions()) {
+    if (!ax.negated) continue;
+    ConjunctiveQuery q;
+    Term x = Term::Var("x");
+    Term y = Term::Var("y");
+    auto role_atom = [&](dllite::BasicRole r) {
+      if (r.inverse) return Atom::Role(r.role, y, x);
+      return Atom::Role(r.role, x, y);
+    };
+    q.atoms.push_back(role_atom(ax.lhs));
+    q.atoms.push_back(role_atom(ax.rhs));
+    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
+    if (bad) report.violations.push_back(ToString(ax, vocab));
+  }
+  for (const auto& ax : tbox.attribute_inclusions()) {
+    if (!ax.negated) continue;
+    ConjunctiveQuery q;
+    Term x = Term::Var("x");
+    Term v = Term::Var("v");
+    q.atoms.push_back(Atom::Attribute(ax.lhs, x, v));
+    q.atoms.push_back(Atom::Attribute(ax.rhs, x, v));
+    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
+    if (bad) report.violations.push_back(ToString(ax, vocab));
+  }
+
+  // Functionality: checked on the *asserted* extension retrieved through
+  // the mappings (anonymous successors from mandatory participation never
+  // violate functionality, and the DL-Lite_A restriction guarantees no
+  // sub-role can add tuples).
+  for (const auto& f : tbox.functionality()) {
+    ConjunctiveQuery q;
+    q.head_vars = {"x", "y"};
+    Term x = Term::Var("x");
+    Term y = Term::Var("y");
+    size_t key_position;
+    if (f.kind == dllite::FunctionalityAssertion::Kind::kRole) {
+      if (f.role.inverse) {
+        q.atoms.push_back(Atom::Role(f.role.role, y, x));
+      } else {
+        q.atoms.push_back(Atom::Role(f.role.role, x, y));
+      }
+      key_position = 0;
+    } else {
+      q.atoms.push_back(Atom::Attribute(f.attribute, x, y));
+      key_position = 0;
+    }
+    query::UnionQuery single;
+    single.disjuncts.push_back(q);
+    auto sql = Unfold(single, compiled_->mappings(), compiled_->database());
+    if (!sql.ok()) {
+      if (sql.status().code() == StatusCode::kNotFound) continue;  // unmapped
+      return sql.status();
+    }
+    OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
+                           rdb::Execute(compiled_->database(), *sql));
+    std::set<std::string> seen_keys;
+    for (const auto& row : rows) {
+      std::string key = row[key_position].ToName();
+      if (!seen_keys.insert(key).second) {
+        report.violations.push_back(ToString(f, vocab));
+        break;
+      }
+    }
+  }
+  report.consistent = report.violations.empty();
+  return report;
+}
+
+}  // namespace olite::obda

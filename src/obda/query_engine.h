@@ -1,0 +1,107 @@
+#ifndef OLITE_OBDA_QUERY_ENGINE_H_
+#define OLITE_OBDA_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/result.h"
+#include "obda/answer.h"
+#include "obda/compiled_ontology.h"
+#include "query/cq.h"
+#include "rdb/query.h"
+
+namespace olite::obda {
+
+/// Serving-side knobs, fixed at engine construction.
+struct QueryEngineOptions {
+  /// Total plan-cache entries across all shards. 0 disables caching.
+  size_t plan_cache_capacity = 256;
+  /// Shards of the plan cache; more shards = less lock contention under
+  /// concurrent Answer() calls with distinct queries.
+  size_t plan_cache_shards = 8;
+};
+
+/// The online phase of the serving stack: answers queries against one
+/// immutable `CompiledOntology` snapshot. Stateless apart from the plan
+/// cache (internally synchronised), so any number of threads may call
+/// `Answer` on one engine concurrently.
+///
+/// The plan cache maps the renaming-invariant fingerprint of a CQ (see
+/// query/fingerprint.h) to its compiled plan {rewritten UCQ, prepared SQL
+/// plan, rewrite stats}. A hit skips rewriting, minimisation and
+/// unfolding entirely and goes straight to evaluation — the per-call
+/// budget and fault-injection sites still apply there. Cache invariants:
+///  * only *exact* plans are stored — a call whose result was degraded
+///    (non-empty `AnswerStats::degradation`) never populates the cache, so
+///    a hit always replays the complete rewriting;
+///  * a hit is answer-identical to the cold path: the key is the exact
+///    canonical text (hash collisions cannot alias two plans).
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
+                       QueryEngineOptions options = {});
+
+  /// Certain answers of a CQ in text syntax
+  /// (`q(x) :- Professor(x), teaches(x, y)`).
+  Result<std::vector<AnswerTuple>> Answer(std::string_view query_text,
+                                          AnswerStats* stats = nullptr) const;
+
+  /// Certain answers of a parsed CQ.
+  Result<std::vector<AnswerTuple>> Answer(const query::ConjunctiveQuery& cq,
+                                          AnswerStats* stats = nullptr) const;
+
+  /// Budgeted answering (see AnswerOptions): bounded wall-clock and
+  /// per-stage quotas, cooperative cancellation, and — with
+  /// `allow_degraded` — a fallback ladder that trades completeness for
+  /// staying inside the budget while keeping answers sound.
+  Result<std::vector<AnswerTuple>> Answer(std::string_view query_text,
+                                          const AnswerOptions& options,
+                                          AnswerStats* stats = nullptr) const;
+
+  Result<std::vector<AnswerTuple>> Answer(const query::ConjunctiveQuery& cq,
+                                          const AnswerOptions& options,
+                                          AnswerStats* stats = nullptr) const;
+
+  /// Consistency of the virtual ABox w.r.t. the TBox: every negative
+  /// inclusion is checked through a boolean query over the sources, plus
+  /// functionality on the asserted extension. Always runs the full check
+  /// (never consults the plan cache) and returns its findings by value.
+  Result<ConsistencyReport> CheckConsistency() const;
+
+  const CompiledOntology& compiled() const { return *compiled_; }
+  const std::shared_ptr<const CompiledOntology>& snapshot() const {
+    return compiled_;
+  }
+
+  /// Live plan-cache counters (aggregated over shards).
+  LruCacheMetrics cache_metrics() const { return plan_cache_.metrics(); }
+
+ private:
+  /// A fully compiled plan: everything between parsing and evaluation.
+  /// `plan == nullptr` encodes an empty unfolding (no mapped disjunct —
+  /// the certain answers are empty, no SQL to run).
+  struct CachedPlan {
+    std::shared_ptr<const query::UnionQuery> ucq;
+    std::shared_ptr<const rdb::PreparedPlan> plan;
+    query::RewriteStats rewrite;
+  };
+
+  Result<std::vector<AnswerTuple>> Execute(const query::ConjunctiveQuery& cq,
+                                           const AnswerOptions& options,
+                                           AnswerStats* stats) const;
+
+  /// Evaluates a prepared plan and renders rows into answer tuples.
+  Result<std::vector<AnswerTuple>> Evaluate(const CachedPlan& plan,
+                                            const rdb::EvalOptions& eopts,
+                                            AnswerStats* stats) const;
+
+  std::shared_ptr<const CompiledOntology> compiled_;
+  mutable ShardedLruCache<std::string, std::shared_ptr<const CachedPlan>>
+      plan_cache_;
+};
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_QUERY_ENGINE_H_

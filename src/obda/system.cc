@@ -1,301 +1,29 @@
 #include "obda/system.h"
 
-#include <optional>
-#include <set>
-
-#include "common/stopwatch.h"
-#include "obda/unfolder.h"
+#include <utility>
 
 namespace olite::obda {
 
-namespace {
-
-using dllite::BasicConcept;
-using dllite::BasicConceptKind;
-using query::Atom;
-using query::ConjunctiveQuery;
-using query::Term;
-
-// gr(B, x) as a query atom, for the consistency-check queries.
-Atom MembershipAtom(const BasicConcept& b, const Term& x, size_t* fresh) {
-  switch (b.kind) {
-    case BasicConceptKind::kAtomic:
-      return Atom::Concept(b.concept_id, x);
-    case BasicConceptKind::kExists: {
-      Term y = Term::Var("_c" + std::to_string((*fresh)++));
-      if (b.role.inverse) return Atom::Role(b.role.role, y, x);
-      return Atom::Role(b.role.role, x, y);
-    }
-    case BasicConceptKind::kAttrDomain: {
-      Term y = Term::Var("_c" + std::to_string((*fresh)++));
-      return Atom::Attribute(b.attribute, x, y);
-    }
-  }
-  return Atom::Concept(0, x);
-}
-
-std::string ValueToName(const rdb::Value& v) {
-  switch (v.type()) {
-    case rdb::ValueType::kString:
-      return v.AsString();
-    case rdb::ValueType::kInt:
-      return std::to_string(v.AsInt());
-    case rdb::ValueType::kDouble:
-      return std::to_string(v.AsDouble());
-  }
-  return "?";
-}
-
-}  // namespace
-
-ObdaSystem::ObdaSystem(dllite::Ontology ontology, mapping::MappingSet mappings,
-                       rdb::Database database, query::RewriteMode mode)
-    : ontology_(std::move(ontology)),
-      mappings_(std::move(mappings)),
-      database_(std::move(database)) {
-  query::RewriterOptions options;
-  options.mode = mode;
-  rewriter_ = std::make_unique<query::Rewriter>(ontology_.tbox(),
-                                                ontology_.vocab(), options);
-  if (mode == query::RewriteMode::kClassified) {
-    // Pre-built fallback for the budget-exhaustion ladder: classified
-    // rewriting that runs out of budget is retried as plain PerfectRef.
-    query::RewriterOptions fallback = options;
-    fallback.mode = query::RewriteMode::kPerfectRef;
-    fallback_rewriter_ = std::make_unique<query::Rewriter>(
-        ontology_.tbox(), ontology_.vocab(), fallback);
-  }
-}
+ObdaSystem::ObdaSystem(std::shared_ptr<const CompiledOntology> compiled,
+                       QueryEngineOptions engine_options)
+    : compiled_(std::move(compiled)), engine_(compiled_, engine_options) {}
 
 Result<std::unique_ptr<ObdaSystem>> ObdaSystem::Create(
     dllite::Ontology ontology, mapping::MappingSet mappings,
-    rdb::Database database, query::RewriteMode mode) {
-  OLITE_RETURN_IF_ERROR(mappings.Validate(database));
-  OLITE_RETURN_IF_ERROR(
-      CheckFunctionalityRestriction(ontology.tbox(), ontology.vocab()));
+    rdb::Database database, query::RewriteMode mode,
+    QueryEngineOptions engine_options) {
+  OLITE_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledOntology> compiled,
+      CompiledOntology::Compile(std::move(ontology), std::move(mappings),
+                                std::move(database), mode));
   return std::unique_ptr<ObdaSystem>(
-      new ObdaSystem(std::move(ontology), std::move(mappings),
-                     std::move(database), mode));
-}
-
-Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
-    std::string_view query_text, AnswerStats* stats) const {
-  return Answer(query_text, AnswerOptions{}, stats);
-}
-
-Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
-    const query::ConjunctiveQuery& cq, AnswerStats* stats) const {
-  return Execute(cq, AnswerOptions{}, stats);
-}
-
-Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
-    std::string_view query_text, const AnswerOptions& options,
-    AnswerStats* stats) const {
-  OLITE_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
-                         query::ParseQuery(query_text, ontology_.vocab()));
-  return Execute(cq, options, stats);
-}
-
-Result<std::vector<AnswerTuple>> ObdaSystem::Answer(
-    const query::ConjunctiveQuery& cq, const AnswerOptions& options,
-    AnswerStats* stats) const {
-  return Execute(cq, options, stats);
-}
-
-Result<std::vector<AnswerTuple>> ObdaSystem::Execute(
-    const ConjunctiveQuery& cq, const AnswerOptions& opts,
-    AnswerStats* stats) const {
-  Stopwatch sw;
-  std::optional<ExecBudget> owned;       // built from opts' caps
-  std::optional<ExecBudget> retry_owned; // fresh quotas for the ladder retry
-  const ExecBudget* budget = opts.budget;
-  if (budget == nullptr) {
-    BudgetCaps caps;
-    caps.deadline_ms = opts.deadline_ms;
-    caps.max_rewrite_iterations = opts.max_rewrite_iterations;
-    caps.max_containment_checks = opts.max_containment_checks;
-    caps.max_sql_blocks = opts.max_sql_blocks;
-    caps.max_rows = opts.max_rows;
-    if (caps.deadline_ms > 0 || caps.max_rewrite_iterations > 0 ||
-        caps.max_containment_checks > 0 || caps.max_sql_blocks > 0 ||
-        caps.max_rows > 0) {
-      owned.emplace(caps);
-      budget = &*owned;
-    }
-  }
-
-  Degradation degradation;
-  auto finish = [&](auto result) {
-    if (stats != nullptr) {
-      stats->degradation = std::move(degradation);
-      stats->elapsed_ms = sw.ElapsedMillis();
-    }
-    return result;
-  };
-
-  query::RewriteRequest req;
-  req.budget = budget;
-  req.allow_partial = opts.allow_degraded;
-  req.degradation = &degradation;
-
-  query::RewriteStats rstats;
-  Result<query::UnionQuery> rewritten = rewriter_->Rewrite(cq, req, &rstats);
-  if (!rewritten.ok() &&
-      rewritten.status().code() == StatusCode::kResourceExhausted &&
-      fallback_rewriter_ != nullptr && budget != nullptr &&
-      !budget->Exhausted()) {
-    // Fallback ladder, rung 1: the classified strategy blew a quota but
-    // wall-clock remains — retry as plain PerfectRef. When we own the
-    // budget, the retry gets fresh quota counters under the *remaining*
-    // deadline; an external budget is the caller's to manage, so the
-    // retry draws from whatever it has left.
-    degradation.Add("rewrite",
-                    "classified rewriting exhausted its budget; retried as "
-                    "perfectref");
-    if (owned.has_value()) {
-      BudgetCaps caps = owned->caps();
-      if (owned->has_deadline()) caps.deadline_ms = owned->RemainingMillis();
-      retry_owned.emplace(caps);
-      budget = &*retry_owned;
-      req.budget = budget;
-    }
-    rstats = query::RewriteStats{};
-    rewritten = fallback_rewriter_->Rewrite(cq, req, &rstats);
-  }
-  if (!rewritten.ok()) return finish(rewritten.status());
-  query::UnionQuery ucq = std::move(rewritten).value();
-
-  if (stats != nullptr) stats->rewrite = rstats;
-
-  UnfoldOptions uopts;
-  uopts.budget = budget;
-  uopts.allow_partial = opts.allow_degraded;
-  uopts.degradation = &degradation;
-  auto sql = Unfold(ucq, mappings_, database_, uopts);
-  if (!sql.ok()) {
-    if (sql.status().code() == StatusCode::kNotFound) {
-      // No mapped disjunct: the certain answers are empty.
-      if (stats != nullptr) {
-        stats->sql_blocks = 0;
-        stats->rows = 0;
-        stats->sql = "-- empty unfolding";
-      }
-      return finish(Result<std::vector<AnswerTuple>>(
-          std::vector<AnswerTuple>{}));
-    }
-    return finish(sql.status());
-  }
-
-  rdb::EvalOptions eopts;
-  eopts.budget = budget;
-  eopts.allow_partial = opts.allow_degraded;
-  eopts.degradation = &degradation;
-  auto rows_result = rdb::Execute(database_, *sql, eopts);
-  if (!rows_result.ok()) return finish(rows_result.status());
-  std::vector<rdb::Row> rows = std::move(rows_result).value();
-
-  std::vector<AnswerTuple> answers;
-  answers.reserve(rows.size());
-  for (const auto& row : rows) {
-    AnswerTuple tuple;
-    tuple.reserve(row.size());
-    for (const auto& v : row) tuple.push_back(ValueToName(v));
-    answers.push_back(std::move(tuple));
-  }
-  if (stats != nullptr) {
-    stats->sql_blocks = sql->blocks.size();
-    stats->rows = answers.size();
-    stats->sql = sql->ToString();
-  }
-  return finish(Result<std::vector<AnswerTuple>>(std::move(answers)));
+      new ObdaSystem(std::move(compiled), engine_options));
 }
 
 Result<bool> ObdaSystem::IsConsistent() const {
-  violations_.clear();
-  const dllite::TBox& tbox = ontology_.tbox();
-  const dllite::Vocabulary& vocab = ontology_.vocab();
-  size_t fresh = 0;
-
-  auto violated = [&](const ConjunctiveQuery& q) -> Result<bool> {
-    OLITE_ASSIGN_OR_RETURN(std::vector<AnswerTuple> rows,
-                           Execute(q, AnswerOptions{}, nullptr));
-    return !rows.empty();
-  };
-
-  for (const auto& ax : tbox.concept_inclusions()) {
-    if (ax.rhs.kind != dllite::RhsConceptKind::kNegatedBasic) continue;
-    ConjunctiveQuery q;
-    Term x = Term::Var("x");
-    q.atoms.push_back(MembershipAtom(ax.lhs, x, &fresh));
-    q.atoms.push_back(MembershipAtom(ax.rhs.basic, x, &fresh));
-    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
-    if (bad) violations_.push_back(ToString(ax, vocab));
-  }
-  for (const auto& ax : tbox.role_inclusions()) {
-    if (!ax.negated) continue;
-    ConjunctiveQuery q;
-    Term x = Term::Var("x");
-    Term y = Term::Var("y");
-    auto role_atom = [&](dllite::BasicRole r) {
-      if (r.inverse) return Atom::Role(r.role, y, x);
-      return Atom::Role(r.role, x, y);
-    };
-    q.atoms.push_back(role_atom(ax.lhs));
-    q.atoms.push_back(role_atom(ax.rhs));
-    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
-    if (bad) violations_.push_back(ToString(ax, vocab));
-  }
-  for (const auto& ax : tbox.attribute_inclusions()) {
-    if (!ax.negated) continue;
-    ConjunctiveQuery q;
-    Term x = Term::Var("x");
-    Term v = Term::Var("v");
-    q.atoms.push_back(Atom::Attribute(ax.lhs, x, v));
-    q.atoms.push_back(Atom::Attribute(ax.rhs, x, v));
-    OLITE_ASSIGN_OR_RETURN(bool bad, violated(q));
-    if (bad) violations_.push_back(ToString(ax, vocab));
-  }
-
-  // Functionality: checked on the *asserted* extension retrieved through
-  // the mappings (anonymous successors from mandatory participation never
-  // violate functionality, and the DL-Lite_A restriction guarantees no
-  // sub-role can add tuples).
-  for (const auto& f : tbox.functionality()) {
-    ConjunctiveQuery q;
-    q.head_vars = {"x", "y"};
-    Term x = Term::Var("x");
-    Term y = Term::Var("y");
-    size_t key_position;
-    if (f.kind == dllite::FunctionalityAssertion::Kind::kRole) {
-      if (f.role.inverse) {
-        q.atoms.push_back(Atom::Role(f.role.role, y, x));
-      } else {
-        q.atoms.push_back(Atom::Role(f.role.role, x, y));
-      }
-      key_position = 0;
-    } else {
-      q.atoms.push_back(Atom::Attribute(f.attribute, x, y));
-      key_position = 0;
-    }
-    query::UnionQuery single;
-    single.disjuncts.push_back(q);
-    auto sql = Unfold(single, mappings_, database_);
-    if (!sql.ok()) {
-      if (sql.status().code() == StatusCode::kNotFound) continue;  // unmapped
-      return sql.status();
-    }
-    OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
-                           rdb::Execute(database_, *sql));
-    std::set<std::string> seen_keys;
-    for (const auto& row : rows) {
-      std::string key = ValueToName(row[key_position]);
-      if (!seen_keys.insert(key).second) {
-        violations_.push_back(ToString(f, vocab));
-        break;
-      }
-    }
-  }
-  return violations_.empty();
+  OLITE_ASSIGN_OR_RETURN(ConsistencyReport report, engine_.CheckConsistency());
+  violations_ = std::move(report.violations);
+  return report.consistent;
 }
 
 }  // namespace olite::obda

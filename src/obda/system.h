@@ -3,90 +3,52 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "common/exec_budget.h"
 #include "common/result.h"
-#include "dllite/ontology.h"
-#include "mapping/mapping.h"
+#include "obda/answer.h"
+#include "obda/compiled_ontology.h"
+#include "obda/query_engine.h"
 #include "query/cq.h"
 #include "query/rewriter.h"
-#include "rdb/query.h"
-#include "rdb/table.h"
 
 namespace olite::obda {
-
-/// One certain answer: a tuple of individual/value names, one per head
-/// variable of the query.
-using AnswerTuple = std::vector<std::string>;
-
-/// Per-call execution limits for `Answer`. Every cap of 0 is unlimited;
-/// a default-constructed AnswerOptions reproduces the unbudgeted call
-/// exactly.
-struct AnswerOptions {
-  /// Wall-clock deadline for the whole call (rewrite + unfold + evaluate),
-  /// in milliseconds. 0 = none.
-  double deadline_ms = 0;
-  /// Cap on CQs popped from the rewriter's work queue.
-  uint64_t max_rewrite_iterations = 0;
-  /// Cap on homomorphism tests during UCQ minimisation.
-  uint64_t max_containment_checks = 0;
-  /// Cap on SQL select blocks generated by the unfolder.
-  uint64_t max_sql_blocks = 0;
-  /// Cap on distinct answer rows materialised by evaluation.
-  uint64_t max_rows = 0;
-  /// When true, budget exhaustion degrades gracefully instead of failing:
-  /// classified rewriting that exhausts its budget is retried as
-  /// PerfectRef; an exhausted expansion returns the disjuncts found so
-  /// far; an exhausted pruning sweep is skipped (the union stays larger
-  /// but equivalent); unfolding and evaluation are truncated at their
-  /// caps. Every cut is recorded in `AnswerStats::degradation`, and the
-  /// answers remain *sound* — a subset of the certain answers. When
-  /// false, exhaustion anywhere returns kResourceExhausted (with the
-  /// degradation trail of the attempts populated in stats).
-  bool allow_degraded = false;
-  /// Optional externally-owned budget — e.g. shared across a batch of
-  /// calls, or cancelled from another thread via `ExecBudget::Cancel`.
-  /// When set, the caps above are ignored and this budget governs.
-  const ExecBudget* budget = nullptr;
-};
-
-/// Per-query diagnostics returned alongside the answers.
-struct AnswerStats {
-  query::RewriteStats rewrite;
-  size_t sql_blocks = 0;
-  size_t rows = 0;
-  std::string sql;  ///< the executed SQL text (for demos/tests)
-  /// What was cut when answering under a budget (empty = exact answers).
-  Degradation degradation;
-  /// Wall-clock time of the whole call, in milliseconds.
-  double elapsed_ms = 0;
-};
 
 /// The OBDA system of the paper's §1: ontology (TBox) + mapping layer +
 /// relational sources, offering the core services — certain-answer query
 /// answering via rewriting + unfolding, and consistency checking.
 ///
-/// Mirrors the Mastro architecture: the ABox is *virtual*; every query is
-/// (i) rewritten against the TBox into a UCQ (PerfectRef or the
-/// classification-aided variant), (ii) unfolded through the mappings into
-/// SQL, and (iii) evaluated on the in-memory relational engine.
+/// A thin façade over the compile-once/serve-many split:
+///  * `CompiledOntology` — the immutable snapshot built at Create (TBox
+///    closure, rewriter indexes, validated mappings and schema);
+///  * `QueryEngine` — the stateless serving layer with the fingerprinted
+///    plan cache.
+/// Use those two directly to share one snapshot between several engines or
+/// to tune the cache; this class keeps the original single-object API.
 class ObdaSystem {
  public:
-  /// Validates the mappings against the database schema.
+  /// Validates the mappings against the database schema and compiles the
+  /// snapshot. `engine_options` tunes the serving layer (plan-cache
+  /// capacity/sharding); the defaults enable a 256-entry cache.
   static Result<std::unique_ptr<ObdaSystem>> Create(
       dllite::Ontology ontology, mapping::MappingSet mappings,
       rdb::Database database,
-      query::RewriteMode mode = query::RewriteMode::kPerfectRef);
+      query::RewriteMode mode = query::RewriteMode::kPerfectRef,
+      QueryEngineOptions engine_options = {});
 
   /// Certain answers of a CQ in text syntax
   /// (`q(x) :- Professor(x), teaches(x, y)`).
   Result<std::vector<AnswerTuple>> Answer(std::string_view query_text,
-                                          AnswerStats* stats = nullptr) const;
+                                          AnswerStats* stats = nullptr) const {
+    return engine_.Answer(query_text, stats);
+  }
 
   /// Certain answers of a parsed CQ.
   Result<std::vector<AnswerTuple>> Answer(const query::ConjunctiveQuery& cq,
-                                          AnswerStats* stats = nullptr) const;
+                                          AnswerStats* stats = nullptr) const {
+    return engine_.Answer(cq, stats);
+  }
 
   /// Budgeted answering (see AnswerOptions): bounded wall-clock and
   /// per-stage quotas, cooperative cancellation, and — with
@@ -94,39 +56,51 @@ class ObdaSystem {
   /// staying inside the budget while keeping answers sound.
   Result<std::vector<AnswerTuple>> Answer(std::string_view query_text,
                                           const AnswerOptions& options,
-                                          AnswerStats* stats = nullptr) const;
+                                          AnswerStats* stats = nullptr) const {
+    return engine_.Answer(query_text, options, stats);
+  }
 
   Result<std::vector<AnswerTuple>> Answer(const query::ConjunctiveQuery& cq,
                                           const AnswerOptions& options,
-                                          AnswerStats* stats = nullptr) const;
+                                          AnswerStats* stats = nullptr) const {
+    return engine_.Answer(cq, options, stats);
+  }
 
-  /// True iff the virtual ABox is consistent with the TBox: every negative
-  /// inclusion is checked through a boolean query over the sources.
+  /// Consistency of the virtual ABox w.r.t. the TBox, returned by value —
+  /// safe to call from any number of threads concurrently.
+  Result<ConsistencyReport> CheckConsistency() const {
+    return engine_.CheckConsistency();
+  }
+
+  /// Deprecated: prefer CheckConsistency(). Keeps the original boolean
+  /// API, caching the violation strings for `violations()`. NOT safe to
+  /// call concurrently with itself (it writes the cached violation list);
+  /// `Answer` remains safe to call concurrently with it.
   Result<bool> IsConsistent() const;
 
-  /// Concepts/roles whose negative-inclusion violations were found by the
-  /// last IsConsistent() == false call (human-readable axiom strings).
+  /// Deprecated: violations found by the last IsConsistent() call
+  /// (human-readable axiom strings). Prefer
+  /// `CheckConsistency()->violations`.
   const std::vector<std::string>& violations() const { return violations_; }
 
-  const dllite::Ontology& ontology() const { return ontology_; }
-  const mapping::MappingSet& mappings() const { return mappings_; }
-  const rdb::Database& database() const { return database_; }
+  const dllite::Ontology& ontology() const { return compiled_->ontology(); }
+  const mapping::MappingSet& mappings() const { return compiled_->mappings(); }
+  const rdb::Database& database() const { return compiled_->database(); }
+
+  /// The immutable snapshot — shareable with further QueryEngines.
+  const std::shared_ptr<const CompiledOntology>& compiled() const {
+    return compiled_;
+  }
+  /// The serving layer (plan cache metrics live here).
+  const QueryEngine& engine() const { return engine_; }
 
  private:
-  ObdaSystem(dllite::Ontology ontology, mapping::MappingSet mappings,
-             rdb::Database database, query::RewriteMode mode);
+  ObdaSystem(std::shared_ptr<const CompiledOntology> compiled,
+             QueryEngineOptions engine_options);
 
-  Result<std::vector<AnswerTuple>> Execute(const query::ConjunctiveQuery& cq,
-                                           const AnswerOptions& options,
-                                           AnswerStats* stats) const;
-
-  dllite::Ontology ontology_;
-  mapping::MappingSet mappings_;
-  rdb::Database database_;
-  std::unique_ptr<query::Rewriter> rewriter_;
-  /// PerfectRef rewriter used as the budget-exhaustion fallback when the
-  /// primary mode is kClassified (null otherwise).
-  std::unique_ptr<query::Rewriter> fallback_rewriter_;
+  std::shared_ptr<const CompiledOntology> compiled_;
+  QueryEngine engine_;
+  /// Backing store for the deprecated violations() accessor only.
   mutable std::vector<std::string> violations_;
 };
 

@@ -1,0 +1,94 @@
+#include "query/fingerprint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace olite::query {
+
+namespace {
+
+// FNV-1a, 64-bit.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const char* AtomKindTag(Atom::Kind kind) {
+  switch (kind) {
+    case Atom::Kind::kConcept: return "C";
+    case Atom::Kind::kRole: return "R";
+    case Atom::Kind::kAttribute: return "U";
+  }
+  return "?";
+}
+
+}  // namespace
+
+QueryFingerprint CanonicalFingerprint(const ConjunctiveQuery& cq) {
+  // Canonical names: head variables by first head position (`h0`, `h1`,
+  // …; a repeated head variable keeps its first name, so q(x,x) and
+  // q(x,y) stay distinct), remaining variables by first body occurrence
+  // (`v0`, `v1`, …).
+  std::unordered_map<std::string, std::string> rename;
+  size_t next_head = 0;
+  for (const auto& h : cq.head_vars) {
+    if (rename.emplace(h, "h" + std::to_string(next_head)).second) {
+      ++next_head;
+    }
+  }
+  size_t next_body = 0;
+  auto canonical = [&](const Term& t) -> std::string {
+    if (!t.IsVar()) return "c:" + t.name;
+    auto it = rename.find(t.name);
+    if (it == rename.end()) {
+      it = rename.emplace(t.name, "v" + std::to_string(next_body++)).first;
+    }
+    return it->second;
+  };
+
+  std::vector<std::string> parts;
+  parts.reserve(cq.atoms.size());
+  for (const auto& atom : cq.atoms) {
+    std::string part = AtomKindTag(atom.kind);
+    part += std::to_string(atom.predicate);
+    part += '(';
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) part += ',';
+      part += canonical(atom.args[i]);
+    }
+    part += ')';
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+
+  QueryFingerprint fp;
+  // Head: canonical token per position (captures arity and repetition).
+  fp.key = "q[";
+  for (size_t i = 0; i < cq.head_vars.size(); ++i) {
+    if (i > 0) fp.key += ',';
+    fp.key += rename.at(cq.head_vars[i]);
+  }
+  fp.key += "]:";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) fp.key += '&';
+    fp.key += parts[i];
+  }
+  // Head bindings change the emitted tuples (rewriter-produced only;
+  // parsed queries have none) — keep them in the identity.
+  for (const auto& [var, constant] : cq.head_bindings) {
+    auto it = rename.find(var);
+    fp.key += '|';
+    fp.key += it == rename.end() ? var : it->second;
+    fp.key += '=';
+    fp.key += constant;
+  }
+  fp.hash = Fnv1a(fp.key);
+  return fp;
+}
+
+}  // namespace olite::query

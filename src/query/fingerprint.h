@@ -1,0 +1,38 @@
+#ifndef OLITE_QUERY_FINGERPRINT_H_
+#define OLITE_QUERY_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/cq.h"
+
+namespace olite::query {
+
+/// Renaming-invariant identity of a conjunctive query, used as the plan
+/// cache key of the serving stack (obda::QueryEngine).
+///
+/// `key` is the canonical text (exact: two queries share a key iff they
+/// canonicalise identically — a 64-bit hash collision can never alias two
+/// different plans); `hash` is a 64-bit FNV-1a of `key`, used to pick the
+/// cache shard without re-hashing.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string key;
+};
+
+/// Canonicalises `cq` — distinguished variables renamed by head position,
+/// non-distinguished variables by first body occurrence, atoms rendered
+/// over predicate *ids* (vocabulary-independent within one ontology) and
+/// sorted — and hashes the result.
+///
+/// Invariant: two queries that differ only by a consistent variable
+/// renaming (α-renaming) fingerprint identically, so a renamed repeat of a
+/// served query hits the same cached plan. Reordering atoms *usually*
+/// also converges (atoms are sorted) but is not guaranteed to when the
+/// reordering changes which non-head variable occurs first; a missed hit
+/// is the only consequence — never a wrong answer.
+QueryFingerprint CanonicalFingerprint(const ConjunctiveQuery& cq);
+
+}  // namespace olite::query
+
+#endif  // OLITE_QUERY_FINGERPRINT_H_

@@ -229,8 +229,9 @@ std::string SqlQuery::ToString() const {
   return out;
 }
 
-Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
-                                 const EvalOptions& options) {
+namespace {
+
+Status ValidateArity(const SqlQuery& query) {
   if (query.blocks.empty()) {
     return Status::InvalidArgument("query has no select blocks");
   }
@@ -242,16 +243,22 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
           "UNION blocks project different arities");
     }
   }
+  return Status::Ok();
+}
+
+// Shared evaluation core of both Execute overloads: union of pre-resolved
+// blocks, fault injection per block, budget-aware truncation.
+Result<std::vector<Row>> EvalResolvedBlocks(
+    const std::vector<ResolvedBlock>& blocks, const EvalOptions& options) {
   std::set<Row> out;
   EvalContext ctx;
   ctx.out = &out;
   ctx.budget = options.budget;
   ctx.max_rows = options.max_rows;
   size_t blocks_done = 0;
-  for (const auto& block : query.blocks) {
+  for (const auto& resolved : blocks) {
     Status injected = fault::InjectAt(fault::Site::kRdbExecute);
     if (!injected.ok()) return injected;
-    OLITE_ASSIGN_OR_RETURN(ResolvedBlock resolved, ResolveBlock(db, block));
     std::vector<const Row*> binding(resolved.tables.size(), nullptr);
     EvalBlock(resolved, 0, &binding, &ctx);
     if (ctx.stop) break;
@@ -263,11 +270,50 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
       options.degradation->Add(
           "rdb", "evaluation truncated after " + std::to_string(out.size()) +
                      " rows (" + std::to_string(blocks_done) + "/" +
-                     std::to_string(query.blocks.size()) +
+                     std::to_string(blocks.size()) +
                      " blocks finished): " + ctx.exhausted.message());
     }
   }
   return std::vector<Row>(out.begin(), out.end());
+}
+
+}  // namespace
+
+struct PreparedPlan::Resolved {
+  std::vector<ResolvedBlock> blocks;
+};
+
+Result<PreparedPlan> PreparedPlan::Prepare(const Database& db,
+                                           SqlQuery query) {
+  OLITE_RETURN_IF_ERROR(ValidateArity(query));
+  auto resolved = std::make_shared<Resolved>();
+  resolved->blocks.reserve(query.blocks.size());
+  for (const auto& block : query.blocks) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedBlock r, ResolveBlock(db, block));
+    resolved->blocks.push_back(std::move(r));
+  }
+  PreparedPlan plan;
+  plan.sql_text_ = query.ToString();
+  plan.query_ = std::make_shared<const SqlQuery>(std::move(query));
+  plan.resolved_ = std::move(resolved);
+  return plan;
+}
+
+Result<std::vector<Row>> Execute(const PreparedPlan& plan,
+                                 const EvalOptions& options) {
+  return EvalResolvedBlocks(plan.resolved_->blocks, options);
+}
+
+Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
+                                 const EvalOptions& options) {
+  OLITE_RETURN_IF_ERROR(ValidateArity(query));
+  std::vector<ResolvedBlock> blocks;
+  blocks.reserve(query.blocks.size());
+  for (const auto& block : query.blocks) {
+    OLITE_ASSIGN_OR_RETURN(ResolvedBlock resolved, ResolveBlock(db, block));
+    blocks.push_back(std::move(resolved));
+  }
+  return EvalResolvedBlocks(blocks, options);
 }
 
 }  // namespace olite::rdb

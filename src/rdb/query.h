@@ -1,6 +1,7 @@
 #ifndef OLITE_RDB_QUERY_H_
 #define OLITE_RDB_QUERY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,44 @@ struct EvalOptions {
 /// Each select block is a fault-injection point
 /// (`fault::Site::kRdbExecute`).
 Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
+                                 const EvalOptions& options = {});
+
+/// A serve-many execution plan: column references resolved to (table,
+/// column) positions and the SQL text rendered once at preparation time,
+/// so repeated executions (plan-cache hits) skip both name resolution and
+/// re-rendering.
+///
+/// The plan borrows the `Table` objects of the database it was prepared
+/// against: that database must outlive the plan and must not be mutated
+/// while the plan is in use (the OBDA snapshot layer guarantees both —
+/// a `CompiledOntology` owns its database immutably). Copies share the
+/// resolved state and are cheap.
+class PreparedPlan {
+ public:
+  /// Resolves every block against `db` (schema validation included) and
+  /// renders the SQL text.
+  static Result<PreparedPlan> Prepare(const Database& db, SqlQuery query);
+
+  const SqlQuery& query() const { return *query_; }
+  const std::string& sql_text() const { return sql_text_; }
+  size_t num_blocks() const { return query_->blocks.size(); }
+
+ private:
+  friend Result<std::vector<Row>> Execute(const PreparedPlan& plan,
+                                          const EvalOptions& options);
+  struct Resolved;  // defined in query.cc
+
+  PreparedPlan() = default;
+
+  std::shared_ptr<const SqlQuery> query_;
+  std::string sql_text_;
+  std::shared_ptr<const Resolved> resolved_;
+};
+
+/// Evaluates a prepared plan (same semantics and fault-injection sites as
+/// `Execute(db, query)`, minus per-call resolution). Safe to call
+/// concurrently on one plan: evaluation state is call-local.
+Result<std::vector<Row>> Execute(const PreparedPlan& plan,
                                  const EvalOptions& options = {});
 
 }  // namespace olite::rdb

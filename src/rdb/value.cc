@@ -1,5 +1,8 @@
 #include "rdb/value.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace olite::rdb {
 
 const char* ValueTypeName(ValueType t) {
@@ -11,12 +14,36 @@ const char* ValueTypeName(ValueType t) {
   return "?";
 }
 
+std::string FormatDoubleRoundTrip(double v) {
+  // Shortest %g rendering that parses back to the identical double
+  // (std::to_string's fixed 6 digits collapses distinct values): 15
+  // significant digits suffice for most doubles, 17 always do.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string Value::ToName() const {
+  switch (type()) {
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return FormatDoubleRoundTrip(AsDouble());
+  }
+  return "?";
+}
+
 std::string Value::ToString() const {
   switch (type()) {
     case ValueType::kInt:
       return std::to_string(AsInt());
     case ValueType::kDouble:
-      return std::to_string(AsDouble());
+      return FormatDoubleRoundTrip(AsDouble());
     case ValueType::kString: {
       std::string out = "'";
       for (char c : AsString()) {

@@ -12,6 +12,10 @@ enum class ValueType : uint8_t { kInt, kDouble, kString };
 
 const char* ValueTypeName(ValueType t);
 
+/// Shortest decimal rendering of `v` that parses back (strtod) to the
+/// identical double — `%.15g` … `%.17g`, first precision that round-trips.
+std::string FormatDoubleRoundTrip(double v);
+
 /// A typed SQL value. Totally ordered within one type; ordering across
 /// types follows the type tag (needed only for deterministic result sets).
 class Value {
@@ -31,6 +35,11 @@ class Value {
 
   /// SQL-literal rendering: strings are single-quoted.
   std::string ToString() const;
+
+  /// Individual-name rendering for answer tuples and ABox materialisation:
+  /// strings verbatim, numbers in round-trip precision (distinct doubles
+  /// always render distinctly — `std::to_string`'s fixed 6 digits do not).
+  std::string ToName() const;
 
   bool operator==(const Value& o) const { return data_ == o.data_; }
   bool operator<(const Value& o) const { return data_ < o.data_; }

@@ -175,12 +175,46 @@ std::vector<std::string> CompareAnswerPaths(const benchgen::Workload& w,
     auto chase_rows = chase.CertainAnswers(cq);
     TupleSet want(chase_rows.begin(), chase_rows.end());
 
-    auto sql = (*system)->Answer(cq);
+    obda::AnswerStats cold_stats;
+    auto sql = (*system)->Answer(cq, &cold_stats);
     if (!sql.ok()) {
       diffs.push_back(label + " [obda]: " + sql.status().ToString());
     } else {
       CompareTupleSets(label, want, TupleSet(sql->begin(), sql->end()),
                        "obda-sql", &diffs);
+
+      // Cached-vs-uncached pair: replaying the query must hit the plan
+      // cache (the first pass ran unbudgeted, so its plan was exact and
+      // stored) and both the hot answers and a forced cold-path re-answer
+      // must match the oracle bit for bit.
+      obda::AnswerStats hot_stats;
+      auto hot = (*system)->Answer(cq, &hot_stats);
+      if (!hot.ok()) {
+        diffs.push_back(label + " [obda-cached]: " + hot.status().ToString());
+      } else {
+        CompareTupleSets(label, want, TupleSet(hot->begin(), hot->end()),
+                         "obda-cached", &diffs);
+        if (cold_stats.cache.stored && !hot_stats.cache.hit) {
+          diffs.push_back(label +
+                          " [obda-cached]: stored plan was not reused");
+        }
+        if (hot_stats.cache.hit && hot_stats.rewrite.iterations != 0) {
+          diffs.push_back(label +
+                          " [obda-cached]: cache hit still rewrote the "
+                          "query");
+        }
+      }
+      obda::AnswerOptions bypass;
+      bypass.bypass_cache = true;
+      auto uncached = (*system)->Answer(cq, bypass);
+      if (!uncached.ok()) {
+        diffs.push_back(label + " [obda-uncached]: " +
+                        uncached.status().ToString());
+      } else {
+        CompareTupleSets(label, want,
+                         TupleSet(uncached->begin(), uncached->end()),
+                         "obda-uncached", &diffs);
+      }
     }
 
     auto direct = query::AnswerOverABox(cq, w.ontology.tbox(), w.abox, vocab,
@@ -387,9 +421,15 @@ std::vector<std::string> CheckBudgetMonotonicity(
     return diffs;
   }
 
+  // The baseline pass bypasses the plan cache so the budgeted pass below
+  // runs the full cold pipeline — otherwise a cached plan would skip the
+  // rewrite/unfold stages whose budget (and fault-site) behaviour this
+  // harness exists to check.
+  obda::AnswerOptions baseline;
+  baseline.bypass_cache = true;
   std::vector<std::optional<TupleSet>> full(w.queries.size());
   for (size_t i = 0; i < w.queries.size(); ++i) {
-    auto rows = (*system)->Answer(w.queries[i]);
+    auto rows = (*system)->Answer(w.queries[i], baseline);
     if (rows.ok()) full[i] = TupleSet(rows->begin(), rows->end());
   }
   if (between_passes) between_passes();

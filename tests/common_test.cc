@@ -4,6 +4,7 @@
 
 #include "common/exec_budget.h"
 #include "common/interner.h"
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -206,6 +207,98 @@ TEST(InternerTest, DenseIdsAndLookup) {
   EXPECT_EQ(in.NameOf(1), "B");
   EXPECT_EQ(in.Find("B").value(), 1u);
   EXPECT_FALSE(in.Find("C").has_value());
+}
+
+TEST(InternerTest, HeterogeneousLookupFindsInternedNames) {
+  Interner in;
+  std::string owned = "Professor";
+  in.Intern(owned);
+  // Probe with every supported key shape; none should miss.
+  std::string_view view = owned;
+  EXPECT_EQ(in.Find(view).value(), 0u);
+  EXPECT_EQ(in.Find("Professor").value(), 0u);
+  char buffer[] = {'P', 'r', 'o', 'f', 'e', 's', 's', 'o', 'r', 'X'};
+  // A non-NUL-terminated view: only valid if lookup never calls .c_str().
+  EXPECT_EQ(in.Find(std::string_view(buffer, 9)).value(), 0u);
+  EXPECT_FALSE(in.Find(std::string_view(buffer, 10)).has_value());
+}
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/4, /*num_shards=*/2);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.Get("a", 1).has_value());
+  cache.Put("a", 1, 10);
+  cache.Put("b", 2, 20);
+  EXPECT_EQ(cache.Get("a", 1).value(), 10);
+  EXPECT_EQ(cache.Get("b", 2).value(), 20);
+  LruCacheMetrics m = cache.metrics();
+  EXPECT_EQ(m.hits, 2u);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.entries, 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // Single shard, capacity 2: the third insert evicts the least recently
+  // *used* entry, not the oldest inserted.
+  ShardedLruCache<std::string, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", 1, 1);
+  cache.Put("b", 2, 2);
+  EXPECT_TRUE(cache.Get("a", 1).has_value());  // refresh "a"
+  cache.Put("c", 3, 3);                        // evicts "b"
+  EXPECT_TRUE(cache.Get("a", 1).has_value());
+  EXPECT_FALSE(cache.Get("b", 2).has_value());
+  EXPECT_TRUE(cache.Get("c", 3).has_value());
+  EXPECT_EQ(cache.metrics().evictions, 1u);
+  EXPECT_EQ(cache.ShardEvictions(0), 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", 1, 1);
+  cache.Put("a", 1, 99);
+  EXPECT_EQ(cache.Get("a", 1).value(), 99);
+  EXPECT_EQ(cache.metrics().entries, 1u);
+  EXPECT_EQ(cache.metrics().evictions, 0u);
+}
+
+TEST(LruCacheTest, CapacityZeroDisables) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", 1, 10);
+  EXPECT_FALSE(cache.Get("a", 1).has_value());
+  EXPECT_EQ(cache.metrics().entries, 0u);
+}
+
+TEST(LruCacheTest, ShardOfIsStableAndInRange) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/16, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  for (uint64_t h : {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+    size_t s = cache.ShardOf(h);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, cache.ShardOf(h));
+  }
+}
+
+TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/32, /*num_shards=*/4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((t * 7 + i) % 64);
+        uint64_t hash = static_cast<uint64_t>((t * 7 + i) % 64) * 0x9e3779b9;
+        if (auto hit = cache.Get(key, hash)) {
+          EXPECT_EQ(*hit, static_cast<int>((t * 7 + i) % 64));
+        } else {
+          cache.Put(key, hash, (t * 7 + i) % 64);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  LruCacheMetrics m = cache.metrics();
+  EXPECT_EQ(m.hits + m.misses, 2000u);
+  EXPECT_LE(m.entries, 32u);
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "mapping/mapping.h"
 #include "obda/system.h"
 #include "obda/unfolder.h"
@@ -322,6 +324,76 @@ TEST(ObdaConsistencyTest, InheritedDisjointnessViolation) {
   auto consistent = (*sys)->IsConsistent();
   ASSERT_TRUE(consistent.ok());
   EXPECT_FALSE(*consistent);
+}
+
+TEST(ObdaConsistencyTest, CheckConsistencyReturnsReportByValue) {
+  auto r = dllite::ParseOntology(
+      "concept A B C\nB <= A\nA <= not C\n");
+  ASSERT_TRUE(r.ok());
+  Database db;
+  ASSERT_TRUE(db.CreateTable({"t", {{"id", ValueType::kString}}}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Str("e1")}).ok());
+  MappingSet m;
+  SelectBlock all;
+  all.from_tables = {"t"};
+  all.select = {{0, "id"}};
+  auto& onto = *r;
+  ASSERT_TRUE(
+      m.Add(MappingAssertion::ForConcept(onto.vocab().FindConcept("B").value(),
+                                         all))
+          .ok());
+  ASSERT_TRUE(
+      m.Add(MappingAssertion::ForConcept(onto.vocab().FindConcept("C").value(),
+                                         all))
+          .ok());
+  auto sys = ObdaSystem::Create(std::move(onto), std::move(m), std::move(db));
+  ASSERT_TRUE(sys.ok());
+  auto report = (*sys)->CheckConsistency();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->consistent);
+  ASSERT_EQ(report->violations.size(), 1u);
+  EXPECT_EQ(report->violations[0], "A <= not C");
+  // The deprecated boolean shim agrees and repopulates violations().
+  auto consistent = (*sys)->IsConsistent();
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_FALSE(*consistent);
+  EXPECT_EQ((*sys)->violations(), report->violations);
+}
+
+TEST(ObdaAnswerTest, NearEqualDoublesStayDistinctInAnswers) {
+  // Regression: answer rendering used std::to_string (6 fixed digits),
+  // which collapsed near-equal doubles into one name — and thus one
+  // certain answer. Round-trip formatting must keep them apart.
+  auto r = dllite::ParseOntology("concept Sensor\nattribute reading\n");
+  ASSERT_TRUE(r.ok());
+  Database db;
+  ASSERT_TRUE(db.CreateTable({"m",
+                              {{"id", ValueType::kString},
+                               {"val", ValueType::kDouble}}})
+                  .ok());
+  const double a = 0.1;
+  const double b = 0.1 + 1e-12;  // identical in "%.6f", distinct in %.17g
+  ASSERT_TRUE(db.Insert("m", {Value::Str("s1"), Value::Double(a)}).ok());
+  ASSERT_TRUE(db.Insert("m", {Value::Str("s2"), Value::Double(b)}).ok());
+  MappingSet m;
+  SelectBlock block;
+  block.from_tables = {"m"};
+  block.select = {{0, "id"}, {0, "val"}};
+  auto& onto = *r;
+  ASSERT_TRUE(m.Add(MappingAssertion::ForAttribute(
+                        onto.vocab().FindAttribute("reading").value(), block))
+                  .ok());
+  auto sys = ObdaSystem::Create(std::move(onto), std::move(m), std::move(db));
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  auto answers = (*sys)->Answer("q(v) :- reading(x, v)");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);  // collapsed to 1 under to_string
+  EXPECT_NE((*answers)[0][0], (*answers)[1][0]);
+  // The rendered names parse back to the exact stored doubles.
+  for (const auto& tuple : *answers) {
+    double parsed = std::strtod(tuple[0].c_str(), nullptr);
+    EXPECT_TRUE(parsed == a || parsed == b);
+  }
 }
 
 TEST(UnfolderTest, SharedVariablesBecomeJoins) {

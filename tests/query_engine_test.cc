@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "obda/compiled_ontology.h"
+#include "obda/query_engine.h"
+#include "obda/system.h"
+
+namespace olite::obda {
+namespace {
+
+using dllite::Ontology;
+using mapping::MappingAssertion;
+using mapping::MappingSet;
+using rdb::Database;
+using rdb::SelectBlock;
+using rdb::Value;
+using rdb::ValueType;
+
+// Same university instance as obda_test.cc, compiled into a shareable
+// snapshot instead of an ObdaSystem.
+struct Fixture {
+  Ontology onto;
+  Database db;
+  MappingSet mappings;
+
+  Fixture() {
+    auto r = dllite::ParseOntology(R"(
+concept Professor AssistantProf Person Course
+role teaches
+attribute salary
+AssistantProf <= Professor
+Professor <= Person
+Professor <= exists teaches
+exists teaches- <= Course
+Professor <= delta(salary)
+)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    onto = std::move(r).value();
+
+    EXPECT_TRUE(db.CreateTable({"prof",
+                                {{"id", ValueType::kString},
+                                 {"rank", ValueType::kString},
+                                 {"pay", ValueType::kInt}}})
+                    .ok());
+    EXPECT_TRUE(db.CreateTable({"teaching",
+                                {{"prof_id", ValueType::kString},
+                                 {"course", ValueType::kString}}})
+                    .ok());
+    EXPECT_TRUE(
+        db.Insert("prof", {Value::Str("ada"), Value::Str("full"),
+                           Value::Int(90)})
+            .ok());
+    EXPECT_TRUE(
+        db.Insert("prof", {Value::Str("alan"), Value::Str("assistant"),
+                           Value::Int(60)})
+            .ok());
+    EXPECT_TRUE(
+        db.Insert("teaching", {Value::Str("ada"), Value::Str("db101")}).ok());
+
+    auto cid = [&](const char* n) {
+      return onto.vocab().FindConcept(n).value();
+    };
+    SelectBlock all_profs;
+    all_profs.from_tables = {"prof"};
+    all_profs.select = {{0, "id"}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForConcept(cid("Professor"),
+                                                      all_profs))
+                    .ok());
+    SelectBlock assistants = all_profs;
+    assistants.filters = {{{0, "rank"}, Value::Str("assistant")}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForConcept(cid("AssistantProf"),
+                                                      assistants))
+                    .ok());
+    SelectBlock teaching;
+    teaching.from_tables = {"teaching"};
+    teaching.select = {{0, "prof_id"}, {0, "course"}};
+    EXPECT_TRUE(
+        mappings
+            .Add(MappingAssertion::ForRole(
+                onto.vocab().FindRole("teaches").value(), teaching))
+            .ok());
+    SelectBlock pay;
+    pay.from_tables = {"prof"};
+    pay.select = {{0, "id"}, {0, "pay"}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForAttribute(
+                        onto.vocab().FindAttribute("salary").value(), pay))
+                    .ok());
+  }
+
+  std::shared_ptr<const CompiledOntology> Compile(
+      query::RewriteMode mode = query::RewriteMode::kPerfectRef) {
+    auto c = CompiledOntology::Compile(std::move(onto), std::move(mappings),
+                                       std::move(db), mode);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+};
+
+std::vector<AnswerTuple> Sorted(std::vector<AnswerTuple> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(QueryEngineTest, RepeatedQueryHitsCacheWithIdenticalAnswers) {
+  QueryEngine engine(Fixture().Compile());
+  const char* q = "q(x) :- Person(x)";
+
+  AnswerStats cold;
+  auto first = engine.Answer(q, &cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(cold.cache.hit);
+  EXPECT_TRUE(cold.cache.stored);
+  EXPECT_GT(cold.rewrite.iterations, 0u);
+
+  AnswerStats hot;
+  auto second = engine.Answer(q, &hot);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(hot.cache.hit);
+  EXPECT_FALSE(hot.cache.stored);
+  // Nothing was rewritten on the hot path…
+  EXPECT_EQ(hot.rewrite.iterations, 0u);
+  EXPECT_EQ(hot.rewrite.generated, 0u);
+  // …but the plan shape is still reported.
+  EXPECT_EQ(hot.rewrite.final_disjuncts, cold.rewrite.final_disjuncts);
+  EXPECT_EQ(hot.sql, cold.sql);
+  EXPECT_EQ(hot.sql_blocks, cold.sql_blocks);
+  // Bit-identical answers.
+  EXPECT_EQ(Sorted(*first), Sorted(*second));
+  EXPECT_EQ(Sorted(*first),
+            (std::vector<AnswerTuple>{{"ada"}, {"alan"}}));
+
+  LruCacheMetrics m = engine.cache_metrics();
+  EXPECT_EQ(m.hits, 1u);
+  EXPECT_EQ(m.entries, 1u);
+}
+
+TEST(QueryEngineTest, AlphaRenamedQueryHitsSameEntry) {
+  QueryEngine engine(Fixture().Compile());
+  auto first = engine.Answer("q(x) :- Professor(x), teaches(x, y)");
+  ASSERT_TRUE(first.ok());
+
+  AnswerStats stats;
+  auto renamed =
+      engine.Answer("q(a) :- Professor(a), teaches(a, b)", &stats);
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(stats.cache.hit);
+  EXPECT_EQ(Sorted(*first), Sorted(*renamed));
+  EXPECT_EQ(engine.cache_metrics().entries, 1u);
+}
+
+TEST(QueryEngineTest, BypassCacheForcesColdPath) {
+  QueryEngine engine(Fixture().Compile());
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)").ok());
+
+  AnswerOptions bypass;
+  bypass.bypass_cache = true;
+  AnswerStats stats;
+  auto again = engine.Answer("q(x) :- Person(x)", bypass, &stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(stats.cache.hit);
+  EXPECT_FALSE(stats.cache.stored);
+  EXPECT_GT(stats.rewrite.iterations, 0u);
+  EXPECT_EQ(engine.cache_metrics().entries, 1u);  // nothing new stored
+}
+
+TEST(QueryEngineTest, DegradedResultsAreNeverCached) {
+  QueryEngine engine(Fixture().Compile());
+
+  AnswerOptions tight;
+  tight.max_rewrite_iterations = 1;
+  tight.allow_degraded = true;
+  AnswerStats degraded;
+  auto partial = engine.Answer("q(x) :- Person(x)", tight, &degraded);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_FALSE(degraded.degradation.events.empty());
+  EXPECT_FALSE(degraded.cache.stored);
+  EXPECT_EQ(engine.cache_metrics().entries, 0u);
+
+  // The next unbudgeted call must recompile (miss), not replay the
+  // truncated plan, and must return the complete answers.
+  AnswerStats full;
+  auto complete = engine.Answer("q(x) :- Person(x)", &full);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_FALSE(full.cache.hit);
+  EXPECT_TRUE(full.cache.stored);
+  EXPECT_EQ(Sorted(*complete),
+            (std::vector<AnswerTuple>{{"ada"}, {"alan"}}));
+}
+
+TEST(QueryEngineTest, CachedPlanStillHonoursEvalBudget) {
+  QueryEngine engine(Fixture().Compile());
+  auto warm = engine.Answer("q(x) :- Person(x)");
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->size(), 2u);
+
+  AnswerOptions capped;
+  capped.max_rows = 1;
+  capped.allow_degraded = true;
+  AnswerStats stats;
+  auto rows = engine.Answer("q(x) :- Person(x)", capped, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(stats.cache.hit);
+  EXPECT_LE(rows->size(), 1u);
+  EXPECT_FALSE(stats.degradation.events.empty());
+}
+
+TEST(QueryEngineTest, EvictionUnderTinyCapacity) {
+  QueryEngineOptions opts;
+  opts.plan_cache_capacity = 1;
+  opts.plan_cache_shards = 1;
+  QueryEngine engine(Fixture().Compile(), opts);
+
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)").ok());
+  ASSERT_TRUE(engine.Answer("q(x) :- Course(x)").ok());  // evicts Person plan
+
+  AnswerStats stats;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", &stats).ok());
+  EXPECT_FALSE(stats.cache.hit);  // was evicted
+  EXPECT_GE(stats.cache.evictions, 1u);
+  EXPECT_GE(engine.cache_metrics().evictions, 2u);
+  EXPECT_EQ(engine.cache_metrics().entries, 1u);
+}
+
+TEST(QueryEngineTest, CapacityZeroDisablesCaching) {
+  QueryEngineOptions opts;
+  opts.plan_cache_capacity = 0;
+  QueryEngine engine(Fixture().Compile(), opts);
+
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)").ok());
+  AnswerStats stats;
+  auto again = engine.Answer("q(x) :- Person(x)", &stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(stats.cache.hit);
+  EXPECT_FALSE(stats.cache.stored);
+  EXPECT_GT(stats.rewrite.iterations, 0u);
+  EXPECT_EQ(Sorted(*again), (std::vector<AnswerTuple>{{"ada"}, {"alan"}}));
+}
+
+TEST(QueryEngineTest, EmptyUnfoldingIsCached) {
+  // A concept no mapping (directly or via rewriting) can reach: its
+  // unfolding is empty, and that empty plan is itself cacheable.
+  auto onto = dllite::ParseOntology("concept Mapped Unmapped\n");
+  ASSERT_TRUE(onto.ok());
+  Database db;
+  ASSERT_TRUE(db.CreateTable({"t", {{"a", ValueType::kString}}}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Str("x1")}).ok());
+  MappingSet mappings;
+  SelectBlock b;
+  b.from_tables = {"t"};
+  b.select = {{0, "a"}};
+  ASSERT_TRUE(mappings
+                  .Add(MappingAssertion::ForConcept(
+                      onto->vocab().FindConcept("Mapped").value(), b))
+                  .ok());
+  auto compiled = CompiledOntology::Compile(std::move(onto).value(),
+                                            std::move(mappings),
+                                            std::move(db));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  QueryEngine engine(*compiled);
+
+  const char* q = "q(x) :- Unmapped(x)";
+  AnswerStats cold;
+  auto first = engine.Answer(q, &cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->empty());
+  EXPECT_TRUE(cold.cache.stored);
+  EXPECT_EQ(cold.sql, "-- empty unfolding");
+  AnswerStats hot;
+  auto second = engine.Answer(q, &hot);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hot.cache.hit);
+  EXPECT_TRUE(second->empty());
+  EXPECT_EQ(hot.sql, "-- empty unfolding");
+}
+
+TEST(QueryEngineTest, SharedSnapshotServesMultipleEngines) {
+  auto snapshot = Fixture().Compile(query::RewriteMode::kClassified);
+  QueryEngine a(snapshot);
+  QueryEngine b(snapshot);
+  auto ra = a.Answer("q(x, s) :- Person(x), salary(x, s)");
+  auto rb = b.Answer("q(x, s) :- Person(x), salary(x, s)");
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(Sorted(*ra), Sorted(*rb));
+  // The caches are per-engine.
+  EXPECT_EQ(a.cache_metrics().entries, 1u);
+  EXPECT_EQ(b.cache_metrics().entries, 1u);
+}
+
+TEST(QueryEngineTest, ConcurrentSameQueryStress) {
+  QueryEngine engine(Fixture().Compile(query::RewriteMode::kClassified));
+  const std::vector<AnswerTuple> want = {{"ada"}, {"alan"}};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&engine, &want, &failures] {
+      for (int i = 0; i < 25; ++i) {
+        auto r = engine.Answer("q(x) :- Person(x)");
+        if (!r.ok() || Sorted(*r) != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  LruCacheMetrics m = engine.cache_metrics();
+  EXPECT_EQ(m.hits + m.misses, 200u);
+  EXPECT_GT(m.hits, 0u);
+  EXPECT_EQ(m.entries, 1u);
+}
+
+TEST(QueryEngineTest, ConcurrentDistinctQueryStress) {
+  QueryEngineOptions opts;
+  opts.plan_cache_capacity = 4;  // force concurrent evictions
+  opts.plan_cache_shards = 2;
+  QueryEngine engine(Fixture().Compile(), opts);
+  const std::vector<const char*> queries = {
+      "q(x) :- Person(x)",
+      "q(x) :- Professor(x)",
+      "q(x) :- AssistantProf(x)",
+      "q(x) :- Course(x)",
+      "q(x, y) :- teaches(x, y)",
+      "q(x, s) :- salary(x, s)",
+      "q(x) :- Professor(x), teaches(x, y)",
+      "q() :- teaches(x, y), Course(y)",
+  };
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&engine, &queries, &failures, t] {
+      for (int i = 0; i < 20; ++i) {
+        const char* q = queries[(t + i) % queries.size()];
+        auto r = engine.Answer(q);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(engine.cache_metrics().entries, 4u);
+}
+
+TEST(QueryEngineTest, ConsistencyReportIsAValue) {
+  QueryEngine engine(Fixture().Compile());
+  auto report = engine.CheckConsistency();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent);
+  EXPECT_TRUE(report->violations.empty());
+  // Consistency probes bypass the plan cache entirely.
+  EXPECT_EQ(engine.cache_metrics().entries, 0u);
+}
+
+}  // namespace
+}  // namespace olite::obda

@@ -4,6 +4,7 @@
 
 #include "dllite/ontology.h"
 #include "query/cq.h"
+#include "query/fingerprint.h"
 #include "query/rewriter.h"
 
 namespace olite::query {
@@ -57,6 +58,69 @@ TEST(CqTest, BoundAndUnboundVariables) {
   EXPECT_FALSE(cq.IsBoundVar("z"));
   ConjunctiveQuery cq2 = MustQuery("q() :- P(x, y), A(y)", onto.vocab());
   EXPECT_TRUE(cq2.IsBoundVar("y"));   // shared
+}
+
+// ---------------------------------------------------------------------------
+// Canonical fingerprint (plan-cache key)
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintTest, AlphaRenamingIsInvariant) {
+  Ontology onto = MustParse("concept Person\nrole knows\nattribute age\n");
+  QueryFingerprint a = CanonicalFingerprint(
+      MustQuery("q(x) :- Person(x), knows(x, y)", onto.vocab()));
+  QueryFingerprint b = CanonicalFingerprint(
+      MustQuery("q(u) :- Person(u), knows(u, w)", onto.vocab()));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(FingerprintTest, AtomOrderIsInvariantForHeadOnlyJoins) {
+  Ontology onto = MustParse("concept Person\nrole knows\n");
+  QueryFingerprint a = CanonicalFingerprint(
+      MustQuery("q(x, y) :- Person(x), knows(x, y)", onto.vocab()));
+  QueryFingerprint b = CanonicalFingerprint(
+      MustQuery("q(x, y) :- knows(x, y), Person(x)", onto.vocab()));
+  EXPECT_EQ(a.key, b.key);
+}
+
+TEST(FingerprintTest, DistinguishesHeadRepetitionAndArity) {
+  Ontology onto = MustParse("role knows\n");
+  QueryFingerprint xy = CanonicalFingerprint(
+      MustQuery("q(x, y) :- knows(x, y)", onto.vocab()));
+  QueryFingerprint xx = CanonicalFingerprint(
+      MustQuery("q(x, x) :- knows(x, x)", onto.vocab()));
+  QueryFingerprint boolean = CanonicalFingerprint(
+      MustQuery("q() :- knows(x, y)", onto.vocab()));
+  EXPECT_NE(xy.key, xx.key);
+  EXPECT_NE(xy.key, boolean.key);
+  EXPECT_NE(xx.key, boolean.key);
+}
+
+TEST(FingerprintTest, DistinguishesPredicatesAndConstants) {
+  Ontology onto = MustParse("concept A\nconcept B\nattribute age\n");
+  QueryFingerprint a =
+      CanonicalFingerprint(MustQuery("q(x) :- A(x)", onto.vocab()));
+  QueryFingerprint b =
+      CanonicalFingerprint(MustQuery("q(x) :- B(x)", onto.vocab()));
+  EXPECT_NE(a.key, b.key);
+  QueryFingerprint c41 =
+      CanonicalFingerprint(MustQuery("q(x) :- age(x, 41)", onto.vocab()));
+  QueryFingerprint c42 =
+      CanonicalFingerprint(MustQuery("q(x) :- age(x, 42)", onto.vocab()));
+  EXPECT_NE(c41.key, c42.key);
+  // A constant is never conflated with a variable of the same spelling.
+  QueryFingerprint v = CanonicalFingerprint(
+      MustQuery("q(x) :- age(x, y)", onto.vocab()));
+  EXPECT_NE(c42.key, v.key);
+}
+
+TEST(FingerprintTest, HeadBindingsAreInTheIdentity) {
+  Ontology onto = MustParse("role knows\n");
+  ConjunctiveQuery cq = MustQuery("q(x) :- knows(x, y)", onto.vocab());
+  QueryFingerprint plain = CanonicalFingerprint(cq);
+  ConjunctiveQuery bound = cq;
+  bound.head_bindings.emplace_back("x", "ada");
+  EXPECT_NE(CanonicalFingerprint(bound).key, plain.key);
 }
 
 TEST(CqTest, ParserErrors) {
