@@ -14,12 +14,15 @@
 //        --queries=<n>      distinct queries in the pool (default 16)
 //        --skew=<z>         Zipf skew of the stream      (default 1.5)
 //        --seed=<n>         workload + stream seed       (default 1)
+//        --engine=<name>    rdb evaluator: columnar, nested_loop or
+//                           default (env-resolved)       (default default)
 //        --out=<path>       machine-readable results
 //                           (default BENCH_serving.json)
 //
 // The JSON output is a flat array of rows
-//   {"mode", "threads", "cache", "requests", "qps", "hit_rate",
-//    "p50_ms", "p99_ms", "total_ms"}
+//   {"mode", "engine", "threads", "cache", "requests", "qps", "hit_rate",
+//    "p50_ms", "p99_ms", "total_ms", "eval_batches", "eval_rows_scanned",
+//    "shared_node_hits", "join_reorders"}
 
 #include <algorithm>
 #include <cstdio>
@@ -47,6 +50,7 @@ using olite::query::RewriteMode;
 
 struct JsonRow {
   std::string mode;
+  std::string engine;
   int threads = 1;
   bool cache = true;
   uint64_t requests = 0;
@@ -55,6 +59,10 @@ struct JsonRow {
   double p50_ms = 0;
   double p99_ms = 0;
   double total_ms = 0;
+  uint64_t eval_batches = 0;
+  uint64_t eval_rows_scanned = 0;
+  uint64_t shared_node_hits = 0;
+  uint64_t join_reorders = 0;
 };
 
 void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
@@ -67,12 +75,20 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& r = rows[i];
     std::fprintf(f,
-                 "  {\"mode\": \"%s\", \"threads\": %d, \"cache\": %s, "
+                 "  {\"mode\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
+                 "\"cache\": %s, "
                  "\"requests\": %llu, \"qps\": %.1f, \"hit_rate\": %.4f, "
-                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"total_ms\": %.2f}%s\n",
-                 r.mode.c_str(), r.threads, r.cache ? "true" : "false",
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"total_ms\": %.2f, "
+                 "\"eval_batches\": %llu, \"eval_rows_scanned\": %llu, "
+                 "\"shared_node_hits\": %llu, \"join_reorders\": %llu}%s\n",
+                 r.mode.c_str(), r.engine.c_str(), r.threads,
+                 r.cache ? "true" : "false",
                  static_cast<unsigned long long>(r.requests), r.qps,
                  r.hit_rate, r.p50_ms, r.p99_ms, r.total_ms,
+                 static_cast<unsigned long long>(r.eval_batches),
+                 static_cast<unsigned long long>(r.eval_rows_scanned),
+                 static_cast<unsigned long long>(r.shared_node_hits),
+                 static_cast<unsigned long long>(r.join_reorders),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -101,6 +117,19 @@ double Percentile(std::vector<double>* sorted_ms, double p) {
   return (*sorted_ms)[idx];
 }
 
+olite::rdb::EvalEngine ParseEngine(const char* name) {
+  if (std::strcmp(name, "columnar") == 0) {
+    return olite::rdb::EvalEngine::kColumnar;
+  }
+  if (std::strcmp(name, "nested_loop") == 0) {
+    return olite::rdb::EvalEngine::kNestedLoop;
+  }
+  if (std::strcmp(name, "default") != 0) {
+    std::fprintf(stderr, "unknown engine '%s', using default\n", name);
+  }
+  return olite::rdb::EvalEngine::kDefault;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +138,7 @@ int main(int argc, char** argv) {
   uint32_t num_queries = 16;
   double skew = 1.5;
   uint64_t seed = 1;
+  olite::rdb::EvalEngine engine_choice = olite::rdb::EvalEngine::kDefault;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--requests=", 11) == 0) {
@@ -121,6 +151,8 @@ int main(int argc, char** argv) {
       skew = std::atof(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      engine_choice = ParseEngine(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
@@ -149,9 +181,13 @@ int main(int argc, char** argv) {
   olite::benchgen::Workload workload =
       olite::benchgen::GenerateWorkload(config);
 
+  const char* engine_name =
+      olite::rdb::EvalEngineName(olite::rdb::ResolveEvalEngine(engine_choice));
   std::vector<JsonRow> rows;
-  std::printf("%-12s %8s %6s %12s %10s %10s %10s\n", "mode", "threads",
-              "cache", "qps", "hit_rate", "p50_ms", "p99_ms");
+  std::printf("engine: %s\n", engine_name);
+  std::printf("%-12s %8s %6s %12s %10s %10s %10s %10s %10s\n", "mode",
+              "threads", "cache", "qps", "hit_rate", "p50_ms", "p99_ms",
+              "shared_hit", "reorders");
   for (RewriteMode mode : {RewriteMode::kPerfectRef, RewriteMode::kClassified}) {
     auto compiled = CompiledOntology::Compile(workload.ontology,
                                               workload.mappings,
@@ -168,7 +204,10 @@ int main(int argc, char** argv) {
         QueryEngine engine(*compiled, eopts);
 
         std::vector<std::vector<double>> latencies(threads);
+        std::vector<olite::rdb::EvalStats> eval_sums(threads);
         uint64_t per_thread = requests / threads;
+        olite::obda::AnswerOptions aopts;
+        aopts.engine = engine_choice;
         Stopwatch wall;
         std::vector<std::thread> pool;
         for (int t = 0; t < threads; ++t) {
@@ -180,18 +219,32 @@ int main(int argc, char** argv) {
               size_t pick = static_cast<size_t>(
                   rng.SkewedPick(workload.queries.size(), skew));
               Stopwatch sw;
-              auto r = engine.Answer(workload.queries[pick]);
+              olite::obda::AnswerStats astats;
+              auto r = engine.Answer(workload.queries[pick], aopts, &astats);
               latencies[t].push_back(sw.ElapsedMillis());
               if (!r.ok()) {
                 std::fprintf(stderr, "answer failed: %s\n",
                              r.status().ToString().c_str());
                 std::exit(1);
               }
+              eval_sums[t].batches += astats.eval.batches;
+              eval_sums[t].rows_scanned += astats.eval.rows_scanned;
+              eval_sums[t].shared_nodes += astats.eval.shared_nodes;
+              eval_sums[t].shared_node_hits += astats.eval.shared_node_hits;
+              eval_sums[t].join_reorders += astats.eval.join_reorders;
             }
           });
         }
         for (auto& th : pool) th.join();
         double total_ms = wall.ElapsedMillis();
+        olite::rdb::EvalStats eval_sum;
+        for (const auto& s : eval_sums) {
+          eval_sum.batches += s.batches;
+          eval_sum.rows_scanned += s.rows_scanned;
+          eval_sum.shared_nodes += s.shared_nodes;
+          eval_sum.shared_node_hits += s.shared_node_hits;
+          eval_sum.join_reorders += s.join_reorders;
+        }
 
         std::vector<double> all;
         for (auto& v : latencies) {
@@ -203,6 +256,7 @@ int main(int argc, char** argv) {
 
         JsonRow row;
         row.mode = RewriteModeName(mode);
+        row.engine = engine_name;
         row.threads = threads;
         row.cache = cache_on;
         row.requests = static_cast<uint64_t>(all.size());
@@ -217,10 +271,17 @@ int main(int argc, char** argv) {
         row.p50_ms = Percentile(&all, 0.50);
         row.p99_ms = Percentile(&all, 0.99);
         row.total_ms = total_ms;
+        row.eval_batches = eval_sum.batches;
+        row.eval_rows_scanned = eval_sum.rows_scanned;
+        row.shared_node_hits = eval_sum.shared_node_hits;
+        row.join_reorders = eval_sum.join_reorders;
         rows.push_back(row);
-        std::printf("%-12s %8d %6s %12.1f %10.4f %10.4f %10.4f\n",
+        std::printf("%-12s %8d %6s %12.1f %10.4f %10.4f %10.4f %10llu "
+                    "%10llu\n",
                     row.mode.c_str(), row.threads, row.cache ? "on" : "off",
-                    row.qps, row.hit_rate, row.p50_ms, row.p99_ms);
+                    row.qps, row.hit_rate, row.p50_ms, row.p99_ms,
+                    static_cast<unsigned long long>(row.shared_node_hits),
+                    static_cast<unsigned long long>(row.join_reorders));
       }
     }
   }

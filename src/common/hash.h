@@ -1,0 +1,37 @@
+#ifndef OLITE_COMMON_HASH_H_
+#define OLITE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace olite {
+
+/// FNV-1a offset basis (64-bit).
+inline constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+
+/// Hashes `s` with 64-bit FNV-1a, continuing from `h` — chain calls to
+/// hash a composite incrementally. Shared by the query-fingerprint plan
+/// cache key and the rdb hash-join / shared-subplan machinery so every
+/// layer agrees on one string hash.
+inline uint64_t Fnv1a(std::string_view s, uint64_t h = kFnv1aBasis) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Folds the 8 bytes of `v` into `h` (FNV-1a over the little-endian
+/// bytes). For hashing fixed-width scalars without string formatting.
+inline uint64_t Fnv1aWord(uint64_t v, uint64_t h = kFnv1aBasis) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xFF;
+    h *= 0x100000001b3ULL;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace olite
+
+#endif  // OLITE_COMMON_HASH_H_

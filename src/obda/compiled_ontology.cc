@@ -21,6 +21,7 @@ CompiledOntology::CompiledOntology(dllite::Ontology ontology,
     : ontology_(std::move(ontology)),
       mappings_(std::move(mappings)),
       database_(std::move(database)),
+      db_stats_(rdb::DatabaseStats::Collect(database_)),
       mode_(mode),
       rewriter_(ontology_.tbox(), ontology_.vocab(), OptionsFor(mode)) {
   if (mode == query::RewriteMode::kClassified) {

@@ -7,6 +7,7 @@
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
 #include "query/rewriter.h"
+#include "rdb/stats.h"
 #include "rdb/table.h"
 
 namespace olite::obda {
@@ -37,6 +38,11 @@ class CompiledOntology {
   const rdb::Database& database() const { return database_; }
   query::RewriteMode mode() const { return mode_; }
 
+  /// Table statistics of the frozen database (row counts, per-column
+  /// distinct counts), collected once at `Compile` and consumed by the
+  /// columnar evaluator's cost-based join ordering.
+  const rdb::DatabaseStats& db_stats() const { return db_stats_; }
+
   /// The rewriter for the configured mode.
   const query::Rewriter& rewriter() const { return rewriter_; }
 
@@ -53,6 +59,7 @@ class CompiledOntology {
   dllite::Ontology ontology_;
   mapping::MappingSet mappings_;
   rdb::Database database_;
+  rdb::DatabaseStats db_stats_;
   query::RewriteMode mode_;
   query::Rewriter rewriter_;
   std::unique_ptr<const query::Rewriter> fallback_rewriter_;

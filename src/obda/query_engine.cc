@@ -77,11 +77,14 @@ Result<std::vector<AnswerTuple>> QueryEngine::Evaluate(
       stats->sql_blocks = 0;
       stats->rows = 0;
       stats->sql = "-- empty unfolding";
+      stats->eval = rdb::EvalStats{};
     }
     return std::vector<AnswerTuple>{};
   }
+  rdb::EvalOptions engine_opts = eopts;
+  if (stats != nullptr) engine_opts.eval_stats = &stats->eval;
   OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
-                         rdb::Execute(*plan.plan, eopts));
+                         rdb::Execute(*plan.plan, engine_opts));
   std::vector<AnswerTuple> answers;
   answers.reserve(rows.size());
   for (const auto& row : rows) {
@@ -150,6 +153,8 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
       eopts.budget = budget;
       eopts.allow_partial = opts.allow_degraded;
       eopts.degradation = &degradation;
+      eopts.engine = opts.engine;
+      eopts.join_order_seed = opts.join_order_seed;
       return finish(Evaluate(**cached, eopts, stats));
     }
   }
@@ -200,8 +205,11 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   auto sql = Unfold(*compiled_plan.ucq, compiled_->mappings(),
                     compiled_->database(), uopts);
   if (sql.ok()) {
-    auto prepared = rdb::PreparedPlan::Prepare(compiled_->database(),
-                                               std::move(sql).value());
+    // Load-time statistics drive the columnar engine's join ordering.
+    rdb::PrepareOptions popts;
+    popts.stats = &compiled_->db_stats();
+    auto prepared = rdb::PreparedPlan::Prepare(
+        compiled_->database(), std::move(sql).value(), popts);
     if (!prepared.ok()) return finish(prepared.status());
     compiled_plan.plan = std::make_shared<const rdb::PreparedPlan>(
         std::move(prepared).value());
@@ -214,6 +222,8 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   eopts.budget = budget;
   eopts.allow_partial = opts.allow_degraded;
   eopts.degradation = &degradation;
+  eopts.engine = opts.engine;
+  eopts.join_order_seed = opts.join_order_seed;
   Result<std::vector<AnswerTuple>> answers =
       Evaluate(compiled_plan, eopts, stats);
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/fault_injection.h"
 
@@ -103,6 +104,33 @@ Result<bool> BuildBlock(const ConjunctiveQuery& cq,
   return true;
 }
 
+// Canonical render of a select block for exact-duplicate elimination.
+// Distinct rewriter disjuncts routinely unfold to byte-identical SQL
+// blocks (e.g. sibling concepts mapped through one view); keeping one copy
+// shrinks the union the evaluator has to run without changing its answers.
+std::string BlockKey(const rdb::SelectBlock& b) {
+  auto ref = [](const rdb::ColumnRef& r) {
+    return std::to_string(r.table_index) + "." + r.column;
+  };
+  auto val = [](const rdb::Value& v) {
+    // Tag the type: Int(1) and Double(1.0) both render "1".
+    return std::string(rdb::ValueTypeName(v.type())) + v.ToString();
+  };
+  std::string k = "T:";
+  for (const auto& t : b.from_tables) k += t + ",";
+  k += "|S:";
+  for (const auto& s : b.select) k += ref(s) + ",";
+  k += "|J:";
+  for (const auto& j : b.joins) k += ref(j.lhs) + "=" + ref(j.rhs) + ",";
+  k += "|F:";
+  for (const auto& f : b.filters) k += ref(f.col) + "=" + val(f.value) + ",";
+  k += "|C:";
+  for (const auto& c : b.const_select) {
+    k += std::to_string(c.position) + "=" + val(c.value) + ",";
+  }
+  return k;
+}
+
 }  // namespace
 
 Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
@@ -110,6 +138,7 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
                              const rdb::Database& db,
                              const UnfoldOptions& options) {
   rdb::SqlQuery sql;
+  std::unordered_set<std::string> seen_blocks;
   const ExecBudget* budget = options.budget;
   bool truncated = false;
   size_t disjuncts_done = 0;
@@ -164,6 +193,8 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
       }
       rdb::SelectBlock block;
       OLITE_ASSIGN_OR_RETURN(bool ok, BuildBlock(cq, choice, db, &block));
+      // Duplicates don't enter the union and don't consume quota.
+      if (ok) ok = seen_blocks.insert(BlockKey(block)).second;
       if (ok) {
         if (budget != nullptr && !budget->Consume(Quota::kSqlBlocks)) {
           OLITE_RETURN_IF_ERROR(exhaust(Status::ResourceExhausted(

@@ -4,19 +4,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace olite::query {
 
 namespace {
-
-// FNV-1a, 64-bit.
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 const char* AtomKindTag(Atom::Kind kind) {
   switch (kind) {

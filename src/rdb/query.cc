@@ -1,9 +1,12 @@
 #include "rdb/query.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/fault_injection.h"
+#include "rdb/columnar.h"
+#include "rdb/stats.h"
 
 namespace olite::rdb {
 
@@ -16,23 +19,6 @@ std::string RefToString(const ColumnRef& ref) {
   out += ref.column;
   return out;
 }
-
-// Resolved column reference: (table position, column position).
-struct ResolvedRef {
-  size_t table_index;
-  size_t column_index;
-};
-
-struct ResolvedBlock {
-  std::vector<const Table*> tables;
-  std::vector<ResolvedRef> select;
-  std::vector<std::pair<ResolvedRef, ResolvedRef>> joins;
-  std::vector<std::pair<ResolvedRef, Value>> filters;
-  /// Prototype output row with constant coordinates pre-filled;
-  /// `select_positions[i]` is the coordinate `select[i]` writes into.
-  Row row_template;
-  std::vector<size_t> select_positions;
-};
 
 Result<ResolvedRef> Resolve(const ColumnRef& ref,
                             const std::vector<const Table*>& tables) {
@@ -96,29 +82,12 @@ Result<ResolvedBlock> ResolveBlock(const Database& db,
   return out;
 }
 
-// Shared evaluation state: the accumulating distinct-row set plus budget
-// bookkeeping. `stop` latches once a cap is hit; `exhausted` carries the
-// reason (the caller decides between degrading and failing).
-struct EvalContext {
-  std::set<Row>* out = nullptr;
-  const ExecBudget* budget = nullptr;
-  uint64_t max_rows = 0;
-  uint64_t scanned = 0;  // source rows visited, for strided deadline polls
-  bool stop = false;
-  Status exhausted;
-
-  void Exhaust(Status why) {
-    stop = true;
-    if (exhausted.ok()) exhausted = std::move(why);
-  }
-};
-
-// Left-deep nested-loop evaluation: bind tables one at a time, applying
-// every join/filter as soon as all of its references are bound. Returns
-// early (ctx->stop) once a row quota or the deadline is exhausted.
-void EvalBlock(const ResolvedBlock& block, size_t depth,
-               std::vector<const Row*>* binding, EvalContext* ctx) {
-  if (ctx->stop) return;
+// Left-deep nested-loop evaluation (the baseline engine): bind tables one
+// at a time, applying every join/filter as soon as all of its references
+// are bound. Returns early once the sink latches a stop.
+void EvalBlockNested(const ResolvedBlock& block, size_t depth,
+                     std::vector<const Row*>* binding, EvalSink* sink) {
+  if (sink->stopped()) return;
   if (depth == block.tables.size()) {
     Row result = block.row_template;
     for (size_t i = 0; i < block.select.size(); ++i) {
@@ -126,34 +95,12 @@ void EvalBlock(const ResolvedBlock& block, size_t depth,
       result[block.select_positions[i]] =
           (*(*binding)[ref.table_index])[ref.column_index];
     }
-    auto [it, inserted] = ctx->out->insert(std::move(result));
-    if (inserted) {
-      if (ctx->budget != nullptr && !ctx->budget->Consume(Quota::kRows)) {
-        // The row that blew the quota must not be kept: the result set
-        // stays exactly at the cap.
-        ctx->out->erase(it);
-        ctx->Exhaust(Status::ResourceExhausted(
-            "rdb: row quota exhausted at " +
-            std::to_string(ctx->out->size()) + " rows"));
-        return;
-      }
-      if (ctx->max_rows != 0 && ctx->out->size() >= ctx->max_rows) {
-        ctx->Exhaust(Status::ResourceExhausted(
-            "rdb: row cap of " + std::to_string(ctx->max_rows) + " reached"));
-      }
-    }
+    sink->Emit(std::move(result));
     return;
   }
   auto bound = [&](const ResolvedRef& r) { return r.table_index <= depth; };
   for (const Row& row : block.tables[depth]->rows()) {
-    if (ctx->stop) return;
-    if (ctx->budget != nullptr && (++ctx->scanned & 0xFF) == 0) {
-      Status s = ctx->budget->Check("rdb");
-      if (!s.ok()) {
-        ctx->Exhaust(std::move(s));
-        return;
-      }
-    }
+    if (!sink->PollScan()) return;
     (*binding)[depth] = &row;
     bool ok = true;
     for (const auto& [col, value] : block.filters) {
@@ -175,11 +122,45 @@ void EvalBlock(const ResolvedBlock& block, size_t depth,
         }
       }
     }
-    if (ok) EvalBlock(block, depth + 1, binding, ctx);
+    if (ok) EvalBlockNested(block, depth + 1, binding, sink);
   }
 }
 
+Status EvalNestedLoop(const std::vector<ResolvedBlock>& blocks,
+                      EvalSink* sink, size_t* blocks_done) {
+  for (const auto& resolved : blocks) {
+    OLITE_RETURN_IF_ERROR(fault::InjectAt(fault::Site::kRdbExecute));
+    std::vector<const Row*> binding(resolved.tables.size(), nullptr);
+    EvalBlockNested(resolved, 0, &binding, sink);
+    if (sink->stopped()) break;
+    ++(*blocks_done);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+const char* EvalEngineName(EvalEngine e) {
+  switch (e) {
+    case EvalEngine::kDefault: return "default";
+    case EvalEngine::kNestedLoop: return "nested_loop";
+    case EvalEngine::kColumnar: return "columnar";
+  }
+  return "?";
+}
+
+EvalEngine ResolveEvalEngine(EvalEngine requested) {
+  if (requested != EvalEngine::kDefault) return requested;
+  // The environment override backs the ctest engine matrix; read once.
+  static const EvalEngine env_default = [] {
+    const char* e = std::getenv("OLITE_EVAL_ENGINE");
+    if (e != nullptr && std::string_view(e) == "nested_loop") {
+      return EvalEngine::kNestedLoop;
+    }
+    return EvalEngine::kColumnar;
+  }();
+  return env_default;
+}
 
 std::string SqlQuery::ToString() const {
   std::string out;
@@ -246,45 +227,61 @@ Status ValidateArity(const SqlQuery& query) {
   return Status::Ok();
 }
 
-// Shared evaluation core of both Execute overloads: union of pre-resolved
-// blocks, fault injection per block, budget-aware truncation.
+// Shared evaluation core of both Execute overloads: dispatch to the
+// selected engine, then apply the common truncation/degradation protocol.
+// `programs` may be null (ad-hoc path under the nested-loop engine, or a
+// join_order_seed recompilation below).
 Result<std::vector<Row>> EvalResolvedBlocks(
-    const std::vector<ResolvedBlock>& blocks, const EvalOptions& options) {
-  std::set<Row> out;
-  EvalContext ctx;
-  ctx.out = &out;
-  ctx.budget = options.budget;
-  ctx.max_rows = options.max_rows;
+    const std::vector<ResolvedBlock>& blocks,
+    const std::vector<columnar::BlockProgram>* programs,
+    const EvalOptions& options) {
+  const EvalEngine engine = ResolveEvalEngine(options.engine);
+  EvalSink sink(options.budget, options.max_rows);
+  EvalStats local_stats;
+  EvalStats* stats =
+      options.eval_stats != nullptr ? options.eval_stats : &local_stats;
+  *stats = {};
+  stats->engine = EvalEngineName(engine);
   size_t blocks_done = 0;
-  for (const auto& resolved : blocks) {
-    Status injected = fault::InjectAt(fault::Site::kRdbExecute);
-    if (!injected.ok()) return injected;
-    std::vector<const Row*> binding(resolved.tables.size(), nullptr);
-    EvalBlock(resolved, 0, &binding, &ctx);
-    if (ctx.stop) break;
-    ++blocks_done;
+  if (engine == EvalEngine::kColumnar) {
+    std::vector<columnar::BlockProgram> recompiled;
+    if (programs == nullptr || options.join_order_seed != 0) {
+      recompiled =
+          columnar::CompilePlan(blocks, nullptr, options.join_order_seed);
+      programs = &recompiled;
+    }
+    OLITE_RETURN_IF_ERROR(columnar::EvalPlan(*programs, options, &sink,
+                                             stats, &blocks_done));
+  } else {
+    OLITE_RETURN_IF_ERROR(EvalNestedLoop(blocks, &sink, &blocks_done));
   }
-  if (ctx.stop) {
-    if (!options.allow_partial) return ctx.exhausted;
+  stats->rows_scanned = sink.scanned();
+  std::vector<Row> out = sink.TakeSorted();
+  if (sink.stopped()) {
+    if (!options.allow_partial) return sink.exhausted();
     if (options.degradation != nullptr) {
       options.degradation->Add(
           "rdb", "evaluation truncated after " + std::to_string(out.size()) +
                      " rows (" + std::to_string(blocks_done) + "/" +
                      std::to_string(blocks.size()) +
-                     " blocks finished): " + ctx.exhausted.message());
+                     " blocks finished): " + sink.exhausted().message());
     }
   }
-  return std::vector<Row>(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
 
 struct PreparedPlan::Resolved {
   std::vector<ResolvedBlock> blocks;
+  /// Columnar programs compiled once at preparation time (with statistics
+  /// when the caller supplied them). The nested-loop engine and the
+  /// join_order_seed test hook ignore them.
+  std::vector<columnar::BlockProgram> programs;
 };
 
-Result<PreparedPlan> PreparedPlan::Prepare(const Database& db,
-                                           SqlQuery query) {
+Result<PreparedPlan> PreparedPlan::Prepare(const Database& db, SqlQuery query,
+                                           const PrepareOptions& options) {
   OLITE_RETURN_IF_ERROR(ValidateArity(query));
   auto resolved = std::make_shared<Resolved>();
   resolved->blocks.reserve(query.blocks.size());
@@ -292,6 +289,7 @@ Result<PreparedPlan> PreparedPlan::Prepare(const Database& db,
     OLITE_ASSIGN_OR_RETURN(ResolvedBlock r, ResolveBlock(db, block));
     resolved->blocks.push_back(std::move(r));
   }
+  resolved->programs = columnar::CompilePlan(resolved->blocks, options.stats);
   PreparedPlan plan;
   plan.sql_text_ = query.ToString();
   plan.query_ = std::make_shared<const SqlQuery>(std::move(query));
@@ -299,9 +297,15 @@ Result<PreparedPlan> PreparedPlan::Prepare(const Database& db,
   return plan;
 }
 
+Result<PreparedPlan> PreparedPlan::Prepare(const Database& db,
+                                           SqlQuery query) {
+  return Prepare(db, std::move(query), PrepareOptions{});
+}
+
 Result<std::vector<Row>> Execute(const PreparedPlan& plan,
                                  const EvalOptions& options) {
-  return EvalResolvedBlocks(plan.resolved_->blocks, options);
+  return EvalResolvedBlocks(plan.resolved_->blocks, &plan.resolved_->programs,
+                            options);
 }
 
 Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
@@ -313,7 +317,7 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
     OLITE_ASSIGN_OR_RETURN(ResolvedBlock resolved, ResolveBlock(db, block));
     blocks.push_back(std::move(resolved));
   }
-  return EvalResolvedBlocks(blocks, options);
+  return EvalResolvedBlocks(blocks, nullptr, options);
 }
 
 }  // namespace olite::rdb

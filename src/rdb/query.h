@@ -65,11 +65,52 @@ struct SqlQuery {
   std::string ToString() const;
 };
 
+/// Which physical evaluator executes a query.
+enum class EvalEngine : uint8_t {
+  /// Resolved at execution time: the `OLITE_EVAL_ENGINE` environment
+  /// variable ("columnar" / "nested_loop") when set, else kColumnar. The
+  /// env override lets the ctest matrix run the whole tier-1 suite under
+  /// either engine without code changes.
+  kDefault = 0,
+  /// Row-at-a-time left-deep nested-loop join (the original evaluator,
+  /// kept as the baseline and fallback).
+  kNestedLoop,
+  /// Batched columnar operators: filtered scan → hash join → project →
+  /// union, with statistics-driven join reordering and shared-subplan
+  /// reuse across union blocks.
+  kColumnar,
+};
+
+/// Canonical name of a *resolved* engine ("columnar" / "nested_loop").
+const char* EvalEngineName(EvalEngine e);
+
+/// Resolves kDefault against the environment override.
+EvalEngine ResolveEvalEngine(EvalEngine requested);
+
+/// Evaluator counters of one `Execute` call (see AnswerStats::eval for the
+/// serving-side surface).
+struct EvalStats {
+  /// Resolved engine that ran ("columnar" / "nested_loop").
+  const char* engine = "";
+  /// Batches processed by the columnar engine (scan/build/probe/project
+  /// slices of up to 1024 tuples); 0 under the nested-loop engine.
+  uint64_t batches = 0;
+  /// Source rows visited by scans plus intermediate tuples probed.
+  uint64_t rows_scanned = 0;
+  /// Distinct shared sub-plan nodes (join prefixes) materialised.
+  uint64_t shared_nodes = 0;
+  /// Times a block resumed from an already-materialised shared prefix
+  /// instead of recomputing it.
+  uint64_t shared_node_hits = 0;
+  /// Blocks whose cost-based join order differs from the written order.
+  uint64_t join_reorders = 0;
+};
+
 /// Budget controls for `Execute`.
 struct EvalOptions {
   /// Shared budget: the kRows quota caps materialised distinct rows, the
   /// deadline/cancellation flag is polled every few hundred scanned source
-  /// rows. May be null.
+  /// rows (per batch under the columnar engine). May be null.
   const ExecBudget* budget = nullptr;
   /// Local distinct-row cap, independent of any budget (0 = unlimited).
   uint64_t max_rows = 0;
@@ -78,14 +119,35 @@ struct EvalOptions {
   bool allow_partial = false;
   /// Records a truncation event when evaluation stopped early.
   Degradation* degradation = nullptr;
+  /// Physical evaluator; kDefault resolves via OLITE_EVAL_ENGINE, else
+  /// columnar.
+  EvalEngine engine = EvalEngine::kDefault;
+  /// Test hook: with a non-zero seed the columnar engine replaces the
+  /// cost-based join order of every block by a seeded random permutation
+  /// (recompiled per call). Answers must not change — the conformance
+  /// metamorphic check sweeps seeds to prove it.
+  uint64_t join_order_seed = 0;
+  /// Evaluator counters, reset and filled when non-null.
+  EvalStats* eval_stats = nullptr;
 };
 
-/// Evaluates `query` against `db`: left-deep nested-loop join with eager
-/// filter application, distinct rows in deterministic (sorted) order.
-/// Each select block is a fault-injection point
-/// (`fault::Site::kRdbExecute`).
+/// Evaluates `query` against `db` under the selected engine; distinct rows
+/// in deterministic (sorted) order. Each select block is a fault-injection
+/// point (`fault::Site::kRdbExecute`; the columnar engine additionally
+/// fires it per batch).
 Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
                                  const EvalOptions& options = {});
+
+class DatabaseStats;  // rdb/stats.h
+
+/// Options for `PreparedPlan::Prepare`.
+struct PrepareOptions {
+  /// Table statistics driving the columnar engine's cost-based join
+  /// ordering, collected at load time (`DatabaseStats::Collect`; the
+  /// `CompiledOntology` snapshot does this once at `Compile`). Null keeps
+  /// the written join order. Only read during `Prepare`.
+  const DatabaseStats* stats = nullptr;
+};
 
 /// A serve-many execution plan: column references resolved to (table,
 /// column) positions and the SQL text rendered once at preparation time,
@@ -99,8 +161,12 @@ Result<std::vector<Row>> Execute(const Database& db, const SqlQuery& query,
 /// resolved state and are cheap.
 class PreparedPlan {
  public:
-  /// Resolves every block against `db` (schema validation included) and
-  /// renders the SQL text.
+  /// Resolves every block against `db` (schema validation included),
+  /// renders the SQL text, and compiles the columnar block programs —
+  /// with statistics-driven join ordering and shared-prefix clustering
+  /// when `options.stats` is supplied.
+  static Result<PreparedPlan> Prepare(const Database& db, SqlQuery query,
+                                      const PrepareOptions& options);
   static Result<PreparedPlan> Prepare(const Database& db, SqlQuery query);
 
   const SqlQuery& query() const { return *query_; }

@@ -1,0 +1,25 @@
+#include "rdb/stats.h"
+
+#include <unordered_set>
+
+namespace olite::rdb {
+
+DatabaseStats DatabaseStats::Collect(const Database& db) {
+  DatabaseStats out;
+  for (const auto& [name, table] : db.tables()) {
+    TableStats ts;
+    ts.rows = table.NumRows();
+    const size_t arity = table.schema().columns.size();
+    ts.columns.resize(arity);
+    std::unordered_set<Value, ValueHasher> distinct;
+    for (size_t c = 0; c < arity; ++c) {
+      distinct.clear();
+      for (const Row& row : table.rows()) distinct.insert(row[c]);
+      ts.columns[c].distinct = distinct.size();
+    }
+    out.tables_.emplace(name, std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace olite::rdb

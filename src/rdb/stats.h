@@ -1,0 +1,61 @@
+#ifndef OLITE_RDB_STATS_H_
+#define OLITE_RDB_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdb/table.h"
+
+namespace olite::rdb {
+
+/// Per-column statistics of one table.
+struct ColumnStats {
+  /// Distinct values in the column. Exact for the in-memory tables this
+  /// engine serves (one hashed pass per column at collection time); a
+  /// disk-backed source would substitute a sketch (e.g. HyperLogLog)
+  /// behind the same field.
+  uint64_t distinct = 0;
+};
+
+/// Statistics of one table: row count plus per-column distinct counts, in
+/// schema column order.
+struct TableStats {
+  uint64_t rows = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Distinct count of column `col` (1 when unknown/empty — a selectivity
+  /// denominator must never be 0).
+  uint64_t Distinct(size_t col) const {
+    if (col >= columns.size() || columns[col].distinct == 0) return 1;
+    return columns[col].distinct;
+  }
+};
+
+/// Statistics for every table of a database, collected once at load time
+/// (the `CompiledOntology` snapshot computes them at `Compile`) and
+/// consumed by the columnar evaluator's cost-based join ordering.
+class DatabaseStats {
+ public:
+  DatabaseStats() = default;
+
+  /// One pass over every table: row counts and exact per-column distinct
+  /// counts.
+  static DatabaseStats Collect(const Database& db);
+
+  /// Stats of `table`, or nullptr when unknown.
+  const TableStats* Find(const std::string& table) const {
+    auto it = tables_.find(table);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return tables_.empty(); }
+
+ private:
+  std::map<std::string, TableStats> tables_;
+};
+
+}  // namespace olite::rdb
+
+#endif  // OLITE_RDB_STATS_H_

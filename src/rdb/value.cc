@@ -1,7 +1,10 @@
 #include "rdb/value.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/hash.h"
 
 namespace olite::rdb {
 
@@ -24,6 +27,27 @@ std::string FormatDoubleRoundTrip(double v) {
     if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;
+}
+
+uint64_t Value::Hash() const {
+  // Seed with the type tag so cross-type payload coincidences (e.g. the
+  // bit pattern of Int(0) vs Double(0.0)) cannot collide systematically.
+  uint64_t h = Fnv1aWord(static_cast<uint64_t>(type()) + 1);
+  switch (type()) {
+    case ValueType::kInt:
+      return Fnv1aWord(static_cast<uint64_t>(AsInt()), h);
+    case ValueType::kDouble:
+      return Fnv1aWord(std::bit_cast<uint64_t>(AsDouble()), h);
+    case ValueType::kString:
+      return Fnv1a(AsString(), h);
+  }
+  return h;
+}
+
+size_t ValueVecHasher::operator()(const std::vector<Value>& vs) const {
+  uint64_t h = kFnv1aBasis;
+  for (const Value& v : vs) h = Fnv1aWord(v.Hash(), h);
+  return static_cast<size_t>(h);
 }
 
 std::string Value::ToName() const {

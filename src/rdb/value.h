@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace olite::rdb {
 
@@ -44,8 +45,26 @@ class Value {
   bool operator==(const Value& o) const { return data_ == o.data_; }
   bool operator<(const Value& o) const { return data_ < o.data_; }
 
+  /// Type-tagged 64-bit hash (FNV-1a based). Equal values hash equally;
+  /// values of different types never compare equal, so the tag keeps
+  /// `Int(0)` and `Str("")` apart in hashed containers.
+  uint64_t Hash() const;
+
  private:
   std::variant<int64_t, double, std::string> data_;
+};
+
+/// Hasher for hashed containers keyed by `Value`.
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+/// Hasher for hashed containers keyed by a tuple of values (a `Row` or a
+/// join key): combines the element hashes order-sensitively.
+struct ValueVecHasher {
+  size_t operator()(const std::vector<Value>& vs) const;
 };
 
 }  // namespace olite::rdb

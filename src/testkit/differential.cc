@@ -229,6 +229,82 @@ std::vector<std::string> CompareAnswerPaths(const benchgen::Workload& w,
   return diffs;
 }
 
+std::vector<std::string> CompareEvaluators(const benchgen::Workload& w,
+                                           const EvaluatorDiffOptions& options) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+
+  auto system =
+      obda::ObdaSystem::Create(w.ontology, w.mappings, w.database,
+                               query::RewriteMode::kClassified);
+  if (!system.ok()) {
+    diffs.push_back("ObdaSystem::Create failed: " +
+                    system.status().ToString());
+    return diffs;
+  }
+  ChaseOracle chase(w.ontology.tbox(), vocab, w.abox, options.chase_depth);
+
+  for (const auto& cq : w.queries) {
+    const std::string label = cq.ToString(vocab);
+
+    auto chase_rows = chase.CertainAnswers(cq);
+    TupleSet want(chase_rows.begin(), chase_rows.end());
+
+    auto run = [&](const obda::AnswerOptions& opts, obda::AnswerStats* stats,
+                   const std::string& tag) -> std::optional<TupleSet> {
+      auto rows = (*system)->Answer(cq, opts, stats);
+      if (!rows.ok()) {
+        diffs.push_back(label + " [" + tag + "]: " +
+                        rows.status().ToString());
+        return std::nullopt;
+      }
+      TupleSet got(rows->begin(), rows->end());
+      CompareTupleSets(label, want, got, tag, &diffs);
+      return got;
+    };
+
+    // Cold columnar compile (bypassing the cache), then a hot pass that
+    // exercises the cached plan's precompiled programs.
+    obda::AnswerOptions columnar;
+    columnar.engine = rdb::EvalEngine::kColumnar;
+    columnar.bypass_cache = true;
+    obda::AnswerStats cstats;
+    auto col = run(columnar, &cstats, "columnar");
+    if (col.has_value() && cstats.sql_blocks > 0 &&
+        std::string(cstats.eval.engine) != "columnar") {
+      diffs.push_back(label + " [columnar]: stats report engine '" +
+                      cstats.eval.engine + "'");
+    }
+    columnar.bypass_cache = false;
+    run(columnar, nullptr, "columnar-cached");
+
+    obda::AnswerOptions nested;
+    nested.engine = rdb::EvalEngine::kNestedLoop;
+    nested.bypass_cache = true;
+    run(nested, nullptr, "nested-loop");
+
+    auto direct = query::AnswerOverABox(cq, w.ontology.tbox(), w.abox, vocab,
+                                        query::RewriteMode::kPerfectRef);
+    if (!direct.ok()) {
+      diffs.push_back(label + " [abox]: " + direct.status().ToString());
+    } else {
+      CompareTupleSets(label, want, TupleSet(direct->begin(), direct->end()),
+                       "abox-eval", &diffs);
+    }
+
+    // Metamorphic sweep: a randomised physical join order must not change
+    // the answer set.
+    for (uint64_t seed : options.join_order_seeds) {
+      obda::AnswerOptions shuffled;
+      shuffled.engine = rdb::EvalEngine::kColumnar;
+      shuffled.bypass_cache = true;
+      shuffled.join_order_seed = seed;
+      run(shuffled, nullptr, "columnar-seed" + std::to_string(seed));
+    }
+  }
+  return diffs;
+}
+
 std::vector<std::string> CheckPiMonotonicity(const Ontology& onto,
                                              uint64_t seed) {
   std::vector<std::string> diffs;

@@ -250,6 +250,25 @@ TEST(ConformanceSweep, DifferentialAndMetamorphicAgreement) {
   }
 }
 
+// Evaluator conformance: the batched columnar engine (cold, plan-cache-hot
+// and under randomised join orders) against the nested-loop baseline,
+// refereed by the chase oracle and direct ABox evaluation.
+TEST(EvaluatorConformance, ColumnarAgreesWithNestedLoopAndOracles) {
+  const uint64_t num_seeds = EnvOr("OLITE_EVAL_CONFORMANCE_SEEDS", 60);
+  const uint64_t base = EnvOr("OLITE_CONFORMANCE_SEED_BASE", 0);
+  for (uint64_t seed = base; seed < base + num_seeds; ++seed) {
+    Workload w = benchgen::GenerateWorkload(SweepConfig(seed));
+    testkit::EvaluatorDiffOptions opts;
+    opts.chase_depth = SweepConfig(seed).max_atoms_per_query + 1;
+    // Two fixed seeds plus one varying with the sweep seed keep the
+    // join-order metamorphic check cheap but fresh.
+    opts.join_order_seeds = {1, 0xBADCAFE, seed + 17};
+    auto diffs = testkit::CompareEvaluators(w, opts);
+    ASSERT_TRUE(diffs.empty())
+        << "evaluator discrepancies at seed " << seed << JoinDiffs(diffs);
+  }
+}
+
 // Satellite: cross-engine agreement on deliberately unsatisfiable
 // ontologies — computeUnsat (graph) vs tableau vs completion vs oracle.
 TEST(ConformanceSweep, UnsatisfiableOntologyAgreement) {

@@ -347,6 +347,59 @@ TEST(QueryEngineTest, ConcurrentDistinctQueryStress) {
   EXPECT_LE(engine.cache_metrics().entries, 4u);
 }
 
+TEST(QueryEngineTest, ConcurrentColumnarEngineStress) {
+  // Hammers one engine from 8 threads with the columnar evaluator forced
+  // on, mixing cache-hot executions of one shared PreparedPlan (whose
+  // shared-subplan cache must be call-local), nested-loop calls and
+  // randomised join orders. Run under TSan in CI; any shared mutable
+  // evaluator state shows up as a race, any engine disagreement as a
+  // failure count.
+  QueryEngine engine(Fixture().Compile(query::RewriteMode::kClassified));
+  AnswerOptions columnar;
+  columnar.engine = rdb::EvalEngine::kColumnar;
+  auto baseline = engine.Answer("q(x, y) :- Professor(x), teaches(x, y)",
+                                columnar);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::vector<AnswerTuple> want = Sorted(*baseline);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&engine, &want, &failures, t] {
+      for (int i = 0; i < 25; ++i) {
+        AnswerOptions opts;
+        opts.engine = (i % 3 == 2) ? rdb::EvalEngine::kNestedLoop
+                                   : rdb::EvalEngine::kColumnar;
+        if (i % 5 == 4) opts.join_order_seed = t * 100 + i;
+        AnswerStats stats;
+        auto r = engine.Answer("q(x, y) :- Professor(x), teaches(x, y)",
+                               opts, &stats);
+        if (!r.ok() || Sorted(*r) != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.cache_metrics().entries, 1u);
+}
+
+TEST(QueryEngineTest, AnswerStatsSurfaceEvaluatorCounters) {
+  QueryEngine engine(Fixture().Compile(query::RewriteMode::kClassified));
+  AnswerOptions opts;
+  opts.engine = rdb::EvalEngine::kColumnar;
+  AnswerStats stats;
+  auto r = engine.Answer("q(x) :- Person(x)", opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_STREQ(stats.eval.engine, "columnar");
+  EXPECT_GT(stats.eval.batches, 0u);
+  EXPECT_GT(stats.eval.rows_scanned, 0u);
+  opts.engine = rdb::EvalEngine::kNestedLoop;
+  opts.bypass_cache = true;
+  auto n = engine.Answer("q(x) :- Person(x)", opts, &stats);
+  ASSERT_TRUE(n.ok());
+  EXPECT_STREQ(stats.eval.engine, "nested_loop");
+  EXPECT_EQ(Sorted(*r), Sorted(*n));
+}
+
 TEST(QueryEngineTest, ConsistencyReportIsAValue) {
   QueryEngine engine(Fixture().Compile());
   auto report = engine.CheckConsistency();

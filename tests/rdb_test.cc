@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rdb/query.h"
+#include "rdb/stats.h"
 #include "rdb/table.h"
 
 namespace olite::rdb {
@@ -190,6 +193,190 @@ TEST(QueryTest, ToStringRendersSql) {
   EXPECT_NE(sql.find("FROM professor t0, teaches t1"), std::string::npos);
   EXPECT_NE(sql.find("WHERE t0.id = t1.prof_id"), std::string::npos);
   EXPECT_NE(sql.find("AND t1.course_id = 101"), std::string::npos);
+}
+
+TEST(ValueTest, HashIsTypeTaggedAndConsistent) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Str("ab").Hash(), Value::Str("ab").Hash());
+  EXPECT_NE(Value::Int(0).Hash(), Value::Double(0.0).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Str("1").Hash());
+}
+
+TEST(StatsTest, CollectCountsRowsAndDistincts) {
+  Database db = UniversityDb();
+  DatabaseStats stats = DatabaseStats::Collect(db);
+  const TableStats* teaches = stats.Find("teaches");
+  ASSERT_NE(teaches, nullptr);
+  EXPECT_EQ(teaches->rows, 3u);
+  EXPECT_EQ(teaches->Distinct(0), 2u);  // prof_id: p1, p2
+  EXPECT_EQ(teaches->Distinct(1), 3u);  // course_id: 101, 102, 201
+  EXPECT_EQ(teaches->Distinct(99), 1u);  // unknown column: safe denominator
+  EXPECT_EQ(stats.Find("nope"), nullptr);
+}
+
+// Evaluates `q` under one explicitly selected engine.
+Result<std::vector<Row>> RunWith(const Database& db, const SqlQuery& q,
+                                 EvalEngine engine, EvalStats* stats = nullptr,
+                                 uint64_t seed = 0) {
+  EvalOptions opts;
+  opts.engine = engine;
+  opts.eval_stats = stats;
+  opts.join_order_seed = seed;
+  return Execute(db, q, opts);
+}
+
+SqlQuery ProfessorCoursesQuery() {
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"professor", "teaches", "course"};
+  b.select = {{0, "name"}, {2, "title"}};
+  b.joins = {{{0, "id"}, {1, "prof_id"}}, {{1, "course_id"}, {2, "id"}}};
+  q.blocks.push_back(b);
+  return q;
+}
+
+TEST(ColumnarTest, EnginesAgreeOnJoinQuery) {
+  Database db = UniversityDb();
+  SqlQuery q = ProfessorCoursesQuery();
+  EvalStats cstats, nstats;
+  auto col = RunWith(db, q, EvalEngine::kColumnar, &cstats);
+  auto nested = RunWith(db, q, EvalEngine::kNestedLoop, &nstats);
+  ASSERT_TRUE(col.ok()) << col.status().ToString();
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(*col, *nested);
+  EXPECT_EQ(col->size(), 3u);
+  EXPECT_STREQ(cstats.engine, "columnar");
+  EXPECT_STREQ(nstats.engine, "nested_loop");
+  EXPECT_GT(cstats.batches, 0u);
+  EXPECT_GT(cstats.rows_scanned, 0u);
+  EXPECT_EQ(nstats.batches, 0u);
+}
+
+TEST(ColumnarTest, JoinOrderSeedNeverChangesAnswers) {
+  Database db = UniversityDb();
+  SqlQuery q = ProfessorCoursesQuery();
+  auto baseline = RunWith(db, q, EvalEngine::kColumnar);
+  ASSERT_TRUE(baseline.ok());
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    auto shuffled = RunWith(db, q, EvalEngine::kColumnar, nullptr, seed);
+    ASSERT_TRUE(shuffled.ok()) << shuffled.status().ToString();
+    EXPECT_EQ(*shuffled, *baseline) << "seed " << seed;
+  }
+}
+
+TEST(ColumnarTest, SharedPrefixEvaluatedOnceAcrossUnionBlocks) {
+  Database db = UniversityDb();
+  // Two blocks whose first step is the identical filtered scan + join
+  // prefix over (professor ⋈ teaches); only the final course filter
+  // differs. The shared-subplan cache must materialise the prefix once.
+  SqlQuery q;
+  for (int course : {101, 201}) {
+    SelectBlock b;
+    b.from_tables = {"professor", "teaches"};
+    b.select = {{0, "name"}};
+    b.joins = {{{0, "id"}, {1, "prof_id"}}};
+    b.filters = {{{1, "course_id"}, Value::Int(course)}};
+    q.blocks.push_back(b);
+  }
+  // Shared prefixes are discovered on the resolved plan, so the common
+  // "professor" scan (step 0 of both blocks) is computed once.
+  auto plan = PreparedPlan::Prepare(db, q);
+  ASSERT_TRUE(plan.ok());
+  EvalStats stats;
+  EvalOptions opts;
+  opts.engine = EvalEngine::kColumnar;
+  opts.eval_stats = &stats;
+  auto rows = Execute(*plan, opts);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GE(stats.shared_nodes, 1u);
+  EXPECT_GE(stats.shared_node_hits, 1u);
+  auto nested = RunWith(db, q, EvalEngine::kNestedLoop);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*rows, *nested);
+}
+
+TEST(ColumnarTest, StatisticsReorderSelectiveTableFirst) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable({"big", {{"x", ValueType::kInt},
+                                      {"pad", ValueType::kInt}}})
+                  .ok());
+  ASSERT_TRUE(
+      db.CreateTable({"small", {{"x", ValueType::kInt},
+                                {"tag", ValueType::kString}}})
+          .ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.Insert("big", {Value::Int(i), Value::Int(i % 7)}).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        db.Insert("small", {Value::Int(i * 10), Value::Str("keep")}).ok());
+  }
+  DatabaseStats stats = DatabaseStats::Collect(db);
+  // Written with the unselective big table first; the cost-based order
+  // should start from the filtered small table instead.
+  SqlQuery q;
+  SelectBlock b;
+  b.from_tables = {"big", "small"};
+  b.select = {{0, "x"}};
+  b.joins = {{{0, "x"}, {1, "x"}}};
+  b.filters = {{{1, "tag"}, Value::Str("keep")}};
+  q.blocks.push_back(b);
+  PrepareOptions popts;
+  popts.stats = &stats;
+  auto plan = PreparedPlan::Prepare(db, q, popts);
+  ASSERT_TRUE(plan.ok());
+  EvalStats estats;
+  EvalOptions opts;
+  opts.engine = EvalEngine::kColumnar;
+  opts.eval_stats = &estats;
+  auto rows = Execute(*plan, opts);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(estats.join_reorders, 1u);
+  auto nested = RunWith(db, q, EvalEngine::kNestedLoop);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*rows, *nested);
+  EXPECT_EQ(rows->size(), 5u);
+}
+
+TEST(ColumnarTest, RowCapTruncatesWithDegradationUnderBothEngines) {
+  Database db = UniversityDb();
+  SqlQuery q = ProfessorCoursesQuery();
+  for (EvalEngine engine : {EvalEngine::kColumnar, EvalEngine::kNestedLoop}) {
+    EvalOptions opts;
+    opts.engine = engine;
+    opts.max_rows = 2;
+    auto hard = Execute(db, q, opts);
+    EXPECT_EQ(hard.status().code(), StatusCode::kResourceExhausted)
+        << EvalEngineName(engine);
+    Degradation degradation;
+    opts.allow_partial = true;
+    opts.degradation = &degradation;
+    auto soft = Execute(db, q, opts);
+    ASSERT_TRUE(soft.ok()) << soft.status().ToString();
+    EXPECT_EQ(soft->size(), 2u) << EvalEngineName(engine);
+    EXPECT_FALSE(degradation.events.empty());
+    // The truncated result is a subset of the full answers.
+    auto full = RunWith(db, q, engine);
+    ASSERT_TRUE(full.ok());
+    for (const Row& row : *soft) {
+      EXPECT_NE(std::find(full->begin(), full->end(), row), full->end());
+    }
+  }
+}
+
+TEST(ColumnarTest, CrossProductBlockAgreesAcrossEngines) {
+  Database db = UniversityDb();
+  SqlQuery q;
+  SelectBlock b;  // no join predicate between the two FROM entries
+  b.from_tables = {"professor", "course"};
+  b.select = {{0, "name"}, {1, "title"}};
+  q.blocks.push_back(b);
+  auto col = RunWith(db, q, EvalEngine::kColumnar);
+  auto nested = RunWith(db, q, EvalEngine::kNestedLoop);
+  ASSERT_TRUE(col.ok());
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*col, *nested);
+  EXPECT_EQ(col->size(), 6u);  // 2 professors × 3 courses
 }
 
 }  // namespace
