@@ -31,13 +31,17 @@
 //
 // The JSON output is a flat array of rows
 //   {"workload", "engine", "threads", "requests", "total_ms", "qps",
+//    "p50_ms", "p95_ms", "p99_ms",
 //    "disjuncts", "batches", "rows_scanned", "shared_nodes",
 //    "shared_node_hits", "prefix_hit_rate", "join_reorders",
-//    "discrepancies", "speedup_vs_nested_loop"}
+//    "discrepancies", "speedup_vs_nested_loop",
+//    "stages": {<stage>: {"count", "p50_us", "p95_us", "p99_us"}, …}}
 // where speedup_vs_nested_loop is filled on columnar rows (same workload
-// and thread count, identical request streams). The binary exits
-// non-zero when the shared_prefix acceptance gates fail (>=8 disjuncts,
-// shared_node_hits > 0, >=2x speedup) or any engines disagree.
+// and thread count, identical request streams). Latency percentiles come
+// from the cell's obs registry (bench.request_us plus the engine's
+// per-stage histograms; the registry is reset between cells). The binary
+// exits non-zero when the shared_prefix acceptance gates fail (>=8
+// disjuncts, shared_node_hits > 0, >=2x speedup) or any engines disagree.
 
 #include <algorithm>
 #include <cstdio>
@@ -48,11 +52,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchgen/workload.h"
 #include "common/stopwatch.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
 #include "obda/system.h"
+#include "obs/metrics.h"
 #include "query/cq.h"
 #include "query/rewriter.h"
 
@@ -71,11 +77,16 @@ struct JsonRow {
   uint64_t requests = 0;
   double total_ms = 0;
   double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
   uint64_t disjuncts = 0;
   olite::rdb::EvalStats eval;
   double prefix_hit_rate = 0;
   uint64_t discrepancies = 0;
   double speedup = 0;  // vs nested_loop, columnar rows only
+  /// Per-stage percentile object rendered from the cell's registry.
+  std::string stages = "{}";
 };
 
 void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
@@ -91,12 +102,15 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
         f,
         "  {\"workload\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
         "\"requests\": %llu, \"total_ms\": %.2f, \"qps\": %.1f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"disjuncts\": %llu, \"batches\": %llu, \"rows_scanned\": %llu, "
         "\"shared_nodes\": %llu, \"shared_node_hits\": %llu, "
         "\"prefix_hit_rate\": %.4f, \"join_reorders\": %llu, "
-        "\"discrepancies\": %llu, \"speedup_vs_nested_loop\": %.2f}%s\n",
+        "\"discrepancies\": %llu, \"speedup_vs_nested_loop\": %.2f, "
+        "\"stages\": %s}%s\n",
         r.workload.c_str(), r.engine.c_str(), r.threads,
         static_cast<unsigned long long>(r.requests), r.total_ms, r.qps,
+        r.p50_ms, r.p95_ms, r.p99_ms,
         static_cast<unsigned long long>(r.disjuncts),
         static_cast<unsigned long long>(r.eval.batches),
         static_cast<unsigned long long>(r.eval.rows_scanned),
@@ -105,33 +119,19 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
         r.prefix_hit_rate,
         static_cast<unsigned long long>(r.eval.join_reorders),
         static_cast<unsigned long long>(r.discrepancies), r.speedup,
-        i + 1 < rows.size() ? "," : "");
+        r.stages.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }
 
-std::vector<int> ParseIntList(const char* text) {
-  std::vector<int> out;
-  std::string current;
-  for (const char* p = text;; ++p) {
-    if (*p == ',' || *p == '\0') {
-      if (!current.empty()) out.push_back(std::atoi(current.c_str()));
-      current.clear();
-      if (*p == '\0') break;
-    } else {
-      current += *p;
-    }
-  }
-  return out;
-}
-
 // The hand-built OBDA instance: concepts A and B, each with `fan` mapped
 // subclasses filtering one shared table on a tag column, and a role `rel`
 // mapped to the edge table. A and B themselves carry no mapping, so every
 // unfolded block comes from a (A_i, B_j) subclass pair.
-std::unique_ptr<ObdaSystem> MakeSystem(int fan, int rows) {
+std::unique_ptr<ObdaSystem> MakeSystem(int fan, int rows,
+                                       olite::obs::MetricsRegistry* registry) {
   Ontology onto;
   onto.DeclareRole("rel");
   onto.DeclareConcept("A");
@@ -191,8 +191,13 @@ std::unique_ptr<ObdaSystem> MakeSystem(int fan, int rows) {
   (void)mappings.Add(olite::mapping::MappingAssertion::ForRole(
       onto.vocab().FindRole("rel").value(), edge_block));
 
+  // Each workload system records into its own registry; RunCell resets it
+  // between cells so the exported percentiles stay per-cell.
+  olite::obda::QueryEngineOptions eng_opts;
+  eng_opts.metrics = registry;
   auto sys = ObdaSystem::Create(std::move(onto), std::move(mappings),
-                                std::move(db), RewriteMode::kClassified);
+                                std::move(db), RewriteMode::kClassified,
+                                eng_opts);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
                  sys.status().ToString().c_str());
@@ -205,7 +210,8 @@ std::unique_ptr<ObdaSystem> MakeSystem(int fan, int rows) {
 // hierarchy-heavy TBox, multi-atom CQ pool — moved into an ObdaSystem.
 std::unique_ptr<ObdaSystem> MakeBenchgenSystem(
     uint64_t seed, uint32_t num_queries,
-    std::vector<olite::query::ConjunctiveQuery>* pool) {
+    std::vector<olite::query::ConjunctiveQuery>* pool,
+    olite::obs::MetricsRegistry* registry) {
   olite::benchgen::WorkloadConfig config;
   config.ontology.name = "eval_mix";
   config.ontology.seed = seed;
@@ -226,10 +232,12 @@ std::unique_ptr<ObdaSystem> MakeBenchgenSystem(
   olite::benchgen::Workload workload =
       olite::benchgen::GenerateWorkload(config);
   *pool = workload.queries;
+  olite::obda::QueryEngineOptions eng_opts;
+  eng_opts.metrics = registry;
   auto sys = ObdaSystem::Create(std::move(workload.ontology),
                                 std::move(workload.mappings),
                                 std::move(workload.database),
-                                RewriteMode::kClassified);
+                                RewriteMode::kClassified, eng_opts);
   if (!sys.ok()) {
     std::fprintf(stderr, "benchgen system creation failed: %s\n",
                  sys.status().ToString().c_str());
@@ -299,7 +307,13 @@ uint64_t CountDiscrepancies(
 JsonRow RunCell(const ObdaSystem& sys, const char* workload,
                 const std::vector<olite::query::ConjunctiveQuery>& pool,
                 int threads, olite::rdb::EvalEngine engine, uint64_t requests,
-                uint64_t discrepancies) {
+                uint64_t discrepancies,
+                olite::obs::MetricsRegistry* registry) {
+  // Cells share one system (and so one registry); reset between cells so
+  // the exported histograms cover exactly this cell.
+  registry->Reset();
+  olite::obs::Histogram& request_us =
+      registry->histogram(olite::bench::kRequestUs);
   olite::obda::AnswerOptions aopts;
   aopts.engine = engine;
   uint64_t per_thread = requests / static_cast<uint64_t>(threads);
@@ -314,8 +328,10 @@ JsonRow RunCell(const ObdaSystem& sys, const char* workload,
       for (uint64_t i = 0; i < per_thread; ++i) {
         const olite::query::ConjunctiveQuery& query =
             pool[(static_cast<uint64_t>(t) * per_thread + i) % pool.size()];
+        Stopwatch sw;
         olite::obda::AnswerStats astats;
         auto r = sys.Answer(query, aopts, &astats);
+        request_us.Record(sw.ElapsedMicros());
         if (!r.ok()) {
           std::fprintf(stderr, "answer failed: %s\n",
                        r.status().ToString().c_str());
@@ -359,6 +375,13 @@ JsonRow RunCell(const ObdaSystem& sys, const char* workload,
                                static_cast<double>(prefix_lookups)
                          : 0;
   row.discrepancies = discrepancies;
+  row.p50_ms = olite::bench::QuantileMs(*registry, olite::bench::kRequestUs,
+                                        0.50);
+  row.p95_ms = olite::bench::QuantileMs(*registry, olite::bench::kRequestUs,
+                                        0.95);
+  row.p99_ms = olite::bench::QuantileMs(*registry, olite::bench::kRequestUs,
+                                        0.99);
+  row.stages = olite::bench::StagePercentilesJson(*registry);
   return row;
 }
 
@@ -375,7 +398,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--requests=", 11) == 0) {
       requests = std::strtoull(argv[i] + 11, nullptr, 10);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      thread_counts = ParseIntList(argv[i] + 10);
+      thread_counts = olite::bench::ParseIntList(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--fan=", 6) == 0) {
       fan = std::atoi(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
@@ -390,21 +413,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto hand_sys = MakeSystem(fan, rows);
+  olite::obs::MetricsRegistry hand_registry;
+  olite::obs::MetricsRegistry mix_registry;
+  auto hand_sys = MakeSystem(fan, rows, &hand_registry);
   std::vector<olite::query::ConjunctiveQuery> benchgen_pool;
-  auto mix_sys = MakeBenchgenSystem(seed, 12, &benchgen_pool);
+  auto mix_sys = MakeBenchgenSystem(seed, 12, &benchgen_pool, &mix_registry);
 
   const struct {
     const char* name;
     const ObdaSystem* sys;
+    olite::obs::MetricsRegistry* registry;
     std::vector<olite::query::ConjunctiveQuery> pool;
   } kWorkloads[] = {
-      {"shared_prefix", hand_sys.get(),
+      {"shared_prefix", hand_sys.get(), &hand_registry,
        ParsePool(*hand_sys, {"q(x, y) :- A(x), rel(x, y), B(y)"})},
-      {"selective_join", hand_sys.get(),
+      {"selective_join", hand_sys.get(), &hand_registry,
        ParsePool(*hand_sys, {"q(x, y) :- A0(x), rel(x, y), B0(y)"})},
-      {"scan_union", hand_sys.get(), ParsePool(*hand_sys, {"q(x) :- A(x)"})},
-      {"benchgen_mix", mix_sys.get(), std::move(benchgen_pool)},
+      {"scan_union", hand_sys.get(), &hand_registry,
+       ParsePool(*hand_sys, {"q(x) :- A(x)"})},
+      {"benchgen_mix", mix_sys.get(), &mix_registry,
+       std::move(benchgen_pool)},
   };
 
   std::vector<JsonRow> rows_out;
@@ -421,7 +449,8 @@ int main(int argc, char** argv) {
     for (int threads : thread_counts) {
       for (olite::rdb::EvalEngine engine : kEngines) {
         JsonRow row = RunCell(*workload.sys, workload.name, workload.pool,
-                              threads, engine, requests, discrepancies);
+                              threads, engine, requests, discrepancies,
+                              workload.registry);
         auto cell = std::make_pair(row.workload, threads);
         if (engine == olite::rdb::EvalEngine::kNestedLoop) {
           baseline_ms[cell] = row.total_ms;

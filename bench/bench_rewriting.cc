@@ -25,8 +25,11 @@
 //
 // The JSON output is a flat array of rows
 //   {"mode", "ontology", "query", "deadline_ms", "ms", "outcome",
-//    "disjuncts", "rows", "degradation"}
-// with outcome one of "complete" | "degraded" | "exhausted".
+//    "disjuncts", "rows", "degradation",
+//    "stages": {<stage>: {"count", "p50_us", "p95_us", "p99_us"}, …}}
+// with outcome one of "complete" | "degraded" | "exhausted"; the stage
+// percentiles come from the engine's obs registry, reset per cell (so
+// they cover the cell's reps: one cold compile plus cache hits).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,10 +37,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
 #include "obda/system.h"
+#include "obs/metrics.h"
 #include "query/rewriter.h"
 
 namespace {
@@ -71,9 +76,9 @@ Ontology LayeredTBox(int depth, int width) {
 
 // The university-style source: every deepest-level class maps to one leaf
 // table, so the whole rewritten union unfolds and evaluates.
-std::unique_ptr<olite::obda::ObdaSystem> MakeSystem(int depth, int width,
-                                                    int leaf_rows,
-                                                    RewriteMode mode) {
+std::unique_ptr<olite::obda::ObdaSystem> MakeSystem(
+    int depth, int width, int leaf_rows, RewriteMode mode,
+    olite::obs::MetricsRegistry* registry) {
   Ontology onto = LayeredTBox(depth, width);
   olite::rdb::Database db;
   (void)db.CreateTable({"leaf", {{"id", olite::rdb::ValueType::kString}}});
@@ -92,9 +97,11 @@ std::unique_ptr<olite::obda::ObdaSystem> MakeSystem(int depth, int width,
             .value(),
         block));
   }
+  olite::obda::QueryEngineOptions eng_opts;
+  eng_opts.metrics = registry;
   auto sys = olite::obda::ObdaSystem::Create(std::move(onto),
                                              std::move(mappings),
-                                             std::move(db), mode);
+                                             std::move(db), mode, eng_opts);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
                  sys.status().ToString().c_str());
@@ -113,6 +120,8 @@ struct JsonRow {
   uint64_t disjuncts = 0;
   uint64_t rows = 0;
   std::string degradation;
+  /// Per-stage percentile object rendered from the cell's registry.
+  std::string stages = "{}";
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -138,12 +147,12 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
                  "\"query\": \"%s\", "
                  "\"deadline_ms\": %.1f, \"ms\": %.3f, \"outcome\": \"%s\", "
                  "\"disjuncts\": %llu, \"rows\": %llu, "
-                 "\"degradation\": \"%s\"}%s\n",
+                 "\"degradation\": \"%s\", \"stages\": %s}%s\n",
                  r.mode.c_str(), r.ontology.c_str(), r.query.c_str(),
                  r.deadline_ms, r.ms, r.outcome.c_str(),
                  static_cast<unsigned long long>(r.disjuncts),
                  static_cast<unsigned long long>(r.rows),
-                 JsonEscape(r.degradation).c_str(),
+                 JsonEscape(r.degradation).c_str(), r.stages.c_str(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -227,7 +236,9 @@ int main(int argc, char** argv) {
               "query", "deadline_ms", "ms", "outcome", "disjuncts");
   for (RewriteMode mode : {RewriteMode::kPerfectRef, RewriteMode::kClassified}) {
     for (double depth : depths) {
-      auto sys = MakeSystem(static_cast<int>(depth), width, leaf_rows, mode);
+      olite::obs::MetricsRegistry registry;
+      auto sys = MakeSystem(static_cast<int>(depth), width, leaf_rows, mode,
+                            &registry);
       std::string ontology =
           "layered_d" + std::to_string(static_cast<int>(depth)) + "_w" +
           std::to_string(width);
@@ -238,6 +249,7 @@ int main(int argc, char** argv) {
           row.ontology = ontology;
           row.query = query.name;
           row.deadline_ms = deadline;
+          registry.Reset();  // stage histograms cover exactly this cell
           double best_ms = -1;
           for (int rep = 0; rep < reps; ++rep) {
             olite::obda::AnswerOptions opts;
@@ -263,6 +275,7 @@ int main(int argc, char** argv) {
             }
           }
           row.ms = best_ms;
+          row.stages = olite::bench::StagePercentilesJson(registry);
           rows.push_back(row);
           std::printf("%-12s %-14s %-10s %12.1f %10.3f %10s %10llu\n",
                       row.mode.c_str(), row.ontology.c_str(),

@@ -1,0 +1,82 @@
+// Shared helpers for the benchmark harnesses: flag parsing and the
+// registry-backed latency plumbing (one code path for per-request timing
+// and percentile export, instead of per-bench latency vectors and ad-hoc
+// nearest-rank math).
+#ifndef OLITE_BENCH_BENCH_UTIL_H_
+#define OLITE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obda/answer.h"
+#include "obs/metrics.h"
+
+namespace olite::bench {
+
+inline std::vector<int> ParseIntList(const char* text) {
+  std::vector<int> out;
+  std::string current;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) out.push_back(std::atoi(current.c_str()));
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current += *p;
+    }
+  }
+  return out;
+}
+
+/// The histogram every harness records its per-request wall-clock into
+/// (microseconds). Lives in the cell's registry next to the engine's own
+/// instruments, so one snapshot covers both.
+inline constexpr const char* kRequestUs = "bench.request_us";
+
+/// Quantile of a registry histogram converted to milliseconds (0 when the
+/// instrument is absent or empty).
+inline double QuantileMs(const obs::MetricsRegistry& registry,
+                         std::string_view name, double q) {
+  return registry.HistogramQuantile(name, q) / 1000.0;
+}
+
+/// JSON object with the per-stage latency percentiles of one registry:
+///   {"rewrite": {"count": n, "p50_us": …, "p95_us": …, "p99_us": …}, …}
+/// covering the five pipeline stages plus whole-call ("answer") and
+/// per-union-block ("block") histograms. Stages that never ran (e.g.
+/// compile stages in an all-hits cell, or everything with metrics off)
+/// report count 0.
+inline std::string StagePercentilesJson(const obs::MetricsRegistry& registry) {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const char* label, const char* histogram_name) {
+    obs::Histogram::Snapshot snap;
+    if (const obs::Histogram* h = registry.FindHistogram(histogram_name)) {
+      snap = h->TakeSnapshot();
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"count\": %llu, \"p50_us\": %.2f, "
+                  "\"p95_us\": %.2f, \"p99_us\": %.2f}",
+                  first ? "" : ", ", label,
+                  static_cast<unsigned long long>(snap.count),
+                  snap.Quantile(0.50), snap.Quantile(0.95),
+                  snap.Quantile(0.99));
+    out += buf;
+    first = false;
+  };
+  for (size_t i = 0; i < 5; ++i) {
+    append(obda::metric_names::kStageLabels[i],
+           obda::metric_names::kStageHistograms[i]);
+  }
+  append("answer", obda::metric_names::kAnswerUs);
+  append("block", obda::metric_names::kBlockUs);
+  out += "}";
+  return out;
+}
+
+}  // namespace olite::bench
+
+#endif  // OLITE_BENCH_BENCH_UTIL_H_

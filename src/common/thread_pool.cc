@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+
 namespace olite {
+
+namespace {
+// Process-wide observer hook (common to every pool); relaxed atomics — an
+// observer installed mid-flight may miss the regions already running.
+std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
+}  // namespace
+
+void ThreadPool::SetObserver(ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPoolObserver* ThreadPool::observer() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 /// One parallel region. Chunk claiming is a lock-free ticket
 /// (`next.fetch_add(grain)`); completion accounting goes through the pool
@@ -59,7 +75,13 @@ void ThreadPool::DrainJob(Job* job, unsigned shard) {
     // wait still terminates with exact bookkeeping.
     if (job->cancel == nullptr ||
         !job->cancel->load(std::memory_order_acquire)) {
-      (*job->chunk)(shard, b, e);
+      if (ThreadPoolObserver* obs = observer()) {
+        Stopwatch chunk_sw;
+        (*job->chunk)(shard, b, e);
+        obs->OnChunk(chunk_sw.ElapsedMicros());
+      } else {
+        (*job->chunk)(shard, b, e);
+      }
     }
     done_here += e - b;
   }
@@ -81,17 +103,26 @@ void ThreadPool::RunChunked(
   job.cancel = cancel;
   job.next.store(begin, std::memory_order_relaxed);
   job.pool = this;
+  ThreadPoolObserver* obs = observer();
+  Stopwatch job_sw;
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(&job);
+    depth = jobs_.size();
   }
+  if (obs != nullptr) obs->OnJobStart(depth);
   cv_.notify_all();
   // The owner participates with the reserved shard 0, then waits until the
   // last in-flight chunk (and the last worker holding the job) is gone.
   DrainJob(&job, 0);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&job] { return job.Done(); });
-  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&job] { return job.Done(); });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+    depth = jobs_.size();
+  }
+  if (obs != nullptr) obs->OnJobDone(depth, job_sw.ElapsedMicros());
 }
 
 void ThreadPool::WorkerLoop() {

@@ -16,6 +16,22 @@
 
 namespace olite {
 
+/// Observation hook for ThreadPool activity (see obs::PoolMetricsObserver
+/// for the registry-backed implementation). Callbacks fire from pool
+/// owner/worker threads concurrently; implementations must be
+/// thread-safe. `queued_jobs` is the number of published jobs that still
+/// have unclaimed chunks (the pool's queue depth) at the callback instant.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A parallel region was published to the pool.
+  virtual void OnJobStart(size_t queued_jobs) = 0;
+  /// The region completed; `elapsed_us` is its wall-clock duration.
+  virtual void OnJobDone(size_t queued_jobs, double elapsed_us) = 0;
+  /// One chunk body executed (task latency sample).
+  virtual void OnChunk(double elapsed_us) = 0;
+};
+
 /// A fixed-size fork-join task pool for data-parallel loops.
 ///
 /// The pool owns `threads - 1` worker threads; the thread calling
@@ -54,6 +70,15 @@ class ThreadPool {
 
   /// Total execution width, including the calling thread.
   unsigned num_threads() const { return num_threads_; }
+
+  /// Installs a process-wide observer notified of job/chunk activity on
+  /// every pool (nullptr uninstalls). The observer is not owned and must
+  /// outlive the installation. Serial fast paths (`threads == 1`, or a
+  /// range that fits one chunk) bypass the pool and are not observed —
+  /// the hook measures pooled execution, with near-zero overhead when no
+  /// observer is installed (one relaxed load per parallel region).
+  static void SetObserver(ThreadPoolObserver* observer);
+  static ThreadPoolObserver* observer();
 
   /// Invokes `fn(i)` for every `i` in `[begin, end)`, in chunks of `grain`
   /// indices, across the pool. Blocks until every index is done.

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "obda/unfolder.h"
+#include "obs/trace.h"
 #include "query/fingerprint.h"
 
 namespace olite::obda {
@@ -41,7 +42,27 @@ Atom MembershipAtom(const BasicConcept& b, const Term& x, size_t* fresh) {
 QueryEngine::QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
                          QueryEngineOptions options)
     : compiled_(std::move(compiled)),
-      plan_cache_(options.plan_cache_capacity, options.plan_cache_shards) {}
+      plan_cache_(options.plan_cache_capacity, options.plan_cache_shards) {
+  if (options.enable_metrics) {
+    metrics_ = options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Default();
+    ins_.answers = &metrics_->counter("obda.answers");
+    ins_.errors = &metrics_->counter("obda.errors");
+    ins_.rows = &metrics_->counter("obda.rows");
+    ins_.cache_hits = &metrics_->counter("plan_cache.hits");
+    ins_.cache_misses = &metrics_->counter("plan_cache.misses");
+    ins_.cache_insertions = &metrics_->counter("plan_cache.insertions");
+    ins_.cache_hit_rate = &metrics_->gauge("plan_cache.hit_rate");
+    ins_.cache_entries = &metrics_->gauge("plan_cache.entries");
+    ins_.cache_evictions = &metrics_->gauge("plan_cache.evictions");
+    ins_.answer_us = &metrics_->histogram(metric_names::kAnswerUs);
+    for (size_t i = 0; i < 5; ++i) {
+      ins_.stage_us[i] =
+          &metrics_->histogram(metric_names::kStageHistograms[i]);
+    }
+    ins_.block_us = &metrics_->histogram(metric_names::kBlockUs);
+  }
+}
 
 Result<std::vector<AnswerTuple>> QueryEngine::Answer(
     std::string_view query_text, AnswerStats* stats) const {
@@ -69,18 +90,19 @@ Result<std::vector<AnswerTuple>> QueryEngine::Answer(
 }
 
 Result<std::vector<AnswerTuple>> QueryEngine::Evaluate(
-    const CachedPlan& plan, const rdb::EvalOptions& eopts,
+    const CachedPlan& plan, const rdb::EvalOptions& eopts, bool capture_sql,
     AnswerStats* stats) const {
   if (plan.plan == nullptr) {
     // Empty unfolding: no mapped disjunct, the certain answers are empty.
     if (stats != nullptr) {
       stats->sql_blocks = 0;
       stats->rows = 0;
-      stats->sql = "-- empty unfolding";
+      stats->sql = capture_sql ? "-- empty unfolding" : "";
       stats->eval = rdb::EvalStats{};
     }
     return std::vector<AnswerTuple>{};
   }
+  Stopwatch exec_sw;
   rdb::EvalOptions engine_opts = eopts;
   if (stats != nullptr) engine_opts.eval_stats = &stats->eval;
   OLITE_ASSIGN_OR_RETURN(std::vector<rdb::Row> rows,
@@ -96,7 +118,8 @@ Result<std::vector<AnswerTuple>> QueryEngine::Evaluate(
   if (stats != nullptr) {
     stats->sql_blocks = plan.plan->num_blocks();
     stats->rows = answers.size();
-    stats->sql = plan.plan->sql_text();
+    stats->sql = capture_sql ? plan.plan->sql_text() : "";
+    stats->stage.execute_us = exec_sw.ElapsedMicros();
   }
   return answers;
 }
@@ -105,6 +128,20 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
     const ConjunctiveQuery& cq, const AnswerOptions& opts,
     AnswerStats* stats) const {
   Stopwatch sw;
+  // Trace sampling decision is made up front (per-engine atomic counter);
+  // the query text is only rendered if this call is actually sampled.
+  const bool sampled =
+      opts.trace_sink != nullptr && opts.trace_sample_every > 0 &&
+      trace_seq_.fetch_add(1, std::memory_order_relaxed) %
+              opts.trace_sample_every ==
+          0;
+  // Metrics and traces are driven by the collected stats, so when the
+  // caller passed none we collect into a local block.
+  AnswerStats local_stats;
+  if (stats == nullptr && (metrics_ != nullptr || sampled)) {
+    stats = &local_stats;
+  }
+  if (stats != nullptr) stats->stage = StageTimings{};
   std::optional<ExecBudget> owned;        // built from opts' caps
   std::optional<ExecBudget> retry_owned;  // fresh quotas for the ladder retry
   const ExecBudget* budget = opts.budget;
@@ -124,17 +161,24 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   }
 
   Degradation degradation;
+  const bool use_cache = plan_cache_.enabled() && !opts.bypass_cache;
+  query::QueryFingerprint fp;
+  size_t shard = 0;
+  // `finish` wraps every return: it stamps the trail and timings into
+  // `stats`, then performs the end-of-call observability recording (both
+  // Status and Result expose `ok()`, so one generic path covers errors).
   auto finish = [&](auto result) {
     if (stats != nullptr) {
       stats->degradation = std::move(degradation);
       stats->elapsed_ms = sw.ElapsedMillis();
+      if (metrics_ != nullptr || sampled) {
+        Record(cq, opts, *stats, result.ok(), use_cache,
+               use_cache ? fp.hash : 0, sampled, stats->elapsed_ms * 1000.0);
+      }
     }
     return result;
   };
 
-  const bool use_cache = plan_cache_.enabled() && !opts.bypass_cache;
-  query::QueryFingerprint fp;
-  size_t shard = 0;
   if (use_cache) {
     fp = query::CanonicalFingerprint(cq);
     shard = plan_cache_.ShardOf(fp.hash);
@@ -155,7 +199,7 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
       eopts.degradation = &degradation;
       eopts.engine = opts.engine;
       eopts.join_order_seed = opts.join_order_seed;
-      return finish(Evaluate(**cached, eopts, stats));
+      return finish(Evaluate(**cached, eopts, opts.capture_sql, stats));
     }
   }
 
@@ -166,6 +210,10 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
 
   const query::Rewriter* fallback = compiled_->fallback_rewriter();
   query::RewriteStats rstats;
+  // Stage attribution across the fallback retry: the retry resets rstats,
+  // so the first attempt's timers are banked here and added back.
+  double rewrite_us_acc = 0;
+  double minimize_us_acc = 0;
   Result<query::UnionQuery> rewritten =
       compiled_->rewriter().Rewrite(cq, req, &rstats);
   if (!rewritten.ok() &&
@@ -186,8 +234,14 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
       budget = &*retry_owned;
       req.budget = budget;
     }
+    rewrite_us_acc += rstats.expand_us;
+    minimize_us_acc += rstats.minimize_us;
     rstats = query::RewriteStats{};
     rewritten = fallback->Rewrite(cq, req, &rstats);
+  }
+  if (stats != nullptr) {
+    stats->stage.rewrite_us = rewrite_us_acc + rstats.expand_us;
+    stats->stage.minimize_us = minimize_us_acc + rstats.minimize_us;
   }
   if (!rewritten.ok()) return finish(rewritten.status());
 
@@ -202,14 +256,18 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   uopts.budget = budget;
   uopts.allow_partial = opts.allow_degraded;
   uopts.degradation = &degradation;
+  Stopwatch stage_sw;
   auto sql = Unfold(*compiled_plan.ucq, compiled_->mappings(),
                     compiled_->database(), uopts);
+  if (stats != nullptr) stats->stage.unfold_us = stage_sw.ElapsedMicros();
   if (sql.ok()) {
     // Load-time statistics drive the columnar engine's join ordering.
     rdb::PrepareOptions popts;
     popts.stats = &compiled_->db_stats();
+    stage_sw.Reset();
     auto prepared = rdb::PreparedPlan::Prepare(
         compiled_->database(), std::move(sql).value(), popts);
+    if (stats != nullptr) stats->stage.prepare_us = stage_sw.ElapsedMicros();
     if (!prepared.ok()) return finish(prepared.status());
     compiled_plan.plan = std::make_shared<const rdb::PreparedPlan>(
         std::move(prepared).value());
@@ -225,7 +283,7 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   eopts.engine = opts.engine;
   eopts.join_order_seed = opts.join_order_seed;
   Result<std::vector<AnswerTuple>> answers =
-      Evaluate(compiled_plan, eopts, stats);
+      Evaluate(compiled_plan, eopts, opts.capture_sql, stats);
 
   // Only exact plans enter the cache: a degraded compilation (truncated
   // expansion, skipped pruning, capped unfolding) must not be replayed as
@@ -239,8 +297,96 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
       stats->cache.stored = true;
       stats->cache.evictions = plan_cache_.ShardEvictions(shard);
     }
+    if (metrics_ != nullptr) {
+      // Occupancy/eviction gauges refresh on the compile path only: the
+      // aggregate walks every shard under its lock, which the hit path
+      // must not pay.
+      ins_.cache_insertions->Add(1);
+      LruCacheMetrics m = plan_cache_.metrics();
+      ins_.cache_entries->Set(static_cast<double>(m.entries));
+      ins_.cache_evictions->Set(static_cast<double>(m.evictions));
+    }
   }
   return finish(std::move(answers));
+}
+
+void QueryEngine::Record(const ConjunctiveQuery& cq,
+                         const AnswerOptions& opts, const AnswerStats& stats,
+                         bool ok, bool cache_consulted, uint64_t fingerprint,
+                         bool sampled, double total_us) const {
+  if (metrics_ != nullptr) {
+    ins_.answers->Add(1);
+    if (!ok) ins_.errors->Add(1);
+    if (stats.rows > 0) ins_.rows->Add(stats.rows);
+    ins_.answer_us->Record(total_us);
+    // Zero-valued stages are skipped: a plan-cache hit runs no compile
+    // stages, and recording its zeros would drown the compile-path
+    // percentiles (it also keeps the hit path at ~2 histogram records).
+    const double stage_vals[5] = {stats.stage.rewrite_us,
+                                  stats.stage.minimize_us,
+                                  stats.stage.unfold_us,
+                                  stats.stage.prepare_us,
+                                  stats.stage.execute_us};
+    for (size_t i = 0; i < 5; ++i) {
+      if (stage_vals[i] > 0) ins_.stage_us[i]->Record(stage_vals[i]);
+    }
+    // A wide union executes dozens of blocks per call; transferring every
+    // one into the histogram would dominate the hit path. Each thread
+    // transfers every 8th of its calls — unbiased for the per-block
+    // distribution, since the choice is independent of block latency.
+    thread_local uint64_t block_calls = 0;
+    if ((block_calls++ & 7) == 0) {
+      for (double b : stats.eval.block_us) ins_.block_us->Record(b);
+    }
+    if (cache_consulted) {
+      if (stats.cache.hit) {
+        ins_.cache_hits->Add(1);
+      } else {
+        ins_.cache_misses->Add(1);
+      }
+      // The ratio gauge refreshes on each thread's first call and every
+      // 64th thereafter: summing the sharded counters costs dozens of
+      // atomic loads, too much for every hit, and a hit rate moves slowly
+      // anyway. Thread-local pacing keeps the hit path free of shared
+      // cache lines.
+      thread_local uint64_t calls = 0;
+      if ((calls++ & 63) == 0) {
+        const double h = static_cast<double>(ins_.cache_hits->Value());
+        const double m = static_cast<double>(ins_.cache_misses->Value());
+        if (h + m > 0) ins_.cache_hit_rate->Set(h / (h + m));
+      }
+    }
+    // Degradation events are rare (budgeted calls that actually hit a
+    // cap), so the by-stage counters are looked up dynamically.
+    for (const auto& event : stats.degradation.events) {
+      metrics_->counter("degradation." + event.stage).Add(1);
+    }
+  }
+  if (sampled) {
+    obs::QueryTrace trace;
+    trace.query = cq.ToString(compiled_->ontology().vocab());
+    trace.fingerprint = fingerprint;
+    trace.ok = ok;
+    trace.cache_hit = stats.cache.hit;
+    trace.degraded = !stats.degradation.events.empty();
+    trace.rows = stats.rows;
+    trace.total_us = total_us;
+    const double stage_vals[5] = {stats.stage.rewrite_us,
+                                  stats.stage.minimize_us,
+                                  stats.stage.unfold_us,
+                                  stats.stage.prepare_us,
+                                  stats.stage.execute_us};
+    for (size_t i = 0; i < 5; ++i) {
+      if (stage_vals[i] > 0) {
+        trace.spans.push_back({metric_names::kStageLabels[i], stage_vals[i]});
+      }
+    }
+    for (size_t b = 0; b < stats.eval.block_us.size(); ++b) {
+      trace.spans.push_back(
+          {"execute.block" + std::to_string(b), stats.eval.block_us[b]});
+    }
+    opts.trace_sink->Record(trace);
+  }
 }
 
 Result<ConsistencyReport> QueryEngine::CheckConsistency() const {

@@ -1,6 +1,7 @@
 #ifndef OLITE_OBDA_QUERY_ENGINE_H_
 #define OLITE_OBDA_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "obda/answer.h"
 #include "obda/compiled_ontology.h"
+#include "obs/metrics.h"
 #include "query/cq.h"
 #include "rdb/query.h"
 
@@ -21,6 +23,19 @@ struct QueryEngineOptions {
   /// Shards of the plan cache; more shards = less lock contention under
   /// concurrent Answer() calls with distinct queries.
   size_t plan_cache_shards = 8;
+  /// Record per-call counters and latency histograms into a
+  /// `obs::MetricsRegistry`: per-stage timings (`stage.*_us`), whole-call
+  /// latency (`obda.answer_us`), per-block evaluation latency
+  /// (`rdb.block_us`), plan-cache hits/misses/insertions plus hit-rate and
+  /// occupancy gauges (`plan_cache.*`), evaluator counters (`rdb.*`) and
+  /// degradation-by-stage counters (`degradation.<stage>`). A few relaxed
+  /// atomic updates per call; disable to shave the last percent off a
+  /// microbenchmark.
+  bool enable_metrics = true;
+  /// The registry to record into; null = the process-wide
+  /// `obs::MetricsRegistry::Default()`. Benchmarks pass a scoped registry
+  /// per cell so percentiles do not bleed across configurations.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The online phase of the serving stack: answers queries against one
@@ -88,18 +103,51 @@ class QueryEngine {
     query::RewriteStats rewrite;
   };
 
+  /// Registry instruments resolved once at construction, so the per-call
+  /// hot path records through raw pointers with no registry lookup (and no
+  /// lock). All null when metrics are disabled.
+  struct Instruments {
+    obs::Counter* answers = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_insertions = nullptr;
+    obs::Gauge* cache_hit_rate = nullptr;
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* cache_evictions = nullptr;
+    obs::Histogram* answer_us = nullptr;
+    /// Indexed like metric_names::kStageHistograms.
+    obs::Histogram* stage_us[5] = {};
+    obs::Histogram* block_us = nullptr;
+  };
+
   Result<std::vector<AnswerTuple>> Execute(const query::ConjunctiveQuery& cq,
                                            const AnswerOptions& options,
                                            AnswerStats* stats) const;
 
-  /// Evaluates a prepared plan and renders rows into answer tuples.
+  /// Evaluates a prepared plan and renders rows into answer tuples. Fills
+  /// `stats->stage.execute_us`; copies the SQL text into `stats->sql` only
+  /// when `capture_sql` is set.
   Result<std::vector<AnswerTuple>> Evaluate(const CachedPlan& plan,
                                             const rdb::EvalOptions& eopts,
+                                            bool capture_sql,
                                             AnswerStats* stats) const;
+
+  /// End-of-call bookkeeping: registry counters/histograms/gauges and the
+  /// sampled trace, driven entirely by the collected `stats`.
+  void Record(const query::ConjunctiveQuery& cq, const AnswerOptions& opts,
+              const AnswerStats& stats, bool ok, bool cache_consulted,
+              uint64_t fingerprint, bool sampled, double total_us) const;
 
   std::shared_ptr<const CompiledOntology> compiled_;
   mutable ShardedLruCache<std::string, std::shared_ptr<const CachedPlan>>
       plan_cache_;
+  /// Null when metrics are disabled (QueryEngineOptions::enable_metrics).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
+  /// Calls seen by the trace sampler (only advanced when a sink is set).
+  mutable std::atomic<uint64_t> trace_seq_{0};
 };
 
 }  // namespace olite::obda

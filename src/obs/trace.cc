@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+#include <cmath>
+
+namespace olite::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      *out += ' ';  // traces never need control characters
+      continue;
+    }
+    *out += c;
+  }
+}
+
+void AppendMicros(std::string* out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", std::isfinite(us) ? us : 0.0);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"query\": \"";
+  AppendEscaped(&out, query);
+  out += "\", \"fingerprint\": " + std::to_string(fingerprint);
+  out += std::string(", \"ok\": ") + (ok ? "true" : "false");
+  out += std::string(", \"cache_hit\": ") + (cache_hit ? "true" : "false");
+  out += std::string(", \"degraded\": ") + (degraded ? "true" : "false");
+  out += ", \"rows\": " + std::to_string(rows);
+  out += ", \"total_us\": ";
+  AppendMicros(&out, total_us);
+  out += ", \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"";
+    AppendEscaped(&out, spans[i].name);
+    out += "\", \"us\": ";
+    AppendMicros(&out, spans[i].elapsed_us);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void VectorTraceSink::Record(const QueryTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(trace);
+}
+
+std::vector<QueryTrace> VectorTraceSink::traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_;
+}
+
+size_t VectorTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+JsonLinesTraceSink::JsonLinesTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonLinesTraceSink::~JsonLinesTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonLinesTraceSink::Record(const QueryTrace& trace) {
+  if (file_ == nullptr) return;
+  std::string line = trace.ToJson();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace olite::obs

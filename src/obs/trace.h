@@ -1,0 +1,75 @@
+#ifndef OLITE_OBS_TRACE_H_
+#define OLITE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace olite::obs {
+
+/// One timed stage of a traced operation (duration only — spans in one
+/// trace are sequential, so offsets reconstruct from the order).
+struct TraceSpan {
+  std::string name;    ///< "rewrite", "minimize", …, "execute.block"
+  double elapsed_us = 0;
+};
+
+/// A structured per-query trace emitted by the serving stack when the
+/// sampling knob selects the call (see AnswerOptions::trace_sample_every).
+struct QueryTrace {
+  std::string query;        ///< the CQ in text syntax
+  uint64_t fingerprint = 0; ///< canonical fingerprint hash (0 = not computed)
+  bool ok = true;
+  bool cache_hit = false;
+  bool degraded = false;
+  uint64_t rows = 0;
+  double total_us = 0;
+  std::vector<TraceSpan> spans;
+
+  /// One-line JSON object (the JSONL record sinks write).
+  std::string ToJson() const;
+};
+
+/// Receives sampled traces. Implementations must be safe to call from
+/// concurrent Answer() callers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(const QueryTrace& trace) = 0;
+};
+
+/// Buffers traces in memory (tests, short diagnostics sessions).
+class VectorTraceSink : public TraceSink {
+ public:
+  void Record(const QueryTrace& trace) override;
+  /// Copy of everything recorded so far.
+  std::vector<QueryTrace> traces() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> traces_;
+};
+
+/// Appends one JSON line per trace to a file (the production-style sink;
+/// `jq`-friendly). Writes are serialised by an internal mutex.
+class JsonLinesTraceSink : public TraceSink {
+ public:
+  explicit JsonLinesTraceSink(const std::string& path);
+  ~JsonLinesTraceSink() override;
+
+  /// False when the file could not be opened (Record becomes a no-op).
+  bool ok() const { return file_ != nullptr; }
+
+  void Record(const QueryTrace& trace) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace olite::obs
+
+#endif  // OLITE_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/stopwatch.h"
 #include "query/containment.h"
 
 namespace olite::query {
@@ -105,6 +106,7 @@ class Rewriter::Impl {
                              const RewriteRequest& request,
                              RewriteStats* stats) const {
     RewriteStats local;
+    Stopwatch stage_sw;
     std::unordered_map<std::string, ConjunctiveQuery> seen;
     std::deque<std::string> queue;
     size_t fresh_counter = 0;
@@ -179,6 +181,8 @@ class Rewriter::Impl {
       (void)key;
       out.disjuncts.push_back(std::move(q));
     }
+    local.expand_us = stage_sw.ElapsedMicros();
+    stage_sw.Reset();
     if (options_.prune_subsumed) {
       MinimizeStats mstats;
       MinimizeUnion(&out, budget, options_.max_prune_checks, &mstats);
@@ -194,6 +198,7 @@ class Rewriter::Impl {
                          std::to_string(mstats.skipped) +
                          " skipped; union kept unpruned)");
       }
+      local.minimize_us = stage_sw.ElapsedMicros();
     }
     // Deterministic order.
     std::sort(out.disjuncts.begin(), out.disjuncts.end(),

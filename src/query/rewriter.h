@@ -38,6 +38,12 @@ struct RewriteStats {
   /// False when the minimisation sweep was cut short (output is complete
   /// but possibly redundant).
   bool prune_complete = true;
+  /// Wall-clock of the expansion loop (everything before minimisation),
+  /// in microseconds.
+  double expand_us = 0;
+  /// Wall-clock of the prune_subsumed minimisation sweep, in microseconds
+  /// (0 when pruning is disabled).
+  double minimize_us = 0;
 };
 
 /// Options for `Rewriter::Rewrite`.

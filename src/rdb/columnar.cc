@@ -7,6 +7,7 @@
 
 #include "common/fault_injection.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
 
 namespace olite::rdb {
 
@@ -439,6 +440,7 @@ Status EvalPlan(const std::vector<BlockProgram>& programs,
   for (const auto& prog : programs) {
     if (sink->stopped()) break;
     OLITE_RETURN_IF_ERROR(fault::InjectAt(fault::Site::kRdbExecute));
+    Stopwatch block_sw;
     if (stats != nullptr && prog.reordered) ++stats->join_reorders;
     // Resume from the deepest already-materialised shared prefix.
     size_t start = 0;
@@ -473,7 +475,10 @@ Status EvalPlan(const std::vector<BlockProgram>& programs,
         if (stats != nullptr) ++stats->shared_nodes;
       }
     }
-    if (aborted) break;
+    if (aborted) {
+      if (stats != nullptr) stats->block_us.push_back(block_sw.ElapsedMicros());
+      break;
+    }
     // Projection: batched emit into the hashed distinct union.
     bool stopped = false;
     for (size_t base = 0; base < cur->rows && !stopped; base += kBatchRows) {
@@ -493,6 +498,7 @@ Status EvalPlan(const std::vector<BlockProgram>& programs,
         }
       }
     }
+    if (stats != nullptr) stats->block_us.push_back(block_sw.ElapsedMicros());
     if (sink->stopped()) break;
     if (blocks_done != nullptr) ++(*blocks_done);
   }

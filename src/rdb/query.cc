@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/fault_injection.h"
+#include "common/stopwatch.h"
 #include "rdb/columnar.h"
 #include "rdb/stats.h"
 
@@ -127,11 +128,13 @@ void EvalBlockNested(const ResolvedBlock& block, size_t depth,
 }
 
 Status EvalNestedLoop(const std::vector<ResolvedBlock>& blocks,
-                      EvalSink* sink, size_t* blocks_done) {
+                      EvalSink* sink, EvalStats* stats, size_t* blocks_done) {
   for (const auto& resolved : blocks) {
     OLITE_RETURN_IF_ERROR(fault::InjectAt(fault::Site::kRdbExecute));
+    Stopwatch block_sw;
     std::vector<const Row*> binding(resolved.tables.size(), nullptr);
     EvalBlockNested(resolved, 0, &binding, sink);
+    stats->block_us.push_back(block_sw.ElapsedMicros());
     if (sink->stopped()) break;
     ++(*blocks_done);
   }
@@ -253,7 +256,7 @@ Result<std::vector<Row>> EvalResolvedBlocks(
     OLITE_RETURN_IF_ERROR(columnar::EvalPlan(*programs, options, &sink,
                                              stats, &blocks_done));
   } else {
-    OLITE_RETURN_IF_ERROR(EvalNestedLoop(blocks, &sink, &blocks_done));
+    OLITE_RETURN_IF_ERROR(EvalNestedLoop(blocks, &sink, stats, &blocks_done));
   }
   stats->rows_scanned = sink.scanned();
   std::vector<Row> out = sink.TakeSorted();

@@ -104,6 +104,11 @@ struct EvalStats {
   uint64_t shared_node_hits = 0;
   /// Blocks whose cost-based join order differs from the written order.
   uint64_t join_reorders = 0;
+  /// Wall-clock per executed union block, in execution order (microseconds).
+  /// Feeds the serving layer's execute-per-block trace spans and the
+  /// `rdb.block_us` registry histogram; a truncated evaluation reports
+  /// only the blocks that ran.
+  std::vector<double> block_us;
 };
 
 /// Budget controls for `Execute`.

@@ -169,7 +169,9 @@ TEST_P(ObdaModeTest, HierarchyReasoningThroughMappings) {
   // Person is unmapped; answers come from Professor/AssistantProf via the
   // TBox.
   AnswerStats stats;
-  auto answers = sys->Answer("q(x) :- Person(x)", &stats);
+  AnswerOptions opts;
+  opts.capture_sql = true;  // the SQL text is opt-in
+  auto answers = sys->Answer("q(x) :- Person(x)", opts, &stats);
   ASSERT_TRUE(answers.ok()) << answers.status().ToString();
   EXPECT_EQ(answers->size(), 2u);
   EXPECT_GE(stats.rewrite.final_disjuncts, 3u);

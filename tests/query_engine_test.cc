@@ -9,6 +9,8 @@
 #include "obda/compiled_ontology.h"
 #include "obda/query_engine.h"
 #include "obda/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace olite::obda {
 namespace {
@@ -267,14 +269,16 @@ TEST(QueryEngineTest, EmptyUnfoldingIsCached) {
   QueryEngine engine(*compiled);
 
   const char* q = "q(x) :- Unmapped(x)";
+  AnswerOptions opts;
+  opts.capture_sql = true;  // the SQL text is opt-in
   AnswerStats cold;
-  auto first = engine.Answer(q, &cold);
+  auto first = engine.Answer(q, opts, &cold);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_TRUE(first->empty());
   EXPECT_TRUE(cold.cache.stored);
   EXPECT_EQ(cold.sql, "-- empty unfolding");
   AnswerStats hot;
-  auto second = engine.Answer(q, &hot);
+  auto second = engine.Answer(q, opts, &hot);
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(hot.cache.hit);
   EXPECT_TRUE(second->empty());
@@ -398,6 +402,208 @@ TEST(QueryEngineTest, AnswerStatsSurfaceEvaluatorCounters) {
   ASSERT_TRUE(n.ok());
   EXPECT_STREQ(stats.eval.engine, "nested_loop");
   EXPECT_EQ(Sorted(*r), Sorted(*n));
+}
+
+TEST(QueryEngineTest, StageTimingsColdVsCacheHit) {
+  QueryEngine engine(Fixture().Compile());
+  AnswerStats cold;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", &cold).ok());
+  // The cold path runs every stage.
+  EXPECT_GT(cold.stage.rewrite_us, 0.0);
+  EXPECT_GT(cold.stage.unfold_us, 0.0);
+  EXPECT_GT(cold.stage.prepare_us, 0.0);
+  EXPECT_GT(cold.stage.execute_us, 0.0);
+
+  AnswerStats hot;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", &hot).ok());
+  ASSERT_TRUE(hot.cache.hit);
+  // A hit skips compilation entirely: only evaluation time remains.
+  EXPECT_EQ(hot.stage.rewrite_us, 0.0);
+  EXPECT_EQ(hot.stage.minimize_us, 0.0);
+  EXPECT_EQ(hot.stage.unfold_us, 0.0);
+  EXPECT_EQ(hot.stage.prepare_us, 0.0);
+  EXPECT_GT(hot.stage.execute_us, 0.0);
+}
+
+TEST(QueryEngineTest, MetricsRecordedIntoScopedRegistry) {
+  obs::MetricsRegistry registry;
+  QueryEngineOptions opts;
+  opts.metrics = &registry;
+  QueryEngine engine(Fixture().Compile(), opts);
+
+  // 130 calls guarantees the paced refreshes fire at least once (the
+  // hit-rate gauge updates every 64th call per thread, the per-block
+  // histogram transfer every 8th — both counters are thread-local and
+  // shared across engines, so we cross at least one full window).
+  constexpr uint64_t kCalls = 130;
+  for (uint64_t i = 0; i < kCalls; ++i) {
+    AnswerStats stats;
+    auto r = engine.Answer("q(x) :- Person(x)", &stats);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 2u);
+  }
+
+  const obs::Counter* answers = registry.FindCounter("obda.answers");
+  ASSERT_NE(answers, nullptr);
+  EXPECT_EQ(answers->Value(), kCalls);
+  EXPECT_EQ(registry.FindCounter("obda.errors")->Value(), 0u);
+  EXPECT_EQ(registry.FindCounter("obda.rows")->Value(), kCalls * 2);
+  EXPECT_EQ(registry.FindCounter("plan_cache.misses")->Value(), 1u);
+  EXPECT_EQ(registry.FindCounter("plan_cache.hits")->Value(), kCalls - 1);
+  EXPECT_EQ(registry.FindCounter("plan_cache.insertions")->Value(), 1u);
+  EXPECT_EQ(registry.FindGauge("plan_cache.entries")->Value(), 1.0);
+  // The hit-rate gauge refreshes on a stride; after 130 calls it has
+  // fired at least once with hits/(hits+misses) close to 1.
+  EXPECT_GT(registry.FindGauge("plan_cache.hit_rate")->Value(), 0.5);
+
+  // Whole-call latency: one sample per call. Stage histograms only see
+  // the cold compile (hits record nothing for the compile stages).
+  const obs::Histogram* answer_us = registry.FindHistogram("obda.answer_us");
+  ASSERT_NE(answer_us, nullptr);
+  EXPECT_EQ(answer_us->TakeSnapshot().count, kCalls);
+  const obs::Histogram* rewrite_us =
+      registry.FindHistogram("stage.rewrite_us");
+  ASSERT_NE(rewrite_us, nullptr);
+  EXPECT_EQ(rewrite_us->TakeSnapshot().count, 1u);
+  const obs::Histogram* execute_us =
+      registry.FindHistogram("stage.execute_us");
+  ASSERT_NE(execute_us, nullptr);
+  EXPECT_GT(execute_us->TakeSnapshot().count, 0u);
+  // Per-block evaluation latency is sampled (every 8th call per thread),
+  // so over 130 calls some blocks must have been transferred.
+  const obs::Histogram* block_us = registry.FindHistogram("rdb.block_us");
+  ASSERT_NE(block_us, nullptr);
+  EXPECT_GT(block_us->TakeSnapshot().count, 0u);
+}
+
+TEST(QueryEngineTest, DegradationCountersByStage) {
+  obs::MetricsRegistry registry;
+  QueryEngineOptions eopts;
+  eopts.metrics = &registry;
+  QueryEngine engine(Fixture().Compile(), eopts);
+
+  AnswerOptions tight;
+  tight.max_rewrite_iterations = 1;
+  tight.allow_degraded = true;
+  AnswerStats stats;
+  auto r = engine.Answer("q(x) :- Person(x)", tight, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(stats.degradation.events.empty());
+  // Every degradation event bumped its per-stage counter.
+  for (const auto& event : stats.degradation.events) {
+    const obs::Counter* c =
+        registry.FindCounter("degradation." + event.stage);
+    ASSERT_NE(c, nullptr) << event.stage;
+    EXPECT_GE(c->Value(), 1u);
+  }
+}
+
+TEST(QueryEngineTest, DisabledMetricsTouchNoRegistry) {
+  obs::MetricsRegistry registry;
+  QueryEngineOptions opts;
+  opts.enable_metrics = false;
+  opts.metrics = &registry;  // ignored when disabled
+  QueryEngine engine(Fixture().Compile(), opts);
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)").ok());
+  EXPECT_EQ(registry.FindCounter("obda.answers"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("obda.answer_us"), nullptr);
+}
+
+TEST(QueryEngineTest, CaptureSqlIsOptIn) {
+  QueryEngine engine(Fixture().Compile());
+  AnswerStats plain;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", &plain).ok());
+  EXPECT_TRUE(plain.sql.empty());  // default: no SQL copy
+
+  AnswerOptions opts;
+  opts.capture_sql = true;
+  AnswerStats captured;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", opts, &captured).ok());
+  EXPECT_FALSE(captured.sql.empty());
+  EXPECT_NE(captured.sql.find("SELECT"), std::string::npos) << captured.sql;
+  // The cache-hit path honours the flag the same way.
+  AnswerStats hot;
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", opts, &hot).ok());
+  EXPECT_TRUE(hot.cache.hit);
+  EXPECT_EQ(hot.sql, captured.sql);
+}
+
+TEST(QueryEngineTest, TraceSamplingEveryNthCall) {
+  QueryEngine engine(Fixture().Compile());
+  obs::VectorTraceSink sink;
+  AnswerOptions opts;
+  opts.trace_sink = &sink;
+  opts.trace_sample_every = 2;  // calls 0, 2, 4 of the engine's sequence
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", opts).ok());
+  }
+  ASSERT_EQ(sink.size(), 3u);
+  const std::vector<obs::QueryTrace> traces = sink.traces();
+  // The first sampled call was the cold compile: its trace carries the
+  // compile-stage spans and the rendered query text.
+  const obs::QueryTrace& cold = traces[0];
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(cold.ok);
+  EXPECT_EQ(cold.rows, 2u);
+  EXPECT_GT(cold.total_us, 0.0);
+  EXPECT_NE(cold.query.find("Person"), std::string::npos) << cold.query;
+  EXPECT_NE(cold.fingerprint, 0u);
+  bool has_rewrite = false, has_execute = false;
+  for (const auto& span : cold.spans) {
+    if (span.name == "rewrite") has_rewrite = true;
+    if (span.name.rfind("execute", 0) == 0) has_execute = true;
+    EXPECT_GE(span.elapsed_us, 0.0) << span.name;
+  }
+  EXPECT_TRUE(has_rewrite);
+  EXPECT_TRUE(has_execute);
+  // Later samples are cache hits: no compile spans.
+  for (size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_TRUE(traces[i].cache_hit);
+    for (const auto& span : traces[i].spans) {
+      EXPECT_NE(span.name, "rewrite");
+      EXPECT_NE(span.name, "unfold");
+    }
+  }
+}
+
+TEST(QueryEngineTest, NoSinkOrZeroSamplingTracesNothing) {
+  QueryEngine engine(Fixture().Compile());
+  obs::VectorTraceSink sink;
+  AnswerOptions no_rate;
+  no_rate.trace_sink = &sink;  // sink without a sampling rate: off
+  ASSERT_TRUE(engine.Answer("q(x) :- Person(x)", no_rate).ok());
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentMetricsAndTracingStress) {
+  // 8 threads recording into one scoped registry and one shared sink:
+  // the TSan job runs this to prove the whole observation path is clean,
+  // and the counters must still be exact.
+  obs::MetricsRegistry registry;
+  QueryEngineOptions eopts;
+  eopts.metrics = &registry;
+  QueryEngine engine(Fixture().Compile(query::RewriteMode::kClassified), eopts);
+  obs::VectorTraceSink sink;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&engine, &sink, &failures] {
+      for (int i = 0; i < 25; ++i) {
+        AnswerOptions opts;
+        opts.trace_sink = &sink;
+        opts.trace_sample_every = 1;  // trace every call
+        auto r = engine.Answer("q(x) :- Person(x)", opts);
+        if (!r.ok() || r->size() != 2) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.FindCounter("obda.answers")->Value(), 200u);
+  EXPECT_EQ(registry.FindCounter("obda.rows")->Value(), 400u);
+  EXPECT_EQ(sink.size(), 200u);
+  EXPECT_EQ(registry.FindHistogram("obda.answer_us")->TakeSnapshot().count,
+            200u);
 }
 
 TEST(QueryEngineTest, ConsistencyReportIsAValue) {
