@@ -1,0 +1,500 @@
+// Hot-swap churn + overload-shedding benchmark for the serving layer
+// (ServingEngine). Two measured phases, one JSON row each:
+//
+// Phase 1 — churn. Reader threads answer a benchgen workload continuously
+// while the main thread performs `--swaps` CompileAndSwap refreshes that
+// alternate between the full database and a perturbed copy (a seeded
+// subset of rows dropped). Every answer is checked against the quiescent
+// oracle of the epoch it reports (odd epochs = full DB, even = perturbed),
+// so the row carries a hard zero-downtime result: `errors` (answers that
+// failed during churn) and `discrepancies` (answers that matched neither
+// snapshot) must both be 0. Swap publish latency comes from the engine's
+// own `snapshot.swap_us` histogram; end-to-end refresh cost (compile +
+// publish) is timed around each CompileAndSwap call.
+//
+// Phase 2 — overload. A fresh ServingEngine is given `--max-in-flight`
+// tokens and a `--queue-depth` wait queue; injected evaluator latency
+// (`--latency-ms` per rdb execute, fault::Site::kRdbExecute) makes every
+// admitted request slow, and `--saturation` × max_in_flight closed-loop
+// threads drive it past saturation. The row reports the shed rate, the
+// p50/p99 request latency under overload, and the slowest shed response.
+//
+// Gates (exit 1 on violation — CI smoke-runs this binary):
+//   churn:    errors == 0, discrepancies == 0, final epoch == swaps + 1
+//   overload: no status other than ok / admission-shed, sheds happened,
+//             in_flight_peak <= max_in_flight, and every shed response
+//             returned within 1.1 × deadline (+ --shed-slack-ms of
+//             scheduler grace).
+//
+// Flags: --queries=<n>        distinct queries in the pool   (default 12)
+//        --seed=<n>           workload + perturbation seed   (default 1)
+//        --churn-threads=<n>  reader threads during churn    (default 4)
+//        --swaps=<n>          CompileAndSwap refreshes       (default 12)
+//        --drop-fraction=<f>  rows dropped in perturbed DB   (default 0.4)
+//        --max-in-flight=<n>  admission tokens (phase 2)     (default 4)
+//        --queue-depth=<n>    admission queue slots          (default 4)
+//        --queue-wait-ms=<f>  max queued wait                (default 100)
+//        --saturation=<n>     threads per token              (default 4)
+//        --overload-requests=<n>  requests per thread        (default 25)
+//        --deadline-ms=<f>    per-request deadline           (default 200)
+//        --latency-ms=<f>     injected per-execute latency   (default 20)
+//        --shed-slack-ms=<f>  scheduler grace on the shed
+//                             latency gate                   (default 50)
+//        --out=<path>         results (default BENCH_churn.json)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchgen/workload.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "obda/compiled_ontology.h"
+#include "obda/serving_engine.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using olite::Rng;
+using olite::Stopwatch;
+using olite::obda::CompiledOntology;
+using olite::obda::ServingEngine;
+using olite::obda::ServingEngineOptions;
+
+using TupleSet = std::set<std::vector<std::string>>;
+
+struct ChurnRow {
+  int threads = 0;
+  uint64_t answers = 0;
+  uint64_t swaps = 0;
+  uint64_t errors = 0;
+  uint64_t discrepancies = 0;
+  uint64_t final_epoch = 0;
+  double qps = 0;
+  double hit_rate = 0;
+  double answer_p50_ms = 0;
+  double answer_p99_ms = 0;
+  double swap_p50_us = 0;
+  double swap_p99_us = 0;
+  double refresh_p50_ms = 0;
+  double refresh_max_ms = 0;
+};
+
+struct OverloadRow {
+  int threads = 0;
+  size_t max_in_flight = 0;
+  size_t queue_depth = 0;
+  double deadline_ms = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t queued = 0;
+  size_t in_flight_peak = 0;
+  double shed_rate = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double shed_max_ms = 0;
+  double shed_bound_ms = 0;
+};
+
+void WriteJson(const std::string& path, const ChurnRow& c,
+               const OverloadRow& o) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  std::fprintf(
+      f,
+      "  {\"phase\": \"churn\", \"threads\": %d, \"answers\": %llu, "
+      "\"swaps\": %llu, \"errors\": %llu, \"discrepancies\": %llu, "
+      "\"final_epoch\": %llu, \"qps\": %.1f, \"hit_rate\": %.4f, "
+      "\"answer_p50_ms\": %.4f, \"answer_p99_ms\": %.4f, "
+      "\"swap_p50_us\": %.2f, \"swap_p99_us\": %.2f, "
+      "\"refresh_p50_ms\": %.2f, \"refresh_max_ms\": %.2f},\n",
+      c.threads, static_cast<unsigned long long>(c.answers),
+      static_cast<unsigned long long>(c.swaps),
+      static_cast<unsigned long long>(c.errors),
+      static_cast<unsigned long long>(c.discrepancies),
+      static_cast<unsigned long long>(c.final_epoch), c.qps, c.hit_rate,
+      c.answer_p50_ms, c.answer_p99_ms, c.swap_p50_us, c.swap_p99_us,
+      c.refresh_p50_ms, c.refresh_max_ms);
+  std::fprintf(
+      f,
+      "  {\"phase\": \"overload\", \"threads\": %d, \"max_in_flight\": %zu, "
+      "\"queue_depth\": %zu, \"deadline_ms\": %.1f, \"requests\": %llu, "
+      "\"ok\": %llu, \"degraded\": %llu, \"shed\": %llu, \"failed\": %llu, "
+      "\"queued\": %llu, \"in_flight_peak\": %zu, \"shed_rate\": %.4f, "
+      "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"shed_max_ms\": %.2f, "
+      "\"shed_bound_ms\": %.2f}\n",
+      o.threads, o.max_in_flight, o.queue_depth, o.deadline_ms,
+      static_cast<unsigned long long>(o.requests),
+      static_cast<unsigned long long>(o.ok),
+      static_cast<unsigned long long>(o.degraded),
+      static_cast<unsigned long long>(o.shed),
+      static_cast<unsigned long long>(o.failed),
+      static_cast<unsigned long long>(o.queued), o.in_flight_peak,
+      o.shed_rate, o.p50_ms, o.p99_ms, o.shed_max_ms, o.shed_bound_ms);
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_queries = 12;
+  uint64_t seed = 1;
+  int churn_threads = 4;
+  uint64_t swaps = 12;
+  double drop_fraction = 0.4;
+  size_t max_in_flight = 4;
+  size_t queue_depth = 4;
+  double queue_wait_ms = 100;
+  int saturation = 4;
+  uint64_t overload_requests = 25;
+  double deadline_ms = 200;
+  double latency_ms = 20;
+  double shed_slack_ms = 50;
+  std::string out_path = "BENCH_churn.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--churn-threads=", 16) == 0) {
+      churn_threads = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--swaps=", 8) == 0) {
+      swaps = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--drop-fraction=", 16) == 0) {
+      drop_fraction = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--max-in-flight=", 16) == 0) {
+      max_in_flight = static_cast<size_t>(std::atoi(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--queue-depth=", 14) == 0) {
+      queue_depth = static_cast<size_t>(std::atoi(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--queue-wait-ms=", 16) == 0) {
+      queue_wait_ms = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--saturation=", 13) == 0) {
+      saturation = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--overload-requests=", 20) == 0) {
+      overload_requests = std::strtoull(argv[i] + 20, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--latency-ms=", 13) == 0) {
+      latency_ms = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--shed-slack-ms=", 16) == 0) {
+      shed_slack_ms = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  olite::benchgen::WorkloadConfig config;
+  config.ontology.name = "churn";
+  config.ontology.seed = seed;
+  config.ontology.num_concepts = 40;
+  config.ontology.num_roles = 5;
+  config.ontology.num_attributes = 2;
+  config.ontology.num_roots = 3;
+  config.ontology.avg_branching = 3.0;
+  config.ontology.domain_range_fraction = 0.3;
+  config.ontology.unqualified_exists_per_concept = 0.2;
+  config.seed = seed;
+  config.num_individuals = 80;
+  config.num_concept_assertions = 160;
+  config.num_role_assertions = 160;
+  config.num_attribute_assertions = 40;
+  config.num_queries = num_queries;
+  config.max_atoms_per_query = 3;
+  olite::benchgen::Workload workload =
+      olite::benchgen::GenerateWorkload(config);
+  if (workload.queries.empty()) {
+    std::fprintf(stderr, "workload has no queries\n");
+    return 1;
+  }
+
+  // Perturbed database: same schema, a seeded subset of rows dropped —
+  // the "new data" each even-epoch refresh publishes.
+  olite::rdb::Database perturbed;
+  {
+    Rng rng(seed ^ 0x5AFE5EEDULL);
+    for (const auto& [name, table] : workload.database.tables()) {
+      (void)perturbed.CreateTable(table.schema());
+      for (const auto& row : table.rows()) {
+        if (rng.Chance(drop_fraction)) continue;
+        (void)perturbed.Insert(name, row);
+      }
+    }
+  }
+
+  auto snap_a = CompiledOntology::Compile(workload.ontology,
+                                          workload.mappings,
+                                          workload.database);
+  auto snap_b = CompiledOntology::Compile(workload.ontology,
+                                          workload.mappings, perturbed);
+  if (!snap_a.ok() || !snap_b.ok()) {
+    std::fprintf(stderr, "compile failed\n");
+    return 1;
+  }
+
+  // Quiescent oracles: the exact answer set of every query on each
+  // snapshot, computed before any concurrency starts.
+  std::vector<TupleSet> want_a, want_b;
+  {
+    olite::obda::QueryEngineOptions qopts;
+    qopts.enable_metrics = false;
+    olite::obda::QueryEngine oracle_a(*snap_a, qopts);
+    olite::obda::QueryEngine oracle_b(*snap_b, qopts);
+    for (const auto& cq : workload.queries) {
+      auto ra = oracle_a.Answer(cq);
+      auto rb = oracle_b.Answer(cq);
+      if (!ra.ok() || !rb.ok()) {
+        std::fprintf(stderr, "oracle answering failed\n");
+        return 1;
+      }
+      want_a.emplace_back(ra->begin(), ra->end());
+      want_b.emplace_back(rb->begin(), rb->end());
+    }
+  }
+
+  // ---- Phase 1: churn ----------------------------------------------------
+  ChurnRow churn;
+  churn.threads = churn_threads;
+  churn.swaps = swaps;
+  std::vector<double> refresh_ms;
+  {
+    olite::obs::MetricsRegistry registry;
+    ServingEngineOptions sopts;
+    sopts.engine.metrics = &registry;
+    ServingEngine serving(*snap_a, sopts);
+    olite::obs::Histogram& request_us =
+        registry.histogram(olite::bench::kRequestUs);
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> answers{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> discrepancies{0};
+    // The construction snapshot is epoch 1 on the full DB and the
+    // refreshes alternate perturbed, full, perturbed, … — so odd epochs
+    // always serve the full DB and even epochs the perturbed one.
+    auto check_one = [&](size_t qi) {
+      olite::obda::AnswerStats stats;
+      Stopwatch sw;
+      auto got = serving.Answer(workload.queries[qi],
+                                olite::obda::AnswerOptions{}, &stats);
+      request_us.Record(sw.ElapsedMicros());
+      answers.fetch_add(1, std::memory_order_relaxed);
+      if (!got.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const TupleSet& want =
+          stats.serve.epoch % 2 == 1 ? want_a[qi] : want_b[qi];
+      if (TupleSet(got->begin(), got->end()) != want) {
+        discrepancies.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    Stopwatch wall;
+    std::vector<std::thread> readers;
+    for (int t = 0; t < churn_threads; ++t) {
+      readers.emplace_back([&, t] {
+        size_t i = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+          check_one((static_cast<size_t>(t) + i++) %
+                    workload.queries.size());
+        }
+      });
+    }
+    for (uint64_t s = 0; s < swaps; ++s) {
+      Stopwatch sw;
+      auto r = serving.CompileAndSwap(
+          workload.ontology, workload.mappings,
+          s % 2 == 0 ? perturbed : workload.database);
+      refresh_ms.push_back(sw.ElapsedMillis());
+      if (!r.ok()) {
+        std::fprintf(stderr, "CompileAndSwap failed: %s\n",
+                     r.status().ToString().c_str());
+        done.store(true);
+        for (auto& th : readers) th.join();
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.store(true);
+    for (auto& th : readers) th.join();
+    double total_ms = wall.ElapsedMillis();
+
+    // Post-churn quiescent pass: the surviving epoch must still serve its
+    // oracle answers exactly.
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) check_one(qi);
+
+    churn.answers = answers.load();
+    churn.errors = errors.load();
+    churn.discrepancies = discrepancies.load();
+    churn.final_epoch = serving.epoch();
+    churn.qps = total_ms > 0
+                    ? 1000.0 * static_cast<double>(churn.answers) / total_ms
+                    : 0;
+    auto metrics = serving.cache_metrics();
+    uint64_t lookups = metrics.hits + metrics.misses;
+    churn.hit_rate = lookups > 0 ? static_cast<double>(metrics.hits) /
+                                       static_cast<double>(lookups)
+                                 : 0;
+    churn.answer_p50_ms =
+        olite::bench::QuantileMs(registry, olite::bench::kRequestUs, 0.50);
+    churn.answer_p99_ms =
+        olite::bench::QuantileMs(registry, olite::bench::kRequestUs, 0.99);
+    churn.swap_p50_us = registry.HistogramQuantile(
+        olite::obda::metric_names::kSnapshotSwapUs, 0.50);
+    churn.swap_p99_us = registry.HistogramQuantile(
+        olite::obda::metric_names::kSnapshotSwapUs, 0.99);
+    std::sort(refresh_ms.begin(), refresh_ms.end());
+    if (!refresh_ms.empty()) {
+      churn.refresh_p50_ms = refresh_ms[refresh_ms.size() / 2];
+      churn.refresh_max_ms = refresh_ms.back();
+    }
+  }
+  std::printf("churn: %llu answers across %d threads, %llu swaps, "
+              "errors %llu, discrepancies %llu, swap p99 %.1f us, "
+              "refresh max %.1f ms\n",
+              static_cast<unsigned long long>(churn.answers), churn.threads,
+              static_cast<unsigned long long>(churn.swaps),
+              static_cast<unsigned long long>(churn.errors),
+              static_cast<unsigned long long>(churn.discrepancies),
+              churn.swap_p99_us, churn.refresh_max_ms);
+
+  // ---- Phase 2: overload -------------------------------------------------
+  OverloadRow over;
+  over.threads = saturation * static_cast<int>(max_in_flight);
+  over.max_in_flight = max_in_flight;
+  over.queue_depth = queue_depth;
+  over.deadline_ms = deadline_ms;
+  {
+    olite::obs::MetricsRegistry registry;
+    ServingEngineOptions sopts;
+    sopts.engine.metrics = &registry;
+    sopts.admission.max_in_flight = max_in_flight;
+    sopts.admission.max_queue_depth = queue_depth;
+    sopts.admission.max_queue_wait_ms = queue_wait_ms;
+    sopts.admission.retry_after_ms = queue_wait_ms / 2;
+    ServingEngine serving(*snap_a, sopts);
+    olite::obs::Histogram& request_us =
+        registry.histogram(olite::bench::kRequestUs);
+
+    // Every admitted request now sleeps `latency_ms` per rdb execute, so
+    // max_in_flight tokens saturate far below the closed-loop demand.
+    olite::fault::Injector::Global().Arm(
+        olite::fault::Site::kRdbExecute,
+        {.latency_every = 1, .latency_ms = latency_ms});
+
+    std::atomic<uint64_t> ok{0}, degraded{0}, shed{0}, failed{0};
+    std::mutex mu;  // guards shed_max_ms
+    double shed_max_ms = 0;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < over.threads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(seed * 7919 + static_cast<uint64_t>(t));
+        olite::obda::AnswerOptions aopts;
+        aopts.deadline_ms = deadline_ms;
+        aopts.allow_degraded = true;  // deadline expiry degrades, not fails
+        for (uint64_t i = 0; i < overload_requests; ++i) {
+          size_t pick = static_cast<size_t>(
+              rng.Uniform(workload.queries.size()));
+          olite::obda::AnswerStats stats;
+          Stopwatch sw;
+          auto r = serving.Answer(workload.queries[pick], aopts, &stats);
+          double elapsed = sw.ElapsedMillis();
+          request_us.Record(elapsed * 1000.0);
+          if (r.ok()) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (stats.degradation.degraded()) {
+              degraded.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (stats.serve.shed) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu);
+            if (elapsed > shed_max_ms) shed_max_ms = elapsed;
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr, "unexpected failure: %s\n",
+                         r.status().ToString().c_str());
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    olite::fault::Injector::Global().DisarmAll();
+
+    auto adm = serving.admission();
+    over.requests = static_cast<uint64_t>(over.threads) * overload_requests;
+    over.ok = ok.load();
+    over.degraded = degraded.load();
+    over.shed = shed.load();
+    over.failed = failed.load();
+    over.queued = adm.queued;
+    over.in_flight_peak = adm.in_flight_peak;
+    over.shed_rate = over.requests > 0
+                         ? static_cast<double>(over.shed) /
+                               static_cast<double>(over.requests)
+                         : 0;
+    over.p50_ms =
+        olite::bench::QuantileMs(registry, olite::bench::kRequestUs, 0.50);
+    over.p99_ms =
+        olite::bench::QuantileMs(registry, olite::bench::kRequestUs, 0.99);
+    over.shed_max_ms = shed_max_ms;
+    over.shed_bound_ms = 1.1 * deadline_ms + shed_slack_ms;
+  }
+  std::printf("overload: %llu requests at %dx saturation, ok %llu "
+              "(degraded %llu), shed %llu (rate %.2f), failed %llu, "
+              "peak in-flight %zu/%zu, p99 %.1f ms, slowest shed %.1f ms "
+              "(bound %.1f ms)\n",
+              static_cast<unsigned long long>(over.requests), saturation,
+              static_cast<unsigned long long>(over.ok),
+              static_cast<unsigned long long>(over.degraded),
+              static_cast<unsigned long long>(over.shed), over.shed_rate,
+              static_cast<unsigned long long>(over.failed),
+              over.in_flight_peak, over.max_in_flight, over.p99_ms,
+              over.shed_max_ms, over.shed_bound_ms);
+
+  WriteJson(out_path, churn, over);
+
+  // ---- Gates -------------------------------------------------------------
+  bool gate_failed = false;
+  auto gate = [&](bool pass, const char* what) {
+    if (!pass) {
+      std::fprintf(stderr, "GATE: %s\n", what);
+      gate_failed = true;
+    }
+  };
+  gate(churn.errors == 0, "answers failed during churn (downtime)");
+  gate(churn.discrepancies == 0,
+       "answers matched neither snapshot during churn");
+  gate(churn.final_epoch == swaps + 1, "unexpected final epoch");
+  gate(over.failed == 0,
+       "overload produced a status other than ok/shed");
+  gate(over.shed > 0, "overload at saturation never shed");
+  gate(over.in_flight_peak <= max_in_flight,
+       "in-flight exceeded max_in_flight");
+  gate(over.shed_max_ms <= over.shed_bound_ms,
+       "a shed response exceeded 1.1x deadline + slack");
+  if (gate_failed) return 1;
+  std::printf("all gates passed\n");
+  return 0;
+}

@@ -24,6 +24,8 @@ const char* SiteName(Site site) {
     case Site::kRdbExecute: return "rdb_execute";
     case Site::kPoolTask: return "pool_task";
     case Site::kUnfold: return "unfold";
+    case Site::kSnapshotBuild: return "snapshot_build";
+    case Site::kAdmission: return "admission";
   }
   return "unknown";
 }

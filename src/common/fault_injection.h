@@ -14,6 +14,8 @@ enum class Site : int {
   kRdbExecute = 0,  ///< per select block inside rdb::Execute
   kPoolTask,        ///< per index of a cancellable ParallelFor
   kUnfold,          ///< per disjunct inside obda::Unfold
+  kSnapshotBuild,   ///< per CompiledOntology::Compile (hot-swap builds)
+  kAdmission,       ///< per admission attempt in obda::ServingEngine
 };
 
 /// Canonical lower-case name of `site` (e.g. "rdb_execute").
@@ -75,7 +77,7 @@ class Injector {
   }
 
  private:
-  static constexpr int kNumSites = 3;
+  static constexpr int kNumSites = 5;
 
   struct SiteState {
     std::atomic<bool> armed{false};

@@ -101,6 +101,26 @@ class ShardedLruCache {
     ++shard.insertions;
   }
 
+  /// Drops every entry in every shard and returns how many were dropped.
+  /// Accounting is exact: each dropped entry counts as one eviction, so the
+  /// invariant `insertions == entries + evictions` holds across any mix of
+  /// Put, capacity eviction and Clear. Shards are cleared one at a time
+  /// (per-shard lock, like every other operation), so a concurrent Put can
+  /// land in an already-cleared shard and survive — callers that need
+  /// stronger guarantees tag their keys (the serving stack's epoch tags
+  /// make a surviving stale insert unreachable rather than wrong).
+  size_t Clear() {
+    size_t dropped = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      dropped += shard->lru.size();
+      shard->evictions += shard->lru.size();
+      shard->index.clear();
+      shard->lru.clear();
+    }
+    return dropped;
+  }
+
   /// Evictions performed by one shard so far.
   uint64_t ShardEvictions(size_t shard) const {
     std::lock_guard<std::mutex> lock(shards_[shard]->mu);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace olite::obda {
 
 namespace {
@@ -36,6 +38,9 @@ CompiledOntology::CompiledOntology(dllite::Ontology ontology,
 Result<std::shared_ptr<const CompiledOntology>> CompiledOntology::Compile(
     dllite::Ontology ontology, mapping::MappingSet mappings,
     rdb::Database database, query::RewriteMode mode) {
+  // Fault site for the hot-swap path: a failed snapshot build must leave a
+  // ServingEngine on its previous epoch with traffic unaffected.
+  OLITE_RETURN_IF_ERROR(fault::InjectAt(fault::Site::kSnapshotBuild));
   OLITE_RETURN_IF_ERROR(mappings.Validate(database));
   OLITE_RETURN_IF_ERROR(
       CheckFunctionalityRestriction(ontology.tbox(), ontology.vocab()));

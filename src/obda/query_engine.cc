@@ -39,10 +39,27 @@ Atom MembershipAtom(const BasicConcept& b, const Term& x, size_t* fresh) {
 
 }  // namespace
 
+namespace {
+
+// Splitmix-style epoch mix for the cache-shard hash: two epochs tagging
+// the same fingerprint land on (usually) different shards, so the hash
+// stays consistent with the epoch-prefixed key.
+uint64_t EpochHash(uint64_t hash, uint64_t epoch) {
+  return hash ^ (epoch * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
                          QueryEngineOptions options)
     : compiled_(std::move(compiled)),
-      plan_cache_(options.plan_cache_capacity, options.plan_cache_shards) {
+      plan_cache_(options.shared_plan_cache != nullptr
+                      ? options.shared_plan_cache
+                      : std::make_shared<PlanCache>(
+                            options.plan_cache_capacity,
+                            options.plan_cache_shards)),
+      epoch_(options.epoch),
+      key_prefix_("e" + std::to_string(options.epoch) + "|") {
   if (options.enable_metrics) {
     metrics_ = options.metrics != nullptr ? options.metrics
                                           : &obs::MetricsRegistry::Default();
@@ -141,7 +158,10 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   if (stats == nullptr && (metrics_ != nullptr || sampled)) {
     stats = &local_stats;
   }
-  if (stats != nullptr) stats->stage = StageTimings{};
+  if (stats != nullptr) {
+    stats->stage = StageTimings{};
+    stats->serve.epoch = epoch_;
+  }
   std::optional<ExecBudget> owned;        // built from opts' caps
   std::optional<ExecBudget> retry_owned;  // fresh quotas for the ladder retry
   const ExecBudget* budget = opts.budget;
@@ -161,8 +181,14 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   }
 
   Degradation degradation;
-  const bool use_cache = plan_cache_.enabled() && !opts.bypass_cache;
+  const bool use_cache = plan_cache_->enabled() && !opts.bypass_cache;
   query::QueryFingerprint fp;
+  // Epoch-tagged cache coordinates: the key is prefixed "e<epoch>|" and
+  // the shard hash mixes the epoch in, so entries of one snapshot epoch
+  // are invisible to every other (hot-swap correctness; the swap's
+  // Clear() is only memory reclamation).
+  std::string cache_key;
+  uint64_t cache_hash = 0;
   size_t shard = 0;
   // `finish` wraps every return: it stamps the trail and timings into
   // `stats`, then performs the end-of-call observability recording (both
@@ -181,15 +207,17 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
 
   if (use_cache) {
     fp = query::CanonicalFingerprint(cq);
-    shard = plan_cache_.ShardOf(fp.hash);
+    cache_key = key_prefix_ + fp.key;
+    cache_hash = EpochHash(fp.hash, epoch_);
+    shard = plan_cache_->ShardOf(cache_hash);
     if (stats != nullptr) stats->cache.shard = shard;
-    if (auto cached = plan_cache_.Get(fp.key, fp.hash)) {
+    if (auto cached = plan_cache_->Get(cache_key, cache_hash)) {
       // Hot path: the plan is already compiled — nothing to rewrite or
       // unfold. Only evaluation runs, and the per-call budget still
       // governs it (row quota, deadline, cancellation, fault injection).
       if (stats != nullptr) {
         stats->cache.hit = true;
-        stats->cache.evictions = plan_cache_.ShardEvictions(shard);
+        stats->cache.evictions = plan_cache_->ShardEvictions(shard);
         stats->rewrite = query::RewriteStats{};
         stats->rewrite.final_disjuncts = (*cached)->rewrite.final_disjuncts;
       }
@@ -291,18 +319,18 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   // also vetoes the insert — conservative, but eval-stage degradation
   // only occurs under a budget, where re-compiling is the safer default.
   if (use_cache && answers.ok() && degradation.events.empty()) {
-    plan_cache_.Put(fp.key, fp.hash,
-                    std::make_shared<const CachedPlan>(compiled_plan));
+    plan_cache_->Put(cache_key, cache_hash,
+                     std::make_shared<const CachedPlan>(compiled_plan));
     if (stats != nullptr) {
       stats->cache.stored = true;
-      stats->cache.evictions = plan_cache_.ShardEvictions(shard);
+      stats->cache.evictions = plan_cache_->ShardEvictions(shard);
     }
     if (metrics_ != nullptr) {
       // Occupancy/eviction gauges refresh on the compile path only: the
       // aggregate walks every shard under its lock, which the hit path
       // must not pay.
       ins_.cache_insertions->Add(1);
-      LruCacheMetrics m = plan_cache_.metrics();
+      LruCacheMetrics m = plan_cache_->metrics();
       ins_.cache_entries->Set(static_cast<double>(m.entries));
       ins_.cache_evictions->Set(static_cast<double>(m.evictions));
     }

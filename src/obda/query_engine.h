@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -16,6 +17,21 @@
 
 namespace olite::obda {
 
+/// A fully compiled plan: everything between parsing and evaluation.
+/// `plan == nullptr` encodes an empty unfolding (no mapped disjunct —
+/// the certain answers are empty, no SQL to run).
+struct CachedPlan {
+  std::shared_ptr<const query::UnionQuery> ucq;
+  std::shared_ptr<const rdb::PreparedPlan> plan;
+  query::RewriteStats rewrite;
+};
+
+/// The plan-cache container, exposed so a `ServingEngine` can share one
+/// cache across the engines of successive snapshot epochs (entries are
+/// epoch-tagged; see QueryEngineOptions::epoch).
+using PlanCache =
+    ShardedLruCache<std::string, std::shared_ptr<const CachedPlan>>;
+
 /// Serving-side knobs, fixed at engine construction.
 struct QueryEngineOptions {
   /// Total plan-cache entries across all shards. 0 disables caching.
@@ -23,6 +39,16 @@ struct QueryEngineOptions {
   /// Shards of the plan cache; more shards = less lock contention under
   /// concurrent Answer() calls with distinct queries.
   size_t plan_cache_shards = 8;
+  /// When set, the engine uses this externally-owned cache instead of
+  /// constructing its own (capacity/shards above are then ignored). The
+  /// hot-swap serving layer hands the same cache to every epoch's engine
+  /// so a swap does not re-allocate shards mid-traffic.
+  std::shared_ptr<PlanCache> shared_plan_cache;
+  /// Snapshot epoch tag baked into every plan-cache key (and mixed into
+  /// the shard hash). Entries written by one epoch can never be returned
+  /// to another — the correctness guarantee behind sharing one cache
+  /// across hot-swapped snapshots. 0 is the default standalone epoch.
+  uint64_t epoch = 0;
   /// Record per-call counters and latency histograms into a
   /// `obs::MetricsRegistry`: per-stage timings (`stage.*_us`), whole-call
   /// latency (`obda.answer_us`), per-block evaluation latency
@@ -90,19 +116,14 @@ class QueryEngine {
     return compiled_;
   }
 
-  /// Live plan-cache counters (aggregated over shards).
-  LruCacheMetrics cache_metrics() const { return plan_cache_.metrics(); }
+  /// Live plan-cache counters (aggregated over shards). With a shared
+  /// cache these span every epoch that writes into it.
+  LruCacheMetrics cache_metrics() const { return plan_cache_->metrics(); }
+
+  /// The epoch tag of this engine's plan-cache keys.
+  uint64_t epoch() const { return epoch_; }
 
  private:
-  /// A fully compiled plan: everything between parsing and evaluation.
-  /// `plan == nullptr` encodes an empty unfolding (no mapped disjunct —
-  /// the certain answers are empty, no SQL to run).
-  struct CachedPlan {
-    std::shared_ptr<const query::UnionQuery> ucq;
-    std::shared_ptr<const rdb::PreparedPlan> plan;
-    query::RewriteStats rewrite;
-  };
-
   /// Registry instruments resolved once at construction, so the per-call
   /// hot path records through raw pointers with no registry lookup (and no
   /// lock). All null when metrics are disabled.
@@ -141,8 +162,14 @@ class QueryEngine {
               uint64_t fingerprint, bool sampled, double total_us) const;
 
   std::shared_ptr<const CompiledOntology> compiled_;
-  mutable ShardedLruCache<std::string, std::shared_ptr<const CachedPlan>>
-      plan_cache_;
+  /// Owned when QueryEngineOptions::shared_plan_cache was null, otherwise
+  /// the serving layer's shared cache. Never null (a disabled cache is an
+  /// enabled()==false instance).
+  std::shared_ptr<PlanCache> plan_cache_;
+  /// Epoch tag of this engine, and its pre-rendered key prefix
+  /// ("e<epoch>|") prepended to every fingerprint key.
+  uint64_t epoch_ = 0;
+  std::string key_prefix_;
   /// Null when metrics are disabled (QueryEngineOptions::enable_metrics).
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments ins_;

@@ -103,6 +103,36 @@ std::vector<std::string> CheckBudgetMonotonicity(
     const benchgen::Workload& w, const obda::AnswerOptions& options,
     const std::function<void()>& between_passes = {});
 
+/// Options for `CheckSwapLinearizability`.
+struct SwapLinearizabilityOptions {
+  /// Concurrent answer threads (keep tiny: conformance sweeps run
+  /// hundreds of seeds on small machines).
+  size_t threads = 2;
+  /// Answers each thread issues, round-robin over the workload's queries.
+  size_t answers_per_thread = 8;
+  /// Hot swaps performed while the answer threads run (alternating
+  /// between the original and the perturbed snapshot).
+  size_t swaps = 3;
+  /// Fraction of database rows dropped (deterministically, by seed) to
+  /// build the perturbed snapshot — a data-only refresh, the scenario the
+  /// hot-swap layer exists for.
+  double drop_fraction = 0.4;
+};
+
+/// Swap linearizability of the serving layer: while a `ServingEngine` is
+/// hot-swapped back and forth between the workload's snapshot (A, odd
+/// epochs) and a deterministically perturbed copy with rows dropped (B,
+/// even epochs), every observed answer must equal the quiescent oracle
+/// answer of the snapshot whose epoch the call reports — in particular,
+/// always exactly the old-snapshot or the new-snapshot answer, never a
+/// blend of the two. After the churn, the final epoch must serve its
+/// oracle answers exactly. Returns discrepancy descriptions; empty =
+/// linearizable. Shrinkable: wrap a failing (workload, seed) in a
+/// testkit::ConformanceCase and ddmin with this checker as the predicate.
+std::vector<std::string> CheckSwapLinearizability(
+    const benchgen::Workload& w, uint64_t seed,
+    const SwapLinearizabilityOptions& options = {});
+
 /// Semantic approximation (src/approx) of the OWL translation of `w`'s
 /// ontology must yield *sound* answers: every certain answer over the
 /// approximated TBox is a certain answer over the original. Skipped (empty

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/exec_budget.h"
@@ -299,6 +301,79 @@ TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
   LruCacheMetrics m = cache.metrics();
   EXPECT_EQ(m.hits + m.misses, 2000u);
   EXPECT_LE(m.entries, 32u);
+}
+
+TEST(LruCacheTest, ClearDropsEverythingWithExactAccounting) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/8, /*num_shards=*/2);
+  for (int i = 0; i < 6; ++i) {
+    cache.Put("k" + std::to_string(i), static_cast<uint64_t>(i) * 0x9e3779b9,
+              i);
+  }
+  ASSERT_EQ(cache.metrics().entries, 6u);
+  EXPECT_EQ(cache.Clear(), 6u);
+
+  LruCacheMetrics m = cache.metrics();
+  EXPECT_EQ(m.entries, 0u);
+  EXPECT_EQ(m.evictions, 6u);  // each dropped entry counts as an eviction
+  EXPECT_EQ(m.insertions, m.entries + m.evictions);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(
+        cache.Get("k" + std::to_string(i),
+                  static_cast<uint64_t>(i) * 0x9e3779b9)
+            .has_value());
+  }
+  // The cache keeps working after a clear, and a second clear reports
+  // exactly what was re-inserted.
+  cache.Put("again", 42, 1);
+  EXPECT_EQ(cache.Get("again", 42).value(), 1);
+  EXPECT_EQ(cache.Clear(), 1u);
+  EXPECT_EQ(cache.Clear(), 0u);  // idempotent on empty
+}
+
+TEST(LruCacheTest, ClearOnDisabledCacheIsANoOp) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/0);
+  cache.Put("a", 1, 10);
+  EXPECT_EQ(cache.Clear(), 0u);
+  EXPECT_EQ(cache.metrics().evictions, 0u);
+}
+
+TEST(LruCacheTest, ClearUnderConcurrentInsertKeepsInvariant) {
+  // Writers race against repeated clears. The per-shard locking allows a
+  // Put to land in an already-cleared shard and survive — what must hold
+  // regardless of interleaving is the exact accounting invariant
+  // `insertions == entries + evictions` (capacity evictions + clear
+  // drops), checked live and after the dust settles.
+  ShardedLruCache<std::string, int> cache(/*capacity=*/16, /*num_shards=*/4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&cache, &stop, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const int k = (t * 31 + i) % 48;
+        cache.Put("k" + std::to_string(k),
+                  static_cast<uint64_t>(k) * 0x9e3779b9, k);
+        if (i >= 400) break;
+      }
+    });
+  }
+  size_t total_cleared = 0;
+  for (int c = 0; c < 20; ++c) {
+    total_cleared += cache.Clear();
+    LruCacheMetrics live = cache.metrics();
+    EXPECT_EQ(live.insertions, live.entries + live.evictions);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+
+  LruCacheMetrics m = cache.metrics();
+  EXPECT_EQ(m.insertions, m.entries + m.evictions);
+  EXPECT_GE(m.evictions, total_cleared);
+  // A final clear leaves it empty and still balanced.
+  cache.Clear();
+  m = cache.metrics();
+  EXPECT_EQ(m.entries, 0u);
+  EXPECT_EQ(m.insertions, m.evictions);
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {

@@ -269,6 +269,27 @@ TEST(EvaluatorConformance, ColumnarAgreesWithNestedLoopAndOracles) {
   }
 }
 
+// Hot-swap serving conformance: while the serving layer churns between
+// the generated snapshot and a perturbed (rows-dropped) copy, every
+// concurrent answer must be exactly one snapshot's oracle answer set —
+// the epoch the call reports — never an error and never a blend. Sweeps
+// >= 200 seeds by default (override with OLITE_SWAP_CONFORMANCE_SEEDS);
+// per-seed work is tiny (2 threads, a few answers, 3 swaps). A failing
+// (workload, seed) pair shrinks like any other checker: wrap it in a
+// ConformanceCase and ddmin with CheckSwapLinearizability over
+// ToWorkload(candidate) as the failure predicate.
+TEST(ServingConformance, AnswersAreSwapLinearizable) {
+  const uint64_t num_seeds = EnvOr("OLITE_SWAP_CONFORMANCE_SEEDS", 200);
+  const uint64_t base = EnvOr("OLITE_CONFORMANCE_SEED_BASE", 0);
+  for (uint64_t seed = base; seed < base + num_seeds; ++seed) {
+    Workload w = benchgen::GenerateWorkload(SweepConfig(seed));
+    auto diffs = testkit::CheckSwapLinearizability(w, seed);
+    ASSERT_TRUE(diffs.empty())
+        << "swap linearizability violated at seed " << seed
+        << JoinDiffs(diffs);
+  }
+}
+
 // Satellite: cross-engine agreement on deliberately unsatisfiable
 // ontologies — computeUnsat (graph) vs tableau vs completion vs oracle.
 TEST(ConformanceSweep, UnsatisfiableOntologyAgreement) {

@@ -15,6 +15,7 @@
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "mapping/mapping.h"
+#include "obda/serving_engine.h"
 #include "obda/system.h"
 
 namespace olite::obda {
@@ -484,6 +485,98 @@ TEST_F(FaultInjectionTest, SeededPlanIsReproducible) {
   EXPECT_EQ(first, second);
   EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
   EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FaultInjectionTest, SnapshotBuildFaultSurfacesThroughCompile) {
+  Fixture fx;
+  fault::FaultPlan plan;
+  plan.fail_every = 1;
+  fault::Injector::Global().Arm(fault::Site::kSnapshotBuild, plan);
+  auto compiled = CompiledOntology::Compile(
+      std::move(fx.onto), std::move(fx.mappings), std::move(fx.db));
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInternal);
+  EXPECT_GE(
+      fault::Injector::Global().failures(fault::Site::kSnapshotBuild), 1u);
+}
+
+TEST_F(FaultInjectionTest, AdmissionFaultSurfacesThroughServing) {
+  Fixture fx;
+  auto compiled = CompiledOntology::Compile(
+      std::move(fx.onto), std::move(fx.mappings), std::move(fx.db));
+  ASSERT_TRUE(compiled.ok());
+  ServingEngineOptions sopts;
+  sopts.engine.enable_metrics = false;
+  ServingEngine serving(*compiled, sopts);
+
+  fault::FaultPlan plan;
+  plan.fail_every = 1;
+  fault::Injector::Global().Arm(fault::Site::kAdmission, plan);
+  auto res = serving.Answer("q(x) :- Professor(x)");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(serving.admission().shed, 1u);  // injected rejection = shed
+  EXPECT_GE(fault::Injector::Global().failures(fault::Site::kAdmission), 1u);
+}
+
+TEST_F(FaultInjectionTest, RandomFaultsAcrossAllSitesNeverCrash) {
+  // Seeded probabilistic faults armed at *every* site at once, hammered
+  // through the full serving stack — answers with retry, hot swaps with
+  // failing builds. Any injected error is acceptable; what is not is a
+  // crash, a hang, or an error with a non-injected code. With the
+  // injector disarmed the engine must serve exact answers again.
+  const std::set<std::string> expected = {"ada", "alan"};
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Fixture fx;
+    auto compiled = CompiledOntology::Compile(
+        std::move(fx.onto), std::move(fx.mappings), std::move(fx.db));
+    ASSERT_TRUE(compiled.ok());
+    ServingEngineOptions sopts;
+    sopts.engine.enable_metrics = false;
+    sopts.admission.max_in_flight = 2;
+    sopts.admission.max_queue_depth = 2;
+    ServingEngine serving(*compiled, sopts);
+
+    fault::FaultPlan plan;
+    plan.fail_every = 256;  // ~25% of hits, seeded draws
+    plan.seed = seed;
+    for (int s = 0; s < 5; ++s) {
+      fault::Injector::Global().Arm(static_cast<fault::Site>(s), plan);
+    }
+    for (int i = 0; i < 20; ++i) {
+      if (i % 5 == 4) {
+        // Hot swap under fire: a failed build must leave serving intact.
+        Fixture next;
+        auto swapped = serving.CompileAndSwap(std::move(next.onto),
+                                              std::move(next.mappings),
+                                              std::move(next.db));
+        if (!swapped.ok()) {
+          EXPECT_EQ(swapped.status().code(), StatusCode::kInternal)
+              << swapped.status().ToString();
+        }
+      }
+      AnswerOptions opts;
+      opts.retry.max_attempts = 2;
+      opts.retry.initial_backoff_ms = 0.1;
+      auto res = serving.Answer("q(x) :- Professor(x)", opts);
+      if (res.ok()) {
+        std::set<std::string> got;
+        for (const auto& row : *res) got.insert(row[0]);
+        EXPECT_EQ(got, expected);
+      } else {
+        const StatusCode code = res.status().code();
+        EXPECT_TRUE(code == StatusCode::kInternal ||
+                    code == StatusCode::kResourceExhausted)
+            << res.status().ToString();
+      }
+    }
+    fault::Injector::Global().DisarmAll();
+    auto clean = serving.Answer("q(x) :- Professor(x)");
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    std::set<std::string> got;
+    for (const auto& row : *clean) got.insert(row[0]);
+    EXPECT_EQ(got, expected);
+  }
 }
 
 }  // namespace

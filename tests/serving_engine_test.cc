@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "mapping/mapping.h"
+#include "obda/compiled_ontology.h"
+#include "obda/serving_engine.h"
+#include "obs/metrics.h"
+
+namespace olite::obda {
+namespace {
+
+using dllite::Ontology;
+using mapping::MappingAssertion;
+using mapping::MappingSet;
+using rdb::Database;
+using rdb::SelectBlock;
+using rdb::Value;
+using rdb::ValueType;
+
+// Same university instance as query_engine_test.cc. `extra_prof` adds a
+// third professor, giving a second snapshot whose answers visibly differ.
+struct Fixture {
+  Ontology onto;
+  Database db;
+  MappingSet mappings;
+
+  explicit Fixture(bool extra_prof = false) {
+    auto r = dllite::ParseOntology(R"(
+concept Professor AssistantProf Person Course
+role teaches
+attribute salary
+AssistantProf <= Professor
+Professor <= Person
+Professor <= exists teaches
+exists teaches- <= Course
+Professor <= delta(salary)
+)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    onto = std::move(r).value();
+
+    EXPECT_TRUE(db.CreateTable({"prof",
+                                {{"id", ValueType::kString},
+                                 {"rank", ValueType::kString},
+                                 {"pay", ValueType::kInt}}})
+                    .ok());
+    EXPECT_TRUE(db.CreateTable({"teaching",
+                                {{"prof_id", ValueType::kString},
+                                 {"course", ValueType::kString}}})
+                    .ok());
+    EXPECT_TRUE(
+        db.Insert("prof", {Value::Str("ada"), Value::Str("full"),
+                           Value::Int(90)})
+            .ok());
+    EXPECT_TRUE(
+        db.Insert("prof", {Value::Str("alan"), Value::Str("assistant"),
+                           Value::Int(60)})
+            .ok());
+    if (extra_prof) {
+      EXPECT_TRUE(
+          db.Insert("prof", {Value::Str("grace"), Value::Str("full"),
+                             Value::Int(95)})
+              .ok());
+    }
+    EXPECT_TRUE(
+        db.Insert("teaching", {Value::Str("ada"), Value::Str("db101")}).ok());
+
+    auto cid = [&](const char* n) {
+      return onto.vocab().FindConcept(n).value();
+    };
+    SelectBlock all_profs;
+    all_profs.from_tables = {"prof"};
+    all_profs.select = {{0, "id"}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForConcept(cid("Professor"),
+                                                      all_profs))
+                    .ok());
+    SelectBlock assistants = all_profs;
+    assistants.filters = {{{0, "rank"}, Value::Str("assistant")}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForConcept(cid("AssistantProf"),
+                                                      assistants))
+                    .ok());
+    SelectBlock teaching;
+    teaching.from_tables = {"teaching"};
+    teaching.select = {{0, "prof_id"}, {0, "course"}};
+    EXPECT_TRUE(
+        mappings
+            .Add(MappingAssertion::ForRole(
+                onto.vocab().FindRole("teaches").value(), teaching))
+            .ok());
+    SelectBlock pay;
+    pay.from_tables = {"prof"};
+    pay.select = {{0, "id"}, {0, "pay"}};
+    EXPECT_TRUE(mappings
+                    .Add(MappingAssertion::ForAttribute(
+                        onto.vocab().FindAttribute("salary").value(), pay))
+                    .ok());
+  }
+
+  std::shared_ptr<const CompiledOntology> Compile(
+      query::RewriteMode mode = query::RewriteMode::kPerfectRef) {
+    auto c = CompiledOntology::Compile(std::move(onto), std::move(mappings),
+                                       std::move(db), mode);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+};
+
+std::shared_ptr<const CompiledOntology> SnapA() { return Fixture().Compile(); }
+std::shared_ptr<const CompiledOntology> SnapB() {
+  return Fixture(/*extra_prof=*/true).Compile();
+}
+
+const std::vector<AnswerTuple> kAnswersA = {{"ada"}, {"alan"}};
+const std::vector<AnswerTuple> kAnswersB = {{"ada"}, {"alan"}, {"grace"}};
+const char* kPersonQuery = "q(x) :- Person(x)";
+
+std::vector<AnswerTuple> Sorted(std::vector<AnswerTuple> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Every test here may arm the global injector; always leave it clean.
+class ServingEngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::Global().DisarmAll(); }
+
+  // Spins until `pred` holds (the container is single-core: yields, never
+  // busy-burns a full quantum). Fails the test after ~5 s.
+  template <typename Pred>
+  static bool WaitFor(Pred pred) {
+    for (int i = 0; i < 5000; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+};
+
+TEST_F(ServingEngineTest, ServesInitialSnapshotAtEpochOne) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  EXPECT_EQ(serving.epoch(), 1u);
+
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Sorted(*r), kAnswersA);
+  EXPECT_EQ(stats.serve.epoch, 1u);
+  EXPECT_EQ(stats.serve.attempts, 1u);
+  EXPECT_FALSE(stats.serve.shed);
+  EXPECT_EQ(serving.admission().admitted, 1u);
+  EXPECT_EQ(serving.admission().in_flight, 0u);
+}
+
+TEST_F(ServingEngineTest, SwapPublishesNewEpochWithNewAnswers) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());  // warm epoch-1 cache
+  EXPECT_EQ(serving.cache_metrics().entries, 1u);
+
+  EXPECT_EQ(serving.Swap(SnapB()), 2u);
+  EXPECT_EQ(serving.epoch(), 2u);
+  // The swap cleared the shared cache (exact accounting: the dead entry
+  // became an eviction).
+  LruCacheMetrics m = serving.cache_metrics();
+  EXPECT_EQ(m.entries, 0u);
+  EXPECT_EQ(m.evictions, 1u);
+
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Sorted(*r), kAnswersB);
+  EXPECT_EQ(stats.serve.epoch, 2u);
+  EXPECT_FALSE(stats.cache.hit);  // epoch 2 compiled its own plan
+  EXPECT_TRUE(stats.cache.stored);
+}
+
+TEST_F(ServingEngineTest, InFlightQueryFinishesOnItsStartingSnapshot) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  // Make evaluation slow enough that the swap lands mid-query: every rdb
+  // block sleeps 60 ms.
+  fault::Injector::Global().Arm(fault::Site::kRdbExecute,
+                                {.latency_every = 1, .latency_ms = 60});
+  AnswerStats stats;
+  Result<std::vector<AnswerTuple>> got = std::vector<AnswerTuple>{};
+  std::thread worker([&] {
+    got = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+  });
+  // Once the injector has been hit, the worker holds its epoch-1 record
+  // and is inside evaluation; the swap below cannot affect it.
+  ASSERT_TRUE(WaitFor([] {
+    return fault::Injector::Global().hits(fault::Site::kRdbExecute) >= 1;
+  }));
+  EXPECT_EQ(serving.Swap(SnapB()), 2u);
+  worker.join();
+  fault::Injector::Global().DisarmAll();
+
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(stats.serve.epoch, 1u);
+  EXPECT_EQ(Sorted(*got), kAnswersA);  // old snapshot, not a blend
+  // New arrivals see the new epoch immediately.
+  AnswerStats after;
+  auto next = serving.Answer(kPersonQuery, AnswerOptions{}, &after);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(after.serve.epoch, 2u);
+  EXPECT_EQ(Sorted(*next), kAnswersB);
+}
+
+TEST_F(ServingEngineTest, FailedCompileAndSwapKeepsServingOldEpoch) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  fault::Injector::Global().Arm(fault::Site::kSnapshotBuild,
+                                {.fail_every = 1});
+  Fixture next(/*extra_prof=*/true);
+  auto swapped = serving.CompileAndSwap(std::move(next.onto),
+                                        std::move(next.mappings),
+                                        std::move(next.db));
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kInternal);
+  fault::Injector::Global().DisarmAll();
+
+  // Zero downtime: still on epoch 1, still answering.
+  EXPECT_EQ(serving.epoch(), 1u);
+  auto r = serving.Answer(kPersonQuery);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Sorted(*r), kAnswersA);
+
+  // A clean retry of the same rollout succeeds.
+  Fixture retry(/*extra_prof=*/true);
+  auto ok = serving.CompileAndSwap(std::move(retry.onto),
+                                   std::move(retry.mappings),
+                                   std::move(retry.db));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, 2u);
+  EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersB);
+}
+
+TEST_F(ServingEngineTest, SaturationShedsDeterministically) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  opts.admission.max_in_flight = 1;
+  opts.admission.max_queue_depth = 0;  // no queue: saturation sheds on arrival
+  opts.admission.retry_after_ms = 7;
+  ServingEngine serving(SnapA(), opts);
+
+  // Occupy the only token: a worker whose evaluation sleeps 150 ms.
+  fault::Injector::Global().Arm(fault::Site::kRdbExecute,
+                                {.latency_every = 1, .latency_ms = 150});
+  std::thread worker([&] { (void)serving.Answer(kPersonQuery); });
+  ASSERT_TRUE(WaitFor([&] { return serving.admission().in_flight == 1; }));
+
+  AnswerStats stats;
+  auto shed = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+  worker.join();
+  fault::Injector::Global().DisarmAll();
+
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().ToString().find("retry after"), std::string::npos)
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().ToString().find("7"), std::string::npos);
+  EXPECT_TRUE(stats.serve.shed);
+  AdmissionSnapshot adm = serving.admission();
+  EXPECT_EQ(adm.shed, 1u);
+  EXPECT_EQ(adm.admitted, 1u);
+  EXPECT_LE(adm.in_flight_peak, 1u);  // the limit is never exceeded
+}
+
+TEST_F(ServingEngineTest, QueuedCallerAdmittedWhenTokenFrees) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  opts.admission.max_in_flight = 1;
+  opts.admission.max_queue_depth = 2;
+  opts.admission.max_queue_wait_ms = 5000;  // generous: single-core CI
+  ServingEngine serving(SnapA(), opts);
+
+  fault::Injector::Global().Arm(fault::Site::kRdbExecute,
+                                {.latency_every = 1, .latency_ms = 80});
+  std::thread worker([&] { (void)serving.Answer(kPersonQuery); });
+  ASSERT_TRUE(WaitFor([&] { return serving.admission().in_flight == 1; }));
+  fault::Injector::Global().Disarm(fault::Site::kRdbExecute);
+
+  // This call queues behind the worker, then gets the token when the
+  // worker's Release fires — no shed.
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+  worker.join();
+
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Sorted(*r), kAnswersA);
+  EXPECT_GT(stats.serve.queue_wait_us, 0.0);
+  AdmissionSnapshot adm = serving.admission();
+  EXPECT_EQ(adm.queued, 1u);
+  EXPECT_EQ(adm.shed, 0u);
+  EXPECT_EQ(adm.admitted, 2u);
+  EXPECT_LE(adm.in_flight_peak, 1u);
+}
+
+TEST_F(ServingEngineTest, QueueWaitIsBoundedByCallerDeadline) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  opts.admission.max_in_flight = 1;
+  opts.admission.max_queue_depth = 4;
+  opts.admission.max_queue_wait_ms = 60000;  // effectively unbounded
+  ServingEngine serving(SnapA(), opts);
+
+  fault::Injector::Global().Arm(fault::Site::kRdbExecute,
+                                {.latency_every = 1, .latency_ms = 400});
+  std::thread worker([&] { (void)serving.Answer(kPersonQuery); });
+  ASSERT_TRUE(WaitFor([&] { return serving.admission().in_flight == 1; }));
+
+  AnswerOptions tight;
+  tight.deadline_ms = 30;
+  Stopwatch sw;
+  AnswerStats stats;
+  auto shed = serving.Answer(kPersonQuery, tight, &stats);
+  const double elapsed_ms = sw.ElapsedMillis();
+  worker.join();
+  fault::Injector::Global().DisarmAll();
+
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(stats.serve.shed);
+  // The shed response came back in O(deadline), not O(max_queue_wait_ms).
+  // Generous multiplier: single-core CI under load.
+  EXPECT_LT(elapsed_ms, 300.0);
+}
+
+TEST_F(ServingEngineTest, RetryRedrivesTransientAdmissionFault) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  // Modular plan, hits numbered from 1: hit 2 fails. The first call
+  // consumes hit 1 (success); the second call's first attempt is hit 2
+  // (injected failure), its retry is hit 3 (success).
+  fault::Injector::Global().Arm(fault::Site::kAdmission, {.fail_every = 2});
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());
+
+  AnswerOptions retrying;
+  retrying.retry.max_attempts = 3;
+  retrying.retry.initial_backoff_ms = 0.5;
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, retrying, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Sorted(*r), kAnswersA);
+  EXPECT_EQ(stats.serve.attempts, 2u);
+  EXPECT_GT(stats.serve.backoff_ms, 0.0);
+  EXPECT_EQ(serving.admission().retries, 1u);
+  // The injected admission failure was accounted as a shed.
+  EXPECT_EQ(serving.admission().shed, 1u);
+}
+
+TEST_F(ServingEngineTest, RetryGivesUpAfterMaxAttempts) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  fault::Injector::Global().Arm(fault::Site::kAdmission, {.fail_every = 1});
+
+  AnswerOptions retrying;
+  retrying.retry.max_attempts = 3;
+  retrying.retry.initial_backoff_ms = 0.5;
+  retrying.retry.max_backoff_ms = 2;
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, retrying, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);  // injector default
+  EXPECT_EQ(stats.serve.attempts, 3u);
+  EXPECT_EQ(serving.admission().retries, 2u);
+  EXPECT_EQ(fault::Injector::Global().hits(fault::Site::kAdmission), 3u);
+}
+
+TEST_F(ServingEngineTest, RetryNeverOutlivesCallerDeadline) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  fault::Injector::Global().Arm(fault::Site::kAdmission, {.fail_every = 1});
+
+  AnswerOptions retrying;
+  retrying.deadline_ms = 50;
+  retrying.retry.max_attempts = 100;
+  retrying.retry.initial_backoff_ms = 20;
+  retrying.retry.backoff_multiplier = 1.0;
+  retrying.retry.max_backoff_ms = 20;
+  Stopwatch sw;
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, retrying, &stats);
+  const double elapsed_ms = sw.ElapsedMillis();
+  ASSERT_FALSE(r.ok());
+  EXPECT_LT(stats.serve.attempts, 100u);  // deadline cut the loop short
+  EXPECT_LT(elapsed_ms, 500.0);           // generous single-core margin
+}
+
+TEST_F(ServingEngineTest, NonTransientErrorsAreNeverRetried) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  AnswerOptions retrying;
+  retrying.retry.max_attempts = 5;
+  AnswerStats stats;
+  auto r = serving.Answer("q(x) :- NoSuchConcept(x)", retrying, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(stats.serve.attempts, 1u);  // parse errors are permanent
+  EXPECT_EQ(serving.admission().retries, 0u);
+}
+
+TEST_F(ServingEngineTest, DegradedAnswerFromServingIsNotCached) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  AnswerOptions tight;
+  tight.max_rewrite_iterations = 1;
+  tight.allow_degraded = true;
+  AnswerStats degraded;
+  auto partial = serving.Answer(kPersonQuery, tight, &degraded);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_FALSE(degraded.degradation.events.empty());
+  EXPECT_FALSE(degraded.cache.stored);
+  EXPECT_EQ(serving.cache_metrics().entries, 0u);
+
+  // Swapping after the degraded call must leave the fresh epoch serving
+  // complete answers from a full recompile.
+  serving.Swap(SnapB());
+  AnswerStats full;
+  auto complete = serving.Answer(kPersonQuery, AnswerOptions{}, &full);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_FALSE(full.cache.hit);
+  EXPECT_EQ(Sorted(*complete), kAnswersB);
+}
+
+TEST_F(ServingEngineTest, MetricsExportedThroughRegistry) {
+  obs::MetricsRegistry registry;
+  ServingEngineOptions opts;
+  opts.engine.metrics = &registry;
+  opts.admission.max_in_flight = 4;
+  opts.admission.max_queue_depth = 4;
+  ServingEngine serving(SnapA(), opts);
+
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());
+  serving.Swap(SnapB());
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());
+
+  ASSERT_NE(registry.FindGauge("snapshot.epoch"), nullptr);
+  EXPECT_EQ(registry.FindGauge("snapshot.epoch")->Value(), 2.0);
+  ASSERT_NE(registry.FindHistogram("snapshot.swap_us"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("snapshot.swap_us")->TakeSnapshot().count,
+            1u);
+  ASSERT_NE(registry.FindCounter("admission.admitted"), nullptr);
+  EXPECT_EQ(registry.FindCounter("admission.admitted")->Value(), 2u);
+  EXPECT_EQ(registry.FindCounter("admission.shed")->Value(), 0u);
+  EXPECT_EQ(registry.FindCounter("admission.queued")->Value(), 0u);
+  EXPECT_EQ(registry.FindCounter("admission.retries")->Value(), 0u);
+
+  // The serving instruments ride the standard exports.
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"snapshot.epoch\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admission.admitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission.shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission.queue_wait_us\""), std::string::npos);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("snapshot.epoch"), std::string::npos) << text;
+  EXPECT_NE(text.find("admission.retries"), std::string::npos);
+}
+
+TEST_F(ServingEngineTest, AnswerSwapChurnStress) {
+  // 8 answer threads hammering one ServingEngine while the main thread
+  // hot-swaps between two snapshots. Run under TSan in CI. Every answer
+  // must be exactly the answer set of the epoch it reports (odd = A,
+  // even = B) — never an error, never a blend.
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  opts.admission.max_in_flight = 6;
+  opts.admission.max_queue_depth = 16;
+  opts.admission.max_queue_wait_ms = 5000;
+  auto snap_a = SnapA();
+  auto snap_b = SnapB();
+  ServingEngine serving(snap_a, opts);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 15; ++i) {
+        AnswerStats stats;
+        auto r = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& want =
+            stats.serve.epoch % 2 == 1 ? kAnswersA : kAnswersB;
+        if (Sorted(*r) != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int s = 0; s < 6; ++s) {
+    serving.Swap(s % 2 == 0 ? snap_b : snap_a);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(serving.epoch(), 7u);
+  AdmissionSnapshot adm = serving.admission();
+  EXPECT_LE(adm.in_flight_peak, 6u);
+  EXPECT_EQ(adm.shed, 0u);  // the queue was deep enough for everyone
+  // Post-churn: epoch 7 is snapshot A again.
+  EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersA);
+}
+
+}  // namespace
+}  // namespace olite::obda
