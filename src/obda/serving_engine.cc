@@ -135,8 +135,9 @@ Status ServingEngine::ShedStatus(const char* why) const {
 ServingEngine::Admission ServingEngine::Admit(
     double remaining_deadline_ms) const {
   Admission adm;
-  // Fault site first: an injected admission fault counts as a shed (the
-  // caller sees the same transient-rejection contract).
+  // Fault site first: an injected admission fault counts as a shed, and
+  // is normalised to the shed contract — every admission rejection is
+  // kResourceExhausted with a retry-after hint, injected ones included.
   Status injected = fault::InjectAt(fault::Site::kAdmission);
   if (!injected.ok()) {
     {
@@ -144,7 +145,7 @@ ServingEngine::Admission ServingEngine::Admit(
       ++shed_;
     }
     if (ins_.shed != nullptr) ins_.shed->Add(1);
-    adm.status = std::move(injected);
+    adm.status = ShedStatus("injected fault");
     return adm;
   }
   const size_t max = options_.admission.max_in_flight;
@@ -207,7 +208,10 @@ void ServingEngine::Release() const {
     std::lock_guard<std::mutex> lock(adm_mu_);
     if (in_flight_ > 0) --in_flight_;
   }
-  adm_cv_.notify_one();
+  // notify_all: a single notification can be swallowed by a waiter whose
+  // deadline-bounded wait already expired, stranding the freed token
+  // while live waiters time out and get shed spuriously.
+  adm_cv_.notify_all();
 }
 
 template <typename Fn>
@@ -224,7 +228,20 @@ Result<std::vector<AnswerTuple>> ServingEngine::AnswerLoop(
       remaining = opts.deadline_ms - call_sw.ElapsedMillis();
       if (remaining <= 0) {
         // The deadline died between attempts (backoff ate it): report the
-        // last transient failure rather than inventing a new one.
+        // last transient failure rather than inventing a new one. When it
+        // died before the *first* attempt (tiny deadline, preemption)
+        // there is no last failure yet — shed instead, because a Result
+        // must never be built from an OK status.
+        if (last.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(adm_mu_);
+            ++shed_;
+          }
+          if (ins_.shed != nullptr) ins_.shed->Add(1);
+          serve.shed = true;
+          serve.epoch = epoch();
+          last = ShedStatus("deadline expired before attempt");
+        }
         break;
       }
     }
@@ -243,6 +260,26 @@ Result<std::vector<AnswerTuple>> ServingEngine::AnswerLoop(
       serve.epoch = epoch();
       last = std::move(adm.status);
     } else {
+      // Re-clock the deadline: Admit() may have blocked queueing for a
+      // token, and the engine's own deadline clock only starts now. A
+      // call whose queue wait consumed the whole deadline is shed here
+      // (token returned) instead of overrunning the caller's wall clock
+      // inside the engine.
+      if (opts.deadline_ms > 0) {
+        remaining = opts.deadline_ms - call_sw.ElapsedMillis();
+        if (remaining <= 0) {
+          Release();
+          {
+            std::lock_guard<std::mutex> lock(adm_mu_);
+            ++shed_;
+          }
+          if (ins_.shed != nullptr) ins_.shed->Add(1);
+          serve.shed = true;
+          serve.epoch = epoch();
+          last = ShedStatus("deadline expired in queue");
+          break;
+        }
+      }
       // RCU read side: holding the Epoch record keeps its snapshot alive
       // for the whole attempt, however many swaps land meanwhile.
       std::shared_ptr<const Epoch> cur = Current();

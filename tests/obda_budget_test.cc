@@ -514,7 +514,11 @@ TEST_F(FaultInjectionTest, AdmissionFaultSurfacesThroughServing) {
   fault::Injector::Global().Arm(fault::Site::kAdmission, plan);
   auto res = serving.Answer("q(x) :- Professor(x)");
   ASSERT_FALSE(res.ok());
-  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+  // Injected admission rejections follow the shed contract:
+  // kResourceExhausted with a retry-after hint, never the raw kInternal.
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(res.status().ToString().find("retry after"), std::string::npos)
+      << res.status().ToString();
   EXPECT_EQ(serving.admission().shed, 1u);  // injected rejection = shed
   EXPECT_GE(fault::Injector::Global().failures(fault::Site::kAdmission), 1u);
 }

@@ -341,6 +341,23 @@ TEST_F(ServingEngineTest, QueueWaitIsBoundedByCallerDeadline) {
   EXPECT_LT(elapsed_ms, 300.0);
 }
 
+// Regression: a deadline that expires before the first attempt even
+// starts must come back as a shed — never feed the initial OK status
+// into Result, which would abort the process.
+TEST_F(ServingEngineTest, DeadlineExpiredBeforeFirstAttemptShedsCleanly) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  AnswerOptions tight;
+  tight.deadline_ms = 1e-7;  // gone by the first remaining-deadline check
+  AnswerStats stats;
+  auto r = serving.Answer(kPersonQuery, tight, &stats);
+  if (r.ok()) return;  // clock had not ticked yet: the attempt simply ran
+  // Pre-attempt expiry sheds; a raced-in attempt may instead blow the
+  // engine budget — either way the code is kResourceExhausted.
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST_F(ServingEngineTest, RetryRedrivesTransientAdmissionFault) {
   ServingEngineOptions opts;
   opts.engine.enable_metrics = false;
@@ -379,7 +396,10 @@ TEST_F(ServingEngineTest, RetryGivesUpAfterMaxAttempts) {
   AnswerStats stats;
   auto r = serving.Answer(kPersonQuery, retrying, &stats);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInternal);  // injector default
+  // Injected admission faults are normalised to the shed contract.
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().ToString().find("retry after"), std::string::npos)
+      << r.status().ToString();
   EXPECT_EQ(stats.serve.attempts, 3u);
   EXPECT_EQ(serving.admission().retries, 2u);
   EXPECT_EQ(fault::Injector::Global().hits(fault::Site::kAdmission), 3u);
