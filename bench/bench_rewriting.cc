@@ -15,6 +15,13 @@
 //        --reps=<n>            repetitions per cell, min wins (default 3)
 //        --engine=<name>       rdb evaluator: columnar, nested_loop or
 //                              default (env-resolved)  (default default)
+//        --pruning=<dim>       constraint-aware pruning sweep: on, off or
+//                              both  (default both)
+//        --pruning-gate        after the sweep, verify that on every
+//                              unlimited-deadline cell pruning produced
+//                              identical row counts, and that the pruned
+//                              union is >= 2x smaller overall; exit 1 on
+//                              violation (the release-CI gate)
 //        --out=<path>          machine-readable results
 //                              (default BENCH_rewriting.json)
 //
@@ -24,8 +31,9 @@
 // degrade or exhaust).
 //
 // The JSON output is a flat array of rows
-//   {"mode", "ontology", "query", "deadline_ms", "ms", "outcome",
-//    "disjuncts", "rows", "degradation",
+//   {"mode", "ontology", "query", "pruning", "deadline_ms", "ms", "outcome",
+//    "disjuncts", "pruned_disjuncts", "pruned_unfoldings",
+//    "constraint_checks", "rows", "degradation",
 //    "stages": {<stage>: {"count", "p50_us", "p95_us", "p99_us"}, …}}
 // with outcome one of "complete" | "degraded" | "exhausted"; the stage
 // percentiles come from the engine's obs registry, reset per cell (so
@@ -114,10 +122,14 @@ struct JsonRow {
   std::string mode;
   std::string ontology;
   std::string query;
+  std::string pruning;  // on | off
   double deadline_ms = 0;
   double ms = 0;
   std::string outcome;  // complete | degraded | exhausted
   uint64_t disjuncts = 0;
+  uint64_t pruned_disjuncts = 0;
+  uint64_t pruned_unfoldings = 0;
+  uint64_t constraint_checks = 0;
   uint64_t rows = 0;
   std::string degradation;
   /// Per-stage percentile object rendered from the cell's registry.
@@ -144,13 +156,18 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& rows) {
     const JsonRow& r = rows[i];
     std::fprintf(f,
                  "  {\"mode\": \"%s\", \"ontology\": \"%s\", "
-                 "\"query\": \"%s\", "
+                 "\"query\": \"%s\", \"pruning\": \"%s\", "
                  "\"deadline_ms\": %.1f, \"ms\": %.3f, \"outcome\": \"%s\", "
-                 "\"disjuncts\": %llu, \"rows\": %llu, "
+                 "\"disjuncts\": %llu, \"pruned_disjuncts\": %llu, "
+                 "\"pruned_unfoldings\": %llu, \"constraint_checks\": %llu, "
+                 "\"rows\": %llu, "
                  "\"degradation\": \"%s\", \"stages\": %s}%s\n",
                  r.mode.c_str(), r.ontology.c_str(), r.query.c_str(),
-                 r.deadline_ms, r.ms, r.outcome.c_str(),
+                 r.pruning.c_str(), r.deadline_ms, r.ms, r.outcome.c_str(),
                  static_cast<unsigned long long>(r.disjuncts),
+                 static_cast<unsigned long long>(r.pruned_disjuncts),
+                 static_cast<unsigned long long>(r.pruned_unfoldings),
+                 static_cast<unsigned long long>(r.constraint_checks),
                  static_cast<unsigned long long>(r.rows),
                  JsonEscape(r.degradation).c_str(), r.stages.c_str(),
                  i + 1 < rows.size() ? "," : "");
@@ -198,6 +215,8 @@ int main(int argc, char** argv) {
   int reps = 3;
   olite::rdb::EvalEngine engine_choice = olite::rdb::EvalEngine::kDefault;
   std::string out_path = "BENCH_rewriting.json";
+  std::string pruning_dim = "both";
+  bool pruning_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadlines = ParseList(argv[i] + 14);
@@ -211,6 +230,16 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       engine_choice = ParseEngine(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--pruning=", 10) == 0) {
+      pruning_dim = argv[i] + 10;
+      if (pruning_dim != "on" && pruning_dim != "off" &&
+          pruning_dim != "both") {
+        std::fprintf(stderr, "unknown --pruning value '%s'\n",
+                     pruning_dim.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--pruning-gate") == 0) {
+      pruning_gate = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
@@ -219,6 +248,13 @@ int main(int argc, char** argv) {
     }
   }
   if (reps < 1) reps = 1;
+  if (pruning_gate && pruning_dim != "both") {
+    std::fprintf(stderr, "--pruning-gate needs --pruning=both\n");
+    return 1;
+  }
+  std::vector<bool> pruning_disabled;
+  if (pruning_dim != "off") pruning_disabled.push_back(false);
+  if (pruning_dim != "on") pruning_disabled.push_back(true);
 
   const struct {
     const char* name;
@@ -232,8 +268,9 @@ int main(int argc, char** argv) {
   std::printf("engine: %s\n",
               olite::rdb::EvalEngineName(
                   olite::rdb::ResolveEvalEngine(engine_choice)));
-  std::printf("%-12s %-14s %-10s %12s %10s %10s %10s\n", "mode", "ontology",
-              "query", "deadline_ms", "ms", "outcome", "disjuncts");
+  std::printf("%-12s %-14s %-10s %-8s %12s %10s %10s %10s\n", "mode",
+              "ontology", "query", "pruning", "deadline_ms", "ms", "outcome",
+              "disjuncts");
   for (RewriteMode mode : {RewriteMode::kPerfectRef, RewriteMode::kClassified}) {
     for (double depth : depths) {
       olite::obs::MetricsRegistry registry;
@@ -244,48 +281,110 @@ int main(int argc, char** argv) {
           std::to_string(width);
       for (const auto& query : kQueries) {
         for (double deadline : deadlines) {
-          JsonRow row;
-          row.mode = RewriteModeName(mode);
-          row.ontology = ontology;
-          row.query = query.name;
-          row.deadline_ms = deadline;
-          registry.Reset();  // stage histograms cover exactly this cell
-          double best_ms = -1;
-          for (int rep = 0; rep < reps; ++rep) {
-            olite::obda::AnswerOptions opts;
-            opts.deadline_ms = deadline;
-            opts.allow_degraded = true;
-            opts.engine = engine_choice;
-            olite::obda::AnswerStats stats;
-            olite::Stopwatch sw;
-            auto answers = sys->Answer(query.text, opts, &stats);
-            double ms = sw.ElapsedMillis();
-            if (best_ms < 0 || ms < best_ms) best_ms = ms;
-            if (!answers.ok()) {
-              row.outcome = "exhausted";
-              row.degradation = answers.status().ToString();
-            } else {
-              row.outcome =
-                  stats.degradation.degraded() ? "degraded" : "complete";
-              row.disjuncts = stats.rewrite.final_disjuncts;
-              row.rows = stats.rows;
-              row.degradation = stats.degradation.degraded()
-                                    ? stats.degradation.ToString()
-                                    : "";
+          for (bool disable_pruning : pruning_disabled) {
+            JsonRow row;
+            row.mode = RewriteModeName(mode);
+            row.ontology = ontology;
+            row.query = query.name;
+            row.pruning = disable_pruning ? "off" : "on";
+            row.deadline_ms = deadline;
+            registry.Reset();  // stage histograms cover exactly this cell
+            double best_ms = -1;
+            for (int rep = 0; rep < reps; ++rep) {
+              olite::obda::AnswerOptions opts;
+              opts.deadline_ms = deadline;
+              opts.allow_degraded = true;
+              opts.engine = engine_choice;
+              opts.disable_constraint_pruning = disable_pruning;
+              olite::obda::AnswerStats stats;
+              olite::Stopwatch sw;
+              auto answers = sys->Answer(query.text, opts, &stats);
+              double ms = sw.ElapsedMillis();
+              if (best_ms < 0 || ms < best_ms) best_ms = ms;
+              if (!answers.ok()) {
+                row.outcome = "exhausted";
+                row.degradation = answers.status().ToString();
+              } else {
+                row.outcome =
+                    stats.degradation.degraded() ? "degraded" : "complete";
+                row.disjuncts = stats.rewrite.final_disjuncts;
+                row.pruned_disjuncts = stats.rewrite.pruned_disjuncts;
+                row.pruned_unfoldings = stats.rewrite.pruned_unfoldings;
+                row.constraint_checks = stats.rewrite.constraint_checks;
+                row.rows = stats.rows;
+                row.degradation = stats.degradation.degraded()
+                                      ? stats.degradation.ToString()
+                                      : "";
+              }
             }
+            row.ms = best_ms;
+            row.stages = olite::bench::StagePercentilesJson(registry);
+            rows.push_back(row);
+            std::printf("%-12s %-14s %-10s %-8s %12.1f %10.3f %10s %10llu\n",
+                        row.mode.c_str(), row.ontology.c_str(),
+                        row.query.c_str(), row.pruning.c_str(),
+                        row.deadline_ms, row.ms, row.outcome.c_str(),
+                        static_cast<unsigned long long>(row.disjuncts));
           }
-          row.ms = best_ms;
-          row.stages = olite::bench::StagePercentilesJson(registry);
-          rows.push_back(row);
-          std::printf("%-12s %-14s %-10s %12.1f %10.3f %10s %10llu\n",
-                      row.mode.c_str(), row.ontology.c_str(),
-                      row.query.c_str(), row.deadline_ms, row.ms,
-                      row.outcome.c_str(),
-                      static_cast<unsigned long long>(row.disjuncts));
         }
       }
     }
   }
   WriteJson(out_path, rows);
+  if (pruning_gate) {
+    // The release gate runs over the unlimited-deadline cells only, where
+    // both pipelines complete exactly: every on/off pair must return the
+    // same number of rows (pruning is answer-preserving), and the summed
+    // pruned union must be at least 2x smaller than the unpruned one.
+    uint64_t on_disjuncts = 0;
+    uint64_t off_disjuncts = 0;
+    int violations = 0;
+    for (size_t i = 0; i + 1 < rows.size(); ++i) {
+      const JsonRow& on = rows[i];
+      const JsonRow& off = rows[i + 1];
+      if (on.pruning != "on" || off.pruning != "off") continue;
+      if (on.deadline_ms != 0 || off.deadline_ms != 0) continue;
+      if (on.mode != off.mode || on.ontology != off.ontology ||
+          on.query != off.query) {
+        continue;
+      }
+      on_disjuncts += on.disjuncts;
+      off_disjuncts += off.disjuncts;
+      // A cell that degraded under some non-deadline quota may return
+      // sound-but-partial answers; only exact pairs must agree on counts.
+      if (on.outcome != "complete" || off.outcome != "complete") continue;
+      if (on.rows != off.rows) {
+        ++violations;
+        std::fprintf(stderr,
+                     "PRUNING GATE: row-count discrepancy on %s/%s/%s: "
+                     "%llu pruned vs %llu unpruned\n",
+                     on.mode.c_str(), on.ontology.c_str(), on.query.c_str(),
+                     static_cast<unsigned long long>(on.rows),
+                     static_cast<unsigned long long>(off.rows));
+      }
+    }
+    if (on_disjuncts == 0 && off_disjuncts == 0) {
+      std::fprintf(stderr,
+                   "PRUNING GATE: no unlimited-deadline on/off pairs "
+                   "(run with a 0 deadline in --deadline-ms)\n");
+      return 1;
+    }
+    std::printf("pruning gate: %llu pruned vs %llu unpruned disjuncts "
+                "(%.2fx), %d row-count discrepancies\n",
+                static_cast<unsigned long long>(on_disjuncts),
+                static_cast<unsigned long long>(off_disjuncts),
+                on_disjuncts > 0
+                    ? static_cast<double>(off_disjuncts) / on_disjuncts
+                    : 0.0,
+                violations);
+    if (violations > 0) return 1;
+    if (off_disjuncts < 2 * on_disjuncts) {
+      std::fprintf(stderr,
+                   "PRUNING GATE: reduction below 2x (%llu -> %llu)\n",
+                   static_cast<unsigned long long>(off_disjuncts),
+                   static_cast<unsigned long long>(on_disjuncts));
+      return 1;
+    }
+  }
   return 0;
 }

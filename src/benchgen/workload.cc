@@ -134,6 +134,41 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
         mapping::MappingAssertion::ForAttribute(i, std::move(block)));
   }
 
+  // -- redundant mappings -----------------------------------------------------
+  // Duplicate views retrieve exactly the rows the original does; the
+  // constraint-aware unfolder should drop them as dominated. Guarded draws
+  // keep the seed stream of fraction-0 configs byte-identical.
+  if (config.redundant_mapping_fraction > 0) {
+    auto duplicate = [&](char sort, uint32_t n,
+                         const std::vector<Storage>& storage, bool binary) {
+      for (uint32_t i = 0; i < n; ++i) {
+        if (storage[i] == Storage::kUnmapped) continue;
+        if (!rng.Chance(config.redundant_mapping_fraction)) continue;
+        rdb::SelectBlock block =
+            storage[i] == Storage::kOwnTable
+                ? OwnBlock(OwnTable(sort, i), binary)
+                : SharedBlock(sort == 'c' ? "facts" : "edges", binary,
+                              kind_tag(sort, i));
+        switch (sort) {
+          case 'c':
+            (void)w.mappings.Add(
+                mapping::MappingAssertion::ForConcept(i, std::move(block)));
+            break;
+          case 'r':
+            (void)w.mappings.Add(
+                mapping::MappingAssertion::ForRole(i, std::move(block)));
+            break;
+          default:
+            (void)w.mappings.Add(
+                mapping::MappingAssertion::ForAttribute(i, std::move(block)));
+        }
+      }
+    };
+    duplicate('c', nc, layout.concepts, false);
+    duplicate('r', nr, layout.roles, true);
+    duplicate('a', na, layout.attributes, true);
+  }
+
   // -- rows -------------------------------------------------------------------
   auto individual = [&] {
     return "i" + std::to_string(rng.Uniform(
@@ -162,9 +197,14 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
                                         rdb::Value::Str(subj)});
     }
   };
+  std::vector<std::vector<std::string>> concept_subjects(nc);
   for (uint32_t k = 0; nc > 0 && k < config.num_concept_assertions; ++k) {
     auto c = static_cast<uint32_t>(rng.Uniform(nc));
-    insert('c', c, layout.concepts[c], individual(), "", false);
+    std::string subj = individual();
+    if (layout.concepts[c] != Storage::kUnmapped) {
+      concept_subjects[c].push_back(subj);
+    }
+    insert('c', c, layout.concepts[c], subj, "", false);
   }
   for (uint32_t k = 0; nr > 0 && k < config.num_role_assertions; ++k) {
     auto p = static_cast<uint32_t>(rng.Uniform(nr));
@@ -173,6 +213,36 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
   for (uint32_t k = 0; na > 0 && k < config.num_attribute_assertions; ++k) {
     auto u = static_cast<uint32_t>(rng.Uniform(na));
     insert('a', u, layout.attributes[u], individual(), value_literal(), true);
+  }
+
+  // -- source-level inclusions ------------------------------------------------
+  // Materialise a fraction of the TBox's atomic inclusions `B ⊑ A` in the
+  // data: copy every B subject into A's storage, so ext(B) ⊆ ext(A) holds
+  // at the sources and constraint-aware rewriting can suppress the B
+  // disjunct of queries over A. Answer-neutral: the copied rows only add
+  // facts the TBox already entails.
+  if (config.source_inclusion_fraction > 0) {
+    for (const auto& ax : w.ontology.tbox().concept_inclusions()) {
+      if (ax.lhs.kind != dllite::BasicConceptKind::kAtomic) continue;
+      if (ax.rhs.kind != dllite::RhsConceptKind::kBasic) continue;
+      if (ax.rhs.basic.kind != dllite::BasicConceptKind::kAtomic) continue;
+      const uint32_t sub = ax.lhs.concept_id;
+      const uint32_t sup = ax.rhs.basic.concept_id;
+      if (sub == sup || sub >= nc || sup >= nc) continue;
+      if (layout.concepts[sub] == Storage::kUnmapped ||
+          layout.concepts[sup] == Storage::kUnmapped) {
+        continue;
+      }
+      if (!rng.Chance(config.source_inclusion_fraction)) continue;
+      // Appending to the superconcept's subject list keeps the copies
+      // visible to later axioms, so chains B ⊑ A ⊑ A' propagate when the
+      // axiom order cooperates.
+      std::vector<std::string> copied = concept_subjects[sub];
+      for (const auto& subj : copied) {
+        insert('c', sup, layout.concepts[sup], subj, "", false);
+        concept_subjects[sup].push_back(subj);
+      }
+    }
   }
 
   // The oracle-side ABox is exactly what the mappings retrieve.

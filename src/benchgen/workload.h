@@ -37,6 +37,18 @@ struct WorkloadConfig {
   /// constant filter (`WHERE kind = 'C3'`) instead of a dedicated table —
   /// exercises filter pushdown through unfolding.
   double shared_table_fraction = 0.3;
+  /// Fraction of mapped predicates that receive a second, *redundant*
+  /// mapping assertion over the same source view. Redundant views are
+  /// answer-neutral by construction; the constraint-aware unfolder should
+  /// detect and drop them as dominated (see obda/constraints.h). 0 (the
+  /// default) leaves the seed stream byte-identical to older configs.
+  double redundant_mapping_fraction = 0;
+  /// Per-axiom chance that an atomic concept inclusion `B ⊑ A` of the
+  /// generated TBox is also *materialised in the sources*: every subject
+  /// inserted for B is copied into A's storage, so the data-level
+  /// inclusion ext(B) ⊆ ext(A) holds and the rewriter's covered-swap
+  /// suppression can fire. 0 (the default) preserves older seed streams.
+  double source_inclusion_fraction = 0;
 
   // -- queries --------------------------------------------------------------
   uint32_t num_queries = 4;

@@ -12,6 +12,7 @@ const char* QuotaName(Quota q) {
     case Quota::kRows: return "rows";
     case Quota::kRuleApplications: return "rule_applications";
     case Quota::kBranches: return "branches";
+    case Quota::kConstraintChecks: return "constraint_checks";
   }
   return "unknown";
 }
@@ -38,6 +39,7 @@ uint64_t ExecBudget::CapOf(Quota q) const {
     case Quota::kRows: return caps_.max_rows;
     case Quota::kRuleApplications: return caps_.max_rule_applications;
     case Quota::kBranches: return caps_.max_branches;
+    case Quota::kConstraintChecks: return caps_.max_constraint_checks;
   }
   return 0;
 }

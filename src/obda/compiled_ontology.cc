@@ -8,9 +8,11 @@ namespace olite::obda {
 
 namespace {
 
-query::RewriterOptions OptionsFor(query::RewriteMode mode) {
+query::RewriterOptions OptionsFor(query::RewriteMode mode,
+                                  const query::ConstraintOracle* constraints) {
   query::RewriterOptions options;
   options.mode = mode;
+  options.constraints = constraints;
   return options;
 }
 
@@ -24,14 +26,17 @@ CompiledOntology::CompiledOntology(dllite::Ontology ontology,
       mappings_(std::move(mappings)),
       database_(std::move(database)),
       db_stats_(rdb::DatabaseStats::Collect(database_)),
+      constraints_(
+          SourceConstraints::Infer(mappings_, database_, db_stats_)),
       mode_(mode),
-      rewriter_(ontology_.tbox(), ontology_.vocab(), OptionsFor(mode)) {
+      rewriter_(ontology_.tbox(), ontology_.vocab(),
+                OptionsFor(mode, constraints_.get())) {
   if (mode == query::RewriteMode::kClassified) {
     // Pre-built fallback for the budget-exhaustion ladder: classified
     // rewriting that runs out of budget is retried as plain PerfectRef.
     fallback_rewriter_ = std::make_unique<const query::Rewriter>(
         ontology_.tbox(), ontology_.vocab(),
-        OptionsFor(query::RewriteMode::kPerfectRef));
+        OptionsFor(query::RewriteMode::kPerfectRef, constraints_.get()));
   }
 }
 

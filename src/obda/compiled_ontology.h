@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
+#include "obda/constraints.h"
 #include "query/rewriter.h"
 #include "rdb/stats.h"
 #include "rdb/table.h"
@@ -43,6 +44,12 @@ class CompiledOntology {
   /// columnar evaluator's cost-based join ordering.
   const rdb::DatabaseStats& db_stats() const { return db_stats_; }
 
+  /// Source constraints inferred from the frozen snapshot at `Compile`
+  /// (extension inclusions, empty predicates, dominated mapping views,
+  /// key columns), driving the constraint-aware pruning of the
+  /// rewrite→minimize→unfold pipeline.
+  const SourceConstraints& constraints() const { return *constraints_; }
+
   /// The rewriter for the configured mode.
   const query::Rewriter& rewriter() const { return rewriter_; }
 
@@ -60,6 +67,8 @@ class CompiledOntology {
   mapping::MappingSet mappings_;
   rdb::Database database_;
   rdb::DatabaseStats db_stats_;
+  /// Inferred before the rewriters so their options can point at it.
+  std::unique_ptr<const SourceConstraints> constraints_;
   query::RewriteMode mode_;
   query::Rewriter rewriter_;
   std::unique_ptr<const query::Rewriter> fallback_rewriter_;

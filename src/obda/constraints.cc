@@ -1,0 +1,294 @@
+#include "obda/constraints.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rdb/query.h"
+
+namespace olite::obda {
+
+namespace {
+
+using query::Atom;
+
+Atom::Kind AtomKindOf(mapping::TargetKind kind) {
+  switch (kind) {
+    case mapping::TargetKind::kConcept: return Atom::Kind::kConcept;
+    case mapping::TargetKind::kRole: return Atom::Kind::kRole;
+    case mapping::TargetKind::kAttribute: return Atom::Kind::kAttribute;
+  }
+  return Atom::Kind::kConcept;
+}
+
+// Canonical, type-tagged rendering of one retrieved tuple (Int(1) and
+// Double(1.0) must stay distinct — they are different SQL values).
+std::string TupleKey(const rdb::Row& row) {
+  std::string k;
+  for (const rdb::Value& v : row) {
+    k += rdb::ValueTypeName(v.type());
+    k += v.ToString();
+    k += '\x1f';
+  }
+  return k;
+}
+
+std::string SwappedTupleKey(const rdb::Row& row) {
+  rdb::Row swapped(row.rbegin(), row.rend());
+  return TupleKey(swapped);
+}
+
+struct ViewExt {
+  // Unset when evaluation failed or overflowed the extension cap.
+  std::optional<std::set<std::string>> tuples;
+  bool known() const { return tuples.has_value(); }
+  bool empty() const { return known() && tuples->empty(); }
+};
+
+bool SubsetOf(const std::set<std::string>& sub,
+              const std::set<std::string>& sup) {
+  return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+std::string ConstraintSummary::ToString() const {
+  return "predicates=" + std::to_string(predicates) +
+         " known=" + std::to_string(known_extensions) +
+         " empty=" + std::to_string(empty_predicates) +
+         " inclusions=" + std::to_string(inclusions) +
+         " inverse_inclusions=" + std::to_string(inverse_inclusions) +
+         " exact_mappings=" + std::to_string(exact_mappings) +
+         " dominated_views=" + std::to_string(dominated_views) +
+         " empty_views=" + std::to_string(empty_views) +
+         " key_columns=" + std::to_string(key_columns) +
+         (complete ? " complete" : " truncated");
+}
+
+std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
+    const mapping::MappingSet& mappings, const rdb::Database& db,
+    const rdb::DatabaseStats& stats,
+    const ConstraintInferenceOptions& options) {
+  auto sc = std::unique_ptr<SourceConstraints>(new SourceConstraints);
+
+  // -- keys: per-column distinct count equals the row count ------------------
+  for (const auto& [name, table] : db.tables()) {
+    const rdb::TableStats* ts = stats.Find(name);
+    if (ts == nullptr || ts->rows == 0) continue;
+    const auto& columns = table.schema().columns;
+    for (size_t i = 0; i < columns.size() && i < ts->columns.size(); ++i) {
+      if (ts->columns[i].distinct == ts->rows) {
+        sc->key_columns_.emplace(name, columns[i].name);
+        ++sc->summary_.key_columns;
+      }
+    }
+  }
+
+  // -- per-assertion retrieved views -----------------------------------------
+  const auto& assertions = mappings.assertions();
+  sc->view_empty_.assign(assertions.size(), 0);
+  sc->view_dominated_.assign(assertions.size(), 0);
+  std::vector<ViewExt> views(assertions.size());
+  // Swapped renderings per role view, filled in the same evaluation pass
+  // (re-evaluating later could fail differently and leave a *partial*
+  // swapped set, which would unsoundly certify inverse inclusions).
+  std::vector<std::set<std::string>> swapped_views(assertions.size());
+  std::map<uint64_t, std::vector<size_t>> by_pred;  // deterministic order
+  for (size_t i = 0; i < assertions.size(); ++i) {
+    const mapping::MappingAssertion& m = assertions[i];
+    by_pred[PredKey(AtomKindOf(m.kind), m.predicate)].push_back(i);
+    rdb::SqlQuery q;
+    q.blocks.push_back(m.source);
+    rdb::EvalOptions eopts;
+    eopts.max_rows = options.max_extension_rows;
+    Result<std::vector<rdb::Row>> rows = rdb::Execute(db, q, eopts);
+    if (!rows.ok()) {
+      // Evaluation failure (cap overflow, injected fault, …): the view —
+      // and with it the predicate — stays unknown, which disables every
+      // prune it could have justified. Never a reason to fail Compile.
+      sc->summary_.complete = false;
+      continue;
+    }
+    std::set<std::string> tuples;
+    for (const rdb::Row& row : rows.value()) {
+      tuples.insert(TupleKey(row));
+      if (m.kind == mapping::TargetKind::kRole) {
+        swapped_views[i].insert(SwappedTupleKey(row));
+      }
+    }
+    if (tuples.empty()) {
+      sc->view_empty_[i] = 1;
+      ++sc->summary_.empty_views;
+    }
+    views[i].tuples = std::move(tuples);
+  }
+
+  // -- per-predicate extensions + dominated views ----------------------------
+  uint64_t pair_tests = 0;
+  auto pairs_spent = [&]() {
+    return options.max_inclusion_pairs != 0 &&
+           pair_tests >= options.max_inclusion_pairs;
+  };
+  auto pair_budget_ok = [&]() {
+    if (pairs_spent()) {
+      sc->summary_.complete = false;
+      return false;
+    }
+    ++pair_tests;
+    return true;
+  };
+  // Extension of each fully-known predicate, plus the element-swapped
+  // rendering for roles (inverse-inclusion checks).
+  std::map<uint64_t, std::set<std::string>> ext;
+  std::map<uint64_t, std::set<std::string>> swapped_ext;
+  for (const auto& [pred_key, view_indices] : by_pred) {
+    ++sc->summary_.predicates;
+    PredInfo info;
+    bool all_known = true;
+    std::set<std::string> merged;
+    for (size_t i : view_indices) {
+      if (!views[i].known()) {
+        all_known = false;
+        break;
+      }
+      merged.insert(views[i].tuples->begin(), views[i].tuples->end());
+    }
+    if (all_known && options.max_extension_rows != 0 &&
+        merged.size() > options.max_extension_rows) {
+      all_known = false;
+      sc->summary_.complete = false;
+    }
+    if (all_known) {
+      info.status = ExtStatus::kKnown;
+      info.empty = merged.empty();
+      ++sc->summary_.known_extensions;
+      if (info.empty) ++sc->summary_.empty_predicates;
+    }
+
+    // Dominated views: a view contained in a sibling view contributes
+    // nothing to the union. Equal views keep the earliest index; strict
+    // subsets may chain but never cycle, so the retained set still covers
+    // the predicate's full extension.
+    for (size_t i : view_indices) {
+      if (!views[i].known() || views[i].empty()) continue;
+      for (size_t j : view_indices) {
+        if (j == i || !views[j].known()) continue;
+        const auto& vi = *views[i].tuples;
+        const auto& vj = *views[j].tuples;
+        if (vi.size() > vj.size() || (vi.size() == vj.size() && j > i)) {
+          continue;
+        }
+        if (!pair_budget_ok()) break;
+        if (SubsetOf(vi, vj)) {
+          sc->view_dominated_[i] = 1;
+          ++sc->summary_.dominated_views;
+          break;
+        }
+      }
+      if (pairs_spent()) break;
+    }
+
+    size_t retained = 0;
+    for (size_t i : view_indices) {
+      if (views[i].known() && (views[i].empty() || sc->view_dominated_[i])) {
+        continue;
+      }
+      ++retained;
+    }
+    if (retained == 1 && all_known && !info.empty) {
+      sc->exact_.insert(pred_key);
+      ++sc->summary_.exact_mappings;
+    }
+
+    if (all_known && !info.empty) {
+      auto kind = static_cast<Atom::Kind>(pred_key >> 32);
+      if (kind == Atom::Kind::kRole) {
+        std::set<std::string>& sw = swapped_ext[pred_key];
+        for (size_t i : view_indices) {
+          sw.insert(swapped_views[i].begin(), swapped_views[i].end());
+        }
+      }
+      ext[pred_key] = std::move(merged);
+    }
+    sc->preds_.emplace(pred_key, info);
+  }
+
+  // -- pairwise extension inclusions (same kind, both fully known) -----------
+  for (const auto& [sub_key, sub_ext] : ext) {
+    auto sub_kind = static_cast<Atom::Kind>(sub_key >> 32);
+    auto sub_id = static_cast<uint32_t>(sub_key);
+    for (const auto& [sup_key, sup_ext] : ext) {
+      if (static_cast<Atom::Kind>(sup_key >> 32) != sub_kind) continue;
+      auto sup_id = static_cast<uint32_t>(sup_key);
+      // The diagonal matters only for inverse inclusions (symmetric roles).
+      if (sup_key != sub_key && sub_ext.size() <= sup_ext.size()) {
+        if (!pair_budget_ok()) break;
+        if (SubsetOf(sub_ext, sup_ext)) {
+          sc->included_[static_cast<size_t>(sub_kind)].insert(
+              PairKey(sub_id, sup_id));
+          ++sc->summary_.inclusions;
+        }
+      }
+      if (sub_kind == Atom::Kind::kRole) {
+        auto sw = swapped_ext.find(sub_key);
+        if (sw != swapped_ext.end() && sw->second.size() <= sup_ext.size()) {
+          if (!pair_budget_ok()) break;
+          if (SubsetOf(sw->second, sup_ext)) {
+            sc->included_inverse_.insert(PairKey(sub_id, sup_id));
+            ++sc->summary_.inverse_inclusions;
+          }
+        }
+      }
+    }
+    if (pairs_spent()) break;
+  }
+
+  return sc;
+}
+
+bool SourceConstraints::Included(query::Atom::Kind kind, uint32_t sub,
+                                 uint32_t sup) const {
+  if (sub == sup) return true;
+  if (Empty(kind, sub)) return true;  // ∅ ⊆ anything
+  size_t k = static_cast<size_t>(kind);
+  if (k >= included_.size()) return false;
+  return included_[k].count(PairKey(sub, sup)) > 0;
+}
+
+bool SourceConstraints::IncludedInverse(query::Atom::Kind kind, uint32_t sub,
+                                        uint32_t sup) const {
+  if (kind != query::Atom::Kind::kRole) return false;
+  if (Empty(kind, sub)) return true;
+  return included_inverse_.count(PairKey(sub, sup)) > 0;
+}
+
+bool SourceConstraints::Empty(query::Atom::Kind kind, uint32_t pred) const {
+  auto it = preds_.find(PredKey(kind, pred));
+  // Absent ⇒ no mapping assertion targets the predicate: its retrieved
+  // extension is empty by construction.
+  if (it == preds_.end()) return true;
+  return it->second.status == ExtStatus::kKnown && it->second.empty;
+}
+
+bool SourceConstraints::EmptyView(size_t assertion_index) const {
+  return assertion_index < view_empty_.size() &&
+         view_empty_[assertion_index] != 0;
+}
+
+bool SourceConstraints::DominatedView(size_t assertion_index) const {
+  return assertion_index < view_dominated_.size() &&
+         view_dominated_[assertion_index] != 0;
+}
+
+bool SourceConstraints::ExactMapping(query::Atom::Kind kind,
+                                     uint32_t pred) const {
+  return exact_.count(PredKey(kind, pred)) > 0;
+}
+
+bool SourceConstraints::IsKeyColumn(const std::string& table,
+                                    const std::string& column) const {
+  return key_columns_.count({table, column}) > 0;
+}
+
+}  // namespace olite::obda

@@ -1,0 +1,135 @@
+#ifndef OLITE_OBDA_CONSTRAINTS_H_
+#define OLITE_OBDA_CONSTRAINTS_H_
+
+#include <array>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "mapping/mapping.h"
+#include "query/containment.h"
+#include "rdb/stats.h"
+
+namespace olite::obda {
+
+/// Caps on the constraint-inference pass (it runs once at `Compile` time,
+/// but mapping programs and sources are user-supplied, so it still needs
+/// bounds). On hitting a cap the affected predicate or pair is recorded as
+/// *unknown* — which every consumer treats as "no constraint", keeping
+/// truncated inference sound.
+struct ConstraintInferenceOptions {
+  /// A predicate whose retrieved extension exceeds this many tuples is
+  /// left unknown (0 = unlimited).
+  uint64_t max_extension_rows = 20000;
+  /// Total pairwise inclusion tests across all predicate pairs
+  /// (0 = unlimited).
+  uint64_t max_inclusion_pairs = 20000;
+};
+
+/// What the inference pass found — surfaced for logging and tests.
+struct ConstraintSummary {
+  size_t predicates = 0;          ///< mapped predicates analysed
+  size_t known_extensions = 0;    ///< with fully materialised extensions
+  size_t empty_predicates = 0;    ///< mapped predicates with empty extension
+  size_t inclusions = 0;          ///< ext(sub) ⊆ ext(sup) pairs found
+  size_t inverse_inclusions = 0;  ///< swap(ext(sub)) ⊆ ext(sup) role pairs
+  size_t exact_mappings = 0;      ///< predicates covered by one retained view
+  size_t dominated_views = 0;     ///< assertions subsumed by a sibling view
+  size_t empty_views = 0;         ///< assertions retrieving nothing
+  size_t key_columns = 0;         ///< (table, column) keys from DatabaseStats
+  /// False when a cap or a source-evaluation error left something unknown.
+  bool complete = true;
+
+  std::string ToString() const;
+};
+
+/// Source constraints inferred from a *frozen* OBDA specification — the
+/// mapping program, the immutable database snapshot, and its collected
+/// statistics (cf. "OBDA Constraints for Effective Query Answering",
+/// Hovland et al.; here the exact/inclusion/key facts are derived from the
+/// snapshot itself instead of being user-declared, which makes them valid
+/// by construction for the snapshot's lifetime):
+///
+///   * per-predicate retrieved extensions → empty predicates, extension
+///     inclusions between predicates (the `query::ConstraintOracle`
+///     surface consumed by the rewriter and `MinimizeUnion`),
+///   * per-assertion retrieved views → empty and dominated mapping views
+///     and exact (single-view) mappings, consumed by the unfolder,
+///   * `DatabaseStats` distinct counts → key columns (distinct == rows),
+///     consumed by the unfolder's self-join merge.
+///
+/// Instances are immutable after `Infer` and safe to share across threads.
+class SourceConstraints final : public query::ConstraintOracle {
+ public:
+  /// Runs the inference pass. Never fails: a source-evaluation error or a
+  /// cap overflow degrades the affected fact to unknown (see
+  /// `summary().complete`).
+  static std::unique_ptr<const SourceConstraints> Infer(
+      const mapping::MappingSet& mappings, const rdb::Database& db,
+      const rdb::DatabaseStats& stats,
+      const ConstraintInferenceOptions& options = {});
+
+  // -- query::ConstraintOracle (rewriter / MinimizeUnion surface) -----------
+
+  bool Included(query::Atom::Kind kind, uint32_t sub,
+                uint32_t sup) const override;
+  bool IncludedInverse(query::Atom::Kind kind, uint32_t sub,
+                       uint32_t sup) const override;
+  bool Empty(query::Atom::Kind kind, uint32_t pred) const override;
+
+  // -- unfolder surface -----------------------------------------------------
+  // Assertion indices are positions in `MappingSet::assertions()` (the
+  // pointers `MappingSet::For` returns point into that stable vector).
+
+  /// The assertion retrieves no tuples: dropping it from a choice list
+  /// leaves the unfolded union's evaluation unchanged.
+  bool EmptyView(size_t assertion_index) const;
+  /// The assertion's retrieved view is contained in a sibling *retained*
+  /// assertion of the same predicate (ties broken towards the earliest
+  /// index, so the retained set is never emptied by domination alone).
+  bool DominatedView(size_t assertion_index) const;
+  /// Exactly one retained (non-empty, non-dominated) view covers the
+  /// predicate — an exact mapping in the sense of Hovland et al.
+  bool ExactMapping(query::Atom::Kind kind, uint32_t pred) const;
+  /// `column` is a key of `table` (per-column distinct count == row count,
+  /// rows > 0): two instances of `table` joined on it denote the same row.
+  bool IsKeyColumn(const std::string& table, const std::string& column) const;
+
+  const ConstraintSummary& summary() const { return summary_; }
+
+ private:
+  SourceConstraints() = default;
+
+  enum class ExtStatus : uint8_t { kKnown, kUnknown };
+  struct PredInfo {
+    ExtStatus status = ExtStatus::kUnknown;
+    bool empty = false;  ///< meaningful when status == kKnown
+  };
+
+  static uint64_t PredKey(query::Atom::Kind kind, uint32_t pred) {
+    return (static_cast<uint64_t>(kind) << 32) | pred;
+  }
+  static uint64_t PairKey(uint32_t sub, uint32_t sup) {
+    return (static_cast<uint64_t>(sub) << 32) | sup;
+  }
+
+  /// Mapped predicates only; a predicate absent here has no mapping
+  /// assertion, hence a provably empty extension.
+  std::unordered_map<uint64_t, PredInfo> preds_;
+  /// Proven ext(sub) ⊆ ext(sup) pairs, per atom kind.
+  std::array<std::unordered_set<uint64_t>, 3> included_;
+  /// Proven swap(ext(sub)) ⊆ ext(sup) role pairs.
+  std::unordered_set<uint64_t> included_inverse_;
+  std::vector<uint8_t> view_empty_;
+  std::vector<uint8_t> view_dominated_;
+  std::unordered_set<uint64_t> exact_;
+  std::set<std::pair<std::string, std::string>> key_columns_;
+  ConstraintSummary summary_;
+};
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_CONSTRAINTS_H_

@@ -78,6 +78,12 @@ QueryEngine::QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
           &metrics_->histogram(metric_names::kStageHistograms[i]);
     }
     ins_.block_us = &metrics_->histogram(metric_names::kBlockUs);
+    ins_.pruned_disjuncts =
+        &metrics_->counter(metric_names::kPrunedDisjuncts);
+    ins_.pruned_unfoldings =
+        &metrics_->counter(metric_names::kPrunedUnfoldings);
+    ins_.constraint_checks =
+        &metrics_->counter(metric_names::kConstraintChecks);
   }
 }
 
@@ -172,9 +178,10 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
     caps.max_containment_checks = opts.max_containment_checks;
     caps.max_sql_blocks = opts.max_sql_blocks;
     caps.max_rows = opts.max_rows;
+    caps.max_constraint_checks = opts.max_constraint_checks;
     if (caps.deadline_ms > 0 || caps.max_rewrite_iterations > 0 ||
         caps.max_containment_checks > 0 || caps.max_sql_blocks > 0 ||
-        caps.max_rows > 0) {
+        caps.max_rows > 0 || caps.max_constraint_checks > 0) {
       owned.emplace(caps);
       budget = &*owned;
     }
@@ -209,6 +216,12 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
     fp = query::CanonicalFingerprint(cq);
     cache_key = key_prefix_ + fp.key;
     cache_hash = EpochHash(fp.hash, epoch_);
+    if (opts.disable_constraint_pruning) {
+      // The unpruned compilation is a different plan: key (and hash) it
+      // separately so the pruned and unpruned paths never alias.
+      cache_key += "|np";
+      cache_hash = EpochHash(cache_hash, 0x517CC1B727220A95ULL);
+    }
     shard = plan_cache_->ShardOf(cache_hash);
     if (stats != nullptr) stats->cache.shard = shard;
     if (auto cached = plan_cache_->Get(cache_key, cache_hash)) {
@@ -220,6 +233,13 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
         stats->cache.evictions = plan_cache_->ShardEvictions(shard);
         stats->rewrite = query::RewriteStats{};
         stats->rewrite.final_disjuncts = (*cached)->rewrite.final_disjuncts;
+        // Carry the compile-time pruning outcome so cached calls still
+        // report what the plan they run was pruned down to.
+        stats->rewrite.pruned_disjuncts = (*cached)->rewrite.pruned_disjuncts;
+        stats->rewrite.pruned_unfoldings =
+            (*cached)->rewrite.pruned_unfoldings;
+        stats->rewrite.constraint_key_joins =
+            (*cached)->rewrite.constraint_key_joins;
       }
       rdb::EvalOptions eopts;
       eopts.budget = budget;
@@ -235,6 +255,7 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   req.budget = budget;
   req.allow_partial = opts.allow_degraded;
   req.degradation = &degradation;
+  req.disable_constraint_pruning = opts.disable_constraint_pruning;
 
   const query::Rewriter* fallback = compiled_->fallback_rewriter();
   query::RewriteStats rstats;
@@ -276,7 +297,6 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   if (stats != nullptr) stats->rewrite = rstats;
 
   CachedPlan compiled_plan;
-  compiled_plan.rewrite = rstats;
   compiled_plan.ucq = std::make_shared<const query::UnionQuery>(
       std::move(rewritten).value());
 
@@ -284,10 +304,26 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   uopts.budget = budget;
   uopts.allow_partial = opts.allow_degraded;
   uopts.degradation = &degradation;
+  if (!opts.disable_constraint_pruning) {
+    uopts.constraints = &compiled_->constraints();
+  }
+  UnfoldStats ustats;
+  uopts.stats = &ustats;
   Stopwatch stage_sw;
   auto sql = Unfold(*compiled_plan.ucq, compiled_->mappings(),
                     compiled_->database(), uopts);
   if (stats != nullptr) stats->stage.unfold_us = stage_sw.ElapsedMicros();
+  // Fold the unfolder's pruning counters into the rewrite stats so one
+  // struct carries the whole compile's pruning story (through AnswerStats
+  // and the plan cache alike).
+  rstats.pruned_unfoldings += ustats.pruned_unfoldings;
+  rstats.constraint_key_joins += ustats.key_joins;
+  rstats.constraint_checks += ustats.constraint_checks;
+  if (!ustats.constraint_prune_complete) {
+    rstats.constraint_prune_complete = false;
+  }
+  if (stats != nullptr) stats->rewrite = rstats;
+  compiled_plan.rewrite = rstats;
   if (sql.ok()) {
     // Load-time statistics drive the columnar engine's join ordering.
     rdb::PrepareOptions popts;
@@ -382,6 +418,19 @@ void QueryEngine::Record(const ConjunctiveQuery& cq,
         const double h = static_cast<double>(ins_.cache_hits->Value());
         const double m = static_cast<double>(ins_.cache_misses->Value());
         if (h + m > 0) ins_.cache_hit_rate->Set(h / (h + m));
+      }
+    }
+    // Pruning counters move only on compiles that actually pruned (cache
+    // hits replay the carried totals, which would double-count).
+    if (!stats.cache.hit) {
+      if (stats.rewrite.pruned_disjuncts > 0) {
+        ins_.pruned_disjuncts->Add(stats.rewrite.pruned_disjuncts);
+      }
+      if (stats.rewrite.pruned_unfoldings > 0) {
+        ins_.pruned_unfoldings->Add(stats.rewrite.pruned_unfoldings);
+      }
+      if (stats.rewrite.constraint_checks > 0) {
+        ins_.constraint_checks->Add(stats.rewrite.constraint_checks);
       }
     }
     // Degradation events are rare (budgeted calls that actually hit a

@@ -141,6 +141,10 @@ class QueryEngine {
     /// Indexed like metric_names::kStageHistograms.
     obs::Histogram* stage_us[5] = {};
     obs::Histogram* block_us = nullptr;
+    /// Constraint-aware pruning counters (metric_names::kPruned*).
+    obs::Counter* pruned_disjuncts = nullptr;
+    obs::Counter* pruned_unfoldings = nullptr;
+    obs::Counter* constraint_checks = nullptr;
   };
 
   Result<std::vector<AnswerTuple>> Execute(const query::ConjunctiveQuery& cq,

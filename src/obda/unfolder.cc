@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/fault_injection.h"
+#include "obda/constraints.h"
 
 namespace olite::obda {
 
@@ -131,6 +132,101 @@ std::string BlockKey(const rdb::SelectBlock& b) {
   return k;
 }
 
+// Budget-metered gateway to the constraint oracle, mirroring the
+// rewriter's: once a quota refuses, the oracle is dropped and the rest of
+// the unfolding runs unpruned (sound — only larger).
+struct ConstraintGate {
+  const SourceConstraints* oracle = nullptr;
+  uint64_t cap = 0;
+  const ExecBudget* budget = nullptr;
+  UnfoldStats* stats = nullptr;
+  Degradation* degradation = nullptr;
+
+  bool on() const { return oracle != nullptr; }
+  bool Consult() {
+    if (oracle == nullptr) return false;
+    // A refused draw is not a consultation: only granted lookups count,
+    // so the reported total never exceeds the cap.
+    if ((cap != 0 && stats->constraint_checks >= cap) ||
+        (budget != nullptr && !budget->Consume(Quota::kConstraintChecks))) {
+      oracle = nullptr;
+      stats->constraint_prune_complete = false;
+      if (degradation != nullptr) {
+        degradation->Add("constraint",
+                         "unfold pruning stopped after " +
+                             std::to_string(stats->constraint_checks) +
+                             " oracle consultations (remaining blocks "
+                             "emitted unpruned)");
+      }
+      return false;
+    }
+    ++stats->constraint_checks;
+    return true;
+  }
+};
+
+// Merges same-table instances joined on an inferred key column: the join
+// forces both instances to denote the same physical row, so one instance
+// (with every reference remapped) computes the same block. Returns the
+// number of merges applied.
+uint64_t SimplifyBlockWithKeys(ConstraintGate* gate, rdb::SelectBlock* b) {
+  uint64_t merges = 0;
+  bool changed = true;
+  while (changed && gate->on()) {
+    changed = false;
+    for (const rdb::EqJoin& j : b->joins) {
+      size_t a = j.lhs.table_index;
+      size_t c = j.rhs.table_index;
+      if (a == c || j.lhs.column != j.rhs.column) continue;
+      if (b->from_tables[a] != b->from_tables[c]) continue;
+      if (!gate->Consult() ||
+          !gate->oracle->IsKeyColumn(b->from_tables[a], j.lhs.column)) {
+        continue;
+      }
+      size_t lo = a < c ? a : c;
+      size_t hi = a < c ? c : a;
+      auto remap = [&](rdb::ColumnRef* ref) {
+        if (ref->table_index == hi) {
+          ref->table_index = lo;
+        } else if (ref->table_index > hi) {
+          --ref->table_index;
+        }
+      };
+      for (auto& join : b->joins) {
+        remap(&join.lhs);
+        remap(&join.rhs);
+      }
+      for (auto& filt : b->filters) remap(&filt.col);
+      for (auto& sel : b->select) remap(&sel);
+      b->from_tables.erase(b->from_tables.begin() + hi);
+      // Drop joins the merge made trivial (both sides now identical).
+      std::vector<rdb::EqJoin> joins;
+      for (const auto& join : b->joins) {
+        if (!(join.lhs == join.rhs)) joins.push_back(join);
+      }
+      b->joins = std::move(joins);
+      ++merges;
+      changed = true;
+      break;  // join list was rewritten; restart the scan
+    }
+  }
+  return merges;
+}
+
+// Two constant filters on the same column reference with different values
+// can never both hold: the block's result is empty.
+bool ContradictoryFilters(const rdb::SelectBlock& b) {
+  for (size_t i = 0; i < b.filters.size(); ++i) {
+    for (size_t j = i + 1; j < b.filters.size(); ++j) {
+      if (b.filters[i].col == b.filters[j].col &&
+          !(b.filters[i].value == b.filters[j].value)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
@@ -142,6 +238,16 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
   const ExecBudget* budget = options.budget;
   bool truncated = false;
   size_t disjuncts_done = 0;
+  UnfoldStats ustats;
+  ConstraintGate gate;
+  gate.oracle = options.constraints;
+  gate.cap = options.max_constraint_checks;
+  gate.budget = budget;
+  gate.stats = &ustats;
+  gate.degradation = options.degradation;
+  auto publish_stats = [&]() {
+    if (options.stats != nullptr) *options.stats = ustats;
+  };
   auto exhaust = [&](Status exhausted) -> Status {
     if (options.allow_partial) {
       truncated = true;
@@ -170,8 +276,34 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
     // Mapping choices per atom.
     std::vector<std::vector<const MappingAssertion*>> atom_views;
     bool feasible = true;
+    bool constraint_skip = false;
     for (const Atom& atom : cq.atoms) {
+      // A provably empty predicate (mapped, but its views retrieve
+      // nothing) makes the whole disjunct evaluate empty.
+      if (gate.Consult() && gate.oracle->Empty(atom.kind, atom.predicate)) {
+        feasible = false;
+        constraint_skip = true;
+        break;
+      }
       auto views = mappings.For(KindOf(atom), atom.predicate);
+      if (gate.on() && views.size() > 1) {
+        // Empty views contribute nothing; dominated views are contained
+        // in a retained sibling. Dropping either leaves the union of the
+        // remaining choices with the same evaluation.
+        const MappingAssertion* base = mappings.assertions().data();
+        std::vector<const MappingAssertion*> kept;
+        for (const MappingAssertion* v : views) {
+          size_t idx = static_cast<size_t>(v - base);
+          bool drop = gate.Consult() && (gate.oracle->EmptyView(idx) ||
+                                         gate.oracle->DominatedView(idx));
+          if (drop) {
+            ++ustats.pruned_unfoldings;
+          } else {
+            kept.push_back(v);
+          }
+        }
+        views = std::move(kept);
+      }
       if (views.empty()) {
         feasible = false;  // unmapped predicate: empty certain answers
         break;
@@ -179,6 +311,7 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
       atom_views.push_back(std::move(views));
     }
     if (!feasible) {
+      if (constraint_skip) ++ustats.pruned_unfoldings;
       ++disjuncts_done;
       continue;
     }
@@ -193,6 +326,16 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
       }
       rdb::SelectBlock block;
       OLITE_ASSIGN_OR_RETURN(bool ok, BuildBlock(cq, choice, db, &block));
+      if (ok && gate.on()) {
+        ustats.key_joins += SimplifyBlockWithKeys(&gate, &block);
+        // Checked after the key merge: the merge can land two different
+        // constant filters on one column reference, exposing the
+        // contradiction.
+        if (ContradictoryFilters(block)) {
+          ok = false;
+          ++ustats.pruned_unfoldings;
+        }
+      }
       // Duplicates don't enter the union and don't consume quota.
       if (ok) ok = seen_blocks.insert(BlockKey(block)).second;
       if (ok) {
@@ -216,6 +359,7 @@ Result<rdb::SqlQuery> Unfold(const query::UnionQuery& ucq,
     }
     ++disjuncts_done;
   }
+  publish_stats();
   if (sql.blocks.empty()) {
     return Status::NotFound(
         "no disjunct is answerable under the mappings (empty unfolding)");

@@ -9,6 +9,23 @@
 
 namespace olite::obda {
 
+class SourceConstraints;  // obda/constraints.h
+
+/// Counters of the unfolder's constraint-aware pruning (all zero when no
+/// oracle was supplied).
+struct UnfoldStats {
+  /// Mapping views dropped from choice lists (empty or dominated) plus
+  /// disjuncts/blocks skipped as provably empty.
+  uint64_t pruned_unfoldings = 0;
+  /// Same-table instances merged through an inferred key column.
+  uint64_t key_joins = 0;
+  /// Constraint-oracle consultations.
+  uint64_t constraint_checks = 0;
+  /// False when the constraint-check quota stopped pruning mid-run (the
+  /// remaining blocks were emitted unpruned — sound, just larger).
+  bool constraint_prune_complete = true;
+};
+
 /// Budget controls for `Unfold`.
 struct UnfoldOptions {
   /// Shared budget: deadline/cancellation checks per disjunct, and the
@@ -21,6 +38,18 @@ struct UnfoldOptions {
   bool allow_partial = false;
   /// Records a truncation event when blocks were dropped.
   Degradation* degradation = nullptr;
+  /// Source-constraint oracle (see obda/constraints.h). When set, the
+  /// unfolder skips provably-empty disjuncts, drops empty/dominated
+  /// mapping views from choice lists, merges key-joined self-joins, and
+  /// discards blocks with contradictory constant filters — all without
+  /// changing the union's evaluation over the frozen snapshot. Null
+  /// disables the layer.
+  const SourceConstraints* constraints = nullptr;
+  /// Local cap on oracle consultations (0 = unlimited); the shared
+  /// budget's kConstraintChecks quota applies on top.
+  uint64_t max_constraint_checks = 0;
+  /// Filled with the pruning counters when non-null.
+  UnfoldStats* stats = nullptr;
 };
 
 /// Unfolds a (rewritten) UCQ over the ontology signature into a UCQ over

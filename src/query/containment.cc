@@ -22,14 +22,30 @@ bool TryMap(const Term& term, const Term& target, bool term_is_head,
   return true;
 }
 
+// `relaxed` counts the cross-predicate (constraint-justified) matches on
+// the current partial assignment; it is restored on backtrack so a success
+// reports whether the accepted homomorphism actually needed the oracle.
 bool Search(const ConjunctiveQuery& general,
             const ConjunctiveQuery& specific,
             const std::vector<bool>& is_head_var, size_t atom_index,
-            Assignment* assignment) {
+            const ConstraintOracle* constraints, Assignment* assignment,
+            size_t* relaxed) {
   if (atom_index == general.atoms.size()) return true;
   const Atom& g = general.atoms[atom_index];
   for (const Atom& s : specific.atoms) {
-    if (s.kind != g.kind || s.predicate != g.predicate) continue;
+    if (s.kind != g.kind) continue;
+    bool relaxed_match = false;
+    if (s.predicate != g.predicate) {
+      // A cross-predicate match is sound when every source tuple of the
+      // specific atom's predicate is a source tuple of the general's:
+      // the homomorphic image then still matches over the (frozen)
+      // source instance the union is evaluated against.
+      if (constraints == nullptr ||
+          !constraints->Included(s.kind, s.predicate, g.predicate)) {
+        continue;
+      }
+      relaxed_match = true;
+    }
     std::vector<std::string> trail;
     bool ok = true;
     for (size_t k = 0; k < g.args.size(); ++k) {
@@ -40,9 +56,13 @@ bool Search(const ConjunctiveQuery& general,
         break;
       }
     }
-    if (ok && Search(general, specific, is_head_var, atom_index + 1,
-                     assignment)) {
-      return true;
+    if (ok) {
+      if (relaxed_match) ++*relaxed;
+      if (Search(general, specific, is_head_var, atom_index + 1, constraints,
+                 assignment, relaxed)) {
+        return true;
+      }
+      if (relaxed_match) --*relaxed;
     }
     for (const auto& v : trail) assignment->erase(v);
   }
@@ -53,11 +73,20 @@ bool Search(const ConjunctiveQuery& general,
 
 bool Contains(const ConjunctiveQuery& general,
               const ConjunctiveQuery& specific, size_t max_atoms) {
+  ContainsOptions options;
+  options.max_atoms = max_atoms;
+  return Contains(general, specific, options);
+}
+
+bool Contains(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific,
+              const ContainsOptions& options) {
   if (general.head_vars != specific.head_vars) return false;
   // Bound head coordinates are part of the answer shape: queries that
   // force different constants (or none) are never comparable.
   if (general.head_bindings != specific.head_bindings) return false;
-  if (general.atoms.size() > max_atoms || specific.atoms.size() > max_atoms) {
+  if (general.atoms.size() > options.max_atoms ||
+      specific.atoms.size() > options.max_atoms) {
     return false;  // conservative
   }
   // Precompute, per (atom, argument) of the general query, whether the
@@ -73,15 +102,33 @@ bool Contains(const ConjunctiveQuery& general,
     }
   }
   Assignment assignment;
-  return Search(general, specific, is_head, 0, &assignment);
+  size_t relaxed = 0;
+  bool found = Search(general, specific, is_head, 0, options.constraints,
+                      &assignment, &relaxed);
+  if (found && options.used_constraints != nullptr) {
+    *options.used_constraints = relaxed > 0;
+  }
+  return found;
 }
 
 void MinimizeUnion(UnionQuery* ucq, const ExecBudget* budget,
                    uint64_t max_checks, MinimizeStats* stats) {
+  MinimizeOptions options;
+  options.budget = budget;
+  options.max_checks = max_checks;
+  MinimizeUnion(ucq, options, stats);
+}
+
+void MinimizeUnion(UnionQuery* ucq, const MinimizeOptions& options,
+                   MinimizeStats* stats) {
   MinimizeStats local;
+  const ExecBudget* budget = options.budget;
+  const uint64_t max_checks = options.max_checks;
   const size_t n = ucq->disjuncts.size();
   std::vector<bool> removed(n, false);
   bool exhausted = false;
+  ContainsOptions copts;
+  copts.constraints = options.constraints;
   for (size_t i = 0; i < n && !exhausted; ++i) {
     for (size_t j = 0; j < n && !removed[i]; ++j) {
       if (i == j || removed[j]) continue;
@@ -98,9 +145,12 @@ void MinimizeUnion(UnionQuery* ucq, const ExecBudget* budget,
         }
       }
       ++local.checks;
-      if (Contains(ucq->disjuncts[j], ucq->disjuncts[i])) {
+      bool used_constraints = false;
+      copts.used_constraints = &used_constraints;
+      if (Contains(ucq->disjuncts[j], ucq->disjuncts[i], copts)) {
         removed[i] = true;
         ++local.removed;
+        if (used_constraints) ++local.constraint_removed;
       }
     }
   }

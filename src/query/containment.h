@@ -8,6 +8,30 @@
 
 namespace olite::query {
 
+/// Oracle over *data-level* ("source") constraints of the instance the
+/// final UCQ will be evaluated against: extension inclusions between
+/// ontology predicates and empty extensions, as retrieved through the
+/// mappings from a frozen database snapshot (see obda/constraints.h for
+/// the concrete inference). Because the snapshot is immutable, any prune
+/// justified by these facts preserves the evaluation of the final union
+/// over that snapshot — and therefore the certain answers.
+///
+/// Every method must be a cheap lookup: the oracle is consulted on the
+/// compile hot path (per candidate rewriting step, per atom match in
+/// constraint-aware containment).
+class ConstraintOracle {
+ public:
+  virtual ~ConstraintOracle() = default;
+  /// ext(sub) ⊆ ext(sup) over the frozen source, same atom kind, same
+  /// argument orientation. False = unknown (conservative).
+  virtual bool Included(Atom::Kind kind, uint32_t sub, uint32_t sup) const = 0;
+  /// {(b,a) | (a,b) ∈ ext(sub)} ⊆ ext(sup) — binary predicates only.
+  virtual bool IncludedInverse(Atom::Kind kind, uint32_t sub,
+                               uint32_t sup) const = 0;
+  /// ext(pred) = ∅ over the frozen source (unmapped predicates included).
+  virtual bool Empty(Atom::Kind kind, uint32_t pred) const = 0;
+};
+
 /// Decides conjunctive-query containment `specific ⊑ general` (every
 /// answer of `specific` is an answer of `general`, over any ABox) via the
 /// classical homomorphism criterion: a mapping from `general`'s terms to
@@ -20,12 +44,48 @@ namespace olite::query {
 bool Contains(const ConjunctiveQuery& general,
               const ConjunctiveQuery& specific, size_t max_atoms = 12);
 
+/// Knobs for the constraint-aware `Contains` overload.
+struct ContainsOptions {
+  size_t max_atoms = 12;
+  /// When set, an atom P(x⃗) of `general` may also map onto an atom Q(h(x⃗))
+  /// of `specific` with a *different* predicate, provided
+  /// `constraints->Included(kind, Q, P)` holds. The resulting containment
+  /// is relative to the constrained source instance, not to every ABox:
+  /// every source match of `specific` is then a source match of `general`,
+  /// which is exactly what UCQ minimisation before unfolding needs.
+  const ConstraintOracle* constraints = nullptr;
+  /// Set to true when the homomorphism found actually used a relaxed
+  /// (cross-predicate) atom match — i.e. the classical check alone would
+  /// not have certified this containment. Untouched on failure.
+  bool* used_constraints = nullptr;
+};
+
+/// Constraint-aware containment (see ContainsOptions). With a null
+/// `constraints` this is identical to the classical overload.
+bool Contains(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific,
+              const ContainsOptions& options);
+
 /// Counters for one `MinimizeUnion` sweep.
 struct MinimizeStats {
   uint64_t checks = 0;   ///< containment tests actually run
   uint64_t skipped = 0;  ///< pair checks abandoned when the quota ran out
   uint64_t removed = 0;  ///< disjuncts pruned
+  /// Of `removed`, how many needed the constraint oracle (the classical
+  /// homomorphism criterion alone would have kept them).
+  uint64_t constraint_removed = 0;
   bool complete = true;  ///< the full O(n²) sweep finished
+};
+
+/// Knobs for the constraint-aware `MinimizeUnion` overload.
+struct MinimizeOptions {
+  /// Deadline/cancellation plus the kContainmentChecks quota. May be null.
+  const ExecBudget* budget = nullptr;
+  /// Sweep-local check cap (0 = unlimited).
+  uint64_t max_checks = 0;
+  /// Source-constraint oracle for cross-predicate subsumption; null keeps
+  /// the sweep purely classical.
+  const ConstraintOracle* constraints = nullptr;
 };
 
 /// Removes disjuncts contained in another disjunct (keeping one
@@ -41,6 +101,13 @@ struct MinimizeStats {
 /// records whether the sweep finished.
 void MinimizeUnion(UnionQuery* ucq, const ExecBudget* budget = nullptr,
                    uint64_t max_checks = 0, MinimizeStats* stats = nullptr);
+
+/// Constraint-aware minimisation (see MinimizeOptions): with an oracle the
+/// sweep additionally collapses disjuncts whose source evaluation is
+/// covered by another disjunct under the inferred extension inclusions —
+/// disjuncts the classical homomorphism criterion cannot remove.
+void MinimizeUnion(UnionQuery* ucq, const MinimizeOptions& options,
+                   MinimizeStats* stats = nullptr);
 
 }  // namespace olite::query
 

@@ -45,6 +45,51 @@ void DedupAtoms(ConjunctiveQuery* q) {
   q->atoms = std::move(out);
 }
 
+// Budget-metered gateway to the constraint oracle. Every consultation
+// draws from the call-local cap and the shared kConstraintChecks quota;
+// once either refuses, the oracle is dropped for the rest of the call and
+// the remaining candidates stay unpruned — sound, the union is only
+// larger than it had to be.
+struct PruneState {
+  const ConstraintOracle* oracle = nullptr;
+  uint64_t cap = 0;
+  const ExecBudget* budget = nullptr;
+  RewriteStats* stats = nullptr;
+  Degradation* degradation = nullptr;
+
+  bool Consult() {
+    if (oracle == nullptr) return false;
+    // A refused draw is not a consultation: the counter reports only the
+    // oracle lookups actually spent, so it never exceeds the cap.
+    if ((cap != 0 && stats->constraint_checks >= cap) ||
+        (budget != nullptr && !budget->Consume(Quota::kConstraintChecks))) {
+      oracle = nullptr;
+      stats->constraint_prune_complete = false;
+      if (degradation != nullptr) {
+        degradation->Add("constraint",
+                         "constraint pruning stopped after " +
+                             std::to_string(stats->constraint_checks) +
+                             " oracle consultations (remaining candidates "
+                             "kept unpruned)");
+      }
+      return false;
+    }
+    ++stats->constraint_checks;
+    return true;
+  }
+  // ext(sub) ⊆ ext(sup), same orientation.
+  bool Covered(Atom::Kind kind, uint32_t sub, uint32_t sup) {
+    return Consult() && oracle->Included(kind, sub, sup);
+  }
+  // swap(ext(sub)) ⊆ ext(sup), for inverse role-hierarchy steps.
+  bool CoveredInverse(Atom::Kind kind, uint32_t sub, uint32_t sup) {
+    return Consult() && oracle->IncludedInverse(kind, sub, sup);
+  }
+  bool EmptyAtom(const Atom& a) {
+    return Consult() && oracle->Empty(a.kind, a.predicate);
+  }
+};
+
 }  // namespace
 
 const char* RewriteModeName(RewriteMode mode) {
@@ -107,19 +152,49 @@ class Rewriter::Impl {
                              RewriteStats* stats) const {
     RewriteStats local;
     Stopwatch stage_sw;
-    std::unordered_map<std::string, ConjunctiveQuery> seen;
+    // A suppressed entry is *expanded* like any other (its descendants can
+    // contribute answers the retained disjuncts do not cover) but omitted
+    // from the output union: its own source evaluation is covered by the
+    // parent it was derived from (which the constraint justified), or the
+    // disjunct mentions a source-empty predicate and evaluates to ∅.
+    struct Entry {
+      ConjunctiveQuery q;
+      bool suppressed = false;
+    };
+    std::unordered_map<std::string, Entry> seen;
     std::deque<std::string> queue;
     size_t fresh_counter = 0;
     const ExecBudget* budget = request.budget;
+    PruneState prune;
+    if (!request.disable_constraint_pruning) prune.oracle = options_.constraints;
+    prune.cap = options_.max_constraint_checks;
+    prune.budget = budget;
+    prune.stats = &local;
+    prune.degradation = request.degradation;
 
-    auto add = [&](ConjunctiveQuery q) {
+    auto add = [&](ConjunctiveQuery q, bool covered) {
       DedupAtoms(&q);
+      bool suppressed = covered;
+      if (!suppressed && prune.oracle != nullptr) {
+        for (const Atom& a : q.atoms) {
+          if (prune.EmptyAtom(a)) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
       std::string key = q.CanonicalKey(vocab_);
       ++local.generated;
-      if (seen.emplace(key, std::move(q)).second) queue.push_back(key);
+      auto [it, fresh] = seen.emplace(key, Entry{std::move(q), suppressed});
+      if (fresh) {
+        queue.push_back(key);
+      } else if (!suppressed) {
+        // Re-derived without a covering justification: keep it.
+        it->second.suppressed = false;
+      }
     };
 
-    add(cq);
+    add(cq, false);
     while (!queue.empty()) {
       if (seen.size() > options_.max_disjuncts) {
         return Status::ResourceExhausted(
@@ -151,44 +226,55 @@ class Rewriter::Impl {
         }
         break;
       }
-      ConjunctiveQuery q = seen.at(queue.front());
+      ConjunctiveQuery q = seen.at(queue.front()).q;
       queue.pop_front();
       ++local.iterations;
 
       // (a) atom rewriting.
       for (size_t i = 0; i < q.atoms.size(); ++i) {
-        for (ConjunctiveQuery& rewritten :
-             RewriteAtom(q, i, &fresh_counter)) {
-          add(std::move(rewritten));
+        for (Candidate& rewritten : RewriteAtom(q, i, &fresh_counter, &prune)) {
+          add(std::move(rewritten.q), rewritten.covered);
         }
       }
       // (a') qualified-existential pair rule.
       for (ConjunctiveQuery& rewritten : PairRule(q, &fresh_counter)) {
-        add(std::move(rewritten));
+        add(std::move(rewritten), false);
       }
       // (b) reduce: unify pairs of atoms.
       for (size_t i = 0; i < q.atoms.size(); ++i) {
         for (size_t j = i + 1; j < q.atoms.size(); ++j) {
           ConjunctiveQuery reduced;
-          if (TryUnify(q, i, j, &reduced)) add(std::move(reduced));
+          if (TryUnify(q, i, j, &reduced)) add(std::move(reduced), false);
         }
       }
     }
 
     UnionQuery out;
     out.disjuncts.reserve(seen.size());
-    for (auto& [key, q] : seen) {
+    for (auto& [key, entry] : seen) {
       (void)key;
-      out.disjuncts.push_back(std::move(q));
+      if (entry.suppressed) {
+        ++local.pruned_disjuncts;
+        continue;
+      }
+      out.disjuncts.push_back(std::move(entry.q));
     }
     local.expand_us = stage_sw.ElapsedMicros();
     stage_sw.Reset();
     if (options_.prune_subsumed) {
       MinimizeStats mstats;
-      MinimizeUnion(&out, budget, options_.max_prune_checks, &mstats);
+      MinimizeOptions mopts;
+      mopts.budget = budget;
+      mopts.max_checks = options_.max_prune_checks;
+      // The minimisation sweep's oracle lookups ride the containment-check
+      // quota rather than kConstraintChecks: each lookup happens inside a
+      // homomorphism test that is already metered.
+      mopts.constraints = prune.oracle;
+      MinimizeUnion(&out, mopts, &mstats);
       local.prune_checks = mstats.checks;
       local.prune_skipped = mstats.skipped;
       local.pruned = mstats.removed;
+      local.constraint_pruned = mstats.constraint_removed;
       local.prune_complete = mstats.complete;
       if (!mstats.complete && request.degradation != nullptr) {
         request.degradation->Add(
@@ -312,21 +398,35 @@ class Rewriter::Impl {
 
   // -- rewriting steps ---------------------------------------------------------
 
-  std::vector<ConjunctiveQuery> RewriteAtom(const ConjunctiveQuery& q,
-                                            size_t i,
-                                            size_t* fresh_counter) const {
-    std::vector<ConjunctiveQuery> out;
+  // A rewriting candidate. `covered` marks pure predicate swaps (same
+  // arguments, no fresh variables) where the constraint oracle proved the
+  // swapped-in predicate's extension contained in the swapped-out one's:
+  // the candidate's source evaluation is then a subset of its parent's, so
+  // it can be suppressed from the output (but must still be expanded —
+  // descendants reached only through it can contribute new answers).
+  struct Candidate {
+    ConjunctiveQuery q;
+    bool covered = false;
+  };
+
+  std::vector<Candidate> RewriteAtom(const ConjunctiveQuery& q, size_t i,
+                                     size_t* fresh_counter,
+                                     PruneState* prune) const {
+    std::vector<Candidate> out;
     const Atom& g = q.atoms[i];
-    auto replace_with = [&](Atom atom) {
+    auto replace_with = [&](Atom atom, bool covered) {
       ConjunctiveQuery copy = q;
       copy.atoms[i] = std::move(atom);
-      out.push_back(std::move(copy));
+      out.push_back({std::move(copy), covered});
     };
 
     switch (g.kind) {
       case Atom::Kind::kConcept: {
         for (const auto& b : SubsumeesOfAtomic(g.predicate)) {
-          replace_with(Gr(b, g.args[0], fresh_counter));
+          bool covered =
+              b.kind == BasicConceptKind::kAtomic &&
+              prune->Covered(Atom::Kind::kConcept, b.concept_id, g.predicate);
+          replace_with(Gr(b, g.args[0], fresh_counter), covered);
         }
         break;
       }
@@ -335,20 +435,24 @@ class Rewriter::Impl {
         // Existential applications need an unbound second argument.
         if (IsUnboundVar(q, g.args[1])) {
           for (const auto& b : SubsumeesOfExists(p)) {
-            replace_with(Gr(b, g.args[0], fresh_counter));
+            replace_with(Gr(b, g.args[0], fresh_counter), false);
           }
         }
         if (IsUnboundVar(q, g.args[0])) {
           for (const auto& b : SubsumeesOfExists(p.Inverted())) {
-            replace_with(Gr(b, g.args[1], fresh_counter));
+            replace_with(Gr(b, g.args[1], fresh_counter), false);
           }
         }
         // Role hierarchy.
         for (const auto& r : SubRolesOf(p)) {
           if (r.inverse) {
-            replace_with(Atom::Role(r.role, g.args[1], g.args[0]));
+            bool covered = prune->CoveredInverse(Atom::Kind::kRole, r.role,
+                                                 g.predicate);
+            replace_with(Atom::Role(r.role, g.args[1], g.args[0]), covered);
           } else {
-            replace_with(Atom::Role(r.role, g.args[0], g.args[1]));
+            bool covered =
+                prune->Covered(Atom::Kind::kRole, r.role, g.predicate);
+            replace_with(Atom::Role(r.role, g.args[0], g.args[1]), covered);
           }
         }
         break;
@@ -356,11 +460,13 @@ class Rewriter::Impl {
       case Atom::Kind::kAttribute: {
         if (IsUnboundVar(q, g.args[1])) {
           for (const auto& b : SubsumeesOfAttrDomain(g.predicate)) {
-            replace_with(Gr(b, g.args[0], fresh_counter));
+            replace_with(Gr(b, g.args[0], fresh_counter), false);
           }
         }
         for (dllite::AttributeId u : SubAttributesOf(g.predicate)) {
-          replace_with(Atom::Attribute(u, g.args[0], g.args[1]));
+          bool covered =
+              prune->Covered(Atom::Kind::kAttribute, u, g.predicate);
+          replace_with(Atom::Attribute(u, g.args[0], g.args[1]), covered);
         }
         break;
       }

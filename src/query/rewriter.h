@@ -11,6 +11,8 @@
 
 namespace olite::query {
 
+class ConstraintOracle;  // containment.h
+
 /// Rewriting strategy.
 enum class RewriteMode {
   /// Textbook PerfectRef: applicable axioms are the *asserted* positive
@@ -32,12 +34,31 @@ struct RewriteStats {
   uint64_t prune_checks = 0;   ///< containment tests run by prune_subsumed
   uint64_t prune_skipped = 0;  ///< pair checks skipped (quota/deadline ran out)
   uint64_t pruned = 0;         ///< disjuncts removed by prune_subsumed
+  // -- constraint-aware pruning (RewriterOptions::constraints) ---------------
+  /// Source-constraint oracle consultations (rewrite stage; the obda layer
+  /// adds the unfolder's consultations before surfacing the struct).
+  uint64_t constraint_checks = 0;
+  /// Disjuncts suppressed from the output because a source constraint
+  /// proves their source evaluation covered by a retained disjunct (or
+  /// empty). They are still *expanded* — their descendants can contribute.
+  uint64_t pruned_disjuncts = 0;
+  /// Of `pruned`, how many removals needed the constraint oracle.
+  uint64_t constraint_pruned = 0;
+  /// Mapping choices / disjunct unfoldings dropped by the unfolder under
+  /// source constraints. Lives here so one struct travels through
+  /// `AnswerStats` and the plan cache; filled by the obda layer.
+  uint64_t pruned_unfoldings = 0;
+  /// Self-join table instances merged via inferred keys (obda layer).
+  uint64_t constraint_key_joins = 0;
   /// False when the expansion stopped early under a budget (the output is
   /// still a sound — subset-complete — UCQ).
   bool expansion_complete = true;
   /// False when the minimisation sweep was cut short (output is complete
   /// but possibly redundant).
   bool prune_complete = true;
+  /// False when the constraint-check quota stopped pruning mid-run (the
+  /// remaining candidates were kept unpruned — sound, just larger).
+  bool constraint_prune_complete = true;
   /// Wall-clock of the expansion loop (everything before minimisation),
   /// in microseconds.
   double expand_us = 0;
@@ -58,6 +79,16 @@ struct RewriterOptions {
   /// many homomorphism tests the remaining pairs are skipped (sound, the
   /// union just stays larger). 0 = unlimited.
   uint64_t max_prune_checks = 250000;
+  /// Source-constraint oracle (see obda/constraints.h) enabling
+  /// constraint-aware pruning: hierarchy rewriting steps whose child
+  /// disjunct is covered at the source are suppressed from the output (but
+  /// still expanded), disjuncts over source-empty predicates are dropped,
+  /// and the minimisation sweep collapses cross-predicate subsumptions.
+  /// Not owned; must outlive the rewriter. Null disables the layer.
+  const ConstraintOracle* constraints = nullptr;
+  /// Local cap on oracle consultations per Rewrite call; past it the rest
+  /// of the call runs unpruned (sound). 0 = unlimited.
+  uint64_t max_constraint_checks = 1000000;
 };
 
 /// Per-call budget controls for `Rewriter::Rewrite`.
@@ -73,6 +104,10 @@ struct RewriteRequest {
   bool allow_partial = false;
   /// Records what was cut (expansion truncation, skipped pruning).
   Degradation* degradation = nullptr;
+  /// Per-call off-switch for the constraint-aware pruning layer
+  /// (RewriterOptions::constraints): the differential harness compares the
+  /// pruned and unpruned paths on the same compiled rewriter.
+  bool disable_constraint_pruning = false;
 };
 
 /// UCQ rewriting of conjunctive queries under a DL-Lite_R TBox: the output

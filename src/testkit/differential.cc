@@ -309,6 +309,91 @@ std::vector<std::string> CompareEvaluators(const benchgen::Workload& w,
   return diffs;
 }
 
+std::vector<std::string> CheckConstraintPruning(
+    const benchgen::Workload& w, const ConstraintPruningOptions& options) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+
+  auto system =
+      obda::ObdaSystem::Create(w.ontology, w.mappings, w.database,
+                               query::RewriteMode::kClassified);
+  if (!system.ok()) {
+    diffs.push_back("ObdaSystem::Create failed: " +
+                    system.status().ToString());
+    return diffs;
+  }
+  ChaseOracle chase(w.ontology.tbox(), vocab, w.abox, options.chase_depth);
+
+  for (const auto& cq : w.queries) {
+    const std::string label = cq.ToString(vocab);
+
+    auto chase_rows = chase.CertainAnswers(cq);
+    TupleSet want(chase_rows.begin(), chase_rows.end());
+
+    // Both passes bypass the plan cache: pruned and unpruned plans are
+    // keyed apart, but this harness exists to compare the *cold compile*
+    // of each path, not a cached replay.
+    obda::AnswerOptions pruned_opts;
+    pruned_opts.bypass_cache = true;
+    obda::AnswerStats pruned_stats;
+    auto pruned = (*system)->Answer(cq, pruned_opts, &pruned_stats);
+    if (!pruned.ok()) {
+      diffs.push_back(label + " [pruned]: " + pruned.status().ToString());
+      continue;
+    }
+    CompareTupleSets(label, want, TupleSet(pruned->begin(), pruned->end()),
+                     "pruned", &diffs);
+
+    obda::AnswerOptions unpruned_opts;
+    unpruned_opts.bypass_cache = true;
+    unpruned_opts.disable_constraint_pruning = true;
+    obda::AnswerStats unpruned_stats;
+    auto unpruned = (*system)->Answer(cq, unpruned_opts, &unpruned_stats);
+    if (!unpruned.ok()) {
+      diffs.push_back(label + " [unpruned]: " +
+                      unpruned.status().ToString());
+      continue;
+    }
+    CompareTupleSets(label, want,
+                     TupleSet(unpruned->begin(), unpruned->end()),
+                     "unpruned", &diffs);
+    CompareTupleSets(label, TupleSet(unpruned->begin(), unpruned->end()),
+                     TupleSet(pruned->begin(), pruned->end()),
+                     "pruned-vs-unpruned", &diffs);
+
+    // Pruning must never *grow* the compiled union, and the unpruned pass
+    // must not report pruning work.
+    if (pruned_stats.rewrite.final_disjuncts >
+        unpruned_stats.rewrite.final_disjuncts) {
+      diffs.push_back(label + ": pruned union has more disjuncts (" +
+                      std::to_string(pruned_stats.rewrite.final_disjuncts) +
+                      ") than unpruned (" +
+                      std::to_string(unpruned_stats.rewrite.final_disjuncts) +
+                      ")");
+    }
+    if (unpruned_stats.rewrite.pruned_disjuncts != 0 ||
+        unpruned_stats.rewrite.pruned_unfoldings != 0) {
+      diffs.push_back(label +
+                      ": disable_constraint_pruning still reported pruning");
+    }
+
+    auto direct = query::AnswerOverABox(cq, w.ontology.tbox(), w.abox, vocab,
+                                        query::RewriteMode::kPerfectRef);
+    if (!direct.ok()) {
+      diffs.push_back(label + " [abox]: " + direct.status().ToString());
+    } else {
+      CompareTupleSets(label, want, TupleSet(direct->begin(), direct->end()),
+                       "abox-eval", &diffs);
+    }
+
+    if (options.pruned_accumulator) {
+      *options.pruned_accumulator += pruned_stats.rewrite.pruned_disjuncts +
+                                     pruned_stats.rewrite.pruned_unfoldings;
+    }
+  }
+  return diffs;
+}
+
 std::vector<std::string> CheckPiMonotonicity(const Ontology& onto,
                                              uint64_t seed) {
   std::vector<std::string> diffs;

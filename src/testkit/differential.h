@@ -79,6 +79,29 @@ struct EvaluatorDiffOptions {
 std::vector<std::string> CompareEvaluators(
     const benchgen::Workload& w, const EvaluatorDiffOptions& options = {});
 
+/// Options for `CheckConstraintPruning`.
+struct ConstraintPruningOptions {
+  /// Null-generation cutoff of the chase oracle (see
+  /// testkit/chase_oracle.h).
+  uint32_t chase_depth = 8;
+  /// When set, accumulates the pruning work observed (suppressed disjuncts
+  /// plus dropped unfoldings) across every query checked. Sweeps assert it
+  /// is non-zero at the end — a "pruning sweep" whose constraint-rich
+  /// workloads never actually pruned anything tests nothing.
+  uint64_t* pruned_accumulator = nullptr;
+};
+
+/// Differential *pruning* conformance over every query of `w`: the default
+/// (constraint-pruned) pipeline and the pipeline with
+/// `disable_constraint_pruning` must produce identical certain-answer
+/// sets, both refereed by the chase oracle and by direct ABox evaluation;
+/// the pruned compile must never produce a *larger* union than the
+/// unpruned one. Returns discrepancy descriptions; empty = agreement.
+/// Shrinkable: wrap a failing (config, seed) in a ConformanceCase and
+/// ddmin with this checker as the predicate.
+std::vector<std::string> CheckConstraintPruning(
+    const benchgen::Workload& w, const ConstraintPruningOptions& options = {});
+
 // -- metamorphic properties -------------------------------------------------
 
 /// Adding one random *positive* inclusion (concept or role) must never

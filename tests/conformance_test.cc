@@ -250,6 +250,57 @@ TEST(ConformanceSweep, DifferentialAndMetamorphicAgreement) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Constraint-pruning conformance: pruned vs unpruned pipeline vs oracles.
+// ---------------------------------------------------------------------------
+
+/// Constraint-rich variant of the sweep config: redundant duplicate
+/// mappings and source-materialised inclusions make the pruning oracle
+/// fire on most seeds (a sweep that never prunes anything tests nothing).
+WorkloadConfig PruningSweepConfig(uint64_t seed) {
+  WorkloadConfig cfg = SweepConfig(seed);
+  cfg.redundant_mapping_fraction = 0.5;
+  cfg.source_inclusion_fraction = 0.5;
+  return cfg;
+}
+
+// Differential pruning sweep: on >= 200 constraint-rich seeded workloads,
+// answering with constraint-aware pruning (the default) must agree with
+// the unpruned pipeline and with the chase/ABox oracles on every query.
+// A failing seed is ddmin-shrunk to a minimal replayable repro and
+// reported in tests/corpus format, ready to be checked in.
+TEST(ConformanceSweep, ConstraintPruningAgreesWithOracles) {
+  const uint64_t num_seeds = EnvOr("OLITE_PRUNING_CONFORMANCE_SEEDS", 200);
+  const uint64_t base = EnvOr("OLITE_CONFORMANCE_SEED_BASE", 0);
+  uint64_t pruned_total = 0;
+  for (uint64_t seed = base; seed < base + num_seeds; ++seed) {
+    Workload w = benchgen::GenerateWorkload(PruningSweepConfig(seed));
+    testkit::ConstraintPruningOptions opts;
+    opts.chase_depth = PruningSweepConfig(seed).max_atoms_per_query + 1;
+    opts.pruned_accumulator = &pruned_total;
+    auto diffs = testkit::CheckConstraintPruning(w, opts);
+    if (!diffs.empty()) {
+      // Shrink before failing: the report carries a minimal corpus-format
+      // repro instead of a 20-concept workload.
+      ConformanceCase c = testkit::CaseFromWorkload(w);
+      testkit::ConstraintPruningOptions ropts;
+      ropts.chase_depth = opts.chase_depth;
+      auto fails = [&](const ConformanceCase& candidate) {
+        return !testkit::CheckConstraintPruning(
+                    testkit::ToWorkload(candidate), ropts)
+                    .empty();
+      };
+      ConformanceCase shrunk = testkit::Shrink(c, fails);
+      FAIL() << "pruning discrepancies at seed " << seed << JoinDiffs(diffs)
+             << "\nshrunk repro (save as tests/corpus/pruning_seed"
+             << seed << ".case):\n"
+             << testkit::SerializeCase(shrunk);
+    }
+  }
+  EXPECT_GT(pruned_total, 0u)
+      << "the constraint-rich sweep never pruned a single disjunct";
+}
+
 // Evaluator conformance: the batched columnar engine (cold, plan-cache-hot
 // and under randomised join orders) against the nested-loop baseline,
 // refereed by the chase oracle and direct ABox evaluation.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 
 #include "mapping/mapping.h"
 #include "obda/system.h"
@@ -171,12 +172,28 @@ TEST_P(ObdaModeTest, HierarchyReasoningThroughMappings) {
   AnswerStats stats;
   AnswerOptions opts;
   opts.capture_sql = true;  // the SQL text is opt-in
+  // Observe the raw rewrite shape: constraint-aware pruning (on by
+  // default) collapses this union because Person is unmapped and the
+  // assistant extension is contained in the professor one.
+  opts.disable_constraint_pruning = true;
   auto answers = sys->Answer("q(x) :- Person(x)", opts, &stats);
   ASSERT_TRUE(answers.ok()) << answers.status().ToString();
   EXPECT_EQ(answers->size(), 2u);
   EXPECT_GE(stats.rewrite.final_disjuncts, 3u);
   EXPECT_GE(stats.sql_blocks, 2u);
   EXPECT_NE(stats.sql.find("SELECT"), std::string::npos);
+
+  // The default (pruned) path returns the same answers from a smaller
+  // union.
+  AnswerStats pruned_stats;
+  AnswerOptions pruned_opts;
+  auto pruned = sys->Answer("q(x) :- Person(x)", pruned_opts, &pruned_stats);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(std::set<AnswerTuple>(answers->begin(), answers->end()),
+            std::set<AnswerTuple>(pruned->begin(), pruned->end()));
+  EXPECT_LT(pruned_stats.rewrite.final_disjuncts,
+            stats.rewrite.final_disjuncts);
+  EXPECT_GT(pruned_stats.rewrite.pruned_disjuncts, 0u);
 }
 
 TEST_P(ObdaModeTest, MandatoryParticipationYieldsCertainAnswers) {
