@@ -12,7 +12,20 @@
 // own `snapshot.swap_us` histogram; end-to-end refresh cost (compile +
 // publish) is timed around each CompileAndSwap call.
 //
-// Phase 2 — overload. A fresh ServingEngine is given `--max-in-flight`
+// Phase 2 — delta refresh (opt-in, `--delta=on|both`). A seeded
+// specification-churn sequence (`benchgen::GenerateDeltaSequence`, the
+// oversized delta planted last) is chained through `RefreshAndSwap`
+// while reader threads answer continuously; every answer is checked
+// against the scratch-compiled oracle of the generation its epoch
+// reports, so the delta path carries the same hard zero-discrepancy
+// result as phase 1. Under `--delta=both` each generation is also
+// scratch-compiled with a stopwatch around it, giving the head-to-head
+// refresh-vs-recompile comparison the `--delta-gate` speedup gate runs
+// on. The row carries the engine's own `snapshot.delta_*` instruments
+// (applied / fallback / patched nodes / reused stages / plans
+// invalidated vs migrated) and the `snapshot.refresh_us` histogram.
+//
+// Phase 3 — overload. A fresh ServingEngine is given `--max-in-flight`
 // tokens and a `--queue-depth` wait queue; injected evaluator latency
 // (`--latency-ms` per rdb execute, fault::Site::kRdbExecute) makes every
 // admitted request slow, and `--saturation` × max_in_flight closed-loop
@@ -21,6 +34,11 @@
 //
 // Gates (exit 1 on violation — CI smoke-runs this binary):
 //   churn:    errors == 0, discrepancies == 0, final epoch == swaps + 1
+//   delta (only with --delta-gate, which needs --delta=both):
+//             errors == 0, discrepancies == 0, the planted large delta
+//             fell back to scratch while the small deltas did not, final
+//             epoch == deltas + 1, and p50 refresh is at least
+//             --delta-min-speedup times faster than p50 scratch compile
 //   overload: no status other than ok / admission-shed, sheds happened,
 //             in_flight_peak <= max_in_flight, and every shed response
 //             returned within 1.1 × deadline (+ --shed-slack-ms of
@@ -40,6 +58,12 @@
 //        --latency-ms=<f>     injected per-execute latency   (default 20)
 //        --shed-slack-ms=<f>  scheduler grace on the shed
 //                             latency gate                   (default 50)
+//        --delta=<m>          off|on|both — delta phase      (default off)
+//        --delta-count=<n>    deltas in the churn sequence   (default 10)
+//        --delta-min-speedup=<f>  gate: p50 scratch / p50
+//                             refresh ratio floor            (default 5)
+//        --delta-gate         enforce the delta gates (needs
+//                             --delta=both)
 //        --out=<path>         results (default BENCH_churn.json)
 
 #include <algorithm>
@@ -60,6 +84,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "obda/compiled_ontology.h"
+#include "obda/delta.h"
 #include "obda/serving_engine.h"
 #include "obs/metrics.h"
 
@@ -90,6 +115,32 @@ struct ChurnRow {
   double refresh_max_ms = 0;
 };
 
+struct DeltaRow {
+  std::string mode;  // "on" or "both"
+  int threads = 0;
+  uint64_t generations = 0;
+  uint64_t answers = 0;
+  uint64_t errors = 0;
+  uint64_t discrepancies = 0;
+  uint64_t final_epoch = 0;
+  // Accumulated DeltaSwapStats across the sequence; `applied` is read
+  // back from the snapshot.delta_applied counter to prove the registry
+  // wiring end to end.
+  uint64_t applied = 0;
+  uint64_t fallbacks = 0;
+  uint64_t patched_nodes = 0;
+  uint64_t reused_stages = 0;
+  uint64_t reused_views = 0;
+  uint64_t plans_invalidated = 0;
+  uint64_t plans_migrated = 0;
+  double refresh_p50_ms = 0;
+  double refresh_max_ms = 0;
+  double refresh_us_p50 = 0;  // snapshot.refresh_us histogram
+  double refresh_us_p99 = 0;
+  double scratch_p50_ms = 0;  // --delta=both only
+  double speedup = 0;         // --delta=both only
+};
+
 struct OverloadRow {
   int threads = 0;
   size_t max_in_flight = 0;
@@ -110,7 +161,7 @@ struct OverloadRow {
 };
 
 void WriteJson(const std::string& path, const ChurnRow& c,
-               const OverloadRow& o) {
+               const DeltaRow* d, const OverloadRow& o) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -132,6 +183,35 @@ void WriteJson(const std::string& path, const ChurnRow& c,
       static_cast<unsigned long long>(c.final_epoch), c.qps, c.hit_rate,
       c.answer_p50_ms, c.answer_p99_ms, c.swap_p50_us, c.swap_p99_us,
       c.refresh_p50_ms, c.refresh_max_ms);
+  if (d != nullptr) {
+    std::fprintf(
+        f,
+        "  {\"phase\": \"delta\", \"mode\": \"%s\", \"threads\": %d, "
+        "\"generations\": %llu, \"answers\": %llu, \"errors\": %llu, "
+        "\"discrepancies\": %llu, \"final_epoch\": %llu, "
+        "\"delta_applied\": %llu, \"delta_fallback_scratch\": %llu, "
+        "\"delta_patched_nodes\": %llu, \"delta_reused_stages\": %llu, "
+        "\"delta_reused_views\": %llu, \"delta_plans_invalidated\": %llu, "
+        "\"delta_plans_migrated\": %llu, \"refresh_p50_ms\": %.3f, "
+        "\"refresh_max_ms\": %.3f, \"refresh_us_p50\": %.1f, "
+        "\"refresh_us_p99\": %.1f, \"scratch_p50_ms\": %.3f, "
+        "\"speedup\": %.2f},\n",
+        d->mode.c_str(), d->threads,
+        static_cast<unsigned long long>(d->generations),
+        static_cast<unsigned long long>(d->answers),
+        static_cast<unsigned long long>(d->errors),
+        static_cast<unsigned long long>(d->discrepancies),
+        static_cast<unsigned long long>(d->final_epoch),
+        static_cast<unsigned long long>(d->applied),
+        static_cast<unsigned long long>(d->fallbacks),
+        static_cast<unsigned long long>(d->patched_nodes),
+        static_cast<unsigned long long>(d->reused_stages),
+        static_cast<unsigned long long>(d->reused_views),
+        static_cast<unsigned long long>(d->plans_invalidated),
+        static_cast<unsigned long long>(d->plans_migrated),
+        d->refresh_p50_ms, d->refresh_max_ms, d->refresh_us_p50,
+        d->refresh_us_p99, d->scratch_p50_ms, d->speedup);
+  }
   std::fprintf(
       f,
       "  {\"phase\": \"overload\", \"threads\": %d, \"max_in_flight\": %zu, "
@@ -169,6 +249,10 @@ int main(int argc, char** argv) {
   double deadline_ms = 200;
   double latency_ms = 20;
   double shed_slack_ms = 50;
+  std::string delta_mode = "off";
+  uint32_t delta_count = 10;
+  double delta_min_speedup = 5;
+  bool delta_gate = false;
   std::string out_path = "BENCH_churn.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--queries=", 10) == 0) {
@@ -197,12 +281,32 @@ int main(int argc, char** argv) {
       latency_ms = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--shed-slack-ms=", 16) == 0) {
       shed_slack_ms = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--delta=", 8) == 0) {
+      delta_mode = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--delta-count=", 14) == 0) {
+      delta_count = static_cast<uint32_t>(std::atoi(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--delta-min-speedup=", 20) == 0) {
+      delta_min_speedup = std::atof(argv[i] + 20);
+    } else if (std::strcmp(argv[i], "--delta-gate") == 0) {
+      delta_gate = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
     }
+  }
+  if (delta_mode != "off" && delta_mode != "on" && delta_mode != "both") {
+    std::fprintf(stderr, "--delta must be off, on or both\n");
+    return 1;
+  }
+  if (delta_gate && delta_mode != "both") {
+    std::fprintf(stderr, "--delta-gate needs --delta=both\n");
+    return 1;
+  }
+  if (delta_mode != "off" && delta_count < 4) {
+    std::fprintf(stderr, "--delta-count must be at least 4\n");
+    return 1;
   }
 
   olite::benchgen::WorkloadConfig config;
@@ -380,7 +484,253 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(churn.discrepancies),
               churn.swap_p99_us, churn.refresh_max_ms);
 
-  // ---- Phase 2: overload -------------------------------------------------
+  // ---- Phase 2: delta refresh churn --------------------------------------
+  DeltaRow delta_row;
+  const bool run_delta = delta_mode != "off";
+  if (run_delta) {
+    delta_row.mode = delta_mode;
+    delta_row.threads = churn_threads;
+    delta_row.generations = delta_count;
+
+    // The delta phase gets a larger twin of the churn workload: delta
+    // compilation's whole point is that scratch-compile cost grows with
+    // the specification and data while a small-delta refresh stays flat,
+    // so the head-to-head needs a spec big enough for that gap to show.
+    olite::benchgen::WorkloadConfig dconfig = config;
+    dconfig.ontology.name = "delta-churn";
+    dconfig.ontology.num_concepts = 120;
+    dconfig.num_individuals = 400;
+    dconfig.num_concept_assertions = 1200;
+    dconfig.num_role_assertions = 1200;
+    dconfig.num_attribute_assertions = 200;
+    olite::benchgen::Workload dwork =
+        olite::benchgen::GenerateWorkload(dconfig);
+    if (dwork.queries.empty()) {
+      std::fprintf(stderr, "delta workload has no queries\n");
+      return 1;
+    }
+
+    // Seeded specification churn. The oversized delta goes last so every
+    // earlier generation measures the small-delta fast path (a large delta
+    // planted early densifies the closure for everything after it).
+    olite::benchgen::DeltaSequenceConfig dcfg;
+    dcfg.seed = seed * 31 + 7;
+    dcfg.num_deltas = delta_count;
+    dcfg.functionality_fraction = 0.15;
+    dcfg.large_delta_index = static_cast<int32_t>(delta_count) - 1;
+    dcfg.large_delta_changes = 96;
+    std::vector<olite::obda::OntologyDelta> deltas =
+        olite::benchgen::GenerateDeltaSequence(dwork, dcfg);
+
+    // Generation 0, compiled kClassified so refreshes can patch the
+    // closure in place (and the large delta can exercise the fallback).
+    auto base = CompiledOntology::Compile(dwork.ontology,
+                                          dwork.mappings,
+                                          dwork.database,
+                                          olite::query::RewriteMode::kClassified);
+    if (!base.ok()) {
+      std::fprintf(stderr, "delta base compile failed: %s\n",
+                   base.status().ToString().c_str());
+      return 1;
+    }
+
+    // Evolve the specification quiescently: per-generation (ontology,
+    // mappings) pairs for the scratch churn pass and the oracle answer
+    // sets the concurrent checkers compare against. Untimed — both
+    // measured passes run under identical reader load below.
+    std::vector<std::vector<TupleSet>> gen_want;
+    std::vector<olite::dllite::Ontology> gen_onto;
+    std::vector<olite::mapping::MappingSet> gen_maps;
+    {
+      std::vector<std::shared_ptr<const CompiledOntology>> gens;
+      gens.push_back(*base);
+      olite::dllite::TBox tbox = dwork.ontology.tbox();
+      olite::mapping::MappingSet mappings = dwork.mappings;
+      for (size_t g = 0; g < deltas.size(); ++g) {
+        auto nt = olite::obda::ApplyTBoxDelta(tbox, deltas[g]);
+        auto nm = olite::obda::ApplyMappingDelta(mappings, deltas[g]);
+        if (!nt.ok() || !nm.ok()) {
+          std::fprintf(stderr, "delta %zu does not apply\n", g);
+          return 1;
+        }
+        tbox = *std::move(nt);
+        mappings = *std::move(nm);
+        olite::dllite::Ontology onto = dwork.ontology;
+        onto.tbox() = tbox;
+        auto snap = CompiledOntology::Compile(
+            onto, mappings, dwork.database,
+            olite::query::RewriteMode::kClassified);
+        if (!snap.ok()) {
+          std::fprintf(stderr,
+                       "scratch compile of generation %zu failed: %s\n",
+                       g + 1, snap.status().ToString().c_str());
+          return 1;
+        }
+        gen_onto.push_back(std::move(onto));
+        gen_maps.push_back(mappings);
+        gens.push_back(*std::move(snap));
+      }
+      olite::obda::QueryEngineOptions qopts;
+      qopts.enable_metrics = false;
+      for (const auto& gen : gens) {
+        olite::obda::QueryEngine oracle(gen, qopts);
+        std::vector<TupleSet> want;
+        for (const auto& cq : dwork.queries) {
+          auto r = oracle.Answer(cq);
+          if (!r.ok()) {
+            std::fprintf(stderr, "delta oracle answering failed\n");
+            return 1;
+          }
+          want.emplace_back(r->begin(), r->end());
+        }
+        gen_want.push_back(std::move(want));
+      }
+    }
+
+    // One churn pass: reader threads answer continuously — each answer
+    // checked against the oracle of the generation its epoch reports
+    // (epoch e serves generation e-1) — while the main thread advances
+    // the engine one generation at a time through `advance`, timed.
+    auto churn_pass = [&](ServingEngine& engine, auto&& advance,
+                          std::vector<double>* step_ms) -> bool {
+      std::atomic<bool> done{false};
+      std::atomic<uint64_t> answers{0};
+      std::atomic<uint64_t> errors{0};
+      std::atomic<uint64_t> discrepancies{0};
+      auto check_one = [&](size_t qi) {
+        olite::obda::AnswerStats stats;
+        auto got = engine.Answer(dwork.queries[qi],
+                                 olite::obda::AnswerOptions{}, &stats);
+        answers.fetch_add(1, std::memory_order_relaxed);
+        if (!got.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        const TupleSet& want = gen_want[stats.serve.epoch - 1][qi];
+        if (TupleSet(got->begin(), got->end()) != want) {
+          discrepancies.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      // Warm the plan cache so the selective-invalidation split (drop vs
+      // migrate) has entries to work on from the first refresh.
+      for (size_t qi = 0; qi < dwork.queries.size(); ++qi) check_one(qi);
+      std::vector<std::thread> readers;
+      for (int t = 0; t < churn_threads; ++t) {
+        readers.emplace_back([&, t] {
+          size_t i = 0;
+          while (!done.load(std::memory_order_relaxed)) {
+            check_one((static_cast<size_t>(t) + i++) %
+                      dwork.queries.size());
+          }
+        });
+      }
+      bool ok = true;
+      for (size_t g = 0; g < deltas.size() && ok; ++g) {
+        Stopwatch sw;
+        ok = advance(g);
+        step_ms->push_back(sw.ElapsedMillis());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      done.store(true);
+      for (auto& th : readers) th.join();
+      // Post-churn quiescent pass on the surviving generation.
+      if (ok) {
+        for (size_t qi = 0; qi < dwork.queries.size(); ++qi) check_one(qi);
+      }
+      delta_row.answers += answers.load();
+      delta_row.errors += errors.load();
+      delta_row.discrepancies += discrepancies.load();
+      return ok;
+    };
+
+    // Scratch pass (--delta=both): the same generations recompiled from
+    // scratch via CompileAndSwap under the same reader load — the
+    // baseline the refresh pass's speedup gate divides by.
+    std::vector<double> scratch_step_ms;
+    if (delta_mode == "both") {
+      ServingEngine scratch_serving(*base, ServingEngineOptions{});
+      bool ok = churn_pass(
+          scratch_serving,
+          [&](size_t g) {
+            auto r = scratch_serving.CompileAndSwap(
+                gen_onto[g], gen_maps[g], dwork.database,
+                olite::query::RewriteMode::kClassified);
+            if (!r.ok()) {
+              std::fprintf(stderr, "CompileAndSwap %zu failed: %s\n", g,
+                           r.status().ToString().c_str());
+              return false;
+            }
+            return true;
+          },
+          &scratch_step_ms);
+      if (!ok) return 1;
+    }
+
+    // Refresh pass: identical load, RefreshAndSwap per generation.
+    olite::obs::MetricsRegistry registry;
+    ServingEngineOptions sopts;
+    sopts.engine.metrics = &registry;
+    ServingEngine serving(*base, sopts);
+    std::vector<double> delta_refresh_ms;
+    {
+      bool ok = churn_pass(
+          serving,
+          [&](size_t g) {
+            olite::obda::DeltaSwapStats ds;
+            auto r = serving.RefreshAndSwap(deltas[g], &ds);
+            if (!r.ok()) {
+              std::fprintf(stderr, "RefreshAndSwap %zu failed: %s\n", g,
+                           r.status().ToString().c_str());
+              return false;
+            }
+            if (ds.fell_back_scratch) ++delta_row.fallbacks;
+            delta_row.patched_nodes += ds.patched_nodes;
+            delta_row.reused_stages += ds.reused_stages;
+            delta_row.reused_views += ds.reused_views;
+            delta_row.plans_invalidated += ds.plans_invalidated;
+            delta_row.plans_migrated += ds.plans_migrated;
+            return true;
+          },
+          &delta_refresh_ms);
+      if (!ok) return 1;
+    }
+
+    delta_row.final_epoch = serving.epoch();
+    const olite::obs::Counter* applied = registry.FindCounter(
+        olite::obda::metric_names::kSnapshotDeltaApplied);
+    delta_row.applied = applied != nullptr ? applied->Value() : 0;
+    delta_row.refresh_us_p50 = registry.HistogramQuantile(
+        olite::obda::metric_names::kSnapshotRefreshUs, 0.50);
+    delta_row.refresh_us_p99 = registry.HistogramQuantile(
+        olite::obda::metric_names::kSnapshotRefreshUs, 0.99);
+    std::sort(delta_refresh_ms.begin(), delta_refresh_ms.end());
+    delta_row.refresh_p50_ms = delta_refresh_ms[delta_refresh_ms.size() / 2];
+    delta_row.refresh_max_ms = delta_refresh_ms.back();
+    if (delta_mode == "both") {
+      std::sort(scratch_step_ms.begin(), scratch_step_ms.end());
+      delta_row.scratch_p50_ms = scratch_step_ms[scratch_step_ms.size() / 2];
+      delta_row.speedup = delta_row.refresh_p50_ms > 0
+                              ? delta_row.scratch_p50_ms /
+                                    delta_row.refresh_p50_ms
+                              : 0;
+    }
+    std::printf(
+        "delta: %llu refreshes (%llu fell back), %llu answers, errors "
+        "%llu, discrepancies %llu, refresh p50 %.2f ms (max %.2f), "
+        "scratch p50 %.2f ms, speedup %.1fx, plans invalidated %llu / "
+        "migrated %llu\n",
+        static_cast<unsigned long long>(delta_row.generations),
+        static_cast<unsigned long long>(delta_row.fallbacks),
+        static_cast<unsigned long long>(delta_row.answers),
+        static_cast<unsigned long long>(delta_row.errors),
+        static_cast<unsigned long long>(delta_row.discrepancies),
+        delta_row.refresh_p50_ms, delta_row.refresh_max_ms,
+        delta_row.scratch_p50_ms, delta_row.speedup,
+        static_cast<unsigned long long>(delta_row.plans_invalidated),
+        static_cast<unsigned long long>(delta_row.plans_migrated));
+  }
+
+  // ---- Phase 3: overload -------------------------------------------------
   OverloadRow over;
   over.threads = saturation * static_cast<int>(max_in_flight);
   over.max_in_flight = max_in_flight;
@@ -473,7 +823,7 @@ int main(int argc, char** argv) {
               over.in_flight_peak, over.max_in_flight, over.p99_ms,
               over.shed_max_ms, over.shed_bound_ms);
 
-  WriteJson(out_path, churn, over);
+  WriteJson(out_path, churn, run_delta ? &delta_row : nullptr, over);
 
   // ---- Gates -------------------------------------------------------------
   bool gate_failed = false;
@@ -487,6 +837,21 @@ int main(int argc, char** argv) {
   gate(churn.discrepancies == 0,
        "answers matched neither snapshot during churn");
   gate(churn.final_epoch == swaps + 1, "unexpected final epoch");
+  if (delta_gate) {
+    gate(delta_row.errors == 0, "answers failed during delta churn");
+    gate(delta_row.discrepancies == 0,
+         "delta refresh answers diverged from the scratch oracle");
+    gate(delta_row.final_epoch == delta_count + 1,
+         "unexpected final epoch after delta churn");
+    gate(delta_row.applied == delta_count,
+         "snapshot.delta_applied does not count every refresh");
+    gate(delta_row.fallbacks >= 1,
+         "the planted large delta never fell back to scratch");
+    gate(delta_row.fallbacks < delta_row.generations,
+         "every delta fell back — the incremental path never ran");
+    gate(delta_row.speedup >= delta_min_speedup,
+         "p50 refresh is not enough faster than p50 scratch compile");
+  }
   gate(over.failed == 0,
        "overload produced a status other than ok/shed");
   gate(over.shed > 0, "overload at saturation never shed");

@@ -363,4 +363,262 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
   return w;
 }
 
+std::vector<obda::OntologyDelta> GenerateDeltaSequence(
+    const Workload& base, const DeltaSequenceConfig& config) {
+  using dllite::BasicConcept;
+  using dllite::BasicRole;
+  using dllite::RhsConcept;
+
+  std::vector<obda::OntologyDelta> out;
+  const auto nc = static_cast<uint32_t>(base.ontology.vocab().NumConcepts());
+  const auto nr = static_cast<uint32_t>(base.ontology.vocab().NumRoles());
+  const auto na = static_cast<uint32_t>(base.ontology.vocab().NumAttributes());
+  if (nc + nr + na == 0) return out;
+
+  Rng rng(config.seed);
+  // The evolving state each delta is generated against (and validated by
+  // applying — a sequence this function returns always chains cleanly).
+  dllite::TBox tbox = base.ontology.tbox();
+  mapping::MappingSet mappings = base.mappings;
+
+  // DL-Lite_A guards: a functional role/attribute must not be specialised
+  // (CheckFunctionalityRestriction matches by role id, both directions).
+  // Each guard consults the evolved state *and* the delta under
+  // construction, so one delta never pairs a functionality addition with
+  // an inclusion specialising the same role/attribute.
+  auto role_functional = [&](uint32_t p, const obda::OntologyDelta& d) {
+    for (const auto& f : tbox.functionality()) {
+      if (f.kind == dllite::FunctionalityAssertion::Kind::kRole &&
+          f.role.role == p) {
+        return true;
+      }
+    }
+    for (const auto& f : d.add_functionality) {
+      if (f.kind == dllite::FunctionalityAssertion::Kind::kRole &&
+          f.role.role == p) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto role_specialised = [&](uint32_t p, const obda::OntologyDelta& d) {
+    for (const auto& ri : tbox.role_inclusions()) {
+      if (!ri.negated && ri.rhs.role == p) return true;
+    }
+    for (const auto& ri : d.add_role_inclusions) {
+      if (!ri.negated && ri.rhs.role == p) return true;
+    }
+    return false;
+  };
+  auto attr_functional = [&](uint32_t u, const obda::OntologyDelta& d) {
+    for (const auto& f : tbox.functionality()) {
+      if (f.kind == dllite::FunctionalityAssertion::Kind::kAttribute &&
+          f.attribute == u) {
+        return true;
+      }
+    }
+    for (const auto& f : d.add_functionality) {
+      if (f.kind == dllite::FunctionalityAssertion::Kind::kAttribute &&
+          f.attribute == u) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto attr_specialised = [&](uint32_t u, const obda::OntologyDelta& d) {
+    for (const auto& ai : tbox.attribute_inclusions()) {
+      if (!ai.negated && ai.rhs == u) return true;
+    }
+    for (const auto& ai : d.add_attribute_inclusions) {
+      if (!ai.negated && ai.rhs == u) return true;
+    }
+    return false;
+  };
+
+  auto random_role = [&] {
+    return BasicRole{static_cast<dllite::RoleId>(rng.Uniform(nr)),
+                     rng.Chance(0.5)};
+  };
+  auto random_basic = [&]() -> BasicConcept {
+    for (;;) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          if (nc > 0) {
+            return BasicConcept::Atomic(
+                static_cast<dllite::ConceptId>(rng.Uniform(nc)));
+          }
+          break;
+        case 1:
+          if (nr > 0) return BasicConcept::Exists(random_role());
+          break;
+        default:
+          if (na > 0) {
+            return BasicConcept::AttrDomain(
+                static_cast<dllite::AttributeId>(rng.Uniform(na)));
+          }
+      }
+    }
+  };
+
+  // One TBox addition, respecting the functionality restriction.
+  auto add_tbox = [&](obda::OntologyDelta* d) {
+    if (rng.Chance(config.functionality_fraction)) {
+      // Functionality on an unspecialised role/attribute; fall through to
+      // an inclusion when no candidate survives the guard.
+      for (uint32_t tries = 0; tries < 4; ++tries) {
+        if (nr > 0 && (na == 0 || rng.Chance(0.5))) {
+          auto p = static_cast<uint32_t>(rng.Uniform(nr));
+          if (role_specialised(p, *d)) continue;
+          d->add_functionality.push_back(
+              dllite::FunctionalityAssertion::Role(BasicRole::Direct(p)));
+          return;
+        }
+        if (na > 0) {
+          auto u = static_cast<uint32_t>(rng.Uniform(na));
+          if (attr_specialised(u, *d)) continue;
+          d->add_functionality.push_back(
+              dllite::FunctionalityAssertion::Attribute(u));
+          return;
+        }
+      }
+    }
+    const uint64_t pickx = rng.Uniform(4);
+    if (pickx == 1 && nr > 0) {  // role inclusion
+      for (uint32_t tries = 0; tries < 4; ++tries) {
+        BasicRole rhs = random_role();
+        bool negated = rng.Chance(0.1);
+        if (!negated && role_functional(rhs.role, *d)) continue;
+        d->add_role_inclusions.push_back({random_role(), rhs, negated});
+        return;
+      }
+    }
+    if (pickx == 2 && na > 0) {  // attribute inclusion
+      for (uint32_t tries = 0; tries < 4; ++tries) {
+        auto rhs = static_cast<uint32_t>(rng.Uniform(na));
+        bool negated = rng.Chance(0.1);
+        if (!negated && attr_functional(rhs, *d)) continue;
+        d->add_attribute_inclusions.push_back(
+            {static_cast<uint32_t>(rng.Uniform(na)), rhs, negated});
+        return;
+      }
+    }
+    // Concept inclusion (also the fallback of the guarded branches).
+    dllite::ConceptInclusion ax;
+    ax.lhs = random_basic();
+    if (nr > 0 && nc > 0 && rng.Chance(0.15)) {
+      ax.rhs = RhsConcept::QualifiedExists(
+          random_role(), static_cast<dllite::ConceptId>(rng.Uniform(nc)));
+    } else if (rng.Chance(0.1)) {
+      ax.rhs = RhsConcept::Negated(random_basic());
+    } else {
+      ax.rhs = RhsConcept::Positive(random_basic());
+    }
+    d->add_concept_inclusions.push_back(ax);
+  };
+
+  for (uint32_t di = 0; di < config.num_deltas; ++di) {
+    obda::OntologyDelta delta;
+    const bool large = static_cast<int32_t>(di) == config.large_delta_index;
+    const uint32_t lo = std::max<uint32_t>(config.min_changes, 1);
+    const uint32_t hi = std::max<uint32_t>(config.max_changes, lo);
+    const uint64_t changes =
+        large ? std::max<uint32_t>(config.large_delta_changes, 1)
+              : lo + rng.Uniform(hi - lo + 1);
+
+    // Working copies tracking what this delta has already claimed, so two
+    // removals never race for the same axiom/assertion.
+    auto ci = tbox.concept_inclusions();
+    auto ri = tbox.role_inclusions();
+    auto ai = tbox.attribute_inclusions();
+    auto fn = tbox.functionality();
+    auto asserts = mappings.assertions();
+
+    for (uint64_t k = 0; k < changes; ++k) {
+      if (large) {
+        // Oversized deltas exist to push the closure patch past its
+        // fallback fraction, not to stress the rewriter: plain
+        // atomic-to-atomic inclusions at random endpoints dirty many
+        // nodes while keeping query rewriting tame (no new existential
+        // or role structure).
+        if (nc > 0) {
+          dllite::ConceptInclusion ax;
+          ax.lhs = BasicConcept::Atomic(
+              static_cast<dllite::ConceptId>(rng.Uniform(nc)));
+          ax.rhs = RhsConcept::Positive(BasicConcept::Atomic(
+              static_cast<dllite::ConceptId>(rng.Uniform(nc))));
+          delta.add_concept_inclusions.push_back(ax);
+        } else if (nr > 0) {
+          BasicRole rhs = random_role();
+          if (!role_functional(rhs.role, delta)) {
+            delta.add_role_inclusions.push_back({random_role(), rhs, false});
+          }
+        }
+        continue;
+      }
+      if (rng.Chance(config.mapping_change_fraction)) {
+        if (rng.Chance(config.remove_fraction) && asserts.size() > 1) {
+          size_t i = rng.Uniform(asserts.size());
+          delta.remove_mappings.push_back(obda::SelectorFor(asserts[i]));
+          asserts.erase(asserts.begin() + static_cast<ptrdiff_t>(i));
+        } else if (!asserts.empty()) {
+          // Re-target an existing view to a random predicate of the same
+          // sort: arity-safe by construction, semantically a real change.
+          mapping::MappingAssertion m = asserts[rng.Uniform(asserts.size())];
+          switch (m.kind) {
+            case mapping::TargetKind::kConcept:
+              m.predicate = static_cast<uint32_t>(rng.Uniform(nc));
+              break;
+            case mapping::TargetKind::kRole:
+              m.predicate = static_cast<uint32_t>(rng.Uniform(nr));
+              break;
+            case mapping::TargetKind::kAttribute:
+              m.predicate = static_cast<uint32_t>(rng.Uniform(na));
+              break;
+          }
+          asserts.push_back(m);
+          delta.add_mappings.push_back(std::move(m));
+        }
+        continue;
+      }
+      if (rng.Chance(config.remove_fraction)) {
+        // Remove from a non-empty axiom category, weighted by size.
+        const size_t total = ci.size() + ri.size() + ai.size() + fn.size();
+        if (total == 0) {
+          add_tbox(&delta);
+          continue;
+        }
+        size_t i = rng.Uniform(total);
+        if (i < ci.size()) {
+          delta.remove_concept_inclusions.push_back(ci[i]);
+          ci.erase(ci.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+        i -= ci.size();
+        if (i < ri.size()) {
+          delta.remove_role_inclusions.push_back(ri[i]);
+          ri.erase(ri.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+        i -= ri.size();
+        if (i < ai.size()) {
+          delta.remove_attribute_inclusions.push_back(ai[i]);
+          ai.erase(ai.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+        i -= ai.size();
+        delta.remove_functionality.push_back(fn[i]);
+        fn.erase(fn.begin() + static_cast<ptrdiff_t>(i));
+        continue;
+      }
+      add_tbox(&delta);
+    }
+
+    // Advance the state; by construction both applications succeed.
+    tbox = obda::ApplyTBoxDelta(tbox, delta).value();
+    mappings = obda::ApplyMappingDelta(mappings, delta).value();
+    out.push_back(std::move(delta));
+  }
+  return out;
+}
+
 }  // namespace olite::benchgen

@@ -8,6 +8,7 @@
 #include "dllite/abox.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
+#include "obda/delta.h"
 #include "query/cq.h"
 #include "rdb/table.h"
 
@@ -83,6 +84,42 @@ struct Workload {
 /// query body contains a head variable or a constant (so bounded-depth
 /// chase oracles are complete for it — see testkit/chase_oracle.h).
 Workload GenerateWorkload(const WorkloadConfig& config);
+
+/// Shape parameters of a seeded specification-churn sequence over a
+/// generated workload: `num_deltas` consecutive `obda::OntologyDelta`s,
+/// each valid against the state left by its predecessors. Deterministic —
+/// identical (workload, config) pairs yield identical sequences — and
+/// seeded independently of the workload streams, so adding delta
+/// generation never perturbs existing ontology/data/query seeds.
+struct DeltaSequenceConfig {
+  uint64_t seed = 1;
+  uint32_t num_deltas = 8;
+
+  /// Edits per delta, uniform in [min_changes, max_changes].
+  uint32_t min_changes = 1;
+  uint32_t max_changes = 4;
+  /// Per-edit chance the edit removes existing content (else adds).
+  double remove_fraction = 0.4;
+  /// Per-edit chance the edit targets the mapping layer (else the TBox).
+  double mapping_change_fraction = 0.25;
+  /// Per-TBox-addition chance of a functionality assertion instead of an
+  /// inclusion (only roles/attributes the DL-Lite_A restriction permits).
+  double functionality_fraction = 0.0;
+
+  /// When >= 0, the delta at this index is *large*: `large_delta_changes`
+  /// TBox edits in one shot, sized to push the incremental closure patch
+  /// past its fallback fraction (exercises the scratch-fallback path).
+  int32_t large_delta_index = -1;
+  uint32_t large_delta_changes = 64;
+};
+
+/// Generates a delta sequence over `base`. Every delta applies cleanly in
+/// order (removals reference content that exists at that point; additions
+/// never extend the vocabulary) and the evolved TBox satisfies the
+/// DL-Lite_A functionality restriction at every step, so chaining
+/// `CompiledOntology::Refresh` over the sequence never fails structurally.
+std::vector<obda::OntologyDelta> GenerateDeltaSequence(
+    const Workload& base, const DeltaSequenceConfig& config);
 
 }  // namespace olite::benchgen
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace olite {
@@ -119,6 +120,34 @@ class ShardedLruCache {
       shard->lru.clear();
     }
     return dropped;
+  }
+
+  /// Erases `key` if present; returns true when an entry was removed (it
+  /// counts as one eviction, preserving `insertions == entries +
+  /// evictions`).
+  bool Erase(const Key& key, uint64_t hash) {
+    if (!enabled()) return false;
+    Shard& shard = *shards_[ShardOf(hash)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.evictions;
+    return true;
+  }
+
+  /// Copies every (key, value) pair, shard by shard (per-shard lock, most
+  /// recent first within a shard). A concurrent Put/eviction can make the
+  /// snapshot miss or double-see an entry — fine for the migration and
+  /// diagnostics uses, which tolerate stragglers.
+  std::vector<std::pair<Key, Value>> Items() const {
+    std::vector<std::pair<Key, Value>> out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const Entry& e : shard->lru) out.emplace_back(e.key, e.value);
+    }
+    return out;
   }
 
   /// Evictions performed by one shard so far.

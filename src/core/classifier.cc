@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "graph/dynamic_closure.h"
 
 namespace olite::core {
 
@@ -217,6 +218,67 @@ Result<Classification> ClassifyBudgeted(const dllite::TBox& tbox,
 
   return Classification(std::move(g), std::move(forward), std::move(reverse),
                         std::move(unsat), stats);
+}
+
+Classification RefreshClassification(const Classification& base,
+                                     const dllite::TBox& tbox,
+                                     const dllite::Vocabulary& vocab,
+                                     const RefreshOptions& options,
+                                     RefreshStats* stats) {
+  ClassificationStats cstats;
+  Stopwatch sw;
+  TBoxGraph g = BuildTBoxGraph(tbox, vocab);
+  cstats.build_graph_ms = sw.ElapsedMillis();
+  cstats.num_nodes = g.nodes.NumNodes();
+  cstats.num_graph_arcs = g.digraph.NumArcs();
+
+  const NodeTable& bn = base.tbox_graph().nodes;
+  const auto* base_fwd =
+      dynamic_cast<const graph::DynamicClosure*>(&base.closure());
+  const auto* base_rev =
+      dynamic_cast<const graph::DynamicClosure*>(&base.reverse_closure());
+  // Node ids are pure arithmetic over (|concepts|, |roles|, |attributes|):
+  // adding a concept shifts every role block, so the layout must match
+  // exactly for the patch to be meaningful.
+  const bool layout_stable = bn.num_concepts() == g.nodes.num_concepts() &&
+                             bn.num_roles() == g.nodes.num_roles() &&
+                             bn.num_attributes() == g.nodes.num_attributes();
+
+  auto scratch = [&]() {
+    if (stats != nullptr) stats->fell_back_scratch = true;
+    ClassificationOptions copts;
+    copts.engine = graph::ClosureEngine::kDynamic;
+    copts.threads = options.threads;
+    return Classify(tbox, vocab, copts);
+  };
+  if (base_fwd == nullptr || base_rev == nullptr || !layout_stable) {
+    return scratch();
+  }
+
+  sw.Reset();
+  graph::DynamicClosure::PatchOptions popts;
+  popts.fallback_fraction = options.fallback_fraction;
+  graph::DynamicClosure::PatchStats fs, rs;
+  std::unique_ptr<graph::DynamicClosure> forward =
+      base_fwd->Patched(g.digraph, popts, &fs);
+  std::unique_ptr<graph::DynamicClosure> reverse =
+      base_rev->Patched(g.digraph.Reversed(), popts, &rs);
+  if (stats != nullptr) {
+    stats->fell_back_scratch = fs.fell_back || rs.fell_back;
+    stats->patched_nodes = fs.patched_nodes + rs.patched_nodes;
+    stats->reused_components = fs.reused_components + rs.reused_components;
+  }
+  cstats.closure_ms = sw.ElapsedMillis();
+  cstats.num_closure_arcs = forward->NumClosureArcs();
+
+  sw.Reset();
+  std::vector<bool> unsat = ComputeUnsat(g, *forward, *reverse);
+  cstats.unsat_ms = sw.ElapsedMillis();
+  cstats.num_unsat_nodes =
+      static_cast<uint64_t>(std::count(unsat.begin(), unsat.end(), true));
+
+  return Classification(std::move(g), std::move(forward), std::move(reverse),
+                        std::move(unsat), cstats);
 }
 
 std::vector<dllite::ConceptId> Classification::SuperConcepts(

@@ -163,6 +163,43 @@ Result<Classification> ClassifyBudgeted(const dllite::TBox& tbox,
                                         const ClassificationOptions& options,
                                         const ExecBudget* budget);
 
+/// Tuning knobs for `RefreshClassification`.
+struct RefreshOptions {
+  /// Dirty-node fraction above which the dynamic-closure patch (and hence
+  /// the whole refresh) falls back to a from-scratch merge.
+  double fallback_fraction = 0.25;
+  /// Threads for the *fallback* scratch classification; the patch path
+  /// itself is serial (it is cheap by construction).
+  unsigned threads = 1;
+};
+
+/// Telemetry from `RefreshClassification`, fed into `snapshot.delta_*`.
+struct RefreshStats {
+  /// True when the refresh degenerated to a from-scratch classification —
+  /// node-id layout changed (vocabulary grew), the base closures are not
+  /// patchable, or the delta exceeded the fallback fraction.
+  bool fell_back_scratch = false;
+  /// Nodes inside re-derived components, summed over forward + reverse.
+  uint64_t patched_nodes = 0;
+  /// Components whose reach vectors were aliased, forward + reverse.
+  uint64_t reused_components = 0;
+};
+
+/// Classification of `tbox` maintained *incrementally* from `base`:
+/// rebuilds the (linear-size) TBox digraph, patches the forward and
+/// reverse closures via `graph::DynamicClosure::Patched` — additions by
+/// re-deriving from the changed arcs' frontiers, removals DRed-style over
+/// the SCC condensation — and re-runs `computeUnsat` on the patched
+/// closures. Falls back to `Classify` (with the dynamic engine, so the
+/// result stays patchable) when node ids shifted, the base is not
+/// patchable, or the delta is too large. The result is always identical
+/// to a from-scratch `Classify` of `tbox`.
+Classification RefreshClassification(const Classification& base,
+                                     const dllite::TBox& tbox,
+                                     const dllite::Vocabulary& vocab,
+                                     const RefreshOptions& options = {},
+                                     RefreshStats* stats = nullptr);
+
 /// The paper's `computeUnsat` algorithm: returns the per-node
 /// unsatisfiability flags for the TBox underlying `g`, given forward and
 /// reverse closures of its digraph.

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "graph/bitset.h"
+#include "graph/dynamic_closure.h"
 #include "graph/scc.h"
 
 namespace olite::graph {
@@ -341,6 +342,7 @@ const char* ClosureEngineName(ClosureEngine engine) {
     case ClosureEngine::kBfs: return "bfs";
     case ClosureEngine::kSccMerge: return "scc_merge";
     case ClosureEngine::kSccBitset: return "scc_bitset";
+    case ClosureEngine::kDynamic: return "dynamic";
   }
   return "unknown";
 }
@@ -355,6 +357,8 @@ std::unique_ptr<TransitiveClosure> ComputeClosure(const Digraph& g,
       return std::make_unique<SccMergeClosure>(g, pool);
     case ClosureEngine::kSccBitset:
       return std::make_unique<SccBitsetClosure>(g, pool);
+    case ClosureEngine::kDynamic:
+      return std::make_unique<DynamicClosure>(g);
   }
   return nullptr;
 }
@@ -377,6 +381,18 @@ Result<std::unique_ptr<TransitiveClosure>> ComputeClosureBudgeted(
       return finish(std::make_unique<SccMergeClosure>(g, pool, budget));
     case ClosureEngine::kSccBitset:
       return finish(std::make_unique<SccBitsetClosure>(g, pool, budget));
+    case ClosureEngine::kDynamic: {
+      // The dynamic engine is built for patch reuse, not budget ablation;
+      // its construction cost matches scc_merge, so a single post-build
+      // budget check suffices for the fallback ladder.
+      auto closure = std::make_unique<DynamicClosure>(g);
+      if (budget != nullptr && budget->Exhausted()) {
+        Status s = budget->Check("closure");
+        if (s.ok()) s = Status::ResourceExhausted("closure: budget exhausted");
+        return s;
+      }
+      return std::unique_ptr<TransitiveClosure>(std::move(closure));
+    }
   }
   return Status::InvalidArgument("unknown closure engine");
 }

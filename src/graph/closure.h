@@ -49,9 +49,15 @@ enum class ClosureEngine {
   /// Tarjan SCC condensation + per-component bitsets with word-parallel
   /// union. Fastest on dense mid-sized graphs, O(V^2/64) memory.
   kSccBitset,
+  /// Patchable SCC closure (graph/dynamic_closure.h): node-id-space reach
+  /// vectors shared across `Patched()` generations, enabling incremental
+  /// maintenance under arc deltas. Serial construction; pick it when the
+  /// closure will be refreshed under ontology churn.
+  kDynamic,
 };
 
-/// Returns the canonical name of `engine` ("bfs", "scc_merge", "scc_bitset").
+/// Returns the canonical name of `engine` ("bfs", "scc_merge",
+/// "scc_bitset", "dynamic").
 const char* ClosureEngineName(ClosureEngine engine);
 
 /// Computes the transitive closure of `g` with the chosen engine.

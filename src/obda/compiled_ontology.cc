@@ -1,43 +1,268 @@
 #include "obda/compiled_ontology.h"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
+#include "common/hash.h"
+#include "core/tbox_graph.h"
+#include "graph/closure.h"
 
 namespace olite::obda {
 
 namespace {
 
-query::RewriterOptions OptionsFor(query::RewriteMode mode,
-                                  const query::ConstraintOracle* constraints) {
-  query::RewriterOptions options;
-  options.mode = mode;
-  options.constraints = constraints;
-  return options;
+using query::Atom;
+
+uint64_t PredToken(Atom::Kind kind, uint32_t id) {
+  return (static_cast<uint64_t>(kind) << 32) | id;
+}
+
+Atom::Kind AtomKindOf(mapping::TargetKind kind) {
+  switch (kind) {
+    case mapping::TargetKind::kConcept: return Atom::Kind::kConcept;
+    case mapping::TargetKind::kRole: return Atom::Kind::kRole;
+    case mapping::TargetKind::kAttribute: return Atom::Kind::kAttribute;
+  }
+  return Atom::Kind::kConcept;
+}
+
+/// All digraph nodes through which predicate `(kind, id)` can enter a
+/// rewriting: the concept node, the four nodes of a role block (direct,
+/// inverse, both unqualified existentials), or the attribute node plus its
+/// domain δ(U).
+void SeedPredNodes(const core::NodeTable& nt, Atom::Kind kind, uint32_t id,
+                   std::vector<graph::NodeId>* seeds) {
+  switch (kind) {
+    case Atom::Kind::kConcept:
+      seeds->push_back(nt.OfConcept(id));
+      break;
+    case Atom::Kind::kRole:
+      seeds->push_back(nt.OfRole({id, false}));
+      seeds->push_back(nt.OfRole({id, true}));
+      seeds->push_back(nt.OfExists({id, false}));
+      seeds->push_back(nt.OfExists({id, true}));
+      break;
+    case Atom::Kind::kAttribute:
+      seeds->push_back(nt.OfAttribute(id));
+      seeds->push_back(nt.OfAttrDomain(id));
+      break;
+  }
+}
+
+uint64_t TokenOfNode(const core::NodeTable& nt, graph::NodeId n) {
+  switch (nt.KindOf(n)) {
+    case core::NodeKind::kConcept:
+      return PredToken(Atom::Kind::kConcept, nt.ConceptOf(n));
+    case core::NodeKind::kRole:
+    case core::NodeKind::kExists:
+      return PredToken(Atom::Kind::kRole, nt.RoleOf(n).role);
+    case core::NodeKind::kAttribute:
+    case core::NodeKind::kAttrDomain:
+      return PredToken(Atom::Kind::kAttribute, nt.AttributeOf(n));
+  }
+  return 0;
+}
+
+using QeTuple = std::tuple<graph::NodeId, uint32_t, bool, uint32_t>;
+
+std::vector<QeTuple> QeTuples(const core::TBoxGraph& g) {
+  std::vector<QeTuple> out;
+  out.reserve(g.qualified_existentials.size());
+  for (const core::QualifiedExistentialAxiom& qe : g.qualified_existentials) {
+    out.emplace_back(qe.lhs, qe.role.role, qe.role.inverse, qe.filler);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Bounds the predicates whose compiled plans (rewrite → minimise →
+/// unfold) may differ between `base` and `next`, as sorted PredToken
+/// values in `out`. The set is the forward closure, over the *union* of
+/// the two TBox digraphs, of every change seed:
+///
+///  * heads of arcs present in exactly one graph — the rewriting of an
+///    original atom `a` depends on the nodes that reach `a`, and a
+///    changed arc `(u,v)` alters that set only for atoms forward-reachable
+///    from `v` in one of the graphs (both ⊆ the union closure of `v`);
+///  * nodes of qualified-existential axioms present in exactly one index
+///    (their rewriting steps fall outside the pure arc encoding);
+///  * nodes of predicates whose mapping assertions the delta edits (their
+///    unfolding changes wherever they appear in a UCQ — exactly the atoms
+///    forward-reachable from them);
+///  * nodes of predicates whose source-constraint facts flipped (their
+///    pruning changes wherever they appear).
+///
+/// Returns false when the difference cannot be bounded (node layouts
+/// differ, or the constraint diff is imprecise); callers must then treat
+/// every cached plan as stale.
+bool ComputeChangedPreds(const CompiledOntology& base,
+                         const CompiledOntology& next,
+                         const OntologyDelta& delta,
+                         std::vector<uint64_t>* out) {
+  out->clear();
+  const bool tbox_changed =
+      base.fingerprints().closure != next.fingerprints().closure;
+
+  // TBox digraphs: reuse the classification's when one exists, else build
+  // (linear in the TBox).
+  std::optional<core::TBoxGraph> base_built;
+  std::optional<core::TBoxGraph> next_built;
+  const core::TBoxGraph* ng;
+  if (next.classification() != nullptr) {
+    ng = &next.classification()->tbox_graph();
+  } else {
+    next_built.emplace(
+        core::BuildTBoxGraph(next.ontology().tbox(), next.ontology().vocab()));
+    ng = &*next_built;
+  }
+  const core::TBoxGraph* bg = ng;  // identical graphs when tbox unchanged
+  if (tbox_changed) {
+    if (base.classification() != nullptr) {
+      bg = &base.classification()->tbox_graph();
+    } else {
+      base_built.emplace(core::BuildTBoxGraph(base.ontology().tbox(),
+                                              base.ontology().vocab()));
+      bg = &*base_built;
+    }
+    if (bg->nodes.num_concepts() != ng->nodes.num_concepts() ||
+        bg->nodes.num_roles() != ng->nodes.num_roles() ||
+        bg->nodes.num_attributes() != ng->nodes.num_attributes()) {
+      return false;  // layout shift: node ids are not comparable
+    }
+  }
+  const core::NodeTable& nt = ng->nodes;
+  const graph::NodeId n = nt.NumNodes();
+
+  std::vector<graph::NodeId> seeds;
+  if (tbox_changed) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto& bs = bg->digraph.Successors(u);
+      const auto& ns = ng->digraph.Successors(u);
+      if (bs == ns) continue;
+      std::set_symmetric_difference(bs.begin(), bs.end(), ns.begin(), ns.end(),
+                                    std::back_inserter(seeds));
+    }
+    std::vector<QeTuple> bq = QeTuples(*bg);
+    std::vector<QeTuple> nq = QeTuples(*ng);
+    std::vector<QeTuple> qe_diff;
+    std::set_symmetric_difference(bq.begin(), bq.end(), nq.begin(), nq.end(),
+                                  std::back_inserter(qe_diff));
+    for (const QeTuple& qe : qe_diff) {
+      seeds.push_back(std::get<0>(qe));
+      SeedPredNodes(nt, Atom::Kind::kRole, std::get<1>(qe), &seeds);
+      seeds.push_back(nt.OfConcept(std::get<3>(qe)));
+    }
+  }
+  for (const mapping::MappingAssertion& m : delta.add_mappings) {
+    SeedPredNodes(nt, AtomKindOf(m.kind), m.predicate, &seeds);
+  }
+  for (const OntologyDelta::MappingSelector& sel : delta.remove_mappings) {
+    SeedPredNodes(nt, AtomKindOf(sel.kind), sel.predicate, &seeds);
+  }
+  if (&base.constraints() != &next.constraints()) {
+    std::vector<uint64_t> affected;
+    if (!base.constraints().DiffAffectedPreds(next.constraints(),
+                                              base.mappings(), next.mappings(),
+                                              &affected)) {
+      return false;
+    }
+    for (uint64_t token : affected) {
+      SeedPredNodes(nt, static_cast<Atom::Kind>(token >> 32),
+                    static_cast<uint32_t>(token), &seeds);
+    }
+  }
+
+  // Forward BFS over the union of the two digraphs.
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<graph::NodeId> stack;
+  for (graph::NodeId s : seeds) {
+    if (s < n && !visited[s]) {
+      visited[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    graph::NodeId u = stack.back();
+    stack.pop_back();
+    for (const graph::Digraph* g : {&bg->digraph, &ng->digraph}) {
+      for (graph::NodeId v : g->Successors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (visited[u]) out->push_back(TokenOfNode(nt, u));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
 }
 
 }  // namespace
 
-CompiledOntology::CompiledOntology(dllite::Ontology ontology,
-                                   mapping::MappingSet mappings,
-                                   rdb::Database database,
-                                   query::RewriteMode mode)
-    : ontology_(std::move(ontology)),
-      mappings_(std::move(mappings)),
-      database_(std::move(database)),
-      db_stats_(rdb::DatabaseStats::Collect(database_)),
-      constraints_(
-          SourceConstraints::Infer(mappings_, database_, db_stats_)),
-      mode_(mode),
-      rewriter_(ontology_.tbox(), ontology_.vocab(),
-                OptionsFor(mode, constraints_.get())) {
-  if (mode == query::RewriteMode::kClassified) {
+uint64_t StageFingerprints::Combined() const {
+  uint64_t h = Fnv1aWord(mappings);
+  h = Fnv1aWord(schema, h);
+  h = Fnv1aWord(closure, h);
+  return Fnv1aWord(constraints, h);
+}
+
+void CompiledOntology::BuildRewriters() {
+  query::RewriterOptions options;
+  options.mode = mode_;
+  options.constraints = constraints_.get();
+  options.classification = classification_;
+  rewriter_.emplace(ontology_.tbox(), ontology_.vocab(), options);
+  if (mode_ == query::RewriteMode::kClassified) {
     // Pre-built fallback for the budget-exhaustion ladder: classified
     // rewriting that runs out of budget is retried as plain PerfectRef.
-    fallback_rewriter_ = std::make_unique<const query::Rewriter>(
-        ontology_.tbox(), ontology_.vocab(),
-        OptionsFor(query::RewriteMode::kPerfectRef, constraints_.get()));
+    query::RewriterOptions fb;
+    fb.mode = query::RewriteMode::kPerfectRef;
+    fb.constraints = constraints_.get();
+    fallback_rewriter_ = std::make_shared<const query::Rewriter>(
+        ontology_.tbox(), ontology_.vocab(), fb);
+  } else {
+    fallback_rewriter_ = nullptr;
   }
+}
+
+void CompiledOntology::ComputeFingerprints() {
+  uint64_t m = kFnv1aBasis;
+  for (const mapping::MappingAssertion& a : mappings_.assertions()) {
+    m = Fnv1aWord(MappingViewFingerprint(a), m);
+  }
+  fingerprints_.mappings = m;
+
+  uint64_t s = kFnv1aBasis;
+  for (const auto& [name, table] : database_->tables()) {
+    s = Fnv1a(name, s);
+    for (const auto& col : table.schema().columns) s = Fnv1a(col.name, s);
+    const rdb::TableStats* ts = db_stats_->Find(name);
+    if (ts != nullptr) {
+      s = Fnv1aWord(ts->rows, s);
+      for (const rdb::ColumnStats& cs : ts->columns) {
+        s = Fnv1aWord(cs.distinct, s);
+      }
+    }
+  }
+  fingerprints_.schema = s;
+
+  uint64_t c = Fnv1a(ontology_.tbox().ToString(ontology_.vocab()));
+  c = Fnv1aWord(ontology_.vocab().NumConcepts(), c);
+  c = Fnv1aWord(ontology_.vocab().NumRoles(), c);
+  c = Fnv1aWord(ontology_.vocab().NumAttributes(), c);
+  fingerprints_.closure = c;
+
+  // Constraint inference consumes the mapping views, the schema/stats and
+  // nothing of the TBox.
+  fingerprints_.constraints =
+      Fnv1aWord(fingerprints_.schema, Fnv1aWord(fingerprints_.mappings));
 }
 
 Result<std::shared_ptr<const CompiledOntology>> CompiledOntology::Compile(
@@ -49,9 +274,120 @@ Result<std::shared_ptr<const CompiledOntology>> CompiledOntology::Compile(
   OLITE_RETURN_IF_ERROR(mappings.Validate(database));
   OLITE_RETURN_IF_ERROR(
       CheckFunctionalityRestriction(ontology.tbox(), ontology.vocab()));
-  return std::shared_ptr<const CompiledOntology>(
-      new CompiledOntology(std::move(ontology), std::move(mappings),
-                           std::move(database), mode));
+  auto co = std::shared_ptr<CompiledOntology>(new CompiledOntology);
+  co->ontology_ = std::move(ontology);
+  co->mappings_ = std::move(mappings);
+  co->mode_ = mode;
+  co->database_ =
+      std::make_shared<const rdb::Database>(std::move(database));
+  co->db_stats_ = std::make_shared<const rdb::DatabaseStats>(
+      rdb::DatabaseStats::Collect(*co->database_));
+  ConstraintInferenceOptions copts;
+  // Retained view extensions are what make a later Refresh skip the
+  // unchanged views' SQL.
+  copts.retain_view_extensions = true;
+  co->constraints_ = std::shared_ptr<const SourceConstraints>(
+      SourceConstraints::Infer(co->mappings_, *co->database_, *co->db_stats_,
+                               copts));
+  if (mode == query::RewriteMode::kClassified) {
+    // The dynamic closure engine costs the same as the default from
+    // scratch and is the one `RefreshClassification` can patch in place.
+    core::ClassificationOptions clopts;
+    clopts.engine = graph::ClosureEngine::kDynamic;
+    co->classification_ = std::make_shared<const core::Classification>(
+        core::Classify(co->ontology_.tbox(), co->ontology_.vocab(), clopts));
+  }
+  co->BuildRewriters();
+  co->ComputeFingerprints();
+  return std::shared_ptr<const CompiledOntology>(std::move(co));
+}
+
+Result<std::shared_ptr<const CompiledOntology>> CompiledOntology::Refresh(
+    const std::shared_ptr<const CompiledOntology>& base,
+    const OntologyDelta& delta) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("Refresh needs a base snapshot");
+  }
+  // Same fault site as Compile: a failed refresh must be as harmless to a
+  // ServingEngine as a failed build.
+  OLITE_RETURN_IF_ERROR(fault::InjectAt(fault::Site::kSnapshotBuild));
+  const bool tbox_changed = !delta.TBoxEmpty();
+  const bool mappings_changed = !delta.MappingsEmpty();
+
+  auto co = std::shared_ptr<CompiledOntology>(new CompiledOntology);
+  RefreshInfo& info = co->refresh_info_;
+  info.refreshed = true;
+  co->mode_ = base->mode_;
+
+  // Stage: schema + statistics. The database is frozen, so these are
+  // shared unconditionally.
+  co->database_ = base->database_;
+  co->db_stats_ = base->db_stats_;
+  ++info.reused_stages;
+
+  co->ontology_ = base->ontology_;
+  if (tbox_changed) {
+    OLITE_ASSIGN_OR_RETURN(dllite::TBox next_tbox,
+                           ApplyTBoxDelta(base->ontology_.tbox(), delta));
+    OLITE_RETURN_IF_ERROR(
+        CheckFunctionalityRestriction(next_tbox, co->ontology_.vocab()));
+    co->ontology_.tbox() = std::move(next_tbox);
+  }
+
+  // Stage: parsed mapping program.
+  if (mappings_changed) {
+    OLITE_ASSIGN_OR_RETURN(co->mappings_,
+                           ApplyMappingDelta(base->mappings_, delta));
+    OLITE_RETURN_IF_ERROR(co->mappings_.Validate(*co->database_));
+  } else {
+    co->mappings_ = base->mappings_;
+    ++info.reused_stages;
+  }
+
+  // Stage: source constraints. Untouched mappings over the same frozen
+  // database infer the identical object; otherwise only the views whose
+  // fingerprint changed are re-executed.
+  if (!mappings_changed) {
+    co->constraints_ = base->constraints_;
+    ++info.reused_stages;
+  } else {
+    ConstraintInferenceOptions copts;
+    copts.retain_view_extensions = true;
+    co->constraints_ = std::shared_ptr<const SourceConstraints>(
+        SourceConstraints::Refresh(*base->constraints_, co->mappings_,
+                                   *co->database_, *co->db_stats_, copts,
+                                   &info.reused_views));
+  }
+
+  // Stage: classification closure.
+  if (!tbox_changed) {
+    co->classification_ = base->classification_;
+    ++info.reused_stages;
+  } else if (base->classification_ != nullptr) {
+    core::RefreshStats rstats;
+    co->classification_ = std::make_shared<const core::Classification>(
+        core::RefreshClassification(*base->classification_,
+                                    co->ontology_.tbox(),
+                                    co->ontology_.vocab(), {}, &rstats));
+    info.fell_back_scratch = rstats.fell_back_scratch;
+    info.patched_nodes = rstats.patched_nodes;
+    info.reused_components = rstats.reused_components;
+  }
+  // (kPerfectRef with a TBox delta: no closure exists; the rewriter's
+  // asserted-axiom index below is rebuilt, which is already linear.)
+
+  if (!tbox_changed && !mappings_changed) {
+    // Nothing the rewriters read changed: share them wholesale (a Rewriter
+    // copy shares its immutable Impl).
+    co->rewriter_ = base->rewriter_;
+    co->fallback_rewriter_ = base->fallback_rewriter_;
+  } else {
+    co->BuildRewriters();
+  }
+  co->ComputeFingerprints();
+  info.changed_preds_exact =
+      ComputeChangedPreds(*base, *co, delta, &info.changed_preds);
+  return std::shared_ptr<const CompiledOntology>(std::move(co));
 }
 
 }  // namespace olite::obda

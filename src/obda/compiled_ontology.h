@@ -1,17 +1,61 @@
 #ifndef OLITE_OBDA_COMPILED_ONTOLOGY_H_
 #define OLITE_OBDA_COMPILED_ONTOLOGY_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/result.h"
+#include "core/classifier.h"
 #include "dllite/ontology.h"
 #include "mapping/mapping.h"
 #include "obda/constraints.h"
+#include "obda/delta.h"
 #include "query/rewriter.h"
 #include "rdb/stats.h"
 #include "rdb/table.h"
 
 namespace olite::obda {
+
+/// Content fingerprints of the cacheable compile stages. Two snapshots
+/// with an equal stage fingerprint hold an identical artifact for that
+/// stage; `Refresh` reuses the base's artifact whenever the inputs that
+/// feed the stage did not change (and the fingerprints then match by
+/// construction).
+struct StageFingerprints {
+  uint64_t mappings = 0;     ///< parsed mapping program (per-view content)
+  uint64_t schema = 0;       ///< database schema + collected statistics
+  uint64_t closure = 0;      ///< TBox text + signature sizes
+  uint64_t constraints = 0;  ///< constraint stage = mappings ⊕ schema inputs
+  uint64_t Combined() const;
+};
+
+/// How a snapshot produced by `CompiledOntology::Refresh` relates to its
+/// base — the delta-compilation telemetry surfaced through
+/// `ServingEngine`'s `snapshot.delta_*` instruments.
+struct RefreshInfo {
+  /// True for snapshots built by `Refresh` (false for `Compile`).
+  bool refreshed = false;
+  /// The incremental closure patch degenerated to scratch classification
+  /// (layout shift, unpatchable base, or delta past the fallback
+  /// fraction).
+  bool fell_back_scratch = false;
+  uint64_t patched_nodes = 0;      ///< closure nodes re-derived (fwd + rev)
+  uint64_t reused_components = 0;  ///< closure reach vectors aliased
+  uint64_t reused_views = 0;       ///< constraint view evaluations skipped
+  /// Of the four cacheable stages (mappings, schema+stats, closure,
+  /// constraints), how many were shared wholesale from the base.
+  uint32_t reused_stages = 0;
+  /// True when `changed_preds` precisely bounds the predicates whose
+  /// compiled plans may differ from the base's; false forces callers to
+  /// treat every cached plan as stale.
+  bool changed_preds_exact = false;
+  /// Predicates (as `(Atom::Kind << 32) | id` tokens, sorted) whose
+  /// rewrite, unfolding or constraint pruning may differ from the base
+  /// snapshot's. Any cached plan touching none of them is still exact.
+  std::vector<uint64_t> changed_preds;
+};
 
 /// The offline phase of the serving stack (the Mastro architecture's
 /// compile-once artifact): everything `Answer` needs that depends only on
@@ -19,10 +63,19 @@ namespace olite::obda {
 /// applicable-axiom index (inside the rewriters), the mapping→predicate
 /// view index, and the schema-validated database — built once and frozen.
 ///
-/// Immutable after `Compile` and therefore freely shareable: any number of
-/// `QueryEngine`s (and threads inside each) may answer against one
-/// snapshot concurrently. Held by `shared_ptr<const CompiledOntology>` so
-/// a snapshot outlives every engine still serving from it.
+/// Compilation is staged, and each stage artifact is held by
+/// `shared_ptr<const>` so `Refresh` can build a *delta* snapshot that
+/// shares every stage the delta does not touch: the database and its
+/// statistics always, the source constraints when the mappings are
+/// untouched (otherwise only the changed views are re-evaluated), and the
+/// classification when the TBox is untouched (otherwise the closure is
+/// patched incrementally via `core::RefreshClassification`).
+///
+/// Immutable after `Compile`/`Refresh` and therefore freely shareable:
+/// any number of `QueryEngine`s (and threads inside each) may answer
+/// against one snapshot concurrently. Held by
+/// `shared_ptr<const CompiledOntology>` so a snapshot outlives every
+/// engine still serving from it.
 class CompiledOntology {
  public:
   /// Validates the mappings against the database schema, checks the
@@ -34,15 +87,27 @@ class CompiledOntology {
       rdb::Database database,
       query::RewriteMode mode = query::RewriteMode::kPerfectRef);
 
+  /// Compiles `base` ⊕ `delta` as a *delta refresh*: stages whose inputs
+  /// the delta does not touch are shared with `base` (zero copies), the
+  /// classification closure is patched incrementally (DRed-style over the
+  /// SCC condensation; scratch fallback past `fallback_fraction` dirty
+  /// nodes), and constraint inference re-evaluates only views whose
+  /// mapping changed. The result answers every query identically to
+  /// `Compile` of the edited specification; `refresh_info()` reports what
+  /// was reused and which predicates' plans may have changed.
+  static Result<std::shared_ptr<const CompiledOntology>> Refresh(
+      const std::shared_ptr<const CompiledOntology>& base,
+      const OntologyDelta& delta);
+
   const dllite::Ontology& ontology() const { return ontology_; }
   const mapping::MappingSet& mappings() const { return mappings_; }
-  const rdb::Database& database() const { return database_; }
+  const rdb::Database& database() const { return *database_; }
   query::RewriteMode mode() const { return mode_; }
 
   /// Table statistics of the frozen database (row counts, per-column
   /// distinct counts), collected once at `Compile` and consumed by the
   /// columnar evaluator's cost-based join ordering.
-  const rdb::DatabaseStats& db_stats() const { return db_stats_; }
+  const rdb::DatabaseStats& db_stats() const { return *db_stats_; }
 
   /// Source constraints inferred from the frozen snapshot at `Compile`
   /// (extension inclusions, empty predicates, dominated mapping views,
@@ -50,8 +115,15 @@ class CompiledOntology {
   /// rewrite→minimize→unfold pipeline.
   const SourceConstraints& constraints() const { return *constraints_; }
 
+  /// The TBox classification backing kClassified rewriting, built with
+  /// the *dynamic* (incrementally patchable) closure engine. Null in
+  /// kPerfectRef mode, which never classifies.
+  const core::Classification* classification() const {
+    return classification_.get();
+  }
+
   /// The rewriter for the configured mode.
-  const query::Rewriter& rewriter() const { return rewriter_; }
+  const query::Rewriter& rewriter() const { return *rewriter_; }
 
   /// PerfectRef rewriter used as the budget-exhaustion fallback when the
   /// primary mode is kClassified; null otherwise.
@@ -59,19 +131,33 @@ class CompiledOntology {
     return fallback_rewriter_.get();
   }
 
+  const StageFingerprints& fingerprints() const { return fingerprints_; }
+  const RefreshInfo& refresh_info() const { return refresh_info_; }
+
  private:
-  CompiledOntology(dllite::Ontology ontology, mapping::MappingSet mappings,
-                   rdb::Database database, query::RewriteMode mode);
+  CompiledOntology() = default;
+
+  /// Shared tail of Compile/Refresh: stage fingerprints + rewriters.
+  void BuildRewriters();
+  void ComputeFingerprints();
 
   dllite::Ontology ontology_;
   mapping::MappingSet mappings_;
-  rdb::Database database_;
-  rdb::DatabaseStats db_stats_;
-  /// Inferred before the rewriters so their options can point at it.
-  std::unique_ptr<const SourceConstraints> constraints_;
-  query::RewriteMode mode_;
-  query::Rewriter rewriter_;
-  std::unique_ptr<const query::Rewriter> fallback_rewriter_;
+  // -- stage artifacts, shareable across delta generations ------------------
+  std::shared_ptr<const rdb::Database> database_;
+  std::shared_ptr<const rdb::DatabaseStats> db_stats_;
+  std::shared_ptr<const SourceConstraints> constraints_;
+  /// Null in kPerfectRef mode.
+  std::shared_ptr<const core::Classification> classification_;
+  query::RewriteMode mode_ = query::RewriteMode::kPerfectRef;
+  /// optional<> because Rewriter has no default constructor; set before
+  /// the constructor returns, so dereferencing is always valid. Copying a
+  /// Rewriter shares its immutable Impl, so an untouched-spec refresh
+  /// reuses the whole compiled rewriter.
+  std::optional<query::Rewriter> rewriter_;
+  std::shared_ptr<const query::Rewriter> fallback_rewriter_;
+  StageFingerprints fingerprints_;
+  RefreshInfo refresh_info_;
 };
 
 }  // namespace olite::obda

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
+#include "common/hash.h"
 #include "rdb/query.h"
 
 namespace olite::obda {
@@ -39,19 +41,19 @@ std::string SwappedTupleKey(const rdb::Row& row) {
   return TupleKey(swapped);
 }
 
-struct ViewExt {
-  // Unset when evaluation failed or overflowed the extension cap.
-  std::optional<std::set<std::string>> tuples;
-  bool known() const { return tuples.has_value(); }
-  bool empty() const { return known() && tuples->empty(); }
-};
-
 bool SubsetOf(const std::set<std::string>& sub,
               const std::set<std::string>& sup) {
   return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
 }
 
 }  // namespace
+
+uint64_t MappingViewFingerprint(const mapping::MappingAssertion& m) {
+  rdb::SqlQuery q;
+  q.blocks.push_back(m.source);
+  uint64_t h = Fnv1aWord((static_cast<uint64_t>(m.kind) << 32) | m.predicate);
+  return Fnv1a(q.ToString(), h);
+}
 
 std::string ConstraintSummary::ToString() const {
   return "predicates=" + std::to_string(predicates) +
@@ -70,7 +72,31 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
     const mapping::MappingSet& mappings, const rdb::Database& db,
     const rdb::DatabaseStats& stats,
     const ConstraintInferenceOptions& options) {
+  return InferImpl(mappings, db, stats, options, nullptr, nullptr);
+}
+
+std::unique_ptr<const SourceConstraints> SourceConstraints::Refresh(
+    const SourceConstraints& base, const mapping::MappingSet& mappings,
+    const rdb::Database& db, const rdb::DatabaseStats& stats,
+    const ConstraintInferenceOptions& options, uint64_t* reused_views) {
+  return InferImpl(mappings, db, stats, options, &base, reused_views);
+}
+
+std::unique_ptr<const SourceConstraints> SourceConstraints::InferImpl(
+    const mapping::MappingSet& mappings, const rdb::Database& db,
+    const rdb::DatabaseStats& stats, const ConstraintInferenceOptions& options,
+    const SourceConstraints* base, uint64_t* reused_views) {
   auto sc = std::unique_ptr<SourceConstraints>(new SourceConstraints);
+  // Retained extensions of the base, indexed by view fingerprint. Equal
+  // fingerprints mean equal (kind, predicate, SQL) over the same frozen
+  // database, hence — Execute being deterministic — an identical
+  // extension, so reuse preserves Infer's bit-exact output.
+  std::unordered_multimap<uint64_t, const RetainedView*> base_views;
+  if (base != nullptr) {
+    for (const RetainedView& rv : base->retained_views_) {
+      if (rv.tuples != nullptr) base_views.emplace(rv.fingerprint, &rv);
+    }
+  }
 
   // -- keys: per-column distinct count equals the row count ------------------
   for (const auto& [name, table] : db.tables()) {
@@ -89,15 +115,31 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
   const auto& assertions = mappings.assertions();
   sc->view_empty_.assign(assertions.size(), 0);
   sc->view_dominated_.assign(assertions.size(), 0);
-  std::vector<ViewExt> views(assertions.size());
-  // Swapped renderings per role view, filled in the same evaluation pass
-  // (re-evaluating later could fail differently and leave a *partial*
-  // swapped set, which would unsoundly certify inverse inclusions).
-  std::vector<std::set<std::string>> swapped_views(assertions.size());
+  // views[i].tuples null = unknown. Swapped renderings are filled in the
+  // same evaluation pass (re-evaluating later could fail differently and
+  // leave a *partial* swapped set, which would unsoundly certify inverse
+  // inclusions).
+  std::vector<RetainedView> views(assertions.size());
+  std::vector<char> view_reused(assertions.size(), 0);
   std::map<uint64_t, std::vector<size_t>> by_pred;  // deterministic order
   for (size_t i = 0; i < assertions.size(); ++i) {
     const mapping::MappingAssertion& m = assertions[i];
     by_pred[PredKey(AtomKindOf(m.kind), m.predicate)].push_back(i);
+    views[i].fingerprint = MappingViewFingerprint(m);
+    if (auto it = base_views.find(views[i].fingerprint);
+        it != base_views.end()) {
+      view_reused[i] = 1;
+      // Known base view with the same fingerprint: its extension (and
+      // swapped rendering) is what re-execution would retrieve.
+      views[i].tuples = it->second->tuples;
+      views[i].swapped = it->second->swapped;
+      if (reused_views != nullptr) ++*reused_views;
+      if (views[i].tuples->empty()) {
+        sc->view_empty_[i] = 1;
+        ++sc->summary_.empty_views;
+      }
+      continue;
+    }
     rdb::SqlQuery q;
     q.blocks.push_back(m.source);
     rdb::EvalOptions eopts;
@@ -110,18 +152,20 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
       sc->summary_.complete = false;
       continue;
     }
-    std::set<std::string> tuples;
+    auto tuples = std::make_shared<std::set<std::string>>();
+    auto swapped = std::make_shared<std::set<std::string>>();
     for (const rdb::Row& row : rows.value()) {
-      tuples.insert(TupleKey(row));
+      tuples->insert(TupleKey(row));
       if (m.kind == mapping::TargetKind::kRole) {
-        swapped_views[i].insert(SwappedTupleKey(row));
+        swapped->insert(SwappedTupleKey(row));
       }
     }
-    if (tuples.empty()) {
+    if (tuples->empty()) {
       sc->view_empty_[i] = 1;
       ++sc->summary_.empty_views;
     }
     views[i].tuples = std::move(tuples);
+    views[i].swapped = std::move(swapped);
   }
 
   // -- per-predicate extensions + dominated views ----------------------------
@@ -138,30 +182,71 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
     ++pair_tests;
     return true;
   };
+  auto known = [&](size_t i) { return views[i].tuples != nullptr; };
+  auto empty = [&](size_t i) { return known(i) && views[i].tuples->empty(); };
   // Extension of each fully-known predicate, plus the element-swapped
-  // rendering for roles (inverse-inclusion checks).
-  std::map<uint64_t, std::set<std::string>> ext;
-  std::map<uint64_t, std::set<std::string>> swapped_ext;
+  // rendering for roles (inverse-inclusion checks). Shared so a
+  // single-view predicate aliases its view's extension instead of
+  // copying it (the overwhelmingly common shape).
+  std::map<uint64_t, std::shared_ptr<const std::set<std::string>>> ext;
+  std::map<uint64_t, std::shared_ptr<const std::set<std::string>>> swapped_ext;
+  // Predicates whose full view-fingerprint multiset matches the base with
+  // every view reused: their merged extension is bit-identical to the
+  // base's, so pairwise inclusion verdicts between two such predicates
+  // can be copied from the base instead of re-tested (the expensive part
+  // of a refresh once the view SQL is already skipped). Copying is only
+  // exact when the base itself tested every pair, so a truncated base
+  // disables it.
+  std::unordered_set<uint64_t> unchanged_preds;
+  const bool base_copyable = base != nullptr && base->summary_.complete;
   for (const auto& [pred_key, view_indices] : by_pred) {
+    std::vector<uint64_t> fps;
+    fps.reserve(view_indices.size());
+    for (size_t i : view_indices) fps.push_back(views[i].fingerprint);
+    std::sort(fps.begin(), fps.end());
+    if (base_copyable) {
+      bool all_reused = true;
+      for (size_t i : view_indices) {
+        if (view_reused[i] == 0) {
+          all_reused = false;
+          break;
+        }
+      }
+      if (all_reused) {
+        auto it = base->retained_pred_fps_.find(pred_key);
+        if (it != base->retained_pred_fps_.end() && it->second == fps) {
+          unchanged_preds.insert(pred_key);
+        }
+      }
+    }
+    if (options.retain_view_extensions) {
+      sc->retained_pred_fps_.emplace(pred_key, std::move(fps));
+    }
     ++sc->summary_.predicates;
     PredInfo info;
     bool all_known = true;
-    std::set<std::string> merged;
-    for (size_t i : view_indices) {
-      if (!views[i].known()) {
-        all_known = false;
-        break;
+    std::shared_ptr<const std::set<std::string>> merged;
+    if (view_indices.size() == 1 && known(view_indices[0])) {
+      merged = views[view_indices[0]].tuples;
+    } else {
+      auto built = std::make_shared<std::set<std::string>>();
+      for (size_t i : view_indices) {
+        if (!known(i)) {
+          all_known = false;
+          break;
+        }
+        built->insert(views[i].tuples->begin(), views[i].tuples->end());
       }
-      merged.insert(views[i].tuples->begin(), views[i].tuples->end());
+      merged = std::move(built);
     }
     if (all_known && options.max_extension_rows != 0 &&
-        merged.size() > options.max_extension_rows) {
+        merged->size() > options.max_extension_rows) {
       all_known = false;
       sc->summary_.complete = false;
     }
     if (all_known) {
       info.status = ExtStatus::kKnown;
-      info.empty = merged.empty();
+      info.empty = merged->empty();
       ++sc->summary_.known_extensions;
       if (info.empty) ++sc->summary_.empty_predicates;
     }
@@ -171,9 +256,9 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
     // subsets may chain but never cycle, so the retained set still covers
     // the predicate's full extension.
     for (size_t i : view_indices) {
-      if (!views[i].known() || views[i].empty()) continue;
+      if (!known(i) || empty(i)) continue;
       for (size_t j : view_indices) {
-        if (j == i || !views[j].known()) continue;
+        if (j == i || !known(j)) continue;
         const auto& vi = *views[i].tuples;
         const auto& vj = *views[j].tuples;
         if (vi.size() > vj.size() || (vi.size() == vj.size() && j > i)) {
@@ -191,7 +276,7 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
 
     size_t retained = 0;
     for (size_t i : view_indices) {
-      if (views[i].known() && (views[i].empty() || sc->view_dominated_[i])) {
+      if (known(i) && (empty(i) || sc->view_dominated_[i])) {
         continue;
       }
       ++retained;
@@ -204,9 +289,16 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
     if (all_known && !info.empty) {
       auto kind = static_cast<Atom::Kind>(pred_key >> 32);
       if (kind == Atom::Kind::kRole) {
-        std::set<std::string>& sw = swapped_ext[pred_key];
-        for (size_t i : view_indices) {
-          sw.insert(swapped_views[i].begin(), swapped_views[i].end());
+        if (view_indices.size() == 1 &&
+            views[view_indices[0]].swapped != nullptr) {
+          swapped_ext[pred_key] = views[view_indices[0]].swapped;
+        } else {
+          auto sw = std::make_shared<std::set<std::string>>();
+          for (size_t i : view_indices) {
+            if (views[i].swapped == nullptr) continue;
+            sw->insert(views[i].swapped->begin(), views[i].swapped->end());
+          }
+          swapped_ext[pred_key] = std::move(sw);
         }
       }
       ext[pred_key] = std::move(merged);
@@ -215,27 +307,59 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
   }
 
   // -- pairwise extension inclusions (same kind, both fully known) -----------
-  for (const auto& [sub_key, sub_ext] : ext) {
-    auto sub_kind = static_cast<Atom::Kind>(sub_key >> 32);
-    auto sub_id = static_cast<uint32_t>(sub_key);
-    for (const auto& [sup_key, sup_ext] : ext) {
-      if (static_cast<Atom::Kind>(sup_key >> 32) != sub_kind) continue;
-      auto sup_id = static_cast<uint32_t>(sup_key);
+  // Flattened view of `ext` (same deterministic order) so the quadratic
+  // loop touches no maps or hash sets on its hot path.
+  struct ExtEntry {
+    uint64_t key = 0;
+    Atom::Kind kind = Atom::Kind::kConcept;
+    uint32_t id = 0;
+    const std::set<std::string>* ext = nullptr;
+    const std::set<std::string>* swapped = nullptr;  // null for non-roles
+    bool unchanged = false;
+  };
+  std::vector<ExtEntry> entries;
+  entries.reserve(ext.size());
+  for (const auto& [key, e] : ext) {
+    ExtEntry en;
+    en.key = key;
+    en.kind = static_cast<Atom::Kind>(key >> 32);
+    en.id = static_cast<uint32_t>(key);
+    en.ext = e.get();
+    auto sw = swapped_ext.find(key);
+    en.swapped = sw != swapped_ext.end() ? sw->second.get() : nullptr;
+    en.unchanged = unchanged_preds.count(key) != 0;
+    entries.push_back(en);
+  }
+  for (const ExtEntry& sub : entries) {
+    for (const ExtEntry& sup : entries) {
+      if (sup.kind != sub.kind) continue;
+      // Both extensions bit-identical to the base: the base's verdicts
+      // are the recomputation's results. The pair budget still ticks so
+      // truncation behaves exactly as a scratch Infer.
+      const bool copy_pair = sub.unchanged && sup.unchanged;
       // The diagonal matters only for inverse inclusions (symmetric roles).
-      if (sup_key != sub_key && sub_ext.size() <= sup_ext.size()) {
+      if (sup.key != sub.key && sub.ext->size() <= sup.ext->size()) {
         if (!pair_budget_ok()) break;
-        if (SubsetOf(sub_ext, sup_ext)) {
-          sc->included_[static_cast<size_t>(sub_kind)].insert(
-              PairKey(sub_id, sup_id));
+        const bool included =
+            copy_pair ? base->included_[static_cast<size_t>(sub.kind)].count(
+                            PairKey(sub.id, sup.id)) != 0
+                      : SubsetOf(*sub.ext, *sup.ext);
+        if (included) {
+          sc->included_[static_cast<size_t>(sub.kind)].insert(
+              PairKey(sub.id, sup.id));
           ++sc->summary_.inclusions;
         }
       }
-      if (sub_kind == Atom::Kind::kRole) {
-        auto sw = swapped_ext.find(sub_key);
-        if (sw != swapped_ext.end() && sw->second.size() <= sup_ext.size()) {
+      if (sub.kind == Atom::Kind::kRole) {
+        if (sub.swapped != nullptr &&
+            sub.swapped->size() <= sup.ext->size()) {
           if (!pair_budget_ok()) break;
-          if (SubsetOf(sw->second, sup_ext)) {
-            sc->included_inverse_.insert(PairKey(sub_id, sup_id));
+          const bool included =
+              copy_pair ? base->included_inverse_.count(
+                              PairKey(sub.id, sup.id)) != 0
+                        : SubsetOf(*sub.swapped, *sup.ext);
+          if (included) {
+            sc->included_inverse_.insert(PairKey(sub.id, sup.id));
             ++sc->summary_.inverse_inclusions;
           }
         }
@@ -244,7 +368,99 @@ std::unique_ptr<const SourceConstraints> SourceConstraints::Infer(
     if (pairs_spent()) break;
   }
 
+  if (options.retain_view_extensions) sc->retained_views_ = std::move(views);
   return sc;
+}
+
+bool SourceConstraints::DiffAffectedPreds(
+    const SourceConstraints& other, const mapping::MappingSet& my_mappings,
+    const mapping::MappingSet& other_mappings,
+    std::vector<uint64_t>* affected) const {
+  affected->clear();
+  // Key columns prune self-joins by *table*, not predicate: a change there
+  // cannot be attributed to a bounded predicate set.
+  if (key_columns_ != other.key_columns_) return false;
+
+  // Per-predicate extension status.
+  for (const auto* side : {&preds_, &other.preds_}) {
+    for (const auto& [key, info] : *side) {
+      auto mine = preds_.find(key);
+      auto theirs = other.preds_.find(key);
+      const bool differ =
+          mine == preds_.end() || theirs == other.preds_.end() ||
+          mine->second.status != theirs->second.status ||
+          (mine->second.status == ExtStatus::kKnown &&
+           mine->second.empty != theirs->second.empty);
+      if (differ) affected->push_back(key);
+    }
+  }
+
+  // Inclusion pairs: a flipped (sub ⊆ sup) fact affects plans mentioning
+  // either endpoint.
+  for (size_t k = 0; k < included_.size(); ++k) {
+    auto kind = static_cast<query::Atom::Kind>(k);
+    for (const auto* side : {&included_[k], &other.included_[k]}) {
+      for (uint64_t pair : *side) {
+        if (included_[k].count(pair) != other.included_[k].count(pair)) {
+          affected->push_back(PredKey(kind, static_cast<uint32_t>(pair >> 32)));
+          affected->push_back(PredKey(kind, static_cast<uint32_t>(pair)));
+        }
+      }
+    }
+  }
+  for (const auto* side : {&included_inverse_, &other.included_inverse_}) {
+    for (uint64_t pair : *side) {
+      if (included_inverse_.count(pair) != other.included_inverse_.count(pair)) {
+        affected->push_back(PredKey(query::Atom::Kind::kRole,
+                                    static_cast<uint32_t>(pair >> 32)));
+        affected->push_back(
+            PredKey(query::Atom::Kind::kRole, static_cast<uint32_t>(pair)));
+      }
+    }
+  }
+
+  // Exact-mapping flips.
+  for (const auto* side : {&exact_, &other.exact_}) {
+    for (uint64_t key : *side) {
+      if (exact_.count(key) != other.exact_.count(key)) {
+        affected->push_back(key);
+      }
+    }
+  }
+
+  // Per-view flags (empty/dominated) feed the unfolder by assertion index;
+  // indices shift across mapping edits, so views are matched per predicate
+  // by content fingerprint instead.
+  auto view_profile = [](const SourceConstraints& sc,
+                         const mapping::MappingSet& mappings) {
+    std::map<uint64_t, std::vector<std::tuple<uint64_t, uint8_t, uint8_t>>>
+        per_pred;
+    const auto& assertions = mappings.assertions();
+    for (size_t i = 0; i < assertions.size(); ++i) {
+      const mapping::MappingAssertion& m = assertions[i];
+      per_pred[PredKey(AtomKindOf(m.kind), m.predicate)].emplace_back(
+          MappingViewFingerprint(m), sc.view_empty_[i], sc.view_dominated_[i]);
+    }
+    for (auto& [key, profile] : per_pred) std::sort(profile.begin(),
+                                                    profile.end());
+    return per_pred;
+  };
+  auto mine = view_profile(*this, my_mappings);
+  auto theirs = view_profile(other, other_mappings);
+  for (const auto* side : {&mine, &theirs}) {
+    for (const auto& [key, profile] : *side) {
+      auto a = mine.find(key);
+      auto b = theirs.find(key);
+      if (a == mine.end() || b == theirs.end() || a->second != b->second) {
+        affected->push_back(key);
+      }
+    }
+  }
+
+  std::sort(affected->begin(), affected->end());
+  affected->erase(std::unique(affected->begin(), affected->end()),
+                  affected->end());
+  return true;
 }
 
 bool SourceConstraints::Included(query::Atom::Kind kind, uint32_t sub,

@@ -2,12 +2,14 @@
 #define OLITE_OBDA_CONSTRAINTS_H_
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "mapping/mapping.h"
 #include "query/containment.h"
@@ -27,6 +29,12 @@ struct ConstraintInferenceOptions {
   /// Total pairwise inclusion tests across all predicate pairs
   /// (0 = unlimited).
   uint64_t max_inclusion_pairs = 20000;
+  /// Retain each assertion's retrieved extension inside the result, keyed
+  /// by a content fingerprint of the view, so a later `Refresh` can skip
+  /// re-evaluating views whose mapping (and hence SQL) did not change.
+  /// Costs memory proportional to the retained extensions; leave off for
+  /// one-shot compiles.
+  bool retain_view_extensions = false;
 };
 
 /// What the inference pass found — surfaced for logging and tests.
@@ -72,6 +80,34 @@ class SourceConstraints final : public query::ConstraintOracle {
       const rdb::DatabaseStats& stats,
       const ConstraintInferenceOptions& options = {});
 
+  /// Re-runs the inference pass for a *changed* mapping program over the
+  /// same frozen database, reusing the retained extension of every view of
+  /// `base` whose content fingerprint still matches (see
+  /// `ConstraintInferenceOptions::retain_view_extensions`) instead of
+  /// re-executing its SQL. Every derived fact — per-predicate extensions,
+  /// inclusions, dominated views, exact mappings, keys — is recomputed
+  /// from the (reused + fresh) view extensions, so the result is
+  /// bit-identical to `Infer(mappings, db, stats, options)`; only the
+  /// source evaluation work is saved. `reused_views`, when non-null,
+  /// receives how many view evaluations were skipped.
+  static std::unique_ptr<const SourceConstraints> Refresh(
+      const SourceConstraints& base, const mapping::MappingSet& mappings,
+      const rdb::Database& db, const rdb::DatabaseStats& stats,
+      const ConstraintInferenceOptions& options = {},
+      uint64_t* reused_views = nullptr);
+
+  /// Collects the predicates whose oracle/unfolder answers may differ
+  /// between `this` (inferred for `my_mappings`) and `other` (inferred
+  /// for `other_mappings`) into `affected`, as `(kind << 32) | pred`
+  /// tokens, sorted and deduplicated. Returns false when the difference
+  /// cannot be attributed to specific predicates (key columns changed —
+  /// they prune by *table*, not predicate); callers must then treat every
+  /// predicate as affected.
+  bool DiffAffectedPreds(const SourceConstraints& other,
+                         const mapping::MappingSet& my_mappings,
+                         const mapping::MappingSet& other_mappings,
+                         std::vector<uint64_t>* affected) const;
+
   // -- query::ConstraintOracle (rewriter / MinimizeUnion surface) -----------
 
   bool Included(query::Atom::Kind kind, uint32_t sub,
@@ -116,6 +152,24 @@ class SourceConstraints final : public query::ConstraintOracle {
     return (static_cast<uint64_t>(sub) << 32) | sup;
   }
 
+  /// One retained view extension (ConstraintInferenceOptions::
+  /// retain_view_extensions), parallel to `MappingSet::assertions()`.
+  struct RetainedView {
+    uint64_t fingerprint = 0;
+    /// Null when the view's evaluation failed (status stayed unknown).
+    std::shared_ptr<const std::set<std::string>> tuples;
+    /// Element-swapped rendering; only populated for role views.
+    std::shared_ptr<const std::set<std::string>> swapped;
+  };
+
+  /// Shared implementation of Infer/Refresh; `base` (nullable) supplies
+  /// retained extensions to reuse by fingerprint.
+  static std::unique_ptr<const SourceConstraints> InferImpl(
+      const mapping::MappingSet& mappings, const rdb::Database& db,
+      const rdb::DatabaseStats& stats,
+      const ConstraintInferenceOptions& options, const SourceConstraints* base,
+      uint64_t* reused_views);
+
   /// Mapped predicates only; a predicate absent here has no mapping
   /// assertion, hence a provably empty extension.
   std::unordered_map<uint64_t, PredInfo> preds_;
@@ -127,8 +181,21 @@ class SourceConstraints final : public query::ConstraintOracle {
   std::vector<uint8_t> view_dominated_;
   std::unordered_set<uint64_t> exact_;
   std::set<std::pair<std::string, std::string>> key_columns_;
+  /// Empty unless retain_view_extensions was set.
+  std::vector<RetainedView> retained_views_;
+  /// Per-predicate sorted view fingerprints (retain_view_extensions
+  /// only). A refresh whose predicate reproduces this multiset — with
+  /// every view reused — has a bit-identical extension, so cross-
+  /// predicate inclusion verdicts can be copied instead of re-tested.
+  std::map<uint64_t, std::vector<uint64_t>> retained_pred_fps_;
   ConstraintSummary summary_;
 };
+
+/// Content fingerprint of one mapping view — target kind, predicate and
+/// the rendered source SQL. Stable across `MappingSet` reorderings; two
+/// assertions with equal fingerprints retrieve identical extensions from
+/// the same frozen database.
+uint64_t MappingViewFingerprint(const mapping::MappingAssertion& m);
 
 }  // namespace olite::obda
 

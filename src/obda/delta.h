@@ -1,0 +1,89 @@
+#ifndef OLITE_OBDA_DELTA_H_
+#define OLITE_OBDA_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dllite/tbox.h"
+#include "mapping/mapping.h"
+
+namespace olite::obda {
+
+/// A specification change between two snapshots: axioms and mapping
+/// assertions to add and to remove, over the *same vocabulary*. Deltas
+/// never extend the signature — introducing a new concept/role/attribute
+/// shifts the TBox digraph's node layout and requires a fresh `Compile`
+/// (the refresh path detects a shifted layout and falls back to scratch
+/// classification regardless).
+///
+/// Removals select existing content: an axiom removal matches by axiom
+/// equality, a mapping removal by (kind, predicate, rendered source SQL).
+/// A removal that matches nothing makes `Apply*` fail with
+/// kInvalidArgument — silently ignoring it would let a generator drift
+/// from the specification it believes it is editing.
+struct OntologyDelta {
+  std::vector<dllite::ConceptInclusion> add_concept_inclusions;
+  std::vector<dllite::ConceptInclusion> remove_concept_inclusions;
+  std::vector<dllite::RoleInclusion> add_role_inclusions;
+  std::vector<dllite::RoleInclusion> remove_role_inclusions;
+  std::vector<dllite::AttributeInclusion> add_attribute_inclusions;
+  std::vector<dllite::AttributeInclusion> remove_attribute_inclusions;
+  std::vector<dllite::FunctionalityAssertion> add_functionality;
+  std::vector<dllite::FunctionalityAssertion> remove_functionality;
+
+  std::vector<mapping::MappingAssertion> add_mappings;
+  /// Selector for one mapping assertion to remove. `sql` is the rendered
+  /// single-block `rdb::SqlQuery` text of the assertion's source (the
+  /// same rendering `MappingViewFingerprint` hashes).
+  struct MappingSelector {
+    mapping::TargetKind kind = mapping::TargetKind::kConcept;
+    uint32_t predicate = 0;
+    std::string sql;
+  };
+  std::vector<MappingSelector> remove_mappings;
+
+  bool TBoxEmpty() const {
+    return add_concept_inclusions.empty() && remove_concept_inclusions.empty() &&
+           add_role_inclusions.empty() && remove_role_inclusions.empty() &&
+           add_attribute_inclusions.empty() &&
+           remove_attribute_inclusions.empty() && add_functionality.empty() &&
+           remove_functionality.empty();
+  }
+  bool MappingsEmpty() const {
+    return add_mappings.empty() && remove_mappings.empty();
+  }
+  bool Empty() const { return TBoxEmpty() && MappingsEmpty(); }
+
+  size_t NumChanges() const {
+    return add_concept_inclusions.size() + remove_concept_inclusions.size() +
+           add_role_inclusions.size() + remove_role_inclusions.size() +
+           add_attribute_inclusions.size() +
+           remove_attribute_inclusions.size() + add_functionality.size() +
+           remove_functionality.size() + add_mappings.size() +
+           remove_mappings.size();
+  }
+};
+
+/// The selector matching `m` (for building removals of existing
+/// assertions).
+OntologyDelta::MappingSelector SelectorFor(const mapping::MappingAssertion& m);
+
+/// `base` with the delta's TBox edits applied. Axiom order: surviving base
+/// axioms in their original order, then additions in delta order (the
+/// digraph and closure are order-insensitive; the order only shows in
+/// listings). Each removal erases the first matching axiom;
+/// kInvalidArgument when one matches nothing.
+Result<dllite::TBox> ApplyTBoxDelta(const dllite::TBox& base,
+                                    const OntologyDelta& delta);
+
+/// `base` with the delta's mapping edits applied (same ordering rule; a
+/// removal erases the first matching assertion). kInvalidArgument when a
+/// removal matches nothing or an addition fails arity validation.
+Result<mapping::MappingSet> ApplyMappingDelta(const mapping::MappingSet& base,
+                                              const OntologyDelta& delta);
+
+}  // namespace olite::obda
+
+#endif  // OLITE_OBDA_DELTA_H_

@@ -1,5 +1,6 @@
 #include "obda/query_engine.h"
 
+#include <algorithm>
 #include <optional>
 #include <set>
 #include <utility>
@@ -49,6 +50,13 @@ uint64_t EpochHash(uint64_t hash, uint64_t epoch) {
 }
 
 }  // namespace
+
+uint64_t PlanCacheHash(uint64_t fingerprint_hash, uint64_t epoch,
+                       bool no_prune) {
+  uint64_t h = EpochHash(fingerprint_hash, epoch);
+  if (no_prune) h = EpochHash(h, 0x517CC1B727220A95ULL);
+  return h;
+}
 
 QueryEngine::QueryEngine(std::shared_ptr<const CompiledOntology> compiled,
                          QueryEngineOptions options)
@@ -215,13 +223,12 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   if (use_cache) {
     fp = query::CanonicalFingerprint(cq);
     cache_key = key_prefix_ + fp.key;
-    cache_hash = EpochHash(fp.hash, epoch_);
     if (opts.disable_constraint_pruning) {
       // The unpruned compilation is a different plan: key (and hash) it
       // separately so the pruned and unpruned paths never alias.
       cache_key += "|np";
-      cache_hash = EpochHash(cache_hash, 0x517CC1B727220A95ULL);
     }
+    cache_hash = PlanCacheHash(fp.hash, epoch_, opts.disable_constraint_pruning);
     shard = plan_cache_->ShardOf(cache_hash);
     if (stats != nullptr) stats->cache.shard = shard;
     if (auto cached = plan_cache_->Get(cache_key, cache_hash)) {
@@ -355,6 +362,17 @@ Result<std::vector<AnswerTuple>> QueryEngine::Execute(
   // also vetoes the insert — conservative, but eval-stage degradation
   // only occurs under a budget, where re-compiling is the safer default.
   if (use_cache && answers.ok() && degradation.events.empty()) {
+    // Invalidation coordinates for delta swaps: the original atoms'
+    // predicate tokens and the fingerprint hash the key was derived from.
+    for (const Atom& atom : cq.atoms) {
+      compiled_plan.preds.push_back(
+          (static_cast<uint64_t>(atom.kind) << 32) | atom.predicate);
+    }
+    std::sort(compiled_plan.preds.begin(), compiled_plan.preds.end());
+    compiled_plan.preds.erase(
+        std::unique(compiled_plan.preds.begin(), compiled_plan.preds.end()),
+        compiled_plan.preds.end());
+    compiled_plan.fp_hash = fp.hash;
     plan_cache_->Put(cache_key, cache_hash,
                      std::make_shared<const CachedPlan>(compiled_plan));
     if (stats != nullptr) {

@@ -24,7 +24,25 @@ struct CachedPlan {
   std::shared_ptr<const query::UnionQuery> ucq;
   std::shared_ptr<const rdb::PreparedPlan> plan;
   query::RewriteStats rewrite;
+  /// Predicates of the *original* CQ's atoms, as sorted deduplicated
+  /// `(Atom::Kind << 32) | id` tokens. A delta swap keeps a cached plan
+  /// alive exactly when none of its tokens is in the delta's
+  /// changed-predicate set (see `RefreshInfo::changed_preds`) — the plan's
+  /// whole compilation is a function of those atoms' expansions.
+  std::vector<uint64_t> preds;
+  /// The renaming-invariant fingerprint hash of the CQ, kept so a delta
+  /// swap can re-derive the entry's shard hash under the new epoch
+  /// without re-parsing the key.
+  uint64_t fp_hash = 0;
 };
+
+/// The shard/colliding-key hash of one plan-cache entry: the CQ
+/// fingerprint hash mixed with the epoch tag (and a fixed tweak for the
+/// no-constraint-pruning key variant, applied after the epoch mix). Kept
+/// in one place so the serving layer's delta migration re-keys entries
+/// exactly the way `QueryEngine` writes them.
+uint64_t PlanCacheHash(uint64_t fingerprint_hash, uint64_t epoch,
+                       bool no_prune);
 
 /// The plan-cache container, exposed so a `ServingEngine` can share one
 /// cache across the engines of successive snapshot epochs (entries are

@@ -54,6 +54,19 @@ ServingEngine::ServingEngine(std::shared_ptr<const CompiledOntology> initial,
         &metrics_->histogram(metric_names::kAdmissionQueueWaitUs);
     ins_.queue_depth =
         &metrics_->histogram(metric_names::kAdmissionQueueDepth);
+    ins_.delta_applied =
+        &metrics_->counter(metric_names::kSnapshotDeltaApplied);
+    ins_.delta_fallback =
+        &metrics_->counter(metric_names::kSnapshotDeltaFallback);
+    ins_.delta_patched_nodes =
+        &metrics_->counter(metric_names::kSnapshotDeltaPatchedNodes);
+    ins_.delta_reused_stages =
+        &metrics_->counter(metric_names::kSnapshotDeltaReusedStages);
+    ins_.delta_plans_invalidated =
+        &metrics_->counter(metric_names::kSnapshotDeltaPlansInvalidated);
+    ins_.delta_plans_migrated =
+        &metrics_->counter(metric_names::kSnapshotDeltaPlansMigrated);
+    ins_.refresh_us = &metrics_->histogram(metric_names::kSnapshotRefreshUs);
   }
   plan_cache_ = options_.engine.shared_plan_cache != nullptr
                     ? options_.engine.shared_plan_cache
@@ -91,6 +104,102 @@ uint64_t ServingEngine::Swap(std::shared_ptr<const CompiledOntology> next) {
   plan_cache_->Clear();
   if (ins_.swap_us != nullptr) ins_.swap_us->Record(sw.ElapsedMicros());
   if (ins_.epoch != nullptr) ins_.epoch->Set(static_cast<double>(e));
+  return e;
+}
+
+Result<uint64_t> ServingEngine::RefreshAndSwap(const OntologyDelta& delta,
+                                               DeltaSwapStats* stats) {
+  // Refresh outside every lock, against the snapshot current at entry —
+  // a slow (or injected-faulty) refresh never stalls traffic.
+  std::shared_ptr<const CompiledOntology> base = snapshot();
+  Stopwatch refresh_sw;
+  OLITE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledOntology> next,
+                         CompiledOntology::Refresh(base, delta));
+  const double refresh_us = refresh_sw.ElapsedMicros();
+  const RefreshInfo& info = next->refresh_info();
+
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  Stopwatch sw;
+  const std::shared_ptr<const Epoch> cur = Current();
+  if (cur->engine->snapshot() != base) {
+    // Another swap landed while we refreshed: publishing `next` would
+    // silently discard that swap's specification. Leave the engine as-is.
+    return Status::FailedPrecondition(
+        "snapshot changed during delta refresh; recompute against the "
+        "current epoch");
+  }
+  const uint64_t old_epoch = cur->epoch;
+  const uint64_t e = next_epoch_++;
+  Publish(next, e);
+
+  DeltaSwapStats local;
+  DeltaSwapStats& ds = stats != nullptr ? *stats : local;
+  ds = DeltaSwapStats{};
+  ds.epoch = e;
+  ds.fell_back_scratch = info.fell_back_scratch;
+  ds.patched_nodes = info.patched_nodes;
+  ds.reused_components = info.reused_components;
+  ds.reused_views = info.reused_views;
+  ds.reused_stages = info.reused_stages;
+  ds.refresh_us = refresh_us;
+
+  if (info.changed_preds_exact) {
+    // Selective invalidation: drop the old epoch's entries whose plan
+    // touches a changed predicate, re-key the rest to the new epoch (the
+    // PreparedPlans stay valid — the refreshed snapshot shares the same
+    // database object). Entries Put under the old prefix concurrently
+    // with this sweep can linger unreachable until LRU ages them out,
+    // exactly like the full-swap path's stragglers.
+    ds.selective_invalidation = true;
+    const std::string old_prefix = "e" + std::to_string(old_epoch) + "|";
+    const std::string new_prefix = "e" + std::to_string(e) + "|";
+    for (auto& [key, plan] : plan_cache_->Items()) {
+      if (key.compare(0, old_prefix.size(), old_prefix) != 0) continue;
+      const bool no_prune =
+          key.size() >= 3 && key.compare(key.size() - 3, 3, "|np") == 0;
+      const uint64_t old_hash =
+          PlanCacheHash(plan->fp_hash, old_epoch, no_prune);
+      bool stale = false;
+      for (uint64_t pred : plan->preds) {
+        if (std::binary_search(info.changed_preds.begin(),
+                               info.changed_preds.end(), pred)) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) {
+        plan_cache_->Erase(key, old_hash);
+        ++ds.plans_invalidated;
+        continue;
+      }
+      const std::string new_key =
+          new_prefix + key.substr(old_prefix.size());
+      plan_cache_->Put(new_key, PlanCacheHash(plan->fp_hash, e, no_prune),
+                       plan);
+      plan_cache_->Erase(key, old_hash);
+      ++ds.plans_migrated;
+    }
+  } else {
+    // The changed-predicate set could not be bounded: reclaim everything,
+    // like a full swap.
+    ds.plans_invalidated = plan_cache_->Clear();
+  }
+
+  if (ins_.swap_us != nullptr) ins_.swap_us->Record(sw.ElapsedMicros());
+  if (ins_.epoch != nullptr) ins_.epoch->Set(static_cast<double>(e));
+  if (metrics_ != nullptr) {
+    ins_.delta_applied->Add(1);
+    if (ds.fell_back_scratch) ins_.delta_fallback->Add(1);
+    if (ds.patched_nodes > 0) ins_.delta_patched_nodes->Add(ds.patched_nodes);
+    if (ds.reused_stages > 0) ins_.delta_reused_stages->Add(ds.reused_stages);
+    if (ds.plans_invalidated > 0) {
+      ins_.delta_plans_invalidated->Add(ds.plans_invalidated);
+    }
+    if (ds.plans_migrated > 0) {
+      ins_.delta_plans_migrated->Add(ds.plans_migrated);
+    }
+    ins_.refresh_us->Record(refresh_us);
+  }
   return e;
 }
 

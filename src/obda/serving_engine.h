@@ -46,6 +46,23 @@ struct ServingEngineOptions {
   AdmissionOptions admission;
 };
 
+/// Outcome of one `ServingEngine::RefreshAndSwap` (authoritative,
+/// available even with metrics disabled).
+struct DeltaSwapStats {
+  uint64_t epoch = 0;  ///< the epoch the refreshed snapshot serves as
+  /// The closure patch degenerated to scratch classification.
+  bool fell_back_scratch = false;
+  uint64_t patched_nodes = 0;      ///< closure nodes re-derived
+  uint64_t reused_components = 0;  ///< closure reach vectors aliased
+  uint64_t reused_views = 0;       ///< constraint view evaluations skipped
+  uint32_t reused_stages = 0;      ///< compile stages shared with the base
+  /// True when the plan cache was invalidated selectively (else cleared).
+  bool selective_invalidation = false;
+  uint64_t plans_invalidated = 0;  ///< entries dropped (changed predicate)
+  uint64_t plans_migrated = 0;     ///< entries re-keyed to the new epoch
+  double refresh_us = 0;           ///< CompiledOntology::Refresh wall-clock
+};
+
 /// Point-in-time admission counters (authoritative, kept under the
 /// admission lock — available even with metrics disabled).
 struct AdmissionSnapshot {
@@ -70,8 +87,10 @@ struct AdmissionSnapshot {
 /// with while new arrivals immediately see the new epoch; `Swap` never
 /// waits for readers (the last in-flight holder releases the old
 /// snapshot). All epochs share one plan cache with epoch-tagged keys —
-/// a hit can never cross epochs — and the swap calls `Clear()` purely
-/// to reclaim the dead epoch's memory early.
+/// a hit can never cross epochs — and a full `Swap` calls `Clear()`
+/// purely to reclaim the dead epoch's memory early. `RefreshAndSwap`
+/// instead invalidates *selectively*: plans provably untouched by the
+/// delta are re-keyed to the new epoch and keep serving.
 ///
 /// **Admission.** With `max_in_flight` set, a call first acquires a
 /// token; when none is free it queues (bounded by `max_queue_depth`) for
@@ -120,6 +139,22 @@ class ServingEngine {
       dllite::Ontology ontology, mapping::MappingSet mappings,
       rdb::Database database,
       query::RewriteMode mode = query::RewriteMode::kPerfectRef);
+
+  /// The delta path of CompileAndSwap: builds the next snapshot as a
+  /// *refresh* of the current one (`CompiledOntology::Refresh` — shared
+  /// stages, incrementally patched closure, per-view constraint reuse)
+  /// and swaps it in with *selective* plan-cache invalidation: cached
+  /// plans touching none of the delta's changed predicates are re-keyed
+  /// to the new epoch instead of dropped, so hot queries stay hot across
+  /// the swap. When the changed-predicate set cannot be bounded the whole
+  /// cache is cleared, exactly like a full swap.
+  ///
+  /// The refresh runs outside every lock against the snapshot current at
+  /// entry; if another swap lands meanwhile, returns kFailedPrecondition
+  /// (the engine is untouched — recompute against the new current).
+  /// A failed refresh likewise leaves the previous epoch serving.
+  Result<uint64_t> RefreshAndSwap(const OntologyDelta& delta,
+                                  DeltaSwapStats* stats = nullptr);
 
   /// Epoch of the currently published snapshot (starts at 1).
   uint64_t epoch() const;
@@ -203,6 +238,14 @@ class ServingEngine {
     obs::Counter* retries = nullptr;
     obs::Histogram* queue_wait_us = nullptr;
     obs::Histogram* queue_depth = nullptr;
+    // Delta-compilation instruments (RefreshAndSwap).
+    obs::Counter* delta_applied = nullptr;
+    obs::Counter* delta_fallback = nullptr;
+    obs::Counter* delta_patched_nodes = nullptr;
+    obs::Counter* delta_reused_stages = nullptr;
+    obs::Counter* delta_plans_invalidated = nullptr;
+    obs::Counter* delta_plans_migrated = nullptr;
+    obs::Histogram* refresh_us = nullptr;
   };
   Instruments ins_;
 };

@@ -142,8 +142,12 @@ class Rewriter::Impl {
     }
 
     if (options_.mode == RewriteMode::kClassified) {
-      classification_ = std::make_unique<core::Classification>(
-          core::Classify(tbox, vocab));
+      if (options_.classification != nullptr) {
+        classification_ = options_.classification;
+      } else {
+        classification_ = std::make_shared<const core::Classification>(
+            core::Classify(tbox, vocab));
+      }
     }
   }
 
@@ -592,7 +596,7 @@ class Rewriter::Impl {
   std::unordered_map<dllite::AttributeId, std::vector<dllite::AttributeId>>
       by_attribute_;
   std::vector<QualifiedAxiom> qualified_;
-  std::unique_ptr<core::Classification> classification_;
+  std::shared_ptr<const core::Classification> classification_;
 };
 
 Rewriter::Rewriter(const dllite::TBox& tbox, const dllite::Vocabulary& vocab,

@@ -89,6 +89,12 @@ struct RewriterOptions {
   /// Local cap on oracle consultations per Rewrite call; past it the rest
   /// of the call runs unpruned (sound). 0 = unlimited.
   uint64_t max_constraint_checks = 1000000;
+  /// Prebuilt classification of (tbox, vocab) to use for `kClassified`
+  /// instead of classifying from scratch inside the constructor. The delta
+  /// compile path injects its incrementally-patched classification here so
+  /// a refresh never re-runs the closure. Ignored for `kPerfectRef`; must
+  /// actually classify the same TBox when set.
+  std::shared_ptr<const core::Classification> classification;
 };
 
 /// Per-call budget controls for `Rewriter::Rewrite`.

@@ -807,4 +807,236 @@ std::vector<std::string> CheckSwapLinearizability(
   return diffs;
 }
 
+namespace {
+
+std::string HexFp(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+/// Structural comparison of a refreshed snapshot against the from-scratch
+/// compile of the same edited specification: stage fingerprints,
+/// classification listings, constraint summary + per-view facts +
+/// per-predicate oracle answers, and the answers of every workload query.
+void CompareCompiled(const std::string& tag,
+                     const std::shared_ptr<const obda::CompiledOntology>& sp,
+                     const std::shared_ptr<const obda::CompiledOntology>& rp,
+                     const std::vector<query::ConjunctiveQuery>& queries,
+                     const Vocabulary& vocab,
+                     std::vector<std::string>* diffs) {
+  const obda::CompiledOntology& scratch = *sp;
+  const obda::CompiledOntology& refreshed = *rp;
+  const obda::StageFingerprints& fs = scratch.fingerprints();
+  const obda::StageFingerprints& fr = refreshed.fingerprints();
+  if (fs.mappings != fr.mappings || fs.schema != fr.schema ||
+      fs.closure != fr.closure || fs.constraints != fr.constraints) {
+    diffs->push_back(tag + ": stage fingerprints diverge: scratch=" +
+                     HexFp(fs.mappings) + "/" + HexFp(fs.schema) + "/" +
+                     HexFp(fs.closure) + "/" + HexFp(fs.constraints) +
+                     " refresh=" + HexFp(fr.mappings) + "/" +
+                     HexFp(fr.schema) + "/" + HexFp(fr.closure) + "/" +
+                     HexFp(fr.constraints));
+  }
+
+  const core::Classification* cs = scratch.classification();
+  const core::Classification* cr = refreshed.classification();
+  if ((cs == nullptr) != (cr == nullptr)) {
+    diffs->push_back(tag + ": classification presence differs");
+  } else if (cs != nullptr) {
+    for (uint32_t a = 0; a < vocab.NumConcepts(); ++a) {
+      CompareSets(tag + ": supers(" + vocab.ConceptName(a) + ")",
+                  cs->SuperConcepts(a), cr->SuperConcepts(a), "refresh",
+                  diffs);
+    }
+    for (uint32_t p = 0; p < vocab.NumRoles(); ++p) {
+      CompareSets(tag + ": super-roles(" + vocab.RoleName(p) + ")",
+                  cs->SuperRoles(p), cr->SuperRoles(p), "refresh", diffs);
+    }
+    for (uint32_t u = 0; u < vocab.NumAttributes(); ++u) {
+      CompareSets(tag + ": super-attrs(" + vocab.AttributeName(u) + ")",
+                  cs->SuperAttributes(u), cr->SuperAttributes(u), "refresh",
+                  diffs);
+    }
+    CompareSets(tag + ": unsat concepts", cs->UnsatisfiableConcepts(),
+                cr->UnsatisfiableConcepts(), "refresh", diffs);
+    CompareSets(tag + ": unsat roles", cs->UnsatisfiableRoles(),
+                cr->UnsatisfiableRoles(), "refresh", diffs);
+    CompareSets(tag + ": unsat attrs", cs->UnsatisfiableAttributes(),
+                cr->UnsatisfiableAttributes(), "refresh", diffs);
+  }
+
+  const obda::SourceConstraints& ks = scratch.constraints();
+  const obda::SourceConstraints& kr = refreshed.constraints();
+  if (ks.summary().ToString() != kr.summary().ToString()) {
+    diffs->push_back(tag + ": constraint summaries diverge: scratch=" +
+                     ks.summary().ToString() +
+                     " refresh=" + kr.summary().ToString());
+  }
+  for (size_t i = 0; i < scratch.mappings().size(); ++i) {
+    if (ks.EmptyView(i) != kr.EmptyView(i) ||
+        ks.DominatedView(i) != kr.DominatedView(i)) {
+      diffs->push_back(tag + ": view facts diverge at assertion " +
+                       std::to_string(i));
+    }
+  }
+  const std::pair<query::Atom::Kind, uint32_t> sorts[] = {
+      {query::Atom::Kind::kConcept, static_cast<uint32_t>(vocab.NumConcepts())},
+      {query::Atom::Kind::kRole, static_cast<uint32_t>(vocab.NumRoles())},
+      {query::Atom::Kind::kAttribute,
+       static_cast<uint32_t>(vocab.NumAttributes())}};
+  for (const auto& [kind, n] : sorts) {
+    for (uint32_t pred = 0; pred < n; ++pred) {
+      if (ks.Empty(kind, pred) != kr.Empty(kind, pred) ||
+          ks.ExactMapping(kind, pred) != kr.ExactMapping(kind, pred)) {
+        diffs->push_back(tag + ": predicate facts diverge at kind " +
+                         std::to_string(static_cast<int>(kind)) + " pred " +
+                         std::to_string(pred));
+      }
+    }
+    if (n > 96) continue;  // pairwise sweep only for small signatures
+    for (uint32_t sub = 0; sub < n; ++sub) {
+      for (uint32_t sup = 0; sup < n; ++sup) {
+        if (ks.Included(kind, sub, sup) != kr.Included(kind, sub, sup) ||
+            (kind == query::Atom::Kind::kRole &&
+             ks.IncludedInverse(kind, sub, sup) !=
+                 kr.IncludedInverse(kind, sub, sup))) {
+          diffs->push_back(tag + ": inclusion facts diverge at kind " +
+                           std::to_string(static_cast<int>(kind)) + " " +
+                           std::to_string(sub) + "⊆" + std::to_string(sup));
+        }
+      }
+    }
+  }
+
+  obda::QueryEngineOptions qopts;
+  qopts.enable_metrics = false;
+  obda::QueryEngine engine_s(sp, qopts);
+  obda::QueryEngine engine_r(rp, qopts);
+  // Identical caps on both sides keep the comparison exact while bounding
+  // the rare delta chain whose accumulated axioms make rewriting explode:
+  // rewriting is deterministic, so both sides either finish inside the
+  // budget (and must agree) or exhaust at the same iteration.
+  obda::AnswerOptions aopts;
+  aopts.max_rewrite_iterations = 2000;
+  aopts.max_containment_checks = 100000;
+  aopts.max_sql_blocks = 2000;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto got_s = engine_s.Answer(queries[qi], aopts);
+    auto got_r = engine_r.Answer(queries[qi], aopts);
+    if (got_s.ok() != got_r.ok()) {
+      diffs->push_back(tag + ": " + queries[qi].ToString(vocab) +
+                       ": outcome diverges: scratch=" +
+                       got_s.status().ToString() +
+                       " refresh=" + got_r.status().ToString());
+      continue;
+    }
+    if (!got_s.ok()) continue;
+    CompareTupleSets(tag + ": " + queries[qi].ToString(vocab),
+                     TupleSet(got_s->begin(), got_s->end()),
+                     TupleSet(got_r->begin(), got_r->end()), "refresh",
+                     diffs);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CheckDeltaCompile(const benchgen::Workload& w,
+                                           const DeltaCompileOptions& options) {
+  std::vector<std::string> diffs;
+  const Vocabulary& vocab = w.ontology.vocab();
+  const auto deltas = benchgen::GenerateDeltaSequence(w, options.sequence);
+
+  auto base = obda::CompiledOntology::Compile(w.ontology, w.mappings,
+                                              w.database, options.mode);
+  if (!base.ok()) {
+    diffs.push_back("compile base failed: " + base.status().ToString());
+    return diffs;
+  }
+  std::shared_ptr<const obda::CompiledOntology> chained = *base;
+
+  // The scratch side tracks the edited specification independently.
+  dllite::Ontology onto = w.ontology;
+  mapping::MappingSet mappings = w.mappings;
+
+  for (size_t di = 0; di < deltas.size(); ++di) {
+    const std::string tag = "delta[" + std::to_string(di) + "]";
+    auto next_tbox = obda::ApplyTBoxDelta(onto.tbox(), deltas[di]);
+    if (!next_tbox.ok()) {
+      diffs.push_back(tag + ": apply tbox failed: " +
+                      next_tbox.status().ToString());
+      return diffs;
+    }
+    onto.tbox() = *std::move(next_tbox);
+    auto next_maps = obda::ApplyMappingDelta(mappings, deltas[di]);
+    if (!next_maps.ok()) {
+      diffs.push_back(tag + ": apply mappings failed: " +
+                      next_maps.status().ToString());
+      return diffs;
+    }
+    mappings = *std::move(next_maps);
+
+    auto refreshed = obda::CompiledOntology::Refresh(chained, deltas[di]);
+    if (!refreshed.ok()) {
+      diffs.push_back(tag + ": refresh failed: " +
+                      refreshed.status().ToString());
+      return diffs;
+    }
+    auto scratch = obda::CompiledOntology::Compile(onto, mappings, w.database,
+                                                   options.mode);
+    if (!scratch.ok()) {
+      diffs.push_back(tag + ": scratch compile failed: " +
+                      scratch.status().ToString());
+      return diffs;
+    }
+
+    CompareCompiled(tag, *scratch, *refreshed, w.queries, vocab, &diffs);
+
+    // Selective-invalidation contract: a query touching none of the
+    // delta's changed predicates must answer on the refreshed snapshot
+    // exactly as it did on the base — this is what lets the serving layer
+    // migrate its cached plan instead of dropping it.
+    const obda::RefreshInfo& info = (*refreshed)->refresh_info();
+    if (info.changed_preds_exact) {
+      obda::QueryEngineOptions qopts;
+      qopts.enable_metrics = false;
+      obda::QueryEngine engine_base(chained, qopts);
+      obda::QueryEngine engine_next(*refreshed, qopts);
+      obda::AnswerOptions aopts;
+      aopts.max_rewrite_iterations = 2000;
+      aopts.max_containment_checks = 100000;
+      aopts.max_sql_blocks = 2000;
+      for (const auto& cq : w.queries) {
+        bool touched = false;
+        for (const auto& atom : cq.atoms) {
+          const uint64_t token =
+              (static_cast<uint64_t>(atom.kind) << 32) | atom.predicate;
+          if (std::binary_search(info.changed_preds.begin(),
+                                 info.changed_preds.end(), token)) {
+            touched = true;
+            break;
+          }
+        }
+        if (touched) continue;
+        auto got_base = engine_base.Answer(cq, aopts);
+        auto got_next = engine_next.Answer(cq, aopts);
+        if (!got_base.ok() || !got_next.ok()) {
+          diffs.push_back(tag + ": " + cq.ToString(vocab) +
+                          ": unchanged-predicate answering failed");
+          continue;
+        }
+        CompareTupleSets(
+            tag + ": " + cq.ToString(vocab) + " (unchanged preds)",
+            TupleSet(got_base->begin(), got_base->end()),
+            TupleSet(got_next->begin(), got_next->end()), "refresh-vs-base",
+            &diffs);
+      }
+    }
+
+    if (!diffs.empty()) return diffs;  // report the first bad generation
+    chained = *refreshed;
+  }
+  return diffs;
+}
+
 }  // namespace olite::testkit

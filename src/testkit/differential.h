@@ -163,6 +163,31 @@ std::vector<std::string> CheckSwapLinearizability(
 /// attributes to `attr:` roles, which the workload ABox cannot follow.
 std::vector<std::string> CheckApproxSoundness(const benchgen::Workload& w);
 
+/// Options for `CheckDeltaCompile`.
+struct DeltaCompileOptions {
+  /// Shape of the seeded delta sequence chained over the workload.
+  benchgen::DeltaSequenceConfig sequence;
+  /// Rewrite mode both compile paths run under.
+  query::RewriteMode mode = query::RewriteMode::kClassified;
+};
+
+/// Differential *delta compilation*: chains `CompiledOntology::Refresh`
+/// over a seeded delta sequence (each refresh building on the previous
+/// refreshed snapshot, exactly as a long-lived server would) and compares
+/// every refreshed snapshot against a from-scratch `Compile` of the
+/// identically edited specification — stage fingerprints, the
+/// classification closure (subsumer sets and unsatisfiable sets of every
+/// named predicate), the constraint summary with its per-view facts, and
+/// the answers of every workload query must all match exactly. Also
+/// checks the selective-invalidation contract: a query touching none of
+/// `RefreshInfo::changed_preds` must answer identically on the base and
+/// the refreshed snapshot. Returns discrepancy descriptions; empty =
+/// agreement. Shrinkable: wrap a failing (workload, config) in a
+/// ConformanceCase and ddmin with this checker over
+/// `ToWorkload(candidate)` as the predicate.
+std::vector<std::string> CheckDeltaCompile(
+    const benchgen::Workload& w, const DeltaCompileOptions& options = {});
+
 }  // namespace olite::testkit
 
 #endif  // OLITE_TESTKIT_DIFFERENTIAL_H_

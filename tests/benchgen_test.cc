@@ -2,7 +2,9 @@
 
 #include "benchgen/generator.h"
 #include "benchgen/profiles.h"
+#include "benchgen/workload.h"
 #include "completion/completion_classifier.h"
+#include "obda/delta.h"
 #include "core/classifier.h"
 #include "owl/from_dllite.h"
 #include "reasoner/tableau_classifier.h"
@@ -150,6 +152,100 @@ TEST(ProfilesTest, TableauAgreesWithGraphOnTinyProfile) {
         << "concept " << onto.vocab().ConceptName(a);
   }
   EXPECT_EQ(tab.unsatisfiable, graph_cls.UnsatisfiableConcepts());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded delta sequences (GenerateDeltaSequence)
+// ---------------------------------------------------------------------------
+
+Workload SmallWorkload(uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.ontology.name = "delta-seq";
+  cfg.ontology.seed = 2 * seed + 1;
+  cfg.ontology.num_concepts = 14;
+  cfg.ontology.num_roles = 4;
+  cfg.ontology.num_attributes = 1;
+  cfg.seed = seed + 500;
+  cfg.num_individuals = 10;
+  cfg.num_concept_assertions = 12;
+  cfg.num_role_assertions = 12;
+  cfg.num_queries = 2;
+  return GenerateWorkload(cfg);
+}
+
+TEST(DeltaSequenceTest, DeterministicAndSeedSensitive) {
+  Workload w = SmallWorkload(3);
+  DeltaSequenceConfig cfg;
+  cfg.seed = 42;
+  cfg.num_deltas = 8;
+  cfg.functionality_fraction = 0.2;
+  auto a = GenerateDeltaSequence(w, cfg);
+  auto b = GenerateDeltaSequence(w, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 8u);
+
+  // Identical seeds chain to identical specifications; a different seed
+  // diverges.
+  dllite::TBox ta = w.ontology.tbox();
+  dllite::TBox tb = w.ontology.tbox();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].NumChanges(), b[i].NumChanges()) << "delta " << i;
+    ta = obda::ApplyTBoxDelta(ta, a[i]).value();
+    tb = obda::ApplyTBoxDelta(tb, b[i]).value();
+  }
+  dllite::Ontology oa = w.ontology;
+  oa.tbox() = ta;
+  dllite::Ontology ob = w.ontology;
+  ob.tbox() = tb;
+  EXPECT_EQ(oa.ToString(), ob.ToString());
+
+  DeltaSequenceConfig other = cfg;
+  other.seed = 43;
+  auto c = GenerateDeltaSequence(w, other);
+  dllite::TBox tc = w.ontology.tbox();
+  for (const auto& d : c) tc = obda::ApplyTBoxDelta(tc, d).value();
+  dllite::Ontology oc = w.ontology;
+  oc.tbox() = tc;
+  EXPECT_NE(oc.ToString(), oa.ToString());
+}
+
+TEST(DeltaSequenceTest, EveryDeltaChainsAndKeepsDlLiteA) {
+  // Deltas must apply cleanly in order (removals always reference existing
+  // content) and never violate the DL-Lite_A functionality restriction —
+  // including the seeds that plant functionality churn and an oversized
+  // delta.
+  for (uint64_t seed : {1ull, 9ull, 17ull}) {
+    Workload w = SmallWorkload(seed);
+    DeltaSequenceConfig cfg;
+    cfg.seed = seed * 977;
+    cfg.num_deltas = 10;
+    cfg.functionality_fraction = 0.25;
+    cfg.large_delta_index = 4;
+    cfg.large_delta_changes = 32;
+    auto deltas = GenerateDeltaSequence(w, cfg);
+    ASSERT_EQ(deltas.size(), 10u);
+    EXPECT_GE(deltas[4].NumChanges(), 32u);
+
+    dllite::TBox tbox = w.ontology.tbox();
+    mapping::MappingSet mappings = w.mappings;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      auto nt = obda::ApplyTBoxDelta(tbox, deltas[i]);
+      ASSERT_TRUE(nt.ok()) << "seed " << seed << " delta " << i << ": "
+                           << nt.status().ToString();
+      auto nm = obda::ApplyMappingDelta(mappings, deltas[i]);
+      ASSERT_TRUE(nm.ok()) << "seed " << seed << " delta " << i << ": "
+                           << nm.status().ToString();
+      tbox = *std::move(nt);
+      mappings = *std::move(nm);
+      ASSERT_TRUE(
+          dllite::CheckFunctionalityRestriction(tbox, w.ontology.vocab())
+              .ok())
+          << "seed " << seed << " delta " << i;
+      // Deltas never extend the signature: every mapping still validates
+      // against the untouched vocabulary-sized predicates.
+      EXPECT_GE(mappings.size(), 1u);
+    }
+  }
 }
 
 }  // namespace

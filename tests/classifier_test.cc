@@ -491,5 +491,169 @@ TEST(ClassifierParallelTest, IdenticalResultsAtEveryWidth) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// RefreshClassification: incremental maintenance from a base classification
+// ---------------------------------------------------------------------------
+
+// `RefreshClassification`'s contract is exact equality with a from-scratch
+// `Classify` of the edited TBox, whatever internal path it took.
+void ExpectSameClassification(const Classification& got,
+                              const dllite::Ontology& onto) {
+  Classification want = Classify(onto.tbox(), onto.vocab());
+  const auto& vocab = onto.vocab();
+  for (size_t a = 0; a < vocab.NumConcepts(); ++a) {
+    const auto id = static_cast<dllite::ConceptId>(a);
+    EXPECT_EQ(got.SuperConcepts(id), want.SuperConcepts(id))
+        << vocab.ConceptName(id);
+  }
+  for (size_t p = 0; p < vocab.NumRoles(); ++p) {
+    const auto id = static_cast<dllite::RoleId>(p);
+    EXPECT_EQ(got.SuperRoles(id), want.SuperRoles(id)) << vocab.RoleName(id);
+  }
+  for (size_t u = 0; u < vocab.NumAttributes(); ++u) {
+    const auto id = static_cast<dllite::AttributeId>(u);
+    EXPECT_EQ(got.SuperAttributes(id), want.SuperAttributes(id))
+        << vocab.AttributeName(id);
+  }
+  EXPECT_EQ(got.UnsatisfiableConcepts(), want.UnsatisfiableConcepts());
+  EXPECT_EQ(got.UnsatisfiableRoles(), want.UnsatisfiableRoles());
+  EXPECT_EQ(got.UnsatisfiableAttributes(), want.UnsatisfiableAttributes());
+  EXPECT_EQ(got.CountNamedSubsumptions(), want.CountNamedSubsumptions());
+}
+
+// A base classified with the dynamic engine, so the refresh can patch it.
+Classification DynamicClassify(const dllite::Ontology& onto) {
+  ClassificationOptions opts;
+  opts.engine = graph::ClosureEngine::kDynamic;
+  return Classify(onto.tbox(), onto.vocab(), opts);
+}
+
+RefreshOptions PatchAlways() {
+  RefreshOptions o;
+  o.fallback_fraction = 1.0;
+  return o;
+}
+
+TEST(RefreshClassificationTest, AdditionPatchesInPlace) {
+  Ontology base = MustParse("concept A B C D\nrole P\nA <= B\nB <= C\n");
+  Ontology next =
+      MustParse("concept A B C D\nrole P\nA <= B\nB <= C\nC <= D\n");
+  Classification cls = DynamicClassify(base);
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  EXPECT_FALSE(stats.fell_back_scratch);
+  EXPECT_GT(stats.patched_nodes, 0u);
+  ExpectSameClassification(refreshed, next);
+  // A, B and C all gained D as a superclass.
+  EXPECT_EQ(refreshed.SuperConcepts(0),
+            (std::vector<dllite::ConceptId>{1, 2, 3}));
+}
+
+TEST(RefreshClassificationTest, RemovalDropsStaleSubsumptions) {
+  Ontology base =
+      MustParse("concept A B C D\nrole P\nA <= B\nB <= C\nC <= D\n");
+  Ontology next = MustParse("concept A B C D\nrole P\nA <= B\nC <= D\n");
+  Classification cls = DynamicClassify(base);
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  EXPECT_FALSE(stats.fell_back_scratch);
+  ExpectSameClassification(refreshed, next);
+  EXPECT_EQ(refreshed.SuperConcepts(0),
+            (std::vector<dllite::ConceptId>{1}));  // A <= B only
+}
+
+TEST(RefreshClassificationTest, RemovalRepairsUnsatisfiability) {
+  // A is unsatisfiable in the base (A <= B, A <= C, B <= not C); dropping
+  // A <= C must clear the Ω_T contribution through the patched closures.
+  Ontology base =
+      MustParse("concept A B C\nA <= B\nA <= C\nB <= not C\n");
+  Ontology next = MustParse("concept A B C\nA <= B\nB <= not C\n");
+  Classification cls = DynamicClassify(base);
+  ASSERT_EQ(cls.UnsatisfiableConcepts(),
+            (std::vector<dllite::ConceptId>{0}));
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  ExpectSameClassification(refreshed, next);
+  EXPECT_TRUE(refreshed.UnsatisfiableConcepts().empty());
+}
+
+TEST(RefreshClassificationTest, CycleEditsStayExact) {
+  // Equivalence cycle A = B = C (via inclusions); the edit breaks the
+  // cycle — the DRed over-delete/re-derive path over a genuine SCC.
+  Ontology base =
+      MustParse("concept A B C D\nA <= B\nB <= C\nC <= A\nC <= D\n");
+  Ontology next =
+      MustParse("concept A B C D\nA <= B\nC <= A\nC <= D\n");
+  Classification cls = DynamicClassify(base);
+  ASSERT_EQ(cls.SuperConcepts(0), (std::vector<dllite::ConceptId>{1, 2, 3}));
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  EXPECT_FALSE(stats.fell_back_scratch);
+  ExpectSameClassification(refreshed, next);
+  EXPECT_EQ(refreshed.SuperConcepts(0), (std::vector<dllite::ConceptId>{1}));
+}
+
+TEST(RefreshClassificationTest, LayoutShiftFallsBackToScratch) {
+  Ontology base = MustParse("concept A B\nA <= B\n");
+  // One more concept: every role/attribute node id would shift, so the
+  // refresh must not attempt a patch.
+  Ontology next = MustParse("concept A B C\nA <= B\nB <= C\n");
+  Classification cls = DynamicClassify(base);
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  EXPECT_TRUE(stats.fell_back_scratch);
+  ExpectSameClassification(refreshed, next);
+}
+
+TEST(RefreshClassificationTest, NonPatchableBaseFallsBackToScratch) {
+  Ontology base = MustParse("concept A B C\nA <= B\n");
+  Ontology next = MustParse("concept A B C\nA <= B\nB <= C\n");
+  // Default engine: the base closure is not a DynamicClosure, so the
+  // refresh cannot patch it.
+  Classification cls = Classify(base.tbox(), base.vocab());
+
+  RefreshStats stats;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), PatchAlways(), &stats);
+  EXPECT_TRUE(stats.fell_back_scratch);
+  ExpectSameClassification(refreshed, next);
+}
+
+TEST(RefreshClassificationTest, LargeDeltaFallsBackByFraction) {
+  Ontology base = MustParse("concept A B C D\nA <= B\n");
+  // Every concept's subsumers change: the dirty fraction exceeds any
+  // reasonable threshold, so the default options take the scratch path.
+  Ontology next =
+      MustParse("concept A B C D\nA <= B\nB <= C\nC <= D\nD <= A\n");
+  Classification cls = DynamicClassify(base);
+
+  RefreshStats stats;
+  RefreshOptions tight;
+  tight.fallback_fraction = 0.1;
+  Classification refreshed = RefreshClassification(
+      cls, next.tbox(), next.vocab(), tight, &stats);
+  EXPECT_TRUE(stats.fell_back_scratch);
+  ExpectSameClassification(refreshed, next);
+  // The fallback classifies with the dynamic engine, so the *next* delta
+  // can patch again.
+  Ontology after =
+      MustParse("concept A B C D\nA <= B\nB <= C\nC <= D\n");
+  RefreshStats again;
+  Classification chained = RefreshClassification(
+      refreshed, after.tbox(), after.vocab(), PatchAlways(), &again);
+  EXPECT_FALSE(again.fell_back_scratch);
+  ExpectSameClassification(chained, after);
+}
+
 }  // namespace
 }  // namespace olite::core

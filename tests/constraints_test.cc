@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -310,6 +311,155 @@ TEST(SourceConstraintsFuzz, DegradedInferenceKeepsAnswersExact) {
           << cq.ToString(w.ontology.vocab());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Refresh (per-view reuse) and DiffAffectedPreds (delta attribution)
+// ---------------------------------------------------------------------------
+
+// Two concepts over two tables plus a role: enough views for a refresh to
+// tell reused from re-evaluated.
+struct RefreshFixture {
+  Database db;
+  MappingSet mappings;
+
+  RefreshFixture() {
+    EXPECT_TRUE(db.CreateTable({"ta", {{"s", ValueType::kString}}}).ok());
+    EXPECT_TRUE(db.CreateTable({"tb", {{"s", ValueType::kString}}}).ok());
+    EXPECT_TRUE(db.CreateTable({"tr",
+                                {{"s", ValueType::kString},
+                                 {"o", ValueType::kString}}})
+                    .ok());
+    EXPECT_TRUE(db.Insert("ta", {Value::Str("a1")}).ok());
+    EXPECT_TRUE(db.Insert("ta", {Value::Str("a2")}).ok());
+    EXPECT_TRUE(db.Insert("tb", {Value::Str("a1")}).ok());
+    EXPECT_TRUE(db.Insert("tr", {Value::Str("a1"), Value::Str("a2")}).ok());
+    EXPECT_TRUE(
+        mappings.Add(MappingAssertion::ForConcept(0, TableBlock("ta", false)))
+            .ok());
+    EXPECT_TRUE(
+        mappings.Add(MappingAssertion::ForConcept(1, TableBlock("tb", false)))
+            .ok());
+    EXPECT_TRUE(
+        mappings.Add(MappingAssertion::ForRole(0, TableBlock("tr", true)))
+            .ok());
+  }
+};
+
+TEST(SourceConstraintsRefresh, ReusesUnchangedViewsBitIdentically) {
+  RefreshFixture fx;
+  ConstraintInferenceOptions opts;
+  opts.retain_view_extensions = true;
+  auto base = InferOver(fx.mappings, fx.db, opts);
+
+  // Add one assertion; the three existing views must be reused, and every
+  // derived fact must equal a from-scratch inference.
+  MappingSet next = fx.mappings;
+  ASSERT_TRUE(
+      next.Add(MappingAssertion::ForConcept(2, TableBlock("tb", false))).ok());
+  const auto stats = rdb::DatabaseStats::Collect(fx.db);
+  uint64_t reused = 0;
+  auto refreshed =
+      SourceConstraints::Refresh(*base, next, fx.db, stats, opts, &reused);
+  EXPECT_EQ(reused, 3u);
+  auto scratch = InferOver(next, fx.db, opts);
+  EXPECT_EQ(refreshed->summary().ToString(), scratch->summary().ToString());
+  // Concept 2 reads the same table as concept 1: extensionally included
+  // both ways, facts a scratch inference would also derive.
+  EXPECT_TRUE(refreshed->Included(Atom::Kind::kConcept, 2, 1));
+  EXPECT_TRUE(refreshed->Included(Atom::Kind::kConcept, 1, 2));
+  EXPECT_TRUE(refreshed->Included(Atom::Kind::kConcept, 1, 0));
+}
+
+TEST(SourceConstraintsRefresh, RemovalRecomputesDerivedFacts) {
+  RefreshFixture fx;
+  ConstraintInferenceOptions opts;
+  opts.retain_view_extensions = true;
+  auto base = InferOver(fx.mappings, fx.db, opts);
+  ASSERT_FALSE(base->Empty(Atom::Kind::kConcept, 1));
+
+  MappingSet next;
+  for (const MappingAssertion& m : fx.mappings.assertions()) {
+    if (m.kind == mapping::TargetKind::kConcept && m.predicate == 1) continue;
+    ASSERT_TRUE(next.Add(m).ok());
+  }
+  const auto stats = rdb::DatabaseStats::Collect(fx.db);
+  uint64_t reused = 0;
+  auto refreshed =
+      SourceConstraints::Refresh(*base, next, fx.db, stats, opts, &reused);
+  EXPECT_EQ(reused, 2u);
+  // Concept 1 is unmapped now: provably empty, and the stale inclusion
+  // of concept 1's old extension in concept 0's is not resurrected.
+  EXPECT_TRUE(refreshed->Empty(Atom::Kind::kConcept, 1));
+  auto scratch = InferOver(next, fx.db, opts);
+  EXPECT_EQ(refreshed->summary().ToString(), scratch->summary().ToString());
+}
+
+TEST(SourceConstraintsRefresh, DiffAttributesMappingChangeToItsPredicate) {
+  RefreshFixture fx;
+  ConstraintInferenceOptions opts;
+  opts.retain_view_extensions = true;
+  auto base = InferOver(fx.mappings, fx.db, opts);
+
+  MappingSet next = fx.mappings;
+  ASSERT_TRUE(
+      next.Add(MappingAssertion::ForConcept(2, TableBlock("tb", false))).ok());
+  const auto stats = rdb::DatabaseStats::Collect(fx.db);
+  auto refreshed =
+      SourceConstraints::Refresh(*base, next, fx.db, stats, opts, nullptr);
+
+  std::vector<uint64_t> affected;
+  ASSERT_TRUE(base->DiffAffectedPreds(*refreshed, fx.mappings, next,
+                                      &affected));
+  // Concept 2 gained a mapping, and concepts 0/1 gained inclusion facts
+  // against its extension; the role shares no fact with any of them and
+  // must stay out of the attribution.
+  const uint64_t r0 = (static_cast<uint64_t>(Atom::Kind::kRole) << 32) | 0u;
+  const uint64_t c2 =
+      (static_cast<uint64_t>(Atom::Kind::kConcept) << 32) | 2u;
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), c2) !=
+              affected.end());
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), r0) ==
+              affected.end());
+
+  // No change at all: the diff is empty.
+  affected.clear();
+  ASSERT_TRUE(
+      base->DiffAffectedPreds(*base, fx.mappings, fx.mappings, &affected));
+  EXPECT_TRUE(affected.empty());
+}
+
+TEST(SourceConstraintsRefresh, DiffRefusesWhenKeyFactsChange) {
+  // Key columns prune by table, not predicate, so a diff across databases
+  // whose distinct counts differ cannot be attributed — it must return
+  // false rather than under-report.
+  Database unique_db;
+  ASSERT_TRUE(
+      unique_db.CreateTable({"tr",
+                             {{"s", ValueType::kString},
+                              {"o", ValueType::kString}}})
+          .ok());
+  ASSERT_TRUE(
+      unique_db.Insert("tr", {Value::Str("x"), Value::Str("y")}).ok());
+  Database dup_db;
+  ASSERT_TRUE(dup_db.CreateTable({"tr",
+                                  {{"s", ValueType::kString},
+                                   {"o", ValueType::kString}}})
+                  .ok());
+  ASSERT_TRUE(dup_db.Insert("tr", {Value::Str("x"), Value::Str("y")}).ok());
+  ASSERT_TRUE(dup_db.Insert("tr", {Value::Str("x"), Value::Str("z")}).ok());
+
+  MappingSet mappings;
+  ASSERT_TRUE(
+      mappings.Add(MappingAssertion::ForRole(0, TableBlock("tr", true))).ok());
+  auto with_key = InferOver(mappings, unique_db);
+  auto without_key = InferOver(mappings, dup_db);
+  ASSERT_TRUE(with_key->IsKeyColumn("tr", "s"));
+  ASSERT_FALSE(without_key->IsKeyColumn("tr", "s"));
+
+  std::vector<uint64_t> affected;
+  EXPECT_FALSE(with_key->DiffAffectedPreds(*without_key, mappings, mappings,
+                                           &affected));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "graph/bitset.h"
 #include "graph/closure.h"
 #include "graph/digraph.h"
+#include "graph/dynamic_closure.h"
 #include "graph/scc.h"
 
 namespace olite::graph {
@@ -266,6 +267,189 @@ TEST(ClosureParallelTest, EnginesAgreeAtEveryWidthOnRandomGraphs) {
               << " node " << u;
         }
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicClosure: incremental patching, DRed over the SCC condensation
+// ---------------------------------------------------------------------------
+
+// All-pairs agreement of a patched closure with a from-scratch closure of
+// the same graph — the only contract Patched has.
+void ExpectClosureOf(const DynamicClosure& got, const Digraph& next) {
+  DynamicClosure want(next);
+  ASSERT_EQ(got.graph().NumNodes(), want.graph().NumNodes());
+  for (NodeId u = 0; u < want.graph().NumNodes(); ++u) {
+    ASSERT_EQ(got.ReachableFrom(u), want.ReachableFrom(u)) << "from " << u;
+  }
+  EXPECT_EQ(got.NumClosureArcs(), want.NumClosureArcs());
+}
+
+DynamicClosure::PatchOptions NeverFallBack() {
+  DynamicClosure::PatchOptions o;
+  o.fallback_fraction = 1.0;
+  return o;
+}
+
+TEST(DynamicClosureTest, AdditionExtendsChain) {
+  Digraph g(8);  // chain 0..3 plus isolated 4..7
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  DynamicClosure base(g);
+
+  Digraph next = g;
+  next.AddArc(3, 4);  // the chain now reaches into the isolated tail
+  DynamicClosure::PatchStats stats;
+  auto patched = base.Patched(next, NeverFallBack(), &stats);
+  ExpectClosureOf(*patched, next);
+  EXPECT_FALSE(stats.fell_back);
+  // The isolated nodes 5..7 are untouched: their components alias the old
+  // reach vectors instead of re-merging.
+  EXPECT_GT(stats.reused_components, 0u);
+  EXPECT_GT(stats.patched_nodes, 0u);
+}
+
+TEST(DynamicClosureTest, RemovalBreaksCycle) {
+  // DRed over-delete case: removing one arc of the 3-cycle dissolves the
+  // SCC; every stale transitive fact must disappear.
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 0);
+  g.AddArc(2, 3);
+  DynamicClosure base(g);
+  EXPECT_TRUE(base.Reaches(0, 3));
+  EXPECT_TRUE(base.Reaches(1, 0));
+
+  Digraph next(4);  // drop 1 -> 2
+  next.AddArc(0, 1);
+  next.AddArc(2, 0);
+  next.AddArc(2, 3);
+  DynamicClosure::PatchStats stats;
+  auto patched = base.Patched(next, NeverFallBack(), &stats);
+  ExpectClosureOf(*patched, next);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_FALSE(patched->Reaches(0, 3));
+  EXPECT_FALSE(patched->Reaches(1, 0));
+  EXPECT_TRUE(patched->Reaches(2, 1));
+}
+
+TEST(DynamicClosureTest, RemovalRederivesThroughAlternatePath) {
+  // The re-derivation half of DRed: dropping 2 -> 3 splits the chorded
+  // 4-cycle, but 1 still reaches 3 through the chord — the fact must
+  // survive the over-deletion.
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.AddArc(3, 0);
+  g.AddArc(1, 3);  // chord
+  g.AddArc(3, 4);  // tail outside the cycle
+  DynamicClosure base(g);
+
+  Digraph next(5);
+  next.AddArc(0, 1);
+  next.AddArc(1, 2);
+  next.AddArc(3, 0);
+  next.AddArc(1, 3);
+  next.AddArc(3, 4);
+  DynamicClosure::PatchStats stats;
+  auto patched = base.Patched(next, NeverFallBack(), &stats);
+  ExpectClosureOf(*patched, next);
+  EXPECT_TRUE(patched->Reaches(1, 3));   // re-derived via the chord
+  EXPECT_TRUE(patched->Reaches(1, 4));
+  EXPECT_FALSE(patched->Reaches(2, 3));  // genuinely gone
+}
+
+TEST(DynamicClosureTest, AdditionMergesChainIntoCycle) {
+  Digraph g(3);  // chain 0 -> 1 -> 2
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  DynamicClosure base(g);
+
+  Digraph next = g;
+  next.AddArc(2, 0);  // one SCC: everything reaches everything
+  auto patched = base.Patched(next, NeverFallBack());
+  ExpectClosureOf(*patched, next);
+  EXPECT_TRUE(patched->Reaches(2, 1));
+  EXPECT_TRUE(patched->Reaches(1, 1));  // cycle members reach themselves
+}
+
+TEST(DynamicClosureTest, FallbackFractionZeroForcesScratchMerge) {
+  Digraph g(6);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(3, 4);
+  DynamicClosure base(g);
+
+  Digraph next = g;
+  next.AddArc(4, 5);
+  DynamicClosure::PatchOptions opts;
+  opts.fallback_fraction = 0.0;
+  DynamicClosure::PatchStats stats;
+  auto patched = base.Patched(next, opts, &stats);
+  ExpectClosureOf(*patched, next);
+  EXPECT_TRUE(stats.fell_back);
+  EXPECT_EQ(stats.reused_components, 0u);
+}
+
+TEST(DynamicClosureTest, PatchAcrossNodeGrowthAndShrink) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  DynamicClosure base(g);
+
+  Digraph grown(5);
+  grown.AddArc(0, 1);
+  grown.AddArc(1, 4);
+  auto bigger = base.Patched(grown, NeverFallBack());
+  ExpectClosureOf(*bigger, grown);
+  EXPECT_TRUE(bigger->Reaches(0, 4));
+
+  Digraph shrunk(2);
+  shrunk.AddArc(1, 0);
+  auto smaller = bigger->Patched(shrunk, NeverFallBack());
+  ExpectClosureOf(*smaller, shrunk);
+}
+
+TEST(DynamicClosureTest, ChainedRandomPatchesAgreeWithScratch) {
+  // 30 random evolutions of a random graph, patched step by step; every
+  // generation must equal the scratch closure, under both the default
+  // fallback fraction and the never-fall-back one.
+  Rng rng(0xD12ED);
+  for (double fraction : {0.25, 1.0}) {
+    const NodeId n = 24;
+    Digraph g(n);
+    for (int e = 0; e < 40; ++e) {
+      g.AddArc(static_cast<NodeId>(rng.Uniform(n)),
+               static_cast<NodeId>(rng.Uniform(n)));
+    }
+    g.Finalize();
+    auto closure = std::make_unique<DynamicClosure>(g);
+    DynamicClosure::PatchOptions opts;
+    opts.fallback_fraction = fraction;
+    for (int step = 0; step < 30; ++step) {
+      Digraph next = closure->graph();
+      if (rng.Uniform(2) == 0 && next.NumArcs() > 0) {
+        // Remove one arc: rebuild without the chosen one.
+        const uint64_t victim = rng.Uniform(next.NumArcs());
+        Digraph pruned(next.NumNodes());
+        uint64_t i = 0;
+        for (NodeId u = 0; u < next.NumNodes(); ++u) {
+          for (NodeId v : next.Successors(u)) {
+            if (i++ != victim) pruned.AddArc(u, v);
+          }
+        }
+        next = std::move(pruned);
+      } else {
+        next.AddArc(static_cast<NodeId>(rng.Uniform(n)),
+                    static_cast<NodeId>(rng.Uniform(n)));
+      }
+      next.Finalize();
+      auto patched = closure->Patched(next, opts);
+      ExpectClosureOf(*patched, next);
+      closure = std::move(patched);
     }
   }
 }

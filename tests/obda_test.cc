@@ -4,6 +4,7 @@
 #include <set>
 
 #include "mapping/mapping.h"
+#include "obda/delta.h"
 #include "obda/system.h"
 #include "obda/unfolder.h"
 
@@ -430,6 +431,94 @@ TEST(UnfolderTest, SharedVariablesBecomeJoins) {
   auto rows = rdb::Execute(fx.db, *sql);
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 1u);  // only ada actually teaches in the data
+}
+
+// ---------------------------------------------------------------------------
+// OntologyDelta application
+// ---------------------------------------------------------------------------
+
+TEST(DeltaTest, ApplyTBoxDeltaAddsAndRemoves) {
+  Fixture fx;
+  const auto& vocab = fx.onto.vocab();
+  dllite::ConceptInclusion ax;
+  ax.lhs = dllite::BasicConcept::Atomic(vocab.FindConcept("Course").value());
+  ax.rhs = dllite::RhsConcept::Positive(
+      dllite::BasicConcept::Atomic(vocab.FindConcept("Person").value()));
+
+  OntologyDelta add;
+  add.add_concept_inclusions.push_back(ax);
+  auto grown = ApplyTBoxDelta(fx.onto.tbox(), add);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  ASSERT_EQ(grown->concept_inclusions().size(),
+            fx.onto.tbox().concept_inclusions().size() + 1);
+  // Additions land after the surviving base axioms, in delta order.
+  EXPECT_EQ(grown->concept_inclusions().back(), ax);
+
+  OntologyDelta remove;
+  remove.remove_concept_inclusions.push_back(ax);
+  auto restored = ApplyTBoxDelta(*grown, remove);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->concept_inclusions().size(),
+            fx.onto.tbox().concept_inclusions().size());
+}
+
+TEST(DeltaTest, RemovalMissIsInvalidArgument) {
+  Fixture fx;
+  dllite::ConceptInclusion missing;
+  missing.lhs = dllite::BasicConcept::Atomic(
+      fx.onto.vocab().FindConcept("Course").value());
+  missing.rhs = dllite::RhsConcept::Positive(dllite::BasicConcept::Atomic(
+      fx.onto.vocab().FindConcept("AssistantProf").value()));
+  OntologyDelta d;
+  d.remove_concept_inclusions.push_back(missing);
+  auto r = ApplyTBoxDelta(fx.onto.tbox(), d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  OntologyDelta md;
+  OntologyDelta::MappingSelector sel;
+  sel.kind = mapping::TargetKind::kConcept;
+  sel.predicate = fx.onto.vocab().FindConcept("Course").value();
+  sel.sql = "SELECT nothing FROM nowhere";
+  md.remove_mappings.push_back(sel);
+  auto mr = ApplyMappingDelta(fx.mappings, md);
+  ASSERT_FALSE(mr.ok());
+  EXPECT_EQ(mr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaTest, MappingSelectorRoundTrip) {
+  Fixture fx;
+  const MappingAssertion victim = fx.mappings.assertions().front();
+  OntologyDelta d;
+  d.remove_mappings.push_back(SelectorFor(victim));
+  auto removed = ApplyMappingDelta(fx.mappings, d);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed->size(), fx.mappings.size() - 1);
+
+  // Removing the same selector again misses — the assertion is gone.
+  auto again = ApplyMappingDelta(*removed, d);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+
+  // Re-adding the removed assertion restores the original size.
+  OntologyDelta back;
+  back.add_mappings.push_back(victim);
+  auto restored = ApplyMappingDelta(*removed, back);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->size(), fx.mappings.size());
+}
+
+TEST(DeltaTest, MappingAdditionValidatesArity) {
+  Fixture fx;
+  SelectBlock two_columns;
+  two_columns.from_tables = {"prof"};
+  two_columns.select = {{0, "id"}, {0, "rank"}};
+  OntologyDelta d;
+  d.add_mappings.push_back(MappingAssertion::ForConcept(
+      fx.onto.vocab().FindConcept("Course").value(), two_columns));
+  auto r = ApplyMappingDelta(fx.mappings, d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "mapping/mapping.h"
 #include "obda/compiled_ontology.h"
+#include "obda/delta.h"
 #include "obda/serving_engine.h"
 #include "obs/metrics.h"
 
@@ -541,6 +542,219 @@ TEST_F(ServingEngineTest, AnswerSwapChurnStress) {
   EXPECT_EQ(adm.shed, 0u);  // the queue was deep enough for everyone
   // Post-churn: epoch 7 is snapshot A again.
   EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersA);
+}
+
+// ---- delta refresh (RefreshAndSwap) ---------------------------------------
+
+// `Course <= Person` against the university fixture: it changes the
+// rewriting of Person (which gains the Course subtree, hence the course
+// constant) while leaving Course's own rewriting untouched — the exact
+// split the selective plan invalidation must make.
+OntologyDelta AddCoursePersonDelta(const CompiledOntology& snap) {
+  const auto& vocab = snap.ontology().vocab();
+  dllite::ConceptInclusion ax;
+  ax.lhs = dllite::BasicConcept::Atomic(vocab.FindConcept("Course").value());
+  ax.rhs = dllite::RhsConcept::Positive(
+      dllite::BasicConcept::Atomic(vocab.FindConcept("Person").value()));
+  OntologyDelta d;
+  d.add_concept_inclusions.push_back(ax);
+  return d;
+}
+
+OntologyDelta RemoveCoursePersonDelta(const CompiledOntology& snap) {
+  OntologyDelta d;
+  d.remove_concept_inclusions =
+      AddCoursePersonDelta(snap).add_concept_inclusions;
+  return d;
+}
+
+const char* kCourseQuery = "q(x) :- Course(x)";
+const std::vector<AnswerTuple> kCourses = {{"db101"}};
+const std::vector<AnswerTuple> kAnswersAPlusCourse = {
+    {"ada"}, {"alan"}, {"db101"}};
+
+TEST_F(ServingEngineTest, RefreshAndSwapInvalidatesOnlyAffectedPlans) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());
+  ASSERT_TRUE(serving.Answer(kCourseQuery).ok());
+  ASSERT_EQ(serving.cache_metrics().entries, 2u);
+
+  DeltaSwapStats ds;
+  auto e =
+      serving.RefreshAndSwap(AddCoursePersonDelta(*serving.snapshot()), &ds);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(*e, 2u);
+  EXPECT_TRUE(ds.selective_invalidation);
+  EXPECT_EQ(ds.plans_invalidated, 1u);  // Person touches the changed pred
+  EXPECT_EQ(ds.plans_migrated, 1u);     // Course does not
+  EXPECT_GE(ds.reused_stages, 2u);      // mappings + schema at minimum
+
+  // The migrated Course plan is a cache hit on the new epoch.
+  AnswerStats course;
+  auto c = serving.Answer(kCourseQuery, AnswerOptions{}, &course);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(course.cache.hit);
+  EXPECT_EQ(course.serve.epoch, 2u);
+  EXPECT_EQ(Sorted(*c), kCourses);
+
+  // The invalidated Person plan recompiles and sees the new subsumption:
+  // the course individual is now a Person.
+  AnswerStats person;
+  auto p = serving.Answer(kPersonQuery, AnswerOptions{}, &person);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_FALSE(person.cache.hit);
+  EXPECT_EQ(Sorted(*p), kAnswersAPlusCourse);
+}
+
+TEST_F(ServingEngineTest, RefreshAndSwapAppliesMappingRemoval) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+  ASSERT_EQ(Sorted(*serving.Answer("q(x) :- AssistantProf(x)")),
+            (std::vector<AnswerTuple>{{"alan"}}));
+
+  // Select the AssistantProf mapping straight off the served snapshot.
+  std::shared_ptr<const CompiledOntology> snap = serving.snapshot();
+  const uint32_t assistant =
+      snap->ontology().vocab().FindConcept("AssistantProf").value();
+  OntologyDelta d;
+  for (const auto& m : snap->mappings().assertions()) {
+    if (m.kind == mapping::TargetKind::kConcept && m.predicate == assistant) {
+      d.remove_mappings.push_back(SelectorFor(m));
+    }
+  }
+  ASSERT_EQ(d.remove_mappings.size(), 1u);
+
+  DeltaSwapStats ds;
+  auto e = serving.RefreshAndSwap(d, &ds);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(serving.epoch(), 2u);
+  // The mapping is gone: no assistant answers any more, while Person still
+  // finds both professors through the untouched Professor mapping.
+  EXPECT_TRUE(serving.Answer("q(x) :- AssistantProf(x)")->empty());
+  EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersA);
+}
+
+TEST_F(ServingEngineTest, RefreshAndSwapDetectsInterleavedSwap) {
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  // Slow the refresh (fault site kSnapshotBuild) so a plain Swap can land
+  // while it runs; the delta swap must then refuse to publish — its base
+  // is no longer the current snapshot. Snapshot B is compiled before
+  // arming so only the refresh pays the injected latency.
+  auto snap_b = SnapB();
+  fault::Injector::Global().Arm(fault::Site::kSnapshotBuild,
+                                {.latency_every = 1, .latency_ms = 150});
+  Result<uint64_t> r = uint64_t{0};
+  DeltaSwapStats ds;
+  std::thread worker([&] {
+    r = serving.RefreshAndSwap(AddCoursePersonDelta(*serving.snapshot()),
+                               &ds);
+  });
+  ASSERT_TRUE(WaitFor([] {
+    return fault::Injector::Global().hits(fault::Site::kSnapshotBuild) >= 1;
+  }));
+  EXPECT_EQ(serving.Swap(snap_b), 2u);
+  worker.join();
+  fault::Injector::Global().DisarmAll();
+
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // The interleaving swap's epoch serves untouched.
+  EXPECT_EQ(serving.epoch(), 2u);
+  EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersB);
+}
+
+TEST_F(ServingEngineTest, RefreshSwapChurnStress) {
+  // Like AnswerSwapChurnStress, but the churn is delta refreshes: the main
+  // thread alternately adds and removes `Course <= Person` through
+  // RefreshAndSwap while 6 reader threads hammer Person. Run under TSan in
+  // CI. Every answer must be exactly the answer set of the specification
+  // at the epoch it reports (even epochs carry the axiom) — never an
+  // error, never a blend — and plans migrated across the delta swaps must
+  // stay correct.
+  ServingEngineOptions opts;
+  opts.engine.enable_metrics = false;
+  ServingEngine serving(SnapA(), opts);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 15; ++i) {
+        AnswerStats stats;
+        auto r = serving.Answer(kPersonQuery, AnswerOptions{}, &stats);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& want = stats.serve.epoch % 2 == 0 ? kAnswersAPlusCourse
+                                                      : kAnswersA;
+        if (Sorted(*r) != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int s = 0; s < 6; ++s) {
+    std::shared_ptr<const CompiledOntology> snap = serving.snapshot();
+    OntologyDelta d = s % 2 == 0 ? AddCoursePersonDelta(*snap)
+                                 : RemoveCoursePersonDelta(*snap);
+    auto e = serving.RefreshAndSwap(d);
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(serving.epoch(), 7u);  // six delta swaps; axiom removed last
+  EXPECT_EQ(Sorted(*serving.Answer(kPersonQuery)), kAnswersA);
+}
+
+TEST_F(ServingEngineTest, DeltaInstrumentsExportedThroughRegistry) {
+  obs::MetricsRegistry registry;
+  ServingEngineOptions opts;
+  opts.engine.metrics = &registry;
+  ServingEngine serving(SnapA(), opts);
+  ASSERT_TRUE(serving.Answer(kPersonQuery).ok());  // plans to drop/migrate
+  ASSERT_TRUE(serving.Answer(kCourseQuery).ok());
+
+  DeltaSwapStats ds;
+  ASSERT_TRUE(
+      serving.RefreshAndSwap(AddCoursePersonDelta(*serving.snapshot()), &ds)
+          .ok());
+
+  ASSERT_NE(registry.FindCounter("snapshot.delta_applied"), nullptr);
+  EXPECT_EQ(registry.FindCounter("snapshot.delta_applied")->Value(), 1u);
+  ASSERT_NE(registry.FindCounter("snapshot.delta_fallback_scratch"),
+            nullptr);
+  EXPECT_EQ(registry.FindCounter("snapshot.delta_fallback_scratch")->Value(),
+            ds.fell_back_scratch ? 1u : 0u);
+  ASSERT_NE(registry.FindCounter("snapshot.delta_reused_stages"), nullptr);
+  EXPECT_EQ(registry.FindCounter("snapshot.delta_reused_stages")->Value(),
+            ds.reused_stages);
+  ASSERT_NE(registry.FindCounter("snapshot.delta_plans_invalidated"),
+            nullptr);
+  EXPECT_EQ(
+      registry.FindCounter("snapshot.delta_plans_invalidated")->Value(),
+      ds.plans_invalidated);
+  ASSERT_NE(registry.FindCounter("snapshot.delta_plans_migrated"), nullptr);
+  EXPECT_EQ(registry.FindCounter("snapshot.delta_plans_migrated")->Value(),
+            ds.plans_migrated);
+  ASSERT_NE(registry.FindCounter("snapshot.delta_patched_nodes"), nullptr);
+  ASSERT_NE(registry.FindHistogram("snapshot.refresh_us"), nullptr);
+  EXPECT_EQ(
+      registry.FindHistogram("snapshot.refresh_us")->TakeSnapshot().count,
+      1u);
+
+  // The delta instruments ride the standard exports.
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"snapshot.delta_applied\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot.refresh_us\""), std::string::npos);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("snapshot.delta_plans_migrated"), std::string::npos);
+  EXPECT_NE(text.find("snapshot.delta_fallback_scratch"), std::string::npos);
 }
 
 }  // namespace
